@@ -1,0 +1,30 @@
+"""Figure 4 — MiniResNet (ResNet50 stand-in) design space.
+
+Paper shape: within each accuracy band, VS-Quant points Pareto-dominate the
+8-bit baseline on energy and area; 4-6-bit VS-Quant configurations reach
+the high-accuracy bands that per-channel 4-bit points cannot.
+"""
+
+from .conftest import save_result
+from .dse_common import run_dse
+
+
+def test_fig4_resnet_dse(benchmark, miniresnet):
+    fp32 = miniresnet.fp32_metric
+    thresholds = (fp32 - 2.5, fp32 - 1.5, fp32 - 1.0, fp32 - 0.5)
+    result = benchmark.pedantic(
+        run_dse, args=(miniresnet, thresholds), rounds=1, iterations=1
+    )
+    save_result("fig4_resnet_dse", result.table)
+
+    # The 8/8 baseline must appear in the top band (it is near-lossless).
+    top = result.bands[max(result.bands)]
+    assert any(p.label == "8/8/-/-" for p in top)
+    # Some VS-Quant point in the top band dominates the baseline on energy.
+    vs_top = [p for p in top if p.config.is_vsquant]
+    assert vs_top, "no VS-Quant point reaches the top accuracy band"
+    base = next(p for p in top if p.label == "8/8/-/-")
+    assert any(p.energy < base.energy and p.perf_per_area > base.perf_per_area for p in vs_top)
+    # VS-Quant expands the space: more qualifying points than POC alone.
+    poc = [p for p in result.points if not p.config.is_vsquant]
+    assert len(result.points) > 2 * len(poc)

@@ -1,0 +1,27 @@
+"""Figure 6 — MiniBERT-large design space.
+
+Same sweep as Figure 5 on the larger model: the collapse region
+(2-bit weights here) is reachable only with per-vector scaling, and
+relaxed accuracy bands admit very low-bit VS-Quant points.
+"""
+
+from .conftest import save_result
+from .dse_common import WEIGHT_BITS_QA, run_dse
+
+
+def test_fig6_bertlarge_dse(benchmark, minibert_large):
+    fp32 = minibert_large.fp32_metric
+    thresholds = (fp32 - 16.0, fp32 - 6.0, fp32 - 2.0, fp32 - 0.75)
+    result = benchmark.pedantic(
+        run_dse, args=(minibert_large, thresholds), kwargs={"weight_bits": WEIGHT_BITS_QA},
+        rounds=1, iterations=1,
+    )
+    save_result("fig6_bertlarge_dse", result.table)
+
+    # Low-bit VS-Quant weights qualify in the relaxed bands (paper §6).
+    all_pts = result.points
+    w3_vs = [p for p in all_pts if p.config.weight_bits <= 3 and p.config.is_vsquant]
+    assert w3_vs, "no <=3-bit-weight VS-Quant configuration qualifies"
+    # The collapse region is VS-Quant-only.
+    w2 = [p for p in all_pts if p.config.weight_bits == 2]
+    assert all(p.config.is_vsquant for p in w2)

@@ -1,0 +1,57 @@
+"""Headline claims (paper §1/§8) — hardware + accuracy joint check.
+
+1. VS-Quant 4-bit weights/activations: large area and energy savings vs the
+   8-bit baseline while keeping the CNN above its accuracy floor
+   (paper: 37% area / 24% energy at >75% ResNet50 top-1).
+2. 4-bit weights + 8-bit activations: near-full-precision accuracy on both
+   BERT stand-ins with ~26% smaller area than the 8-bit baseline.
+"""
+
+from repro.eval import format_table
+from repro.eval.acc_cache import cached_quantized_accuracy
+from repro.hardware import AcceleratorConfig, normalized_metrics
+from repro.quant import PTQConfig
+
+from .conftest import save_result
+
+EVAL_LIMIT = 256
+
+
+def _build(miniresnet, minibert_base, minibert_large):
+    rows = []
+    # --- claim 1: 4/4/4/4 on the CNN ---
+    e, a, _ = normalized_metrics(AcceleratorConfig.from_label("4/4/4/4"))
+    acc = cached_quantized_accuracy(
+        miniresnet,
+        PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4"),
+        eval_limit=EVAL_LIMIT,
+    )
+    rows.append(["miniresnet", "4/4/4/4", acc, 100 * (1 - a), 100 * (1 - e)])
+    # --- claim 2: 4/8/6/10 on both transformers ---
+    e, a, _ = normalized_metrics(AcceleratorConfig.from_label("4/8/6/10"))
+    for bundle in (minibert_base, minibert_large):
+        acc = cached_quantized_accuracy(
+            bundle,
+            PTQConfig.vs_quant(4, 8, weight_scale="6", act_scale="10"),
+            eval_limit=EVAL_LIMIT,
+        )
+        rows.append([bundle.name, "4/8/6/10", acc, 100 * (1 - a), 100 * (1 - e)])
+    return rows
+
+
+def test_headline_savings(benchmark, miniresnet, minibert_base, minibert_large):
+    rows = benchmark.pedantic(
+        _build, args=(miniresnet, minibert_base, minibert_large), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["Model", "Config", "Accuracy", "Area saving %", "Energy saving %"], rows
+    )
+    save_result("headline_savings", table)
+
+    cnn = rows[0]
+    # Large area + energy savings with accuracy within 2.5 pts of fp32.
+    assert cnn[3] > 25 and cnn[4] > 15
+    assert cnn[2] >= miniresnet.fp32_metric - 2.5
+    for row, bundle in zip(rows[1:], (minibert_base, minibert_large)):
+        assert row[3] > 15  # >= ~26% in the paper; shape: significant saving
+        assert row[2] >= bundle.fp32_metric - 2.0  # near-full-precision

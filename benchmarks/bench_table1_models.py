@@ -1,0 +1,41 @@
+"""Table 1 — Overview of DNN models in this study.
+
+Paper: ResNet50 (76.16 top-1, ImageNet), BERT-base (86.88 F1, SQuAD),
+BERT-large (90.93 F1, SQuAD). Here: the synthetic stand-ins with their
+full-precision metrics; the reproduction target is the *ordering*
+(large > base) and near-saturated CNN accuracy, not the absolute values.
+"""
+
+from repro.eval import format_table
+
+from .conftest import save_result
+
+
+def _build(miniresnet, minibert_base, minibert_large) -> str:
+    rows = []
+    for bundle, task, paper in [
+        (miniresnet, "Image classification", "ResNet50 76.16 Top1"),
+        (minibert_base, "Span extraction", "BERT-base 86.88 F1"),
+        (minibert_large, "Span extraction", "BERT-large 90.93 F1"),
+    ]:
+        rows.append(
+            [
+                bundle.name,
+                task,
+                f"{bundle.fp32_metric:.2f}",
+                bundle.metric_name,
+                f"{bundle.model.num_parameters():,}",
+                paper,
+            ]
+        )
+    return format_table(
+        ["Model", "Task", "Accuracy", "Metric", "Params", "Paper counterpart"], rows
+    )
+
+
+def test_table1_models(benchmark, miniresnet, minibert_base, minibert_large):
+    table = benchmark.pedantic(
+        _build, args=(miniresnet, minibert_base, minibert_large), rounds=1, iterations=1
+    )
+    save_result("table1_models", table)
+    assert minibert_large.fp32_metric >= minibert_base.fp32_metric - 1.0

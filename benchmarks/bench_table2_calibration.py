@@ -1,0 +1,57 @@
+"""Table 2 — Per-channel scaled PTQ accuracy vs calibration method.
+
+Paper shape: per-channel/static-calibrated quantization degrades sharply at
+low bits for every calibration method; no method is uniformly best, and the
+best method varies across networks — the motivation for VS-Quant.
+"""
+
+import pytest
+
+from repro.eval import format_table
+from repro.eval.acc_cache import cached_quantized_accuracy
+from repro.quant import PTQConfig
+from repro.quant.calibration import CALIBRATION_METHODS
+
+from .conftest import save_result
+
+EVAL_LIMIT = 256
+
+#: (weight bits, act bits) rows per model, as in the paper's Table 2.
+BITWIDTH_ROWS = {
+    "miniresnet": [(3, 3), (4, 4), (6, 6), (8, 8)],
+    # The stand-in transformers are ~1-2 bits more robust than real BERT
+    # (synthetic task margins); their collapse sits at 2-3 bits, so the
+    # rows extend one notch lower than the paper's.
+    "minibert-base": [(3, 3), (4, 4), (6, 6), (8, 8)],
+    "minibert-large": [(3, 3), (4, 4), (6, 6), (8, 8)],
+}
+
+
+def _rows_for(bundle) -> list[list]:
+    rows = []
+    for wb, ab in BITWIDTH_ROWS[bundle.name]:
+        row = [f"Wt={wb} Act={ab}"]
+        for method in CALIBRATION_METHODS:
+            cfg = PTQConfig.per_channel(wb, ab, calibration=method)
+            row.append(cached_quantized_accuracy(bundle, cfg, eval_limit=EVAL_LIMIT))
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("model_name", list(BITWIDTH_ROWS))
+def test_table2_calibration(benchmark, model_name, request):
+    bundle = request.getfixturevalue(model_name.replace("-", "_"))
+    rows = benchmark.pedantic(_rows_for, args=(bundle,), rounds=1, iterations=1)
+    headers = ["Bitwidths", *CALIBRATION_METHODS]
+    table = format_table(headers, rows)
+    save_result(f"table2_calibration_{bundle.name}", table)
+
+    # Paper shape: 8-bit per-channel with max calibration is near the fp32
+    # reference; the lowest-bit row is clearly degraded for max calibration.
+    by_bits = {r[0]: r[1:] for r in rows}
+    hi = max(BITWIDTH_ROWS[bundle.name])
+    lo = min(BITWIDTH_ROWS[bundle.name])
+    hi_max = by_bits[f"Wt={hi[0]} Act={hi[1]}"][0]
+    lo_max = by_bits[f"Wt={lo[0]} Act={lo[1]}"][0]
+    assert hi_max >= bundle.fp32_metric - 3.0
+    assert lo_max < hi_max

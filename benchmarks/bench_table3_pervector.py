@@ -1,0 +1,61 @@
+"""Table 3 — PTQ accuracy with floating-point per-vector scale factors.
+
+Paper shape: VS-Quant with fp32 per-vector scales (static max for weights,
+dynamic max for activations) beats the best per-channel calibration at
+every bitwidth, dramatically so at 3-4 bits.
+"""
+
+import pytest
+
+from repro.eval import format_table
+from repro.eval.acc_cache import cached_quantized_accuracy
+from repro.quant import PTQConfig
+from repro.quant.calibration import CALIBRATION_METHODS
+
+from .conftest import save_result
+
+EVAL_LIMIT = 256
+
+#: (weight_bits, act_bits) rows, per model, as in the paper's Table 3.
+ROWS = {
+    "miniresnet": [(3, 3), (4, 4), (6, 6), (8, 8)],
+    # Shifted one notch lower than the paper (see bench_table2 note).
+    "minibert-base": [(2, 8), (3, 8), (4, 8), (8, 8)],
+    "minibert-large": [(2, 8), (3, 8), (4, 8), (8, 8)],
+}
+
+
+def best_per_channel(bundle, wb: int, ab: int) -> float:
+    """The paper's 'Best Per-channel' column: max over Table 2's methods."""
+    return max(
+        cached_quantized_accuracy(
+            bundle, PTQConfig.per_channel(wb, ab, calibration=m), eval_limit=EVAL_LIMIT
+        )
+        for m in CALIBRATION_METHODS
+    )
+
+
+def _rows_for(bundle) -> list[list]:
+    rows = []
+    for wb, ab in ROWS[bundle.name]:
+        pv = cached_quantized_accuracy(
+            bundle, PTQConfig.vs_quant(wb, ab), eval_limit=EVAL_LIMIT
+        )
+        pc = best_per_channel(bundle, wb, ab)
+        rows.append([f"Wt={wb} Act={ab}", pv, pc])
+    return rows
+
+
+@pytest.mark.parametrize("model_name", list(ROWS))
+def test_table3_pervector(benchmark, model_name, request):
+    bundle = request.getfixturevalue(model_name.replace("-", "_"))
+    rows = benchmark.pedantic(_rows_for, args=(bundle,), rounds=1, iterations=1)
+    table = format_table(["Bitwidths", "Per-vector", "Best Per-channel"], rows)
+    save_result(f"table3_pervector_{bundle.name}", table)
+
+    # Paper shape: per-vector >= best per-channel everywhere, and the gap
+    # at the lowest bitwidth is large.
+    lo_pv, lo_pc = rows[0][1], rows[0][2]
+    assert lo_pv >= lo_pc
+    for _, pv, pc in rows:
+        assert pv >= pc - 1.0  # parity allowed at 8 bits

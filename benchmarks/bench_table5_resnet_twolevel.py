@@ -1,0 +1,62 @@
+"""Table 5 — MiniResNet (ResNet50 stand-in) with integer per-vector scales.
+
+Paper shape, reading across each row: accuracy improves with wider integer
+scale bitwidths (S=3/4 -> 6/6) and approaches the S=fp32 single-level
+ceiling; reading down: higher weight/act precision helps; every VS-Quant
+column beats the best per-channel baseline at low precision.
+"""
+
+import pytest
+
+from repro.eval import format_table
+from repro.eval.acc_cache import cached_quantized_accuracy
+from repro.quant import PTQConfig
+
+from .bench_table3_pervector import best_per_channel
+from .conftest import save_result
+
+EVAL_LIMIT = 256
+
+#: S=ws/as columns of the paper's Table 5, plus fp32 and best per-channel.
+SCALE_COLUMNS = [("3", "4"), ("3", "6"), ("4", "4"), ("4", "6"), ("6", "4"), ("6", "6")]
+BIT_ROWS = [(w, a) for w in (4, 6, 8) for a in (3, 4, 6, 8)]
+
+
+def _row(bundle, wb: int, ab: int) -> list:
+    row: list = [f"Wt={wb} Act={ab}"]
+    for ws, asc in SCALE_COLUMNS:
+        cfg = PTQConfig.vs_quant(wb, ab, weight_scale=ws, act_scale=asc)
+        row.append(cached_quantized_accuracy(bundle, cfg, eval_limit=EVAL_LIMIT))
+    row.append(
+        cached_quantized_accuracy(bundle, PTQConfig.vs_quant(wb, ab), eval_limit=EVAL_LIMIT)
+    )
+    row.append(best_per_channel(bundle, wb, ab))
+    return row
+
+
+def _build(bundle) -> list[list]:
+    return [_row(bundle, wb, ab) for wb, ab in BIT_ROWS]
+
+
+def test_table5_resnet_twolevel(benchmark, miniresnet):
+    rows = benchmark.pedantic(_build, args=(miniresnet,), rounds=1, iterations=1)
+    headers = (
+        ["Bitwidths"]
+        + [f"S={w}/{a}" for w, a in SCALE_COLUMNS]
+        + ["S=fp32", "Best Per-channel"]
+    )
+    table = format_table(headers, rows)
+    save_result("table5_resnet_twolevel", table)
+
+    for row in rows:
+        label, cols = row[0], row[1:]
+        s34, s66, fp32, best_pc = cols[0], cols[5], cols[6], cols[7]
+        # Wider integer scales never much worse than narrow ones.
+        assert s66 >= s34 - 2.0, label
+        # fp32 single-level is the ceiling for the integer-scale columns.
+        assert fp32 >= s66 - 2.0, label
+
+    # The paper's core claim at the Wt=4 Act=4 operating point: two-level
+    # VS-Quant beats the best per-channel calibration.
+    w4a4 = next(r for r in rows if r[0] == "Wt=4 Act=4")
+    assert w4a4[6] >= w4a4[-1]  # S=6/6 column vs best per-channel

@@ -1,0 +1,52 @@
+"""Table 8 — Experimental setup: the hardware design space.
+
+Reproduces the design-space enumeration (precisions x scale precisions x
+scaling granularities) and reports its size and extremes; this is the grid
+Figures 4-6 sweep.
+"""
+
+from repro.eval import format_table
+from repro.hardware import ScalingScheme, enumerate_design_space
+from repro.hardware.dse import SCALE_PRECISIONS, VALUE_PRECISIONS
+
+from .conftest import save_result
+
+
+def _build() -> tuple[str, list]:
+    points = enumerate_design_space()
+    rows = []
+    for scheme in ScalingScheme:
+        subset = [p for p in points if p.scheme is scheme]
+        if not subset:
+            continue
+        rows.append(
+            [
+                scheme.name,
+                len(subset),
+                min(p.energy for p in subset),
+                max(p.energy for p in subset),
+                min(p.area for p in subset),
+                max(p.area for p in subset),
+            ]
+        )
+    table = format_table(
+        ["Scheme", "Points", "E min", "E max", "A min", "A max"], rows
+    )
+    return table, points
+
+
+def test_table8_design_space(benchmark):
+    table, points = benchmark.pedantic(_build, rounds=1, iterations=1)
+    header = (
+        f"Vector size: 16\n"
+        f"Weight/activation precision: {VALUE_PRECISIONS}\n"
+        f"Scale precision: {SCALE_PRECISIONS}\n"
+        f"Scaling granularity: POC, PVAO, PVWO, PVAW\n"
+    )
+    save_result("table8_design_space", header + table)
+
+    # POC(16) + PVAO(80) + PVWO(80) + PVAW(400)
+    assert len(points) == 576
+    # The 8/8 baseline is inside the space and normalizes to 1.
+    base = [p for p in points if p.label == "8/8/-/-"]
+    assert len(base) == 1 and abs(base[0].energy - 1.0) < 1e-9

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark reproduces one table or figure of the paper. They are run
+with ``pytest benchmarks/ --benchmark-only``; the reproduced table is
+printed to stdout (use ``-s`` to see it live) and appended to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+
+Pretrained bundles are session-scoped: the first benchmark of a session
+pays the (cached) model load, the rest share it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a reproduced table for EXPERIMENTS.md and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def miniresnet():
+    from repro.models import pretrained
+
+    return pretrained("miniresnet")
+
+
+@pytest.fixture(scope="session")
+def minibert_base():
+    from repro.models import pretrained
+
+    return pretrained("minibert-base")
+
+
+@pytest.fixture(scope="session")
+def minibert_large():
+    from repro.models import pretrained
+
+    return pretrained("minibert-large")

@@ -1,0 +1,42 @@
+"""Hardware design-space exploration (the paper's §6 flow).
+
+Run:  python examples/dse_explore.py
+
+Enumerates the full Table 8 design space with the analytical accelerator
+model, prints the energy/area landscape and the Pareto frontier, and shows
+how per-vector scale support changes the hardware costs.
+"""
+
+from repro.eval import format_table
+from repro.hardware import (
+    AcceleratorConfig,
+    ScalingScheme,
+    enumerate_design_space,
+    normalized_metrics,
+    pareto_front,
+)
+
+
+def main() -> None:
+    print("Normalized cost of famous configurations (8/8/-/- = 1.0):")
+    rows = []
+    for label in ("8/8/-/-", "6/8/-/-", "4/4/-/-", "4/4/4/4", "4/8/6/10", "6/8/-/10"):
+        e, a, p = normalized_metrics(AcceleratorConfig.from_label(label))
+        rows.append([label, e, a, p])
+    print(format_table(["config", "energy/op", "area", "perf/area"], rows), "\n")
+
+    points = enumerate_design_space()
+    print(f"Full design space: {len(points)} configurations")
+    for scheme in ScalingScheme:
+        n = sum(p.scheme is scheme for p in points)
+        print(f"  {scheme.name:5s} ({scheme.value}): {n} points")
+
+    front = pareto_front(points)
+    front.sort(key=lambda p: p.energy)
+    print(f"\nPareto frontier (energy vs perf/area): {len(front)} points")
+    rows = [[p.label, p.scheme.name, p.energy, p.perf_per_area] for p in front[:15]]
+    print(format_table(["config", "scheme", "energy/op", "perf/area"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""CNN post-training quantization walkthrough (the paper's ResNet50 flow).
+
+Run:  python examples/image_ptq.py
+
+Demonstrates the full PTQ surface on the image model:
+1. calibration-method sweep for the per-channel baseline (Table 2 flow)
+2. single-level fp32 per-vector scaling (Table 3 flow)
+3. two-level integer scale sweep (Table 5 flow)
+4. vector-size tradeoff (Table 4 flow)
+"""
+
+from repro.eval import format_table, quantized_accuracy
+from repro.models import pretrained
+from repro.quant import PTQConfig
+
+EVAL = 400
+
+
+def main() -> None:
+    bundle = pretrained("miniresnet")
+    print(f"fp32 reference: {bundle.fp32_metric:.2f}%\n")
+
+    print("1) Per-channel baseline across calibration methods (W4/A4):")
+    rows = []
+    for method in ("max", "percentile_99.9", "mse", "entropy"):
+        cfg = PTQConfig.per_channel(4, 4, calibration=method)
+        rows.append([method, quantized_accuracy(bundle, cfg, eval_limit=EVAL)])
+    print(format_table(["calibration", "top-1 %"], rows), "\n")
+
+    print("2) Single-level per-vector scaling (fp32 scales):")
+    rows = []
+    for bits in (3, 4, 6, 8):
+        cfg = PTQConfig.vs_quant(bits, bits)
+        rows.append([f"W{bits}/A{bits}", quantized_accuracy(bundle, cfg, eval_limit=EVAL)])
+    print(format_table(["bitwidths", "top-1 %"], rows), "\n")
+
+    print("3) Two-level integer scales at W4/A4:")
+    rows = []
+    for ws, asc in (("3", "4"), ("4", "4"), ("4", "6"), ("6", "6")):
+        cfg = PTQConfig.vs_quant(4, 4, weight_scale=ws, act_scale=asc)
+        rows.append([f"S={ws}/{asc}", quantized_accuracy(bundle, cfg, eval_limit=EVAL)])
+    print(format_table(["scale bits", "top-1 %"], rows), "\n")
+
+    print("4) Vector-size tradeoff at W6/A6 (memory overhead = M/(V*N)):")
+    rows = []
+    for v in (4, 16, 64):
+        cfg = PTQConfig.vs_quant(6, 6, vector_size=v)
+        overhead = 100 * 6 / (v * 6)
+        rows.append(
+            [v, quantized_accuracy(bundle, cfg, eval_limit=EVAL), f"{overhead:.1f}%"]
+        )
+    print(format_table(["V", "top-1 %", "fp32-scale overhead"], rows))
+
+
+if __name__ == "__main__":
+    main()

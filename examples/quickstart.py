@@ -1,0 +1,38 @@
+"""Quickstart: quantize a pretrained CNN with VS-Quant in ~20 lines.
+
+Run:  python examples/quickstart.py
+
+Loads the cached pretrained MiniResNet (trains it once on first use),
+applies 4-bit post-training quantization with per-channel scaling and with
+VS-Quant two-level per-vector scaling, and compares accuracy — the paper's
+core result in miniature.
+"""
+
+from repro.eval import quantized_accuracy
+from repro.models import pretrained
+from repro.quant import PTQConfig
+
+
+def main() -> None:
+    bundle = pretrained("miniresnet")
+    print(f"fp32 reference top-1: {bundle.fp32_metric:.2f}%")
+
+    per_channel = PTQConfig.per_channel(weight_bits=4, act_bits=4)
+    acc_pc = quantized_accuracy(bundle, per_channel, eval_limit=400)
+    print(f"4-bit per-channel PTQ  ({per_channel.label}): {acc_pc:.2f}%")
+
+    vs_quant = PTQConfig.vs_quant(
+        weight_bits=4, act_bits=4, weight_scale="4", act_scale="4"
+    )
+    acc_vs = quantized_accuracy(bundle, vs_quant, eval_limit=400)
+    print(f"4-bit VS-Quant PTQ     ({vs_quant.label}): {acc_vs:.2f}%")
+
+    print(
+        "\nVS-Quant keeps "
+        f"{acc_vs - acc_pc:+.2f} points over per-channel scaling at 4 bits, "
+        "with only a 6.25% memory overhead for the per-vector scales."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""VS-Quant reproduction: per-vector scaled quantization (MLSYS 2021).
+
+Subpackages
+-----------
+- :mod:`repro.tensor` -- NumPy autograd engine (compute substrate)
+- :mod:`repro.nn` -- neural-network layers
+- :mod:`repro.optim` -- optimizers
+- :mod:`repro.data` -- synthetic ImageNet/SQuAD stand-ins
+- :mod:`repro.models` -- MiniResNet / MiniBERT zoo with cached pretraining
+- :mod:`repro.quant` -- the paper's contribution: VS-Quant PTQ/QAT
+- :mod:`repro.hardware` -- analytical accelerator area/energy model
+- :mod:`repro.eval` -- metrics, experiment runners, table formatting
+
+Quickstart
+----------
+>>> from repro.models import pretrained
+>>> from repro.quant import PTQConfig
+>>> from repro.eval import quantized_accuracy
+>>> bundle = pretrained("miniresnet")
+>>> cfg = PTQConfig.vs_quant(weight_bits=4, act_bits=4, weight_scale="4", act_scale="4")
+>>> acc = quantized_accuracy(bundle, cfg)
+"""
+
+__version__ = "1.0.0"

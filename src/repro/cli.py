@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+models
+    List the model zoo with cached full-precision metrics.
+ptq
+    Quantize a pretrained model under a W/A/ws/as config and report accuracy.
+hw
+    Report normalized energy/area/perf-per-area of hardware configs.
+dse
+    Enumerate the hardware design space and print the Pareto frontier.
+sweep
+    Accuracy sweep over weight/activation bitwidths for one model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.eval import format_table
+    from repro.models import MODEL_NAMES, pretrained
+
+    rows = []
+    for name in MODEL_NAMES:
+        bundle = pretrained(name)
+        rows.append(
+            [name, bundle.task, bundle.metric_name, f"{bundle.fp32_metric:.2f}",
+             f"{bundle.model.num_parameters():,}"]
+        )
+    print(format_table(["model", "task", "metric", "fp32", "params"], rows))
+    return 0
+
+
+def _parse_quant_label(label: str):
+    """'4/8/6/10' or '4/8/-/-' -> PTQConfig (POC when both scales are '-')."""
+    from repro.quant import PTQConfig
+
+    parts = label.split("/")
+    if len(parts) != 4:
+        raise SystemExit(f"config must be W/A/ws/as, got {label!r}")
+    wb, ab = int(parts[0]), int(parts[1])
+    ws = None if parts[2] == "-" else parts[2]
+    asc = None if parts[3] == "-" else parts[3]
+    if ws is None and asc is None:
+        return PTQConfig.per_channel(wb, ab)
+    return PTQConfig.vs_quant(
+        wb, ab, weight_scale=ws, act_scale=asc,
+        weights=ws is not None, activations=asc is not None,
+    )
+
+
+def _cmd_ptq(args: argparse.Namespace) -> int:
+    from repro.eval import quantized_accuracy
+    from repro.models import pretrained
+
+    bundle = pretrained(args.model)
+    config = _parse_quant_label(args.config)
+    acc = quantized_accuracy(bundle, config, eval_limit=args.eval_limit)
+    print(f"model={args.model} config={config.label}")
+    print(f"fp32 {bundle.metric_name}: {bundle.fp32_metric:.2f}")
+    print(f"PTQ  {bundle.metric_name}: {acc:.2f}  (drop {bundle.fp32_metric - acc:+.2f})")
+    return 0
+
+
+def _cmd_hw(args: argparse.Namespace) -> int:
+    from repro.eval import format_table
+    from repro.hardware import AcceleratorConfig, normalized_metrics
+
+    rows = []
+    for label in args.configs:
+        e, a, p = normalized_metrics(AcceleratorConfig.from_label(label))
+        rows.append([label, e, a, p])
+    print(format_table(["config", "energy/op", "area", "perf/area"], rows))
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.eval import format_table
+    from repro.hardware import enumerate_design_space, pareto_front
+
+    points = enumerate_design_space()
+    front = sorted(pareto_front(points), key=lambda p: p.energy)
+    print(f"{len(points)} design points, {len(front)} Pareto-optimal")
+    rows = [[p.label, p.scheme.name, p.energy, p.perf_per_area] for p in front[: args.top]]
+    print(format_table(["config", "scheme", "energy/op", "perf/area"], rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval import format_table, quantized_accuracy
+    from repro.models import pretrained
+    from repro.quant import PTQConfig
+
+    bundle = pretrained(args.model)
+    rows = []
+    for bits in args.bits:
+        pc = quantized_accuracy(
+            bundle, PTQConfig.per_channel(bits, args.act_bits or bits),
+            eval_limit=args.eval_limit,
+        )
+        vs = quantized_accuracy(
+            bundle,
+            PTQConfig.vs_quant(bits, args.act_bits or bits, weight_scale="6", act_scale="10"),
+            eval_limit=args.eval_limit,
+        )
+        rows.append([f"W{bits}/A{args.act_bits or bits}", pc, vs, vs - pc])
+    print(f"fp32 {bundle.metric_name}: {bundle.fp32_metric:.2f}")
+    print(format_table(["bits", "per-channel", "VS-Quant", "gain"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="VS-Quant reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(fn=_cmd_models)
+
+    p = sub.add_parser("ptq", help="quantize a model and report accuracy")
+    p.add_argument("--model", required=True, choices=("miniresnet", "minibert-base", "minibert-large"))
+    p.add_argument("--config", required=True, help="W/A/ws/as, e.g. 4/8/6/10 or 4/4/-/-")
+    p.add_argument("--eval-limit", type=int, default=400)
+    p.set_defaults(fn=_cmd_ptq)
+
+    p = sub.add_parser("hw", help="normalized hardware metrics")
+    p.add_argument("configs", nargs="+", help="labels like 4/4/4/4")
+    p.set_defaults(fn=_cmd_hw)
+
+    p = sub.add_parser("dse", help="design-space Pareto frontier")
+    p.add_argument("--top", type=int, default=12)
+    p.set_defaults(fn=_cmd_dse)
+
+    p = sub.add_parser("sweep", help="bitwidth sweep: per-channel vs VS-Quant")
+    p.add_argument("--model", required=True, choices=("miniresnet", "minibert-base", "minibert-large"))
+    p.add_argument("--bits", type=int, nargs="+", default=[3, 4, 6, 8])
+    p.add_argument("--act-bits", type=int, default=None)
+    p.add_argument("--eval-limit", type=int, default=400)
+    p.set_defaults(fn=_cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Synthetic datasets standing in for ImageNet and SQuAD.
+
+The paper evaluates PTQ on ResNet50/ImageNet and BERT/SQuAD. Neither dataset
+is available offline, so this package provides procedural stand-ins that
+exercise identical code paths:
+
+- :mod:`repro.data.synthimage` — a 10-class procedural shape/texture
+  classification task (32x32 RGB) for the CNN experiments.
+- :mod:`repro.data.synthqa` — a synthetic extractive span-finding task
+  scored with SQuAD-style token F1 for the transformer experiments.
+"""
+
+from repro.data.synthimage import SynthImageDataset, IMAGE_CLASS_NAMES
+from repro.data.synthqa import SynthQADataset, QAVocab
+from repro.data.loader import batches
+
+__all__ = [
+    "SynthImageDataset",
+    "IMAGE_CLASS_NAMES",
+    "SynthQADataset",
+    "QAVocab",
+    "batches",
+]

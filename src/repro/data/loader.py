@@ -1,0 +1,35 @@
+"""Minimal batching utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def batches(
+    arrays: Sequence[np.ndarray],
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = False,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, ...]]:
+    """Yield aligned mini-batches from equal-length arrays.
+
+    ``arrays`` is a sequence of arrays sharing the first dimension; each
+    yielded item is the tuple of per-array slices.
+    """
+    n = len(arrays[0])
+    for arr in arrays:
+        if len(arr) != n:
+            raise ValueError("all arrays must share the first dimension")
+    order = np.arange(n)
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng for determinism")
+        rng.shuffle(order)
+    for lo in range(0, n, batch_size):
+        idx = order[lo : lo + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield tuple(arr[idx] for arr in arrays)

@@ -1,0 +1,106 @@
+"""Synthetic extractive QA dataset (SQuAD stand-in).
+
+Each example is a token sequence ``[CLS] q [SEP] body...`` where the body
+contains exactly one *trigger* token determined by the query id ``q``. The
+answer is the contiguous span between the trigger and the next ``[STOP]``
+token. A model must therefore (a) read the query, (b) find the matching
+trigger via content-based attention, and (c) delimit the span — the same
+attend-and-point structure as SQuAD span extraction, scored with the same
+token-level F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class QAVocab:
+    """Token id layout for the synthetic QA task."""
+
+    n_queries: int = 12
+    n_fillers: int = 24
+
+    @property
+    def cls(self) -> int:
+        return 0
+
+    @property
+    def sep(self) -> int:
+        return 1
+
+    @property
+    def stop(self) -> int:
+        return 2
+
+    @property
+    def pad(self) -> int:
+        return 3
+
+    @property
+    def query_base(self) -> int:
+        return 4
+
+    @property
+    def trigger_base(self) -> int:
+        return 4 + self.n_queries
+
+    @property
+    def filler_base(self) -> int:
+        return 4 + 2 * self.n_queries
+
+    @property
+    def size(self) -> int:
+        return self.filler_base + self.n_fillers
+
+
+@dataclass
+class SynthQADataset:
+    """Deterministic synthetic span-extraction dataset.
+
+    ``materialize`` returns ``(tokens, starts, ends, mask)`` where tokens is
+    (n, seq_len) int64, starts/ends are inclusive gold span indices, and
+    mask marks non-pad positions.
+    """
+
+    n: int
+    seq_len: int = 48
+    max_answer_len: int = 6
+    seed_key: str = "train"
+    vocab: QAVocab = field(default_factory=QAVocab)
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        v = self.vocab
+        rng = seeded_rng("synthqa", self.seed_key)
+        tokens = np.full((self.n, self.seq_len), v.pad, dtype=np.int64)
+        starts = np.zeros(self.n, dtype=np.int64)
+        ends = np.zeros(self.n, dtype=np.int64)
+        body_start = 3  # [CLS] q [SEP]
+        for i in range(self.n):
+            q = int(rng.integers(0, v.n_queries))
+            ans_len = int(rng.integers(1, self.max_answer_len + 1))
+            body_len = self.seq_len - body_start
+            # Place trigger so trigger + answer + stop fit in the body.
+            max_trig = body_len - ans_len - 2
+            trig_off = int(rng.integers(0, max_trig + 1))
+            body = rng.integers(
+                v.filler_base, v.filler_base + v.n_fillers, size=body_len
+            )
+            # Distractor triggers for *other* queries are allowed; remove
+            # accidental duplicates of this query's trigger.
+            dup = body == v.trigger_base + q
+            body[dup] = v.filler_base
+            body[trig_off] = v.trigger_base + q
+            body[trig_off + 1 + ans_len] = v.stop
+            tokens[i, 0] = v.cls
+            tokens[i, 1] = v.query_base + q
+            tokens[i, 2] = v.sep
+            tokens[i, body_start:] = body
+            starts[i] = body_start + trig_off + 1
+            ends[i] = body_start + trig_off + ans_len  # inclusive
+        mask = tokens != v.pad
+        return tokens, starts, ends, mask

@@ -1,0 +1,30 @@
+"""Evaluation: metrics, experiment runners, and table formatting."""
+
+from repro.eval.metrics import (
+    top1_accuracy,
+    span_f1,
+    evaluate_image_classifier,
+    evaluate_qa_model,
+)
+from repro.eval.tables import format_table, format_markdown
+from repro.eval.experiments import (
+    EvalTask,
+    image_task,
+    qa_task,
+    make_task,
+    quantized_accuracy,
+)
+
+__all__ = [
+    "top1_accuracy",
+    "span_f1",
+    "evaluate_image_classifier",
+    "evaluate_qa_model",
+    "format_table",
+    "format_markdown",
+    "EvalTask",
+    "image_task",
+    "qa_task",
+    "make_task",
+    "quantized_accuracy",
+]

@@ -1,0 +1,67 @@
+"""Persistent cache of quantized-accuracy evaluations.
+
+The benchmark harness evaluates hundreds of (model, quantization config)
+pairs, and several tables/figures share points (e.g. Table 2's best
+per-channel column reappears in Tables 3 and 5-7, and the design-space
+figures sweep supersets of the tables). Results are memoized in a JSON file
+under the artifact directory keyed by model name + config label + the full
+config repr, so re-running a benchmark is free and cross-benchmark sharing
+is automatic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.eval.experiments import quantized_accuracy
+from repro.quant.ptq import PTQConfig
+from repro.utils.cache import artifact_dir
+from repro.utils.log import get_logger
+
+if TYPE_CHECKING:
+    from repro.models.pretrained import PretrainedBundle
+
+logger = get_logger("acc_cache")
+
+
+def _cache_path(model_name: str) -> Path:
+    return artifact_dir() / f"accuracy-cache-{model_name}.json"
+
+
+def _load(model_name: str) -> dict[str, float]:
+    path = _cache_path(model_name)
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def _store(model_name: str, cache: dict[str, float]) -> None:
+    path = _cache_path(model_name)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(cache, indent=0, sort_keys=True))
+    tmp.replace(path)
+
+
+def config_key(config: PTQConfig, eval_limit: int | None) -> str:
+    """Stable cache key covering every accuracy-relevant config field."""
+    return f"{config!r}|eval={eval_limit}"
+
+
+def cached_quantized_accuracy(
+    bundle: "PretrainedBundle",
+    config: PTQConfig,
+    eval_limit: int | None = None,
+) -> float:
+    """Memoized :func:`repro.eval.experiments.quantized_accuracy`."""
+    cache = _load(bundle.name)
+    key = config_key(config, eval_limit)
+    if key in cache:
+        return cache[key]
+    acc = quantized_accuracy(bundle, config, eval_limit=eval_limit)
+    cache = _load(bundle.name)  # re-read: parallel benches may have written
+    cache[key] = acc
+    _store(bundle.name, cache)
+    logger.info("%s %s -> %.2f", bundle.name, config.label, acc)
+    return acc

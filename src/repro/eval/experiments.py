@@ -1,0 +1,102 @@
+"""Experiment glue: one call from (model bundle, quant config) to a metric.
+
+Each benchmark builds a grid of :class:`repro.quant.PTQConfig` objects and
+calls :func:`accuracy_for_quant_config`; this module hides the task-specific
+plumbing (calibration batch shapes, forward adapters, metric choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.eval.metrics import evaluate_image_classifier, evaluate_qa_model
+from repro.quant.ptq import PTQConfig, quantize_model
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (models -> eval)
+    from repro.models.pretrained import PretrainedBundle
+
+
+@dataclass
+class EvalTask:
+    """A uniform interface over the image and QA evaluation pipelines."""
+
+    name: str
+    calib_batches: list[tuple]
+    forward: Callable | None
+    evaluate: Callable  # model -> metric (percent)
+    fp32_metric: float
+
+
+def image_task(
+    bundle: "PretrainedBundle",
+    eval_limit: int | None = None,
+    calib_limit: int = 64,
+) -> EvalTask:
+    """Evaluation task for an image-classification bundle."""
+    (calib_x,) = bundle.calib_data
+    eval_x, eval_y = bundle.eval_data
+    if eval_limit is not None:
+        eval_x, eval_y = eval_x[:eval_limit], eval_y[:eval_limit]
+
+    def evaluate(model) -> float:
+        return evaluate_image_classifier(model, eval_x, eval_y)
+
+    return EvalTask(
+        name=bundle.name,
+        calib_batches=[(calib_x[:calib_limit],)],
+        forward=None,
+        evaluate=evaluate,
+        fp32_metric=bundle.fp32_metric,
+    )
+
+
+def qa_task(
+    bundle: "PretrainedBundle",
+    eval_limit: int | None = None,
+    calib_limit: int = 64,
+) -> EvalTask:
+    """Evaluation task for a span-extraction bundle."""
+    calib_tokens, calib_mask = bundle.calib_data
+    tokens, starts, ends, mask = bundle.eval_data
+    if eval_limit is not None:
+        tokens, starts, ends, mask = (
+            tokens[:eval_limit],
+            starts[:eval_limit],
+            ends[:eval_limit],
+            mask[:eval_limit],
+        )
+
+    def forward(model, batch):
+        return model(batch[0], mask=batch[1])
+
+    def evaluate(model) -> float:
+        return evaluate_qa_model(model, tokens, starts, ends, mask)
+
+    return EvalTask(
+        name=bundle.name,
+        calib_batches=[(calib_tokens[:calib_limit], calib_mask[:calib_limit])],
+        forward=forward,
+        evaluate=evaluate,
+        fp32_metric=bundle.fp32_metric,
+    )
+
+
+def make_task(bundle: "PretrainedBundle", eval_limit: int | None = None) -> EvalTask:
+    """Dispatch on the bundle's task type."""
+    if bundle.task == "image":
+        return image_task(bundle, eval_limit=eval_limit)
+    return qa_task(bundle, eval_limit=eval_limit)
+
+
+def quantized_accuracy(
+    bundle: "PretrainedBundle", config: PTQConfig, eval_limit: int | None = None
+) -> float:
+    """PTQ-quantize ``bundle.model`` under ``config`` and evaluate it."""
+    task = make_task(bundle, eval_limit=eval_limit)
+    qmodel = quantize_model(
+        bundle.model, config, calib_batches=task.calib_batches, forward=task.forward
+    )
+    return task.evaluate(qmodel)

@@ -1,0 +1,70 @@
+"""Accuracy metrics: top-1 classification accuracy and SQuAD-style token F1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import batches
+from repro.tensor.tensor import no_grad
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows where argmax(logits) equals the label, in percent."""
+    pred = np.asarray(logits).argmax(axis=-1)
+    return 100.0 * float((pred == np.asarray(labels)).mean())
+
+
+def span_f1(
+    pred_start: np.ndarray,
+    pred_end: np.ndarray,
+    gold_start: np.ndarray,
+    gold_end: np.ndarray,
+) -> float:
+    """Mean SQuAD token-level F1 between predicted and gold spans, in percent.
+
+    Spans are inclusive index ranges; a prediction with no token overlap
+    scores 0 for that example.
+    """
+    ps, pe = np.asarray(pred_start), np.asarray(pred_end)
+    gs, ge = np.asarray(gold_start), np.asarray(gold_end)
+    inter = np.minimum(pe, ge) - np.maximum(ps, gs) + 1
+    inter = np.maximum(inter, 0).astype(np.float64)
+    len_p = np.maximum(pe - ps + 1, 1)
+    len_g = np.maximum(ge - gs + 1, 1)
+    precision = inter / len_p
+    recall = inter / len_g
+    denom = precision + recall
+    f1 = np.where(denom > 0, 2 * precision * recall / np.maximum(denom, 1e-12), 0.0)
+    return 100.0 * float(f1.mean())
+
+
+def evaluate_image_classifier(model, images: np.ndarray, labels: np.ndarray, batch_size: int = 128) -> float:
+    """Run ``model`` in eval mode over the dataset; returns top-1 %."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for (xb, yb) in batches([images, labels], batch_size):
+            logits = model(xb).data
+            correct += int((logits.argmax(axis=-1) == yb).sum())
+    return 100.0 * correct / len(labels)
+
+
+def evaluate_qa_model(
+    model,
+    tokens: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    mask: np.ndarray,
+    batch_size: int = 128,
+) -> float:
+    """Run a span model over the dataset; returns mean token F1 %."""
+    model.eval()
+    scores: list[float] = []
+    counts: list[int] = []
+    with no_grad():
+        for (tb, sb, eb, mb) in batches([tokens, starts, ends, mask], batch_size):
+            logits = model(tb, mask=mb)
+            ps, pe = model.predict_spans(logits, mb)
+            scores.append(span_f1(ps, pe, sb, eb))
+            counts.append(len(sb))
+    return float(np.average(scores, weights=counts))

@@ -1,0 +1,34 @@
+"""Plain-text and markdown table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned fixed-width table (monospace output)."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_markdown(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a GitHub-flavored markdown table."""
+    head = "| " + " | ".join(headers) + " |"
+    sep = "| " + " | ".join("---" for _ in headers) + " |"
+    body = ["| " + " | ".join(_cell(v) for v in row) + " |" for row in rows]
+    return "\n".join([head, sep, *body])

@@ -1,0 +1,65 @@
+"""Analytical area/energy model of the VS-Quant DNN accelerator (paper §5-§6).
+
+The paper extends a MAGNet-generated PE with per-vector scaling support and
+measures synthesized area and power in a sub-16nm node. Without a silicon
+flow, this package models the same micro-architecture analytically:
+
+- :mod:`repro.hardware.tech` — first-order gate/SRAM cost model (multiplier
+  energy proportional to the bit-width product, adders/registers linear in width,
+  SRAM linear in bits) with a fixed control overhead, calibrated so the
+  published *normalized* numbers are reproduced (all results in this repo
+  are reported relative to the 8/8/-/- baseline, exactly as in the paper).
+- :mod:`repro.hardware.mac` — baseline and VS-Quant vector MAC units
+  (Fig. 2b), including scale-product rounding and data gating (Fig. 3).
+- :mod:`repro.hardware.pe` — the full processing element: buffers with
+  per-vector scale storage overhead, accumulation collector, PPU (Fig. 2a/2c).
+- :mod:`repro.hardware.accelerator` — W/A/ws/as configurations and
+  network-weighted energy (Fig. 3).
+- :mod:`repro.hardware.dse` — design-space enumeration and Pareto
+  extraction (Table 8, Figs. 4-7).
+"""
+
+from repro.hardware.tech import TechParams, DEFAULT_TECH
+from repro.hardware.mac import VectorMACModel
+from repro.hardware.pe import PEModel
+from repro.hardware.accelerator import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    normalized_metrics,
+    BASELINE_8BIT,
+)
+from repro.hardware.timing import (
+    LayerWork,
+    LayerSchedule,
+    schedule_layer,
+    network_latency,
+    throughput_ops_per_cycle,
+    miniresnet_workload,
+)
+from repro.hardware.dse import (
+    DesignPoint,
+    enumerate_design_space,
+    pareto_front,
+    ScalingScheme,
+)
+
+__all__ = [
+    "TechParams",
+    "DEFAULT_TECH",
+    "VectorMACModel",
+    "PEModel",
+    "AcceleratorConfig",
+    "AcceleratorModel",
+    "normalized_metrics",
+    "BASELINE_8BIT",
+    "DesignPoint",
+    "enumerate_design_space",
+    "pareto_front",
+    "ScalingScheme",
+    "LayerWork",
+    "LayerSchedule",
+    "schedule_layer",
+    "network_latency",
+    "throughput_ops_per_cycle",
+    "miniresnet_workload",
+]

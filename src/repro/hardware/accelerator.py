@@ -1,0 +1,153 @@
+"""Accelerator configurations in the paper's W/A/ws/as notation.
+
+``W/A/ws/as`` = weight bits / activation bits / per-vector weight scale
+bits / per-vector activation scale bits, with ``-`` meaning coarse-grained
+(per-channel for weights, per-layer for activations) — e.g. ``4/8/6/10`` or
+``6/8/-/-`` exactly as in Figures 3-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.hardware.mac import VectorMACModel
+from repro.hardware.pe import PEModel
+from repro.hardware.tech import DEFAULT_TECH, TechParams
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One hardware design point."""
+
+    weight_bits: int
+    act_bits: int
+    wscale_bits: int | None = None
+    ascale_bits: int | None = None
+    vector_size: int = 16
+    scale_product_bits: int | None = None  # None = full width (no rounding)
+    lanes: int = 8
+
+    @staticmethod
+    def from_label(label: str, **kwargs) -> "AcceleratorConfig":
+        """Parse '4/8/6/10' / '6/8/-/-' into a config."""
+        parts = label.split("/")
+        if len(parts) != 4:
+            raise ValueError(f"label must be W/A/ws/as, got {label!r}")
+        def scale(p: str) -> int | None:
+            return None if p == "-" else int(p)
+        return AcceleratorConfig(
+            weight_bits=int(parts[0]),
+            act_bits=int(parts[1]),
+            wscale_bits=scale(parts[2]),
+            ascale_bits=scale(parts[3]),
+            **kwargs,
+        )
+
+    @property
+    def label(self) -> str:
+        ws = "-" if self.wscale_bits is None else str(self.wscale_bits)
+        asc = "-" if self.ascale_bits is None else str(self.ascale_bits)
+        return f"{self.weight_bits}/{self.act_bits}/{ws}/{asc}"
+
+    @property
+    def is_vsquant(self) -> bool:
+        return self.wscale_bits is not None or self.ascale_bits is not None
+
+    def with_rounding(self, bits: int | None) -> "AcceleratorConfig":
+        return replace(self, scale_product_bits=bits)
+
+    def mac(self) -> VectorMACModel:
+        return VectorMACModel(
+            weight_bits=self.weight_bits,
+            act_bits=self.act_bits,
+            vector_size=self.vector_size,
+            wscale_bits=self.wscale_bits,
+            ascale_bits=self.ascale_bits,
+            scale_product_bits=self.scale_product_bits,
+        )
+
+    def pe(self) -> PEModel:
+        return PEModel(mac=self.mac(), lanes=self.lanes)
+
+
+#: The paper's normalization reference: 8-bit per-channel design.
+BASELINE_8BIT = AcceleratorConfig(weight_bits=8, act_bits=8)
+
+
+class AcceleratorModel:
+    """Convenience wrapper evaluating a config under a technology model."""
+
+    def __init__(self, config: AcceleratorConfig, tech: TechParams = DEFAULT_TECH):
+        self.config = config
+        self.tech = tech
+        self._pe = config.pe()
+
+    def energy_per_op(self, gated_fraction: float = 0.0) -> float:
+        return self._pe.energy_per_op(self.tech, gated_fraction)
+
+    def area(self) -> float:
+        return self._pe.area(self.tech)
+
+    def perf_per_area(self) -> float:
+        return self._pe.perf_per_area(self.tech)
+
+    def network_energy(self, layer_macs: list[int], gated_fractions: list[float] | None = None) -> float:
+        """Ops-weighted total energy over a network profile (paper Fig. 4-6
+        average energies over layers weighted by operation count)."""
+        if gated_fractions is None:
+            gated_fractions = [0.0] * len(layer_macs)
+        return sum(
+            macs * self.energy_per_op(g) for macs, g in zip(layer_macs, gated_fractions)
+        )
+
+
+def normalized_metrics(
+    config: AcceleratorConfig,
+    tech: TechParams = DEFAULT_TECH,
+    baseline: AcceleratorConfig = BASELINE_8BIT,
+    gated_fraction: float = 0.0,
+) -> tuple[float, float, float]:
+    """(energy/op, area, perf/area) of ``config`` normalized to ``baseline``.
+
+    This is the paper's reporting convention: Fig. 3's y-axis is energy/op
+    normalized to 8/8/-/-, Figs. 4-6 plot normalized energy vs normalized
+    performance/area.
+    """
+    model = AcceleratorModel(config, tech)
+    base = AcceleratorModel(baseline, tech)
+    energy = model.energy_per_op(gated_fraction) / base.energy_per_op()
+    area = model.area() / base.area()
+    ppa = model.perf_per_area() / base.perf_per_area()
+    return energy, area, ppa
+
+
+def gating_fraction_from_scales(
+    sw: np.ndarray | None,
+    sa: np.ndarray | None,
+    full_bits: int,
+    product_bits: int | None,
+) -> float:
+    """Fraction of vector dot products whose rounded scale product is zero.
+
+    ``sw``/``sa`` are integer per-vector scale factors sampled from a
+    quantized network (either may be None for one-sided per-vector scaling);
+    the product is rounded from ``full_bits`` down to ``product_bits`` by
+    dropping LSBs with round-half-even, matching the hardware rounder. The
+    returned fraction feeds the data-gating term of the energy model.
+    """
+    if product_bits is None or not full_bits:
+        return 0.0
+    if sw is None and sa is None:
+        return 0.0
+    w = np.asarray(sw, dtype=np.float64).reshape(-1) if sw is not None else None
+    a = np.asarray(sa, dtype=np.float64).reshape(-1) if sa is not None else None
+    if w is not None and a is not None:
+        n = min(w.size, a.size)
+        product = w[:n] * a[:n]
+    else:
+        product = w if w is not None else a
+    shift = max(full_bits - product_bits, 0)
+    rounded = np.rint(product / (2**shift))
+    return float((rounded == 0).mean())

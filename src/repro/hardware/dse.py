@@ -1,0 +1,158 @@
+"""Design-space exploration (paper §6, Table 8, Figures 4-7).
+
+Enumerates the cross product of weight/activation precisions, per-vector
+scale precisions, and scaling granularities (POC / PVAO / PVWO / PVAW),
+evaluates each point's normalized energy and performance-per-area, joins in
+model accuracy, and extracts Pareto-optimal points per accuracy band.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.hardware.accelerator import (
+    BASELINE_8BIT,
+    AcceleratorConfig,
+    normalized_metrics,
+)
+from repro.hardware.tech import DEFAULT_TECH, TechParams
+
+
+class ScalingScheme(enum.Enum):
+    """Granularity combinations of Table 8."""
+
+    POC = "per-channel"  # coarse-grained on both operands
+    PVAO = "per-vector activations only"
+    PVWO = "per-vector weights only"
+    PVAW = "per-vector weights and activations"
+
+    @property
+    def weights_pv(self) -> bool:
+        return self in (ScalingScheme.PVWO, ScalingScheme.PVAW)
+
+    @property
+    def acts_pv(self) -> bool:
+        return self in (ScalingScheme.PVAO, ScalingScheme.PVAW)
+
+
+#: Table 8's parameter ranges.
+VALUE_PRECISIONS = (3, 4, 6, 8)
+SCALE_PRECISIONS = (3, 4, 6, 8, 10)
+SCHEMES = tuple(ScalingScheme)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated hardware configuration (+ optional accuracy)."""
+
+    config: AcceleratorConfig
+    scheme: ScalingScheme
+    energy: float  # normalized energy/op
+    area: float  # normalized area
+    perf_per_area: float  # normalized performance per area
+    accuracy: float | None = None
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+
+def enumerate_design_space(
+    value_precisions: Sequence[int] = VALUE_PRECISIONS,
+    scale_precisions: Sequence[int] = SCALE_PRECISIONS,
+    schemes: Sequence[ScalingScheme] = SCHEMES,
+    vector_size: int = 16,
+    tech: TechParams = DEFAULT_TECH,
+    baseline: AcceleratorConfig = BASELINE_8BIT,
+) -> list[DesignPoint]:
+    """All W/A/ws/as points of Table 8's design space with their metrics."""
+    points: list[DesignPoint] = []
+    seen: set[str] = set()
+    for scheme in schemes:
+        w_scales: Iterable[int | None] = scale_precisions if scheme.weights_pv else (None,)
+        a_scales: Iterable[int | None] = scale_precisions if scheme.acts_pv else (None,)
+        for wb in value_precisions:
+            for ab in value_precisions:
+                for ws in w_scales:
+                    for asc in a_scales:
+                        config = AcceleratorConfig(
+                            weight_bits=wb,
+                            act_bits=ab,
+                            wscale_bits=ws,
+                            ascale_bits=asc,
+                            vector_size=vector_size,
+                        )
+                        if config.label in seen:
+                            continue
+                        seen.add(config.label)
+                        energy, area, ppa = normalized_metrics(
+                            config, tech=tech, baseline=baseline
+                        )
+                        points.append(
+                            DesignPoint(config, scheme, energy, area, ppa)
+                        )
+    return points
+
+
+def attach_accuracy(
+    points: Sequence[DesignPoint],
+    accuracy_fn: Callable[[AcceleratorConfig], float],
+    min_accuracy: float | None = None,
+) -> list[DesignPoint]:
+    """Evaluate accuracy for each point; drop those below ``min_accuracy``.
+
+    This mirrors the paper's Figures 4-6, which only plot design points
+    inside the acceptable accuracy range.
+    """
+    out: list[DesignPoint] = []
+    for p in points:
+        acc = accuracy_fn(p.config)
+        if min_accuracy is not None and acc < min_accuracy:
+            continue
+        out.append(
+            DesignPoint(p.config, p.scheme, p.energy, p.area, p.perf_per_area, acc)
+        )
+    return out
+
+
+def pareto_front(
+    points: Sequence[DesignPoint],
+    lower_better: tuple[str, ...] = ("energy",),
+    higher_better: tuple[str, ...] = ("perf_per_area",),
+) -> list[DesignPoint]:
+    """Non-dominated subset under the given objectives.
+
+    Default objectives match Figures 4-6: minimize energy/op, maximize
+    performance per area.
+    """
+
+    def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+        no_worse = all(getattr(a, k) <= getattr(b, k) for k in lower_better) and all(
+            getattr(a, k) >= getattr(b, k) for k in higher_better
+        )
+        strictly = any(getattr(a, k) < getattr(b, k) for k in lower_better) or any(
+            getattr(a, k) > getattr(b, k) for k in higher_better
+        )
+        return no_worse and strictly
+
+    return [p for p in points if not any(dominates(q, p) for q in points if q is not p)]
+
+
+def accuracy_bands(
+    points: Sequence[DesignPoint], thresholds: Sequence[float]
+) -> dict[float, list[DesignPoint]]:
+    """Group points into the paper's nested accuracy ranges.
+
+    ``thresholds`` are ascending accuracy floors (e.g. (74.0, 74.5, 75.0,
+    75.5) for Fig. 4); each point lands in the highest band it clears.
+    """
+    bands: dict[float, list[DesignPoint]] = {t: [] for t in thresholds}
+    for p in points:
+        if p.accuracy is None:
+            continue
+        eligible = [t for t in thresholds if p.accuracy >= t]
+        if eligible:
+            bands[max(eligible)].append(p)
+    return bands

@@ -1,0 +1,147 @@
+"""Vector MAC unit model (paper Fig. 2b).
+
+The baseline unit computes a V-wide dot product of N-bit weights and
+activations, producing a ``2N + log2(V)``-bit partial sum. The VS-Quant
+unit adds:
+
+- one small multiplier for the scale-factor product ``sw * sa``
+- optional rounding of that product to fewer bits (Fig. 3's energy knob)
+- one multiplier applying the (rounded) scale product to the dot product
+- a wider partial sum (by the scale-product width)
+
+Scale-product rounding truncates many small products to zero, and a zero
+scale product gates the downstream multiply and accumulation — the data
+gating effect the paper credits for beating even per-channel energy. The
+gated fraction is data-dependent; callers can measure it from a quantized
+network (see ``repro.hardware.accelerator.measure_gating_fraction``) and
+pass it in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.tech import TechParams
+
+
+@dataclass(frozen=True)
+class VectorMACModel:
+    """One vector MAC lane.
+
+    ``wscale_bits``/``ascale_bits`` are the per-vector scale widths; ``None``
+    means that operand uses coarse-grained scaling (no per-vector hardware).
+    ``scale_product_bits=None`` keeps the full ``ws + as`` product width.
+    """
+
+    weight_bits: int
+    act_bits: int
+    vector_size: int = 16
+    wscale_bits: int | None = None
+    ascale_bits: int | None = None
+    scale_product_bits: int | None = None
+
+    # ------------------------------------------------------------------
+    # derived widths
+    # ------------------------------------------------------------------
+    @property
+    def is_vsquant(self) -> bool:
+        return self.wscale_bits is not None or self.ascale_bits is not None
+
+    @property
+    def dot_width(self) -> int:
+        """Dot-product output width: 2N + log2(V) (paper §5)."""
+        return self.weight_bits + self.act_bits + int(math.log2(self.vector_size))
+
+    @property
+    def scale_product_full_bits(self) -> int:
+        """Full width of sw * sa before optional rounding."""
+        return (self.wscale_bits or 0) + (self.ascale_bits or 0)
+
+    @property
+    def scale_product_width(self) -> int:
+        if not self.is_vsquant:
+            return 0
+        full = self.scale_product_full_bits
+        if self.scale_product_bits is None:
+            return full
+        return min(self.scale_product_bits, full)
+
+    @property
+    def partial_sum_width(self) -> int:
+        """Width of the scaled partial sum entering the collector."""
+        return self.dot_width + self.scale_product_width
+
+    # ------------------------------------------------------------------
+    # costs
+    # ------------------------------------------------------------------
+    def _adder_tree_energy(self, tech: TechParams) -> float:
+        """Energy of the reduction tree for one V-wide dot product."""
+        total = 0.0
+        width = self.weight_bits + self.act_bits
+        count = self.vector_size // 2
+        while count >= 1:
+            total += count * tech.add_energy(width + 1)
+            width += 1
+            if count == 1:
+                break
+            count //= 2
+        return total
+
+    def _adder_tree_area(self, tech: TechParams) -> float:
+        total = 0.0
+        width = self.weight_bits + self.act_bits
+        count = self.vector_size // 2
+        while count >= 1:
+            total += count * tech.add_area(width + 1)
+            width += 1
+            if count == 1:
+                break
+            count //= 2
+        return total
+
+    def energy_per_vector(self, tech: TechParams, gated_fraction: float = 0.0) -> float:
+        """Energy of one V-wide scaled dot product (datapath only).
+
+        ``gated_fraction`` is the probability that the rounded scale product
+        is zero, gating the element multipliers, adder tree, and the
+        product multiplier for that vector.
+        """
+        if not 0.0 <= gated_fraction <= 1.0:
+            raise ValueError(f"gated_fraction must be in [0, 1], got {gated_fraction}")
+        active = 1.0 - gated_fraction
+        energy = active * self.vector_size * tech.mult_energy(self.weight_bits, self.act_bits)
+        energy += active * self._adder_tree_energy(tech)
+        if self.is_vsquant:
+            # Scale product sw * sa is computed every vector (it decides the
+            # gating), then optionally rounded.
+            ws = self.wscale_bits or 1
+            asc = self.ascale_bits or 1
+            if self.wscale_bits is not None and self.ascale_bits is not None:
+                energy += tech.mult_energy(ws, asc)
+            if (
+                self.scale_product_bits is not None
+                and self.scale_product_bits < self.scale_product_full_bits
+            ):
+                energy += tech.add_energy(self.scale_product_width)  # rounder
+            # Apply scale product to the dot product.
+            energy += active * tech.mult_energy(self.dot_width, max(self.scale_product_width, 1))
+        return energy
+
+    def energy_per_op(self, tech: TechParams, gated_fraction: float = 0.0) -> float:
+        """Datapath energy per MAC operation (vector energy / V)."""
+        return self.energy_per_vector(tech, gated_fraction) / self.vector_size
+
+    def area(self, tech: TechParams) -> float:
+        """Silicon area of one vector MAC lane."""
+        area = self.vector_size * tech.mult_area(self.weight_bits, self.act_bits)
+        area += self._adder_tree_area(tech)
+        if self.is_vsquant:
+            ws = self.wscale_bits or 1
+            asc = self.ascale_bits or 1
+            if self.wscale_bits is not None and self.ascale_bits is not None:
+                area += tech.mult_area(ws, asc)
+            area += tech.mult_area(self.dot_width, max(self.scale_product_width, 1))
+            # Pipeline registers for the scale path.
+            area += tech.reg_area(self.scale_product_width)
+        return area

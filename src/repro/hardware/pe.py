@@ -1,0 +1,137 @@
+"""Processing element model (paper Fig. 2a/2c).
+
+A PE couples several vector MAC lanes with a weight buffer, an input
+activation buffer, an accumulation collector, and a post-processing unit
+(PPU). VS-Quant support touches every piece:
+
+- buffers store an M-bit scale alongside each V-element vector
+  (the M/(V*N) memory overhead of §4.4)
+- the collector accumulates wider partial sums (2N + log2 V + 2M)
+- the PPU gains a vector-max + reciprocal path for dynamic per-vector
+  calibration of output activations (Eq. 7a/7b in hardware)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.mac import VectorMACModel
+from repro.hardware.tech import TechParams
+
+
+@dataclass(frozen=True)
+class PEModel:
+    """A processing element: lanes x vector MAC + storage + PPU.
+
+    Buffer capacities are in *elements* (weights/activations), matching how
+    the paper sizes a fixed workload tile regardless of precision — lower
+    precision shrinks buffer bits and therefore area/energy.
+    """
+
+    mac: VectorMACModel
+    lanes: int = 8
+    weight_buffer_elems: int = 32768
+    act_buffer_elems: int = 8192
+    collector_entries: int = 32
+
+    # ------------------------------------------------------------------
+    # derived storage widths
+    # ------------------------------------------------------------------
+    @property
+    def weight_elem_bits(self) -> float:
+        """Stored bits per weight element, including scale overhead."""
+        bits = float(self.mac.weight_bits)
+        if self.mac.wscale_bits is not None:
+            bits += self.mac.wscale_bits / self.mac.vector_size
+        return bits
+
+    @property
+    def act_elem_bits(self) -> float:
+        bits = float(self.mac.act_bits)
+        if self.mac.ascale_bits is not None:
+            bits += self.mac.ascale_bits / self.mac.vector_size
+        return bits
+
+    @property
+    def collector_width(self) -> int:
+        """Accumulator width, sized to avoid overflow (paper §5)."""
+        return self.mac.partial_sum_width + 8  # headroom for temporal accumulation
+
+    # ------------------------------------------------------------------
+    # energy
+    # ------------------------------------------------------------------
+    def energy_breakdown(
+        self, tech: TechParams, gated_fraction: float = 0.0
+    ) -> dict[str, float]:
+        """Per-MAC energy split by component.
+
+        Per vector dot-product we count: one weight-vector read (amortized
+        across reuse), one activation-vector read shared across lanes, the
+        MAC datapath, one collector read-modify-write, and the PPU
+        calibrate-and-quantize work amortized over the dot products that
+        produce one output element.
+        """
+        V = self.mac.vector_size
+        active = 1.0 - gated_fraction
+        breakdown: dict[str, float] = {}
+        breakdown["datapath"] = self.mac.energy_per_vector(tech, gated_fraction)
+        # Weight vector read: elements + scale bits; temporal reuse via the
+        # weight collector gives an effective single read per 4 uses.
+        wt_bits = V * self.mac.weight_bits + (self.mac.wscale_bits or 0)
+        act_bits = V * self.mac.act_bits + (self.mac.ascale_bits or 0)
+        # Activation vector reads are shared spatially across lanes.
+        breakdown["buffers"] = (
+            tech.sram_energy(wt_bits) / 4.0 + tech.sram_energy(act_bits) / self.lanes
+        )
+        # Accumulation collector read-modify-write (gated with the vector).
+        breakdown["collector"] = active * (
+            2 * tech.reg_energy(self.collector_width)
+            + tech.add_energy(self.collector_width)
+        )
+        # PPU: per output element (amortized over many vector MACs); a
+        # vector max (V comparators) + reciprocal + quantize when doing
+        # dynamic per-vector calibration, or a single rescale multiply for
+        # per-channel output scaling. Amortize over 64 dot products.
+        ppu = tech.add_energy(self.collector_width)  # output rescale/add
+        if self.mac.ascale_bits is not None:
+            ppu += V * tech.add_energy(self.mac.act_bits)  # vector max compare
+            ppu += tech.mult_energy(self.mac.act_bits, self.mac.act_bits)  # recip approx
+        breakdown["ppu"] = ppu / 64.0
+        breakdown["control"] = tech.e_fixed_per_op * V
+        return {k: v / V for k, v in breakdown.items()}
+
+    def energy_per_op(self, tech: TechParams, gated_fraction: float = 0.0) -> float:
+        """Average PE energy per MAC (sum of :meth:`energy_breakdown`)."""
+        return sum(self.energy_breakdown(tech, gated_fraction).values())
+
+    # ------------------------------------------------------------------
+    # area
+    # ------------------------------------------------------------------
+    def area_breakdown(self, tech: TechParams) -> dict[str, float]:
+        """PE silicon area split by component."""
+        breakdown: dict[str, float] = {}
+        breakdown["datapath"] = self.lanes * self.mac.area(tech)
+        breakdown["buffers"] = tech.sram_area(
+            self.weight_buffer_elems * self.weight_elem_bits
+        ) + tech.sram_area(self.act_buffer_elems * self.act_elem_bits)
+        breakdown["collector"] = (
+            self.lanes * self.collector_entries * tech.reg_area(self.collector_width)
+        )
+        # PPU: vector max + reciprocal + quantizer (only for dynamic
+        # per-vector activation scaling), plus the baseline rescale path.
+        ppu = tech.add_area(self.collector_width) + tech.mult_area(16, self.collector_width)
+        if self.mac.ascale_bits is not None:
+            ppu += self.mac.vector_size * tech.add_area(self.mac.act_bits)
+            ppu += tech.mult_area(self.mac.act_bits, 8)
+        breakdown["ppu"] = ppu
+        breakdown["control"] = tech.a_fixed
+        return breakdown
+
+    def area(self, tech: TechParams) -> float:
+        """PE silicon area (sum of :meth:`area_breakdown`)."""
+        return sum(self.area_breakdown(tech).values())
+
+    def perf_per_area(self, tech: TechParams) -> float:
+        """Throughput per area. All configs run the same ops/cycle (paper
+        §6), so this is simply lanes * V / area."""
+        return self.lanes * self.mac.vector_size / self.area(tech)

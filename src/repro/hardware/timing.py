@@ -1,0 +1,125 @@
+"""Cycle-level throughput/latency model for the PE (paper §6 premise).
+
+The paper's design-space study holds throughput constant: every
+configuration executes the same ops/cycle, so performance differences show
+up purely as area (performance/mm^2) and energy. This module makes that
+premise checkable: it schedules conv/linear layers onto the PE's lanes x
+V-wide MACs, counts cycles (compute-bound with a simple double-buffered
+load model), and confirms cycle counts are precision-independent.
+
+It also provides utilization analysis: layers whose reduction dimension is
+not a multiple of V waste MAC slots on padded lanes — the same tail effect
+the vector layout machinery pads away in :mod:`repro.quant.granularity`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.pe import PEModel
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """One GEMM-shaped layer: outputs x reduction length."""
+
+    name: str
+    n_outputs: int  # output elements per input (K * P * Q for conv)
+    reduction: int  # dot-product length (C * R * S for conv)
+
+    @staticmethod
+    def from_conv(
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        out_h: int,
+        out_w: int,
+    ) -> "LayerWork":
+        return LayerWork(
+            name=name,
+            n_outputs=out_channels * out_h * out_w,
+            reduction=in_channels * kernel * kernel,
+        )
+
+    @staticmethod
+    def from_linear(name: str, in_features: int, out_features: int, rows: int = 1) -> "LayerWork":
+        return LayerWork(name=name, n_outputs=out_features * rows, reduction=in_features)
+
+    @property
+    def macs(self) -> int:
+        return self.n_outputs * self.reduction
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """Cycle accounting for one layer on one PE."""
+
+    layer: LayerWork
+    cycles: int
+    mac_slots: int  # lanes * V * cycles
+    utilization: float  # useful MACs / mac_slots
+
+
+def schedule_layer(work: LayerWork, pe: PEModel) -> LayerSchedule:
+    """Map a layer onto the PE: each cycle, ``lanes`` vector MACs consume
+    one V-slice of the reduction dimension for ``lanes`` different outputs.
+
+    The reduction is processed in ceil(reduction / V) vector steps; outputs
+    are processed ``lanes`` at a time. Weight/activation loads overlap with
+    compute (double buffering), so the PE is compute-bound.
+    """
+    V = pe.mac.vector_size
+    vector_steps = math.ceil(work.reduction / V)
+    output_groups = math.ceil(work.n_outputs / pe.lanes)
+    cycles = vector_steps * output_groups
+    mac_slots = cycles * pe.lanes * V
+    return LayerSchedule(
+        layer=work,
+        cycles=cycles,
+        mac_slots=mac_slots,
+        utilization=work.macs / mac_slots if mac_slots else 0.0,
+    )
+
+
+def network_latency(layers: list[LayerWork], pe: PEModel) -> int:
+    """Total cycles to run the layers sequentially on one PE."""
+    return sum(schedule_layer(w, pe).cycles for w in layers)
+
+
+def throughput_ops_per_cycle(layers: list[LayerWork], pe: PEModel) -> float:
+    """Sustained useful MACs per cycle over the whole network."""
+    total_cycles = network_latency(layers, pe)
+    total_macs = sum(w.macs for w in layers)
+    return total_macs / total_cycles if total_cycles else 0.0
+
+
+def miniresnet_workload(width: int = 1, depth: int = 2, image: int = 32) -> list[LayerWork]:
+    """The MiniResNet layer list as GEMM work items (batch 1)."""
+    chans = [16 * width, 32 * width, 64 * width]
+    layers = [LayerWork.from_conv("stem", 3, chans[0], 3, image, image)]
+    in_ch, size = chans[0], image
+    for stage, out_ch in enumerate(chans):
+        for b in range(depth):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            size_out = size // stride
+            layers.append(
+                LayerWork.from_conv(
+                    f"s{stage}b{b}c1", in_ch, out_ch, 3, size_out, size_out
+                )
+            )
+            layers.append(
+                LayerWork.from_conv(
+                    f"s{stage}b{b}c2", out_ch, out_ch, 3, size_out, size_out
+                )
+            )
+            if stride != 1 or in_ch != out_ch:
+                layers.append(
+                    LayerWork.from_conv(
+                        f"s{stage}b{b}proj", in_ch, out_ch, 1, size_out, size_out
+                    )
+                )
+            in_ch, size = out_ch, size_out
+    layers.append(LayerWork.from_linear("head", in_ch, 10))
+    return layers

@@ -1,0 +1,25 @@
+"""Model zoo: MiniResNet (CNN) and MiniBERT (transformer) stand-ins.
+
+``pretrained(name)`` trains the named model once on its synthetic dataset
+(deterministic seed) and caches the weights on disk, so every experiment in
+the benchmark harness sees identical full-precision checkpoints.
+"""
+
+from repro.models.resnet import MiniResNet, BasicBlock
+from repro.models.bert import MiniBERT, MiniBERTConfig, MINIBERT_BASE, MINIBERT_LARGE
+from repro.models.pretrained import pretrained, PretrainedBundle, MODEL_NAMES
+from repro.models.train import train_image_classifier, train_qa_model
+
+__all__ = [
+    "MiniResNet",
+    "BasicBlock",
+    "MiniBERT",
+    "MiniBERTConfig",
+    "MINIBERT_BASE",
+    "MINIBERT_LARGE",
+    "pretrained",
+    "PretrainedBundle",
+    "MODEL_NAMES",
+    "train_image_classifier",
+    "train_qa_model",
+]

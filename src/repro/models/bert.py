@@ -1,0 +1,102 @@
+"""MiniBERT: a BERT-style encoder with a SQuAD-style span head.
+
+Two published configurations mirror the paper's BERT-base / BERT-large
+pairing at a scale trainable on CPU: ``MINIBERT_BASE`` and
+``MINIBERT_LARGE`` differ in depth and width, reproducing the Figure 7
+model-size study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class MiniBERTConfig:
+    """Hyperparameters for a MiniBERT instance."""
+
+    name: str
+    vocab_size: int
+    max_seq_len: int
+    d_model: int
+    num_layers: int
+    num_heads: int
+    d_ff: int
+    dropout: float = 0.1
+
+
+MINIBERT_BASE = MiniBERTConfig(
+    name="minibert-base",
+    vocab_size=64,
+    max_seq_len=48,
+    d_model=64,
+    num_layers=4,
+    num_heads=4,
+    d_ff=128,
+)
+
+MINIBERT_LARGE = MiniBERTConfig(
+    name="minibert-large",
+    vocab_size=64,
+    max_seq_len=48,
+    d_model=96,
+    num_layers=6,
+    num_heads=6,
+    d_ff=192,
+)
+
+
+class MiniBERT(nn.Module):
+    """Transformer encoder + linear span head (start/end logits).
+
+    ``forward`` returns logits of shape (B, T, 2); channel 0 scores answer
+    start positions, channel 1 scores (inclusive) end positions. Padded
+    positions are masked to -inf downstream.
+    """
+
+    def __init__(self, config: MiniBERTConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        rng = seeded_rng(config.name + "-init", seed)
+        self.token_emb = nn.Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.pos_emb = nn.Embedding(config.max_seq_len, config.d_model, rng=rng)
+        self.emb_ln = nn.LayerNorm(config.d_model)
+        self.emb_dropout = nn.Dropout(config.dropout, rng=rng)
+        self.encoder = nn.TransformerEncoder(
+            config.num_layers,
+            config.d_model,
+            config.num_heads,
+            config.d_ff,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        self.span_head = nn.Linear(config.d_model, 2, rng=rng)
+
+    def forward(self, tokens: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+        tokens = np.asarray(tokens)
+        B, T = tokens.shape
+        pos = np.broadcast_to(np.arange(T), (B, T))
+        x = self.token_emb(tokens) + self.pos_emb(pos)
+        x = self.emb_dropout(self.emb_ln(x))
+        x = self.encoder(x, mask=mask)
+        return self.span_head(x)
+
+    def predict_spans(self, logits: Tensor, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Greedy span decode: argmax start, then best end >= start."""
+        raw = logits.data
+        neg = -1e9
+        start_scores = np.where(mask, raw[..., 0], neg)
+        end_scores = np.where(mask, raw[..., 1], neg)
+        starts = start_scores.argmax(axis=-1)
+        B, T = start_scores.shape
+        ends = np.empty(B, dtype=np.int64)
+        for i in range(B):
+            s = starts[i]
+            ends[i] = s + end_scores[i, s:].argmax()
+        return starts, ends

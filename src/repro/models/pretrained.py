@@ -1,0 +1,122 @@
+"""Train-once, cache-forever pretrained checkpoints.
+
+``pretrained(name)`` returns a :class:`PretrainedBundle` with the trained
+model, its calibration split (inputs the PTQ pass may inspect), its held-out
+evaluation split, and the full-precision reference metric — everything an
+experiment needs. Weights are cached under the artifact directory keyed by a
+version string that encodes every hyperparameter affecting the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.data.synthimage import SynthImageDataset
+from repro.data.synthqa import SynthQADataset
+from repro.eval.metrics import evaluate_image_classifier, evaluate_qa_model
+from repro.models.bert import MINIBERT_BASE, MINIBERT_LARGE, MiniBERT, MiniBERTConfig
+from repro.models.resnet import MiniResNet
+from repro.models.train import train_image_classifier, train_qa_model
+from repro.utils.cache import cached_array_bundle
+from repro.utils.log import get_logger
+
+logger = get_logger("pretrained")
+
+MODEL_NAMES = ("miniresnet", "minibert-base", "minibert-large")
+
+_CACHE_VERSION = "v2"
+
+# Dataset sizing: large enough for stable accuracy estimates, small enough
+# that the full benchmark suite runs on a laptop CPU.
+_IMG_TRAIN, _IMG_VAL, _IMG_CALIB = 4000, 1000, 256
+_QA_TRAIN, _QA_VAL, _QA_CALIB = 3000, 800, 256
+
+
+@dataclass
+class PretrainedBundle:
+    """A trained model plus the data splits experiments operate on."""
+
+    name: str
+    task: str  # "image" or "qa"
+    model: Any
+    calib_data: tuple[np.ndarray, ...]
+    eval_data: tuple[np.ndarray, ...]
+    fp32_metric: float
+
+    @property
+    def metric_name(self) -> str:
+        return "Top1" if self.task == "image" else "F1"
+
+
+def _build_miniresnet() -> PretrainedBundle:
+    train_x, train_y = SynthImageDataset(_IMG_TRAIN, seed_key="train").materialize()
+    val_x, val_y = SynthImageDataset(_IMG_VAL, seed_key="val").materialize()
+    calib_x, _ = SynthImageDataset(_IMG_CALIB, seed_key="calib").materialize()
+
+    def build() -> dict[str, np.ndarray]:
+        logger.info("training miniresnet from scratch (cache miss)")
+        model = MiniResNet(num_classes=10, width=1, depth=2, seed=0)
+        train_image_classifier(model, train_x, train_y, val_x, val_y, epochs=6)
+        return model.state_dict()
+
+    state = cached_array_bundle(f"miniresnet-{_CACHE_VERSION}", build)
+    model = MiniResNet(num_classes=10, width=1, depth=2, seed=0)
+    model.load_state_dict(state)
+    model.eval()
+    fp32 = evaluate_image_classifier(model, val_x, val_y)
+    return PretrainedBundle(
+        name="miniresnet",
+        task="image",
+        model=model,
+        calib_data=(calib_x,),
+        eval_data=(val_x, val_y),
+        fp32_metric=fp32,
+    )
+
+
+def _build_minibert(config: MiniBERTConfig) -> PretrainedBundle:
+    train = SynthQADataset(_QA_TRAIN, seed_key="train").materialize()
+    val = SynthQADataset(_QA_VAL, seed_key="val").materialize()
+    calib = SynthQADataset(_QA_CALIB, seed_key="calib").materialize()
+    # The deeper model needs a gentler peak LR (post-LN depth sensitivity)
+    # and a few more epochs to converge.
+    epochs = 8 if config is MINIBERT_BASE else 14
+    lr = 3e-3 if config is MINIBERT_BASE else 1.5e-3
+
+    def build() -> dict[str, np.ndarray]:
+        logger.info("training %s from scratch (cache miss)", config.name)
+        model = MiniBERT(config, seed=0)
+        train_qa_model(model, *train, val_data=val, epochs=epochs, lr=lr)
+        return model.state_dict()
+
+    state = cached_array_bundle(f"{config.name}-{_CACHE_VERSION}", build)
+    model = MiniBERT(config, seed=0)
+    model.load_state_dict(state)
+    model.eval()
+    fp32 = evaluate_qa_model(model, *val)
+    calib_tokens, _, _, calib_mask = calib
+    return PretrainedBundle(
+        name=config.name,
+        task="qa",
+        model=model,
+        calib_data=(calib_tokens, calib_mask),
+        eval_data=val,
+        fp32_metric=fp32,
+    )
+
+
+def pretrained(name: str) -> PretrainedBundle:
+    """Return the named pretrained bundle, training on first use.
+
+    Valid names: ``miniresnet``, ``minibert-base``, ``minibert-large``.
+    """
+    if name == "miniresnet":
+        return _build_miniresnet()
+    if name == "minibert-base":
+        return _build_minibert(MINIBERT_BASE)
+    if name == "minibert-large":
+        return _build_minibert(MINIBERT_LARGE)
+    raise KeyError(f"unknown model {name!r}; valid: {MODEL_NAMES}")

@@ -1,0 +1,118 @@
+"""Training loops for the model zoo.
+
+These train the synthetic stand-in models once; results are cached by
+:mod:`repro.models.pretrained`. Loops are deliberately plain — the focus of
+this repository is the quantization library, and training only needs to
+produce realistic full-precision checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.loader import batches
+from repro.eval.metrics import evaluate_image_classifier, evaluate_qa_model
+from repro.optim import Adam, CosineLR, WarmupLinearLR, clip_grad_norm
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.utils.log import get_logger
+from repro.utils.rng import seeded_rng
+
+logger = get_logger("train")
+
+
+@dataclass
+class TrainResult:
+    """Final metrics of a training run."""
+
+    final_train_loss: float
+    val_metric: float
+    epochs: int
+
+
+def train_image_classifier(
+    model,
+    images: np.ndarray,
+    labels: np.ndarray,
+    val_images: np.ndarray,
+    val_labels: np.ndarray,
+    epochs: int = 12,
+    batch_size: int = 64,
+    lr: float = 2e-3,
+    seed: int = 0,
+) -> TrainResult:
+    """Train with Adam + cosine decay + cross-entropy; returns val top-1."""
+    rng = seeded_rng("train-image", seed)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=1e-4)
+    steps = epochs * max(len(labels) // batch_size, 1)
+    sched = CosineLR(opt, max_lr=lr, total_steps=steps)
+    loss_val = float("nan")
+    for epoch in range(epochs):
+        model.train()
+        epoch_losses = []
+        for xb, yb in batches([images, labels], batch_size, rng=rng, shuffle=True):
+            opt.zero_grad()
+            loss = ops.cross_entropy(model(xb), yb)
+            loss.backward()
+            clip_grad_norm(opt.params, 5.0)
+            opt.step()
+            sched.step()
+            epoch_losses.append(loss.item())
+        loss_val = float(np.mean(epoch_losses))
+        logger.info("image epoch %d/%d loss=%.4f", epoch + 1, epochs, loss_val)
+    acc = evaluate_image_classifier(model, val_images, val_labels)
+    logger.info("image final val top1=%.2f%%", acc)
+    return TrainResult(loss_val, acc, epochs)
+
+
+def _span_loss(logits: Tensor, starts: np.ndarray, ends: np.ndarray, mask: np.ndarray) -> Tensor:
+    """Cross-entropy over sequence positions for start and end heads."""
+    bias = Tensor(np.where(np.asarray(mask), 0.0, -1e9))
+    start_logits = logits[:, :, 0] + bias
+    end_logits = logits[:, :, 1] + bias
+    return ops.cross_entropy(start_logits, starts) + ops.cross_entropy(end_logits, ends)
+
+
+def train_qa_model(
+    model,
+    tokens: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    mask: np.ndarray,
+    val_data: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    epochs: int = 8,
+    batch_size: int = 32,
+    lr: float = 3e-3,
+    seed: int = 0,
+) -> TrainResult:
+    """Train the span model; returns validation token-F1.
+
+    Transformers at this scale need the BERT-style recipe: a relatively
+    high peak learning rate with linear warmup and smaller batches (more
+    optimizer steps); cosine-from-the-start converges far slower here.
+    """
+    rng = seeded_rng("train-qa", seed)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=1e-4)
+    steps = epochs * max(len(starts) // batch_size, 1)
+    sched = WarmupLinearLR(opt, max_lr=lr, warmup_steps=max(steps // 10, 1), total_steps=steps)
+    loss_val = float("nan")
+    for epoch in range(epochs):
+        model.train()
+        epoch_losses = []
+        for tb, sb, eb, mb in batches(
+            [tokens, starts, ends, mask], batch_size, rng=rng, shuffle=True
+        ):
+            opt.zero_grad()
+            loss = _span_loss(model(tb, mask=mb), sb, eb, mb)
+            loss.backward()
+            clip_grad_norm(opt.params, 5.0)
+            opt.step()
+            sched.step()
+            epoch_losses.append(loss.item())
+        loss_val = float(np.mean(epoch_losses))
+        logger.info("qa epoch %d/%d loss=%.4f", epoch + 1, epochs, loss_val)
+    f1 = evaluate_qa_model(model, *val_data)
+    logger.info("qa final val F1=%.2f%%", f1)
+    return TrainResult(loss_val, f1, epochs)

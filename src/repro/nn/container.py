@@ -1,0 +1,56 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+        self._order = [f"layer{i}" for i in range(len(layers))]
+
+    def forward(self, x):
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, i: int) -> Module:
+        return getattr(self, self._order[i])
+
+
+class ModuleList(Module):
+    """List of modules, registered for parameter traversal."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._order: list[str] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = f"item{len(self._order)}"
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, i: int) -> Module:
+        return getattr(self, self._order[i])

@@ -1,0 +1,21 @@
+"""Dropout layer with a module-owned RNG for reproducible training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, self.training, rng=self.rng)

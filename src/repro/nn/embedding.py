@@ -1,0 +1,29 @@
+"""Embedding table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = rng or np.random.default_rng()
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng))
+
+    def forward(self, indices) -> Tensor:
+        return ops.embedding_lookup(self.weight, indices)

@@ -1,0 +1,35 @@
+"""Weight initialization schemes (deterministic given an RNG)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None) -> np.ndarray:
+    """He-normal init for ReLU networks: std = sqrt(2 / fan_in)."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    return rng.standard_normal(shape) * math.sqrt(2.0 / fan_in)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform init for tanh/linear/attention layers."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal init (BERT-style)."""
+    return rng.standard_normal(shape) * std
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

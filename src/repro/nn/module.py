@@ -1,0 +1,163 @@
+"""Module/Parameter base classes with automatic registration."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor that is trainable by default and tracked by Modules."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Attribute assignment auto-registers :class:`Parameter` instances,
+    sub-``Module`` instances, and buffers added via :meth:`register_buffer`.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._params[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._params.pop(name, None)
+            self._buffers.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track non-trainable state (e.g. BatchNorm running stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place of the registry."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} is not registered")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._params.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def apply(self, fn) -> "Module":
+        """Apply ``fn`` to self and every submodule (torch semantics)."""
+        for m in self.modules():
+            fn(m)
+        return self
+
+    # ------------------------------------------------------------------
+    # modes / grads
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[f"buffer.{name}"] = np.asarray(b).copy()
+        return state
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        expected = set(params)
+        expected_buffers = {name for name, _ in self.named_buffers()}
+        seen: set[str] = set()
+        for key, value in state.items():
+            if key.startswith("buffer."):
+                name = key[len("buffer.") :]
+                if name not in expected_buffers:
+                    raise KeyError(f"unexpected buffer {name!r} in state dict")
+                self._assign_buffer(name, np.asarray(value))
+                seen.add(key)
+            else:
+                if key not in params:
+                    raise KeyError(f"unexpected parameter {key!r} in state dict")
+                if params[key].shape != np.shape(value):
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"{params[key].shape} vs {np.shape(value)}"
+                    )
+                params[key].data = np.asarray(value, dtype=params[key].dtype).copy()
+                seen.add(key)
+        missing = expected - {k for k in seen if not k.startswith("buffer.")}
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+
+    def _assign_buffer(self, dotted: str, value: np.ndarray) -> None:
+        module: Module = self
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module.set_buffer(parts[-1], value)
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self._modules)
+        return f"{type(self).__name__}({inner})"

@@ -1,0 +1,34 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: (B, C, H, W) -> (B, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

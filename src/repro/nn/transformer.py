@@ -1,0 +1,66 @@
+"""Transformer encoder (post-LayerNorm, BERT-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activation import GELU
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.container import ModuleList
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.norm import LayerNorm
+from repro.tensor.tensor import Tensor
+
+
+class TransformerEncoderLayer(Module):
+    """Post-LN encoder block: MHA + residual + LN, FFN + residual + LN."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attn = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.ln1 = LayerNorm(d_model)
+        self.ff1 = Linear(d_model, d_ff, rng=rng)
+        self.act = GELU()
+        self.ff2 = Linear(d_ff, d_model, rng=rng)
+        self.ln2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = self.ln1(x + self.dropout(self.attn(x, mask=mask)))
+        x = self.ln2(x + self.dropout(self.ff2(self.act(self.ff1(x)))))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(d_model, num_heads, d_ff, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        )
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x

@@ -1,0 +1,15 @@
+"""Optimizers and learning-rate schedules for training the model zoo."""
+
+from repro.optim.optimizer import Optimizer, SGD, Adam
+from repro.optim.scheduler import ConstantLR, CosineLR, WarmupLinearLR
+from repro.optim.clip import clip_grad_norm
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "CosineLR",
+    "WarmupLinearLR",
+    "clip_grad_norm",
+]

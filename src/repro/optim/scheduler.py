@@ -1,0 +1,63 @@
+"""Learning-rate schedules that mutate an optimizer's ``lr`` per step."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.step_count = 0
+
+    def step(self) -> None:
+        self.step_count += 1
+        self.optimizer.lr = self.lr_at(self.step_count)
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    def __init__(self, optimizer: Optimizer, lr: float):
+        super().__init__(optimizer)
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class CosineLR(_Scheduler):
+    """Cosine decay from ``max_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(
+        self, optimizer: Optimizer, max_lr: float, total_steps: int, min_lr: float = 0.0
+    ):
+        super().__init__(optimizer)
+        self.max_lr = max_lr
+        self.min_lr = min_lr
+        self.total_steps = max(total_steps, 1)
+
+    def lr_at(self, step: int) -> float:
+        t = min(step / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.max_lr - self.min_lr) * (1 + math.cos(math.pi * t))
+
+
+class WarmupLinearLR(_Scheduler):
+    """Linear warmup to ``max_lr`` then linear decay to zero (BERT recipe)."""
+
+    def __init__(
+        self, optimizer: Optimizer, max_lr: float, warmup_steps: int, total_steps: int
+    ):
+        super().__init__(optimizer)
+        self.max_lr = max_lr
+        self.warmup_steps = max(warmup_steps, 1)
+        self.total_steps = max(total_steps, warmup_steps + 1)
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.max_lr * step / self.warmup_steps
+        rest = (self.total_steps - step) / (self.total_steps - self.warmup_steps)
+        return self.max_lr * max(rest, 0.0)

@@ -1,0 +1,168 @@
+"""Quantization error analysis and layer sensitivity tooling.
+
+Practical PTQ work starts with two questions the paper's §3-§4 motivate:
+
+1. *How much error does each scheme inject per tensor?* —
+   :func:`quant_error_stats` reports MSE / SQNR / max-error for any
+   granularity and scale format on a given tensor.
+2. *Which layers are precision-critical?* — :func:`layer_sensitivity`
+   quantizes one layer at a time and measures the end-metric drop,
+   the standard mixed-precision diagnostic (paper §2 cites per-layer
+   mixed precision as the alternative line of work).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.quant.granularity import Granularity, VectorLayout
+from repro.quant.ptq import PTQConfig, quantize_model
+from repro.quant.qlayers import quant_layers
+from repro.quant.quantizer import Quantizer
+from repro.tensor.tensor import no_grad
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Elementwise quantization error summary of one tensor."""
+
+    mse: float
+    sqnr_db: float  # signal-to-quantization-noise ratio, dB
+    max_abs: float
+    mean_abs: float
+
+    @staticmethod
+    def between(x: np.ndarray, xq: np.ndarray) -> "ErrorStats":
+        x, xq = np.asarray(x), np.asarray(xq)
+        err = xq - x
+        mse = float((err**2).mean())
+        signal = float((x**2).mean())
+        sqnr = 10.0 * np.log10(signal / mse) if mse > 0 and signal > 0 else np.inf
+        return ErrorStats(
+            mse=mse,
+            sqnr_db=float(sqnr),
+            max_abs=float(np.abs(err).max()),
+            mean_abs=float(np.abs(err).mean()),
+        )
+
+
+def quant_error_stats(x: np.ndarray, quantizer: Quantizer) -> ErrorStats:
+    """Quantize ``x`` with ``quantizer`` and summarize the injected error."""
+    from repro.tensor.tensor import Tensor
+
+    with no_grad():
+        xq = quantizer(Tensor(np.asarray(x))).data
+    return ErrorStats.between(x, xq)
+
+
+def weight_error_table(
+    model: nn.Module, configs: Sequence[PTQConfig]
+) -> dict[str, dict[str, ErrorStats]]:
+    """Per-layer weight error under each config: {layer: {label: stats}}.
+
+    Works on the float model directly (no calibration data needed) — the
+    cheap first look at which scheme fits a checkpoint.
+    """
+    from repro.quant.ptq import _weight_quantizer
+
+    out: dict[str, dict[str, ErrorStats]] = {}
+    for name, module in model.named_modules():
+        if not isinstance(module, (nn.Conv2d, nn.Linear)):
+            continue
+        per_config: dict[str, ErrorStats] = {}
+        for config in configs:
+            q = _weight_quantizer(config)
+            per_config[config.label] = quant_error_stats(module.weight.data, q)
+        out[name] = per_config
+    return out
+
+
+def layer_sensitivity(
+    model: nn.Module,
+    config: PTQConfig,
+    calib_batches: Sequence[tuple],
+    evaluate: Callable[[nn.Module], float],
+    forward: Callable | None = None,
+) -> dict[str, float]:
+    """Metric when quantizing *only* one layer at a time (leave-rest-float).
+
+    Returns {layer_name: metric}. Layers whose solo quantization hurts the
+    most are the mixed-precision candidates to keep at higher precision.
+    """
+    # Discover quantizable layer names from a fully-swapped clone.
+    probe = quantize_model(model, config, calib_batches=calib_batches, forward=forward)
+    names = [name for name, _ in quant_layers(probe)]
+    results: dict[str, float] = {}
+    for target in names:
+        skip = tuple(n for n in names if n != target)
+        cfg = copy.replace(config, skip=skip) if hasattr(copy, "replace") else None
+        if cfg is None:  # Python < 3.13 fallback
+            import dataclasses
+
+            cfg = dataclasses.replace(config, skip=skip)
+        qmodel = quantize_model(model, cfg, calib_batches=calib_batches, forward=forward)
+        results[target] = evaluate(qmodel)
+    return results
+
+
+def activation_range_profile(
+    model: nn.Module,
+    config: PTQConfig,
+    calib_batches: Sequence[tuple],
+    forward: Callable | None = None,
+) -> dict[str, dict[str, float]]:
+    """Observed input-activation range per quantized layer.
+
+    Returns {layer: {min, max, absmax, p99.9}} from the calibration pass —
+    the dynamic-range evidence behind the paper's Figure 1 motivation.
+    """
+    qmodel = quantize_model(model, config, calib_batches=calib_batches, forward=forward)
+    # Re-run observation to capture raw samples.
+    layers = quant_layers(qmodel)
+    for _, layer in layers:
+        if layer.input_quantizer is not None:
+            layer.input_quantizer.begin_observation()
+    with no_grad():
+        for batch in calib_batches:
+            if forward is not None:
+                forward(qmodel, batch)
+            else:
+                qmodel(*batch)
+    profile: dict[str, dict[str, float]] = {}
+    for name, layer in layers:
+        q = layer.input_quantizer
+        if q is None or not q._samples:
+            continue
+        samples = np.concatenate(q._samples)
+        profile[name] = {
+            "min": float(samples.min()),
+            "max": float(samples.max()),
+            "absmax": float(np.abs(samples).max()),
+            "p99.9": float(np.percentile(np.abs(samples), 99.9)),
+        }
+        q._samples = []
+        q._observing = False
+    return profile
+
+
+def vector_range_spread(
+    weight: np.ndarray, vector_size: int = 16, vector_axis: int = 1
+) -> float:
+    """Mean ratio of per-vector absmax to per-channel absmax.
+
+    Low values mean most vectors use only a fraction of their channel's
+    range — exactly the headroom per-vector scaling converts into
+    precision (Fig. 1's geometric argument, quantified).
+    """
+    weight = np.asarray(weight)
+    layout = VectorLayout(axis=vector_axis, vector_size=vector_size)
+    vmax = layout.vector_absmax(weight)  # (..., n_vectors)
+    axes = tuple(range(1, vmax.ndim))
+    cmax = vmax.max(axis=axes, keepdims=True)
+    ratio = vmax / np.maximum(cmax, 1e-12)
+    return float(ratio.mean())

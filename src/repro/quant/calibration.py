@@ -1,0 +1,177 @@
+"""Calibration methods for choosing the clipping range alpha (paper §3, Table 2).
+
+Each calibrator maps grouped samples to a per-group alpha (the absolute
+maximum real value to represent; Eq. 1 turns it into a scale factor).
+Groups are rows of a 2-D array: per-tensor calibration has one group,
+per-channel one per output channel, per-vector one per vector.
+
+Implemented methods, matching Table 2's columns:
+
+- ``max`` — absolute maximum (no clipping)
+- ``percentile_P`` — P-th percentile of |x| (P in {99.9, 99.99, ...})
+- ``entropy`` — KL-divergence-minimizing threshold (TensorRT-style histogram)
+- ``mse`` — mean-squared-error-minimizing clip ratio (golden sweep)
+
+The paper notes (§4.3) that percentile/entropy need enough samples per group
+to be statistically meaningful; calibrators expose ``min_samples`` so the
+PTQ driver can fall back to ``max`` for tiny per-vector groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.formats import IntFormat, fake_quantize, scale_from_absmax
+
+
+class Calibrator:
+    """Base: maps grouped |samples| to per-group alpha."""
+
+    #: Minimum samples per group for the method to be statistically sound.
+    min_samples: int = 1
+
+    def calibrate(self, grouped: np.ndarray, fmt: IntFormat) -> np.ndarray:
+        """``grouped``: (n_groups, n_samples) -> alpha (n_groups,)."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Calibrator", "").lower()
+
+
+class MaxCalibrator(Calibrator):
+    """alpha = max |x| (no clipping; the paper's default for VS-Quant)."""
+
+    def calibrate(self, grouped: np.ndarray, fmt: IntFormat) -> np.ndarray:
+        return np.abs(grouped).max(axis=1)
+
+
+class PercentileCalibrator(Calibrator):
+    """alpha = P-th percentile of |x| (clips the (100-P)% outlier tail)."""
+
+    min_samples = 64
+
+    def __init__(self, percentile: float):
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = percentile
+
+    def calibrate(self, grouped: np.ndarray, fmt: IntFormat) -> np.ndarray:
+        alpha = np.percentile(np.abs(grouped), self.percentile, axis=1)
+        # Degenerate all-outlier groups fall back to max.
+        fallback = np.abs(grouped).max(axis=1)
+        return np.where(alpha > 0, alpha, fallback)
+
+    @property
+    def name(self) -> str:
+        return f"percentile_{self.percentile:g}"
+
+
+class EntropyCalibrator(Calibrator):
+    """KL-divergence-minimizing alpha via the TensorRT histogram procedure.
+
+    For each candidate threshold, the reference distribution P is the |x|
+    histogram clipped at the threshold (outlier mass folded into the last
+    bin) and Q is P re-binned to the integer format's level count; the
+    chosen threshold minimizes KL(P || Q).
+    """
+
+    min_samples = 256
+
+    def __init__(self, n_bins: int = 512, start_frac: float = 0.25):
+        self.n_bins = n_bins
+        self.start_frac = start_frac
+
+    def _entropy_alpha(self, absx: np.ndarray, levels: int) -> float:
+        top = float(absx.max())
+        if top == 0.0:
+            return 0.0
+        hist, edges = np.histogram(absx, bins=self.n_bins, range=(0.0, top))
+        hist = hist.astype(np.float64)
+        start = max(int(self.n_bins * self.start_frac), levels)
+        best_kl, best_i = np.inf, self.n_bins
+        for i in range(start, self.n_bins + 1):
+            p = hist[:i].copy()
+            p[-1] += hist[i:].sum()  # fold clipped outliers into last bin
+            if p.sum() == 0:
+                continue
+            # Quantize: merge i bins into `levels` buckets.
+            idx = (np.arange(i) * levels // i).astype(np.int64)
+            q = np.zeros(levels)
+            np.add.at(q, idx, hist[:i])
+            counts = np.bincount(idx, minlength=levels)
+            nonempty = np.zeros(levels)
+            np.add.at(nonempty, idx, (hist[:i] > 0).astype(np.float64))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                q_expanded = np.where(nonempty[idx] > 0, q[idx] / np.maximum(nonempty[idx], 1), 0.0)
+            q_expanded = np.where(hist[:i] > 0, q_expanded, 0.0)
+            p_n = p / p.sum()
+            q_sum = q_expanded.sum()
+            if q_sum == 0:
+                continue
+            q_n = q_expanded / q_sum
+            mask = (p_n > 0) & (q_n > 0)
+            kl = float((p_n[mask] * np.log(p_n[mask] / q_n[mask])).sum())
+            # Penalize mass that quantization zeroed out entirely.
+            kl += float(p_n[(p_n > 0) & (q_n == 0)].sum()) * 10.0
+            if kl < best_kl:
+                best_kl, best_i = kl, i
+        return float(edges[best_i])
+
+    def calibrate(self, grouped: np.ndarray, fmt: IntFormat) -> np.ndarray:
+        levels = max(fmt.qmax, 2)
+        out = np.empty(grouped.shape[0])
+        for g in range(grouped.shape[0]):
+            absx = np.abs(grouped[g])
+            alpha = self._entropy_alpha(absx, levels)
+            out[g] = alpha if alpha > 0 else absx.max()
+        return out
+
+
+class MSECalibrator(Calibrator):
+    """alpha minimizing quantization MSE over a sweep of clip ratios."""
+
+    min_samples = 16
+
+    def __init__(self, n_candidates: int = 40, lo: float = 0.2):
+        self.n_candidates = n_candidates
+        self.lo = lo
+
+    def calibrate(self, grouped: np.ndarray, fmt: IntFormat) -> np.ndarray:
+        absmax = np.abs(grouped).max(axis=1, keepdims=True)  # (G, 1)
+        ratios = np.linspace(self.lo, 1.0, self.n_candidates)
+        best_alpha = absmax[:, 0].copy()
+        best_err = np.full(grouped.shape[0], np.inf)
+        for r in ratios:
+            alpha = np.maximum(absmax[:, 0] * r, 1e-12)
+            scale = scale_from_absmax(alpha, fmt)[:, None]
+            err = ((fake_quantize(grouped, scale, fmt) - grouped) ** 2).mean(axis=1)
+            better = err < best_err
+            best_err = np.where(better, err, best_err)
+            best_alpha = np.where(better, alpha, best_alpha)
+        return best_alpha
+
+
+#: Calibration methods used by Table 2 (name -> factory).
+CALIBRATION_METHODS = (
+    "max",
+    "entropy",
+    "percentile_99.9",
+    "percentile_99.99",
+    "percentile_99.999",
+    "percentile_99.9999",
+    "mse",
+)
+
+
+def make_calibrator(name: str) -> Calibrator:
+    """Instantiate a calibrator by Table 2 column name."""
+    if name == "max":
+        return MaxCalibrator()
+    if name == "entropy":
+        return EntropyCalibrator()
+    if name == "mse":
+        return MSECalibrator()
+    if name.startswith("percentile_"):
+        return PercentileCalibrator(float(name.split("_", 1)[1]))
+    raise KeyError(f"unknown calibration method {name!r}; valid: {CALIBRATION_METHODS}")

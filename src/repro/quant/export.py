@@ -1,0 +1,118 @@
+"""Deployment export: bit-packed serialization of VS-Quant tensors.
+
+The memory-overhead argument of §4.4 (M/(V*N) extra bits per element) is
+only real if the integer codes and scales are actually stored at their
+nominal widths. This module packs a :class:`~repro.quant.integer_exec.
+QuantizedTensor` into contiguous byte buffers at exact bit granularity —
+N-bit two's-complement codes, M-bit unsigned per-vector scales, fp32
+coarse scales — and unpacks them losslessly, with byte accounting that
+reproduces the paper's effective-bitwidth numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.formats import IntFormat
+from repro.quant.granularity import VectorLayout
+from repro.quant.integer_exec import QuantizedTensor
+
+
+def pack_bits(values: np.ndarray, bits: int, signed: bool) -> bytes:
+    """Pack integers into a little-endian bitstream at ``bits`` per value.
+
+    Signed values are stored as two's complement in ``bits`` bits.
+    """
+    flat = np.asarray(values).astype(np.int64).reshape(-1)
+    if signed:
+        lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    else:
+        lo, hi = 0, 2**bits - 1
+    if flat.size and (flat.min() < lo or flat.max() > hi):
+        raise ValueError(f"values outside {bits}-bit {'signed' if signed else 'unsigned'} range")
+    unsigned = np.where(flat < 0, flat + (1 << bits), flat).astype(np.uint64)
+    # Expand each value into its bits (LSB first), then pack per 8.
+    bit_idx = np.arange(bits, dtype=np.uint64)
+    bit_matrix = ((unsigned[:, None] >> bit_idx[None, :]) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.reshape(-1), bitorder="little").tobytes()
+
+
+def unpack_bits(buffer: bytes, count: int, bits: int, signed: bool) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: recover ``count`` integers."""
+    raw = np.frombuffer(buffer, dtype=np.uint8)
+    bit_stream = np.unpackbits(raw, bitorder="little")[: count * bits]
+    bit_matrix = bit_stream.reshape(count, bits).astype(np.uint64)
+    weights = (1 << np.arange(bits, dtype=np.uint64))[None, :]
+    unsigned = (bit_matrix * weights).sum(axis=1)
+    if signed:
+        values = unsigned.astype(np.int64)
+        values = np.where(values >= (1 << (bits - 1)), values - (1 << bits), values)
+        return values
+    return unsigned.astype(np.int64)
+
+
+@dataclass
+class PackedTensor:
+    """A serialized two-level quantized tensor with exact byte accounting."""
+
+    code_bytes: bytes
+    scale_bytes: bytes
+    gamma: np.ndarray  # fp32 coarse scales, kept as an array
+    shape: tuple[int, ...]  # codes shape (..., n_vectors, V)
+    sq_shape: tuple[int, ...]
+    axis: int
+    axis_len: int
+    elem_bits: int
+    elem_signed: bool
+    scale_bits: int
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes for codes + integer scales (what rides in DRAM/buffers)."""
+        return len(self.code_bytes) + len(self.scale_bytes)
+
+    @property
+    def effective_bits_per_element(self) -> float:
+        """Stored bits per *original* element, the paper's effective
+        bitwidth (e.g. 4.25 for N=M=4, V=16)."""
+        n_elems = int(np.prod(self.shape[:-2])) * self.axis_len
+        return 8.0 * self.payload_bytes / n_elems
+
+
+def pack_tensor(qt: QuantizedTensor) -> PackedTensor:
+    """Serialize a quantized tensor to exact-width bit streams."""
+    return PackedTensor(
+        code_bytes=pack_bits(qt.codes, qt.fmt.bits, qt.fmt.signed),
+        scale_bytes=pack_bits(qt.sq, qt.scale_fmt.bits, signed=False),
+        gamma=np.asarray(qt.gamma, dtype=np.float32),
+        shape=qt.codes.shape,
+        sq_shape=qt.sq.shape,
+        axis=qt.layout.axis,
+        axis_len=qt.axis_len,
+        elem_bits=qt.fmt.bits,
+        elem_signed=qt.fmt.signed,
+        scale_bits=qt.scale_fmt.bits,
+    )
+
+
+def unpack_tensor(packed: PackedTensor) -> QuantizedTensor:
+    """Deserialize back to a :class:`QuantizedTensor` (lossless)."""
+    n_codes = int(np.prod(packed.shape))
+    codes = unpack_bits(
+        packed.code_bytes, n_codes, packed.elem_bits, packed.elem_signed
+    ).reshape(packed.shape)
+    n_scales = int(np.prod(packed.sq_shape))
+    sq = unpack_bits(packed.scale_bytes, n_scales, packed.scale_bits, signed=False).reshape(
+        packed.sq_shape
+    )
+    return QuantizedTensor(
+        codes=codes.astype(np.float64),
+        sq=sq.astype(np.float64),
+        gamma=packed.gamma.astype(np.float64),
+        layout=VectorLayout(axis=packed.axis, vector_size=packed.shape[-1]),
+        axis_len=packed.axis_len,
+        fmt=IntFormat(packed.elem_bits, packed.elem_signed),
+        scale_fmt=IntFormat(packed.scale_bits, signed=False),
+    )

@@ -1,0 +1,72 @@
+"""Integer quantization primitives (paper §3, Eq. 1–3).
+
+Symmetric scale-only quantization with zero point fixed at 0, the form
+efficient DNN accelerators implement. Signed N-bit values use the symmetric
+range [-(2^(N-1) - 1), 2^(N-1) - 1]; unsigned values use [0, 2^(N-1) - 1]
+(the paper keeps the same number of magnitude levels for unsigned, see the
+discussion after Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IntFormat:
+    """An integer quantization format: bit width + signedness."""
+
+    bits: int
+    signed: bool = True
+
+    def __post_init__(self):
+        if self.bits < 2:
+            raise ValueError(f"need at least 2 bits, got {self.bits}")
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1) - 1) if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def levels(self) -> int:
+        return self.qmax - self.qmin + 1
+
+    def __str__(self) -> str:
+        return f"{'s' if self.signed else 'u'}int{self.bits}"
+
+
+def int_range(bits: int, signed: bool = True) -> tuple[int, int]:
+    """(qmin, qmax) for the symmetric integer format."""
+    fmt = IntFormat(bits, signed)
+    return fmt.qmin, fmt.qmax
+
+
+def scale_from_absmax(absmax: np.ndarray, fmt: IntFormat, eps: float = 1e-12) -> np.ndarray:
+    """Eq. 1: s = alpha / qmax, floored at ``eps`` to avoid divide-by-zero.
+
+    A group whose values are all zero gets scale ``eps``; its codes are all
+    zero, so the floor never changes results.
+    """
+    return np.maximum(np.asarray(absmax, dtype=np.float64) / fmt.qmax, eps)
+
+
+def quantize(x: np.ndarray, scale: np.ndarray, fmt: IntFormat) -> np.ndarray:
+    """Eq. 2: xq = clip(round(x / s), qmin, qmax), round-half-to-even."""
+    q = np.rint(np.asarray(x) / scale)
+    return np.clip(q, fmt.qmin, fmt.qmax)
+
+
+def dequantize(xq: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Eq. 3: simulated-quantized value s * xq."""
+    return np.asarray(xq) * scale
+
+
+def fake_quantize(x: np.ndarray, scale: np.ndarray, fmt: IntFormat) -> np.ndarray:
+    """Quantize-then-dequantize (simulated quantization)."""
+    return dequantize(quantize(x, scale, fmt), scale)

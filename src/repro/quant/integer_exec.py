@@ -1,0 +1,205 @@
+"""True integer execution of VS-Quant layers (the hardware's arithmetic).
+
+The fake-quantization layers in :mod:`repro.quant.qlayers` simulate
+quantization in floating point. This module executes the *actual* integer
+pipeline of the paper's vector MAC unit (Fig. 2b, Eq. 5):
+
+    y(j) = [ sum_i wq(j,i) * aq(j,i) ] * swq(j) * saq(j)   (integer)
+    y    = y(j) summed over vectors j, scaled by gamma_w * gamma_a (fp)
+
+and therefore lets us:
+
+- verify bit-exact equivalence between the fake-quant simulation and the
+  integer datapath (a correctness invariant the test suite checks), and
+- study the *accuracy* effect of rounding the scale product sw*sa to fewer
+  bits — the knob Fig. 3 evaluates for energy and the paper leaves to
+  future work for accuracy (§8). See ``benchmarks/bench_ablation_rounding``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.formats import IntFormat
+from repro.quant.granularity import VectorLayout
+from repro.quant.two_level import TwoLevelScales, decompose_scales
+from repro.quant.vsquant import per_vector_scales
+
+
+@dataclass
+class QuantizedTensor:
+    """A tensor in two-level VS-Quant representation.
+
+    ``codes`` are N-bit integer element values grouped per vector:
+    shape (..., n_vectors, V). ``sq`` are the M-bit unsigned integer
+    per-vector scales, shape (..., n_vectors). ``gamma`` is the fp
+    coarse-grained scale broadcastable against ``sq``. ``axis_len`` is the
+    original length of the vectorized axis (to strip padding on
+    dequantization); ``layout`` records which axis was vectorized.
+    """
+
+    codes: np.ndarray
+    sq: np.ndarray
+    gamma: np.ndarray
+    layout: VectorLayout
+    axis_len: int
+    fmt: IntFormat
+    scale_fmt: IntFormat
+
+    @property
+    def n_vectors(self) -> int:
+        return self.codes.shape[-2]
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the simulated-quantized real tensor (Eq. 7j)."""
+        effective = (self.sq * self.gamma)[..., None]  # broadcast over V
+        flat = self.codes * effective
+        return self.layout.from_vectors(flat, self.axis_len)
+
+
+def quantize_tensor(
+    x: np.ndarray,
+    layout: VectorLayout,
+    fmt: IntFormat,
+    scale_fmt: IntFormat,
+    channel_axes: tuple[int, ...] = (),
+) -> QuantizedTensor:
+    """Quantize a real tensor into the two-level integer representation."""
+    x = np.asarray(x)
+    s_fp = per_vector_scales(x, layout, fmt)
+    scales: TwoLevelScales = decompose_scales(s_fp, scale_fmt, channel_axes)
+    axis_len = x.shape[layout.axis]
+    s_elem = layout.expand(np.maximum(s_fp, 1e-12), axis_len)
+    codes_flat = np.clip(np.rint(x / s_elem), fmt.qmin, fmt.qmax)
+    codes = layout.to_vectors(codes_flat)
+    return QuantizedTensor(
+        codes=codes,
+        sq=scales.sq,
+        gamma=scales.gamma,
+        layout=layout,
+        axis_len=axis_len,
+        fmt=fmt,
+        scale_fmt=scale_fmt,
+    )
+
+
+def round_scale_product(
+    product: np.ndarray, full_bits: int, product_bits: int | None
+) -> np.ndarray:
+    """Hardware rounder: keep the top ``product_bits`` of a ``full_bits``
+    integer product by dropping LSBs with round-half-even, then shift back.
+
+    Returns a value on the original scale (so downstream math is unchanged);
+    with ``product_bits=None`` this is the identity.
+    """
+    if product_bits is None or product_bits >= full_bits:
+        return np.asarray(product, dtype=np.float64)
+    shift = 2 ** (full_bits - product_bits)
+    return np.rint(np.asarray(product, dtype=np.float64) / shift) * shift
+
+
+def integer_linear(
+    x: QuantizedTensor,
+    w: QuantizedTensor,
+    scale_product_bits: int | None = None,
+) -> np.ndarray:
+    """Execute a linear layer exactly as the VS-Quant PE does (Eq. 5).
+
+    ``x``: activations quantized along the feature axis, codes shape
+    (batch..., n_vectors, V); ``w``: weights quantized along the input
+    axis, codes shape (out_features, n_vectors, V). Per-vector integer
+    dot products are scaled by the (optionally rounded) integer scale
+    product and accumulated; the two fp gammas are applied once at the end.
+
+    Returns the real-valued output (batch..., out_features).
+    """
+    if x.codes.shape[-2:] != w.codes.shape[-2:]:
+        raise ValueError(
+            f"vector geometry mismatch: activations {x.codes.shape[-2:]} vs "
+            f"weights {w.codes.shape[-2:]}"
+        )
+    # Integer dot product per vector: (batch..., 1, nv, V) x (K, nv, V).
+    dot = np.einsum("...vi,kvi->...kv", x.codes, w.codes, optimize=True)
+    product = x.sq[..., None, :] * w.sq[None, :, :]  # (batch..., K, nv)
+    full_bits = x.scale_fmt.bits + w.scale_fmt.bits
+    product = round_scale_product(product, full_bits, scale_product_bits)
+    acc = (dot * product).sum(axis=-1)  # (batch..., K)
+    # The activation gamma is per-tensor (channel_axes=()): one value.
+    gamma_x = float(np.asarray(x.gamma).reshape(-1)[0])
+    # The weight gamma is per output channel: shape (K, 1) -> (K,).
+    gamma_w = np.asarray(w.gamma).reshape(w.codes.shape[0])
+    return acc * gamma_x * gamma_w
+
+
+def integer_conv2d(
+    x: QuantizedTensor,
+    w: QuantizedTensor,
+    stride: int = 1,
+    padding: int = 0,
+    scale_product_bits: int | None = None,
+) -> np.ndarray:
+    """Execute a conv layer with the VS-Quant integer pipeline.
+
+    ``x`` quantized along C of an NCHW tensor (codes (B, H, W, nv, V)),
+    ``w`` along C of a KCRS tensor (codes (K, R, S, nv, V)) — each spatial
+    position owns its vectors, matching Fig. 1's V x 1 x 1 geometry. The
+    per-(r, s) vector dot products are scaled by the rounded integer scale
+    product and accumulated across (r, s, vectors); fp gammas apply once.
+
+    Returns the real-valued output (B, K, P, Q).
+    """
+    if x.codes.ndim != 5 or w.codes.ndim != 5:
+        raise ValueError("expected NCHW activations and KCRS weights quantized on C")
+    B, H, W_, nv, V = x.codes.shape
+    K, R, S, nvw, Vw = w.codes.shape
+    if (nv, V) != (nvw, Vw):
+        raise ValueError(f"vector geometry mismatch: {(nv, V)} vs {(nvw, Vw)}")
+    full_bits = x.scale_fmt.bits + w.scale_fmt.bits
+
+    codes = x.codes
+    sq = x.sq
+    if padding:
+        pad_c = ((0, 0), (padding, padding), (padding, padding), (0, 0), (0, 0))
+        codes = np.pad(codes, pad_c)
+        sq = np.pad(sq, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+    P = (H + 2 * padding - R) // stride + 1
+    Q = (W_ + 2 * padding - S) // stride + 1
+
+    out = np.zeros((B, K, P, Q))
+    # Loop over the R x S kernel footprint (vectorized over B, P, Q, K, nv):
+    # the same strided-slice structure hardware uses for weight reuse.
+    for r in range(R):
+        for s in range(S):
+            xs = codes[:, r : r + stride * P : stride, s : s + stride * Q : stride]
+            ss = sq[:, r : r + stride * P : stride, s : s + stride * Q : stride]
+            dot = np.einsum("bpqvi,kvi->bkpqv", xs, w.codes[:, r, s], optimize=True)
+            # (B,1,P,Q,nv) x (1,K,1,1,nv) -> (B,K,P,Q,nv)
+            product = ss[:, None, :, :, :] * w.sq[None, :, r, s, :][:, :, None, None, :]
+            product = round_scale_product(product, full_bits, scale_product_bits)
+            out += (dot * product).sum(axis=-1)
+    gamma_x = float(np.asarray(x.gamma).reshape(-1)[0])
+    gamma_w = np.asarray(w.gamma).reshape(K)
+    return out * gamma_x * gamma_w[None, :, None, None]
+
+
+def fake_quant_linear_reference(
+    x_real: np.ndarray,
+    w_real: np.ndarray,
+    vector_size: int,
+    fmt: IntFormat,
+    scale_fmt: IntFormat,
+) -> np.ndarray:
+    """Float-side reference: fake-quantize operands, then a real matmul.
+
+    ``integer_linear`` must match this bit-exactly when no scale-product
+    rounding is applied — the equivalence test of Eq. 5 vs Eq. 7j.
+    """
+    from repro.quant.two_level import fake_quant_two_level
+
+    xl = VectorLayout(axis=-1, vector_size=vector_size)
+    wl = VectorLayout(axis=1, vector_size=vector_size)
+    xq = fake_quant_two_level(x_real, xl, fmt, scale_fmt, channel_axes=())
+    wq = fake_quant_two_level(w_real, wl, fmt, scale_fmt, channel_axes=(0,))
+    return xq @ wq.T

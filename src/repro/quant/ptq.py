@@ -1,0 +1,258 @@
+"""Post-training quantization pipeline (paper §3-§4 evaluation flow).
+
+``quantize_model`` clones a trained float model, swaps every Conv2d/Linear
+for its fake-quantized twin, runs a calibration pass over representative
+inputs, and returns the quantized model — no retraining, exactly the PTQ
+setting of Tables 2-7.
+
+Configuration factories mirror the paper's named schemes:
+
+- :meth:`PTQConfig.per_channel` — the coarse-grained baseline ("POC"):
+  per-channel max-scaled weights, per-tensor statically-calibrated
+  activations with a selectable calibration method (Table 2).
+- :meth:`PTQConfig.vs_quant` — VS-Quant ("PVAW"/"PVWO"/"PVAO" via the
+  ``weights``/``activations`` flags): per-vector scales with static max
+  calibration for weights and dynamic max calibration for activations
+  (Table 3), optionally two-level integer scale factors (Tables 5-7).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.quant.granularity import Granularity
+from repro.quant.qlayers import QuantConv2d, QuantLinear, quant_layers
+from repro.quant.quantizer import QuantSpec, Quantizer, ScaleFormat, ScaleKind
+from repro.tensor.tensor import no_grad
+from repro.utils.log import get_logger
+
+logger = get_logger("ptq")
+
+
+@dataclass(frozen=True)
+class PTQConfig:
+    """Full description of one quantization scheme.
+
+    ``act_signed=None`` auto-detects signedness per layer during the
+    calibration pass (post-ReLU activations become unsigned, signed inputs
+    stay signed), matching how deployments pick the U variants in Table 2.
+    """
+
+    weight_bits: int
+    act_bits: int
+    weight_granularity: Granularity = Granularity.PER_CHANNEL
+    act_granularity: Granularity = Granularity.PER_TENSOR
+    vector_size: int = 16
+    weight_scale: ScaleFormat = field(default_factory=ScaleFormat)
+    act_scale: ScaleFormat = field(default_factory=ScaleFormat)
+    weight_calibration: str = "max"
+    act_calibration: str = "max"
+    act_dynamic: bool = True
+    act_signed: bool | None = None
+    decompose_order: str = "vector_first"
+    skip: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # named schemes from the paper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def per_channel(
+        weight_bits: int,
+        act_bits: int,
+        calibration: str = "max",
+        act_signed: bool | None = None,
+    ) -> "PTQConfig":
+        """Coarse-grained baseline: per-channel weights + static per-tensor acts."""
+        return PTQConfig(
+            weight_bits=weight_bits,
+            act_bits=act_bits,
+            weight_granularity=Granularity.PER_CHANNEL,
+            act_granularity=Granularity.PER_TENSOR,
+            act_calibration=calibration,
+            act_dynamic=False,
+            act_signed=act_signed,
+        )
+
+    @staticmethod
+    def vs_quant(
+        weight_bits: int,
+        act_bits: int,
+        weight_scale: str | None = None,
+        act_scale: str | None = None,
+        vector_size: int = 16,
+        weights: bool = True,
+        activations: bool = True,
+        act_signed: bool | None = None,
+        decompose_order: str = "vector_first",
+    ) -> "PTQConfig":
+        """VS-Quant: per-vector scaling on weights and/or activations.
+
+        ``weight_scale``/``act_scale`` accept 'fp32', 'fp16', or an integer
+        bit width string for the two-level scheme (e.g. the paper's
+        S=4/6 column is ``weight_scale="4", act_scale="6"``).
+        """
+        return PTQConfig(
+            weight_bits=weight_bits,
+            act_bits=act_bits,
+            weight_granularity=(
+                Granularity.PER_VECTOR if weights else Granularity.PER_CHANNEL
+            ),
+            act_granularity=(
+                Granularity.PER_VECTOR if activations else Granularity.PER_TENSOR
+            ),
+            vector_size=vector_size,
+            weight_scale=ScaleFormat.parse(weight_scale),
+            act_scale=ScaleFormat.parse(act_scale),
+            act_dynamic=True,
+            act_signed=act_signed,
+            decompose_order=decompose_order,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short W/A/ws/as label in the paper's notation (e.g. '4/8/6/10')."""
+        ws = (
+            str(self.weight_scale.bits)
+            if self.weight_scale.kind is ScaleKind.INT
+            else ("-" if self.weight_granularity is not Granularity.PER_VECTOR else "fp")
+        )
+        asc = (
+            str(self.act_scale.bits)
+            if self.act_scale.kind is ScaleKind.INT
+            else ("-" if self.act_granularity is not Granularity.PER_VECTOR else "fp")
+        )
+        return f"{self.weight_bits}/{self.act_bits}/{ws}/{asc}"
+
+
+def _weight_quantizer(config: PTQConfig) -> Quantizer:
+    # Weight tensors: conv (K, C, R, S), linear (out, in). Output channel is
+    # axis 0, the reduction axis (C / in-features) is axis 1 for conv and
+    # axis 1 == -1 for linear; both use axis 1.
+    spec = QuantSpec(
+        bits=config.weight_bits,
+        signed=True,
+        granularity=config.weight_granularity,
+        vector_size=config.vector_size,
+        vector_axis=1,
+        channel_axes=(0,),
+        scale=config.weight_scale,
+        calibration=config.weight_calibration,
+        dynamic=True,
+        decompose_order=config.decompose_order,
+    )
+    return Quantizer(spec)
+
+
+def _input_quantizer(config: PTQConfig, vector_axis: int) -> Quantizer:
+    spec = QuantSpec(
+        bits=config.act_bits,
+        signed=True if config.act_signed is None else config.act_signed,
+        granularity=config.act_granularity,
+        vector_size=config.vector_size,
+        vector_axis=vector_axis,
+        channel_axes=(),
+        scale=config.act_scale,
+        calibration=config.act_calibration,
+        dynamic=config.act_dynamic,
+        decompose_order=config.decompose_order,
+    )
+    return Quantizer(spec)
+
+
+def _swap(module: nn.Module, config: PTQConfig, prefix: str = "") -> None:
+    for name, child in list(module._modules.items()):
+        dotted = f"{prefix}{name}"
+        if dotted in config.skip:
+            continue
+        if isinstance(child, (QuantConv2d, QuantLinear)):
+            continue
+        if isinstance(child, nn.Conv2d):
+            q = QuantConv2d.from_float(
+                child, _weight_quantizer(config), _input_quantizer(config, vector_axis=1)
+            )
+            setattr(module, name, q)
+        elif isinstance(child, nn.Linear):
+            q = QuantLinear.from_float(
+                child, _weight_quantizer(config), _input_quantizer(config, vector_axis=-1)
+            )
+            setattr(module, name, q)
+        else:
+            _swap(child, config, prefix=f"{dotted}.")
+
+
+def quantize_model(
+    model: nn.Module,
+    config: PTQConfig,
+    calib_batches: Sequence[tuple] | None = None,
+    forward: Callable[[nn.Module, tuple], object] | None = None,
+) -> nn.Module:
+    """Clone + quantize a float model; runs calibration when data is given.
+
+    Parameters
+    ----------
+    model:
+        Trained float model (left untouched; a deep copy is returned).
+    config:
+        The quantization scheme.
+    calib_batches:
+        Iterable of argument tuples passed to the model (or to ``forward``)
+        for the calibration pass. Required for static activation
+        calibration; recommended always, since it also auto-detects
+        activation signedness.
+    forward:
+        Optional ``forward(model, batch_args)`` adapter for models whose
+        call signature is not ``model(*batch_args)``.
+    """
+    qmodel = copy.deepcopy(model)
+    qmodel.eval()
+    _swap(qmodel, config)
+    layers = quant_layers(qmodel)
+    if not layers:
+        raise ValueError("model contains no Conv2d/Linear layers to quantize")
+
+    if calib_batches is not None:
+        for _, layer in layers:
+            if layer.input_quantizer is not None:
+                layer.input_quantizer.begin_observation()
+        with no_grad():
+            for batch in calib_batches:
+                if forward is not None:
+                    forward(qmodel, batch)
+                else:
+                    qmodel(*batch)
+        for name, layer in layers:
+            quantizer = layer.input_quantizer
+            if quantizer is None:
+                continue
+            samples = np.concatenate(quantizer._samples) if quantizer._samples else None
+            if samples is None:
+                raise RuntimeError(
+                    f"layer {name} saw no data during calibration; check the "
+                    "calibration batches cover the full forward path"
+                )
+            if config.act_signed is None:
+                signed = bool(samples.min() < 0)
+                quantizer.spec = quantizer.spec.with_signed(signed)
+            if config.act_dynamic:
+                quantizer._samples = []
+                quantizer._observing = False
+            else:
+                quantizer.finalize()
+    elif not config.act_dynamic:
+        raise ValueError("static activation calibration requires calib_batches")
+    else:
+        # Dynamic quantizers work without calibration, but signedness then
+        # stays as configured.
+        for _, layer in layers:
+            if layer.input_quantizer is not None:
+                layer.input_quantizer._observing = False
+
+    logger.info(
+        "quantized %d layers with %s (%s)", len(layers), config.label, config
+    )
+    return qmodel

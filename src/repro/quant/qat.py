@@ -1,0 +1,92 @@
+"""Quantization-aware training (paper §7, Table 9).
+
+QAT finetunes a pretrained model with fake-quantizers in the loop; the
+straight-through estimator in :class:`repro.quant.Quantizer` propagates
+gradients through the quantization nodes, and the underlying full-precision
+weights adapt to the quantization grid. Scale factors are not trained
+(the paper leaves learned scales to future work).
+
+Activations use dynamic max scaling during QAT for both the per-vector and
+per-channel schemes — static scales would go stale as the activation
+distributions shift over finetuning (the paper's framework recalibrates
+similarly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.metrics import evaluate_image_classifier, evaluate_qa_model
+from repro.models.train import train_image_classifier, train_qa_model
+from repro.quant.ptq import PTQConfig, quantize_model
+
+
+@dataclass
+class QATResult:
+    """Outcome of a QAT finetuning run."""
+
+    metric: float  # top-1 or F1 on the eval split, percent
+    epochs: int
+    model: object
+
+
+def qat_finetune_image(
+    model,
+    config: PTQConfig,
+    train_images: np.ndarray,
+    train_labels: np.ndarray,
+    eval_images: np.ndarray,
+    eval_labels: np.ndarray,
+    epochs: int = 4,
+    lr: float = 5e-4,
+    seed: int = 0,
+) -> QATResult:
+    """Finetune an image classifier with quantizers in the loop."""
+    calib = [(train_images[:128],)]
+    qmodel = quantize_model(model, config, calib_batches=calib)
+    train_image_classifier(
+        qmodel,
+        train_images,
+        train_labels,
+        eval_images,
+        eval_labels,
+        epochs=epochs,
+        lr=lr,
+        seed=seed,
+    )
+    metric = evaluate_image_classifier(qmodel, eval_images, eval_labels)
+    return QATResult(metric=metric, epochs=epochs, model=qmodel)
+
+
+def qat_finetune_qa(
+    model,
+    config: PTQConfig,
+    train_data: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    eval_data: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    epochs: int = 2,
+    lr: float = 3e-4,
+    seed: int = 0,
+) -> QATResult:
+    """Finetune a span-extraction model with quantizers in the loop."""
+    tokens, starts, ends, mask = train_data
+    calib = [(tokens[:128], mask[:128])]
+
+    def fwd(m, batch):
+        return m(batch[0], mask=batch[1])
+
+    qmodel = quantize_model(model, config, calib_batches=calib, forward=fwd)
+    train_qa_model(
+        qmodel,
+        tokens,
+        starts,
+        ends,
+        mask,
+        val_data=eval_data,
+        epochs=epochs,
+        lr=lr,
+        seed=seed,
+    )
+    metric = evaluate_qa_model(qmodel, *eval_data)
+    return QATResult(metric=metric, epochs=epochs, model=qmodel)

@@ -1,0 +1,109 @@
+"""Fake-quantized layers: drop-in replacements for Conv2d / Linear.
+
+Each quantized layer owns a weight quantizer and an input quantizer and
+applies both before the underlying GEMM/convolution, exactly mirroring the
+paper's hardware: integer vector MACs consume quantized weight vectors and
+quantized activation vectors (Eq. 5), while bias addition and accumulation
+stay in higher precision.
+
+The layers also record the MAC count and tensor shapes of their last
+forward pass, which the hardware model (:mod:`repro.hardware`) uses to
+weight per-layer energy by operation count (as the paper does for Fig. 4-6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.quant.quantizer import Quantizer
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class QuantConv2d(nn.Conv2d):
+    """Conv2d with fake-quantized weights and input activations."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.weight_quantizer: Quantizer | None = None
+        self.input_quantizer: Quantizer | None = None
+        self.last_macs: int = 0
+        self.last_output_shape: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_float(
+        cls,
+        conv: nn.Conv2d,
+        weight_quantizer: Quantizer | None,
+        input_quantizer: Quantizer | None,
+    ) -> "QuantConv2d":
+        q = cls(
+            conv.in_channels,
+            conv.out_channels,
+            conv.kernel_size,
+            stride=conv.stride,
+            padding=conv.padding,
+            bias=conv.bias is not None,
+        )
+        q.weight = conv.weight
+        if conv.bias is not None:
+            q.bias = conv.bias
+        q.weight_quantizer = weight_quantizer
+        q.input_quantizer = input_quantizer
+        return q
+
+    def forward(self, x: Tensor) -> Tensor:
+        xq = self.input_quantizer(x) if self.input_quantizer else x
+        wq = self.weight_quantizer(self.weight) if self.weight_quantizer else self.weight
+        out = ops.conv2d(xq, wq, self.bias, stride=self.stride, padding=self.padding)
+        B, K, P, Q = out.shape
+        self.last_macs = B * K * P * Q * self.in_channels * self.kernel_size**2
+        self.last_output_shape = out.shape
+        return out
+
+
+class QuantLinear(nn.Linear):
+    """Linear with fake-quantized weights and input activations."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.weight_quantizer: Quantizer | None = None
+        self.input_quantizer: Quantizer | None = None
+        self.last_macs: int = 0
+        self.last_output_shape: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_float(
+        cls,
+        linear: nn.Linear,
+        weight_quantizer: Quantizer | None,
+        input_quantizer: Quantizer | None,
+    ) -> "QuantLinear":
+        q = cls(linear.in_features, linear.out_features, bias=linear.bias is not None)
+        q.weight = linear.weight
+        if linear.bias is not None:
+            q.bias = linear.bias
+        q.weight_quantizer = weight_quantizer
+        q.input_quantizer = input_quantizer
+        return q
+
+    def forward(self, x: Tensor) -> Tensor:
+        xq = self.input_quantizer(x) if self.input_quantizer else x
+        wq = self.weight_quantizer(self.weight) if self.weight_quantizer else self.weight
+        out = xq @ wq.T
+        if self.bias is not None:
+            out = out + self.bias
+        rows = int(np.prod(out.shape[:-1]))
+        self.last_macs = rows * self.in_features * self.out_features
+        self.last_output_shape = out.shape
+        return out
+
+
+def quant_layers(model: nn.Module) -> list[tuple[str, QuantConv2d | QuantLinear]]:
+    """All quantized layers in a model, with their dotted names."""
+    return [
+        (name, m)
+        for name, m in model.named_modules()
+        if isinstance(m, (QuantConv2d, QuantLinear))
+    ]

@@ -1,0 +1,150 @@
+"""Two-level scaled quantization — the paper's Eq. 7a–7j algorithm (§4.4).
+
+The floating-point per-vector scale factor s(k, i) is factored into an
+unsigned M-bit integer per-vector component sq(k, i) and a floating-point
+coarse-grained component gamma(k):
+
+    x_q2 = xq * sq * gamma           (Eq. 6 / 7j)
+
+``k`` indexes the coarse dimension (output channels for weights, the whole
+tensor for activations) and ``i`` indexes vectors within it. Only the cheap
+integer scale rides along with each vector in hardware; the expensive
+floating-point scale is amortized over the whole channel.
+
+Two decomposition orders are provided (§4.4 final paragraph):
+
+- ``vector_first`` (Eq. 7): compute fp per-vector scales, then split each
+  into integer x fp parts. This is the paper's algorithm and is cheap in
+  hardware for dynamic activation scaling.
+- ``channel_first``: compute the coarse gamma from the channel absmax first,
+  then back-calculate integer per-vector scales. Explores a different
+  rounding space; more expensive for dynamic scaling (needs a full-channel
+  reduction) but acceptable for static weights. Ablated in
+  ``benchmarks/bench_ablation_decompose.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.formats import IntFormat, scale_from_absmax
+from repro.quant.granularity import VectorLayout
+from repro.quant.vsquant import per_vector_scales
+
+
+@dataclass(frozen=True)
+class TwoLevelScales:
+    """The factored scales of Eq. 7h: s_q2(k, i) = sq(k, i) * gamma(k).
+
+    ``sq`` has the per-vector shape (..., n_vectors); ``gamma`` broadcasts
+    against it over the coarse axes (kept as size-1 dims).
+    """
+
+    sq: np.ndarray  # integer-valued (stored as float for the simulation)
+    gamma: np.ndarray
+
+    @property
+    def effective(self) -> np.ndarray:
+        """The composed per-vector scale sq * gamma (Eq. 7h)."""
+        return self.sq * self.gamma
+
+
+def _coarse_axes(per_vector_shape: tuple[int, ...], channel_axes: tuple[int, ...]) -> tuple[int, ...]:
+    """Axes of the per-vector scale array reduced by the coarse max (Eq. 7e).
+
+    ``channel_axes`` are the axes that KEEP distinct gamma values; all other
+    axes (including the trailing n_vectors axis) share one gamma.
+    """
+    keep = {a % len(per_vector_shape) for a in channel_axes}
+    return tuple(i for i in range(len(per_vector_shape)) if i not in keep)
+
+
+def decompose_scales(
+    s_fp: np.ndarray,
+    scale_fmt: IntFormat,
+    channel_axes: tuple[int, ...] = (),
+) -> TwoLevelScales:
+    """Eq. 7e–7h: split fp per-vector scales into integer x fp components.
+
+    ``scale_fmt`` is the unsigned M-bit format of the integer component;
+    gamma(k) = max_i s(k, i) / (2^M - 1) and sq = round(s / gamma), clipped
+    to [1, 2^M - 1] at the top and bottom. Clipping the bottom at 1 instead
+    of 0 is not done — the paper allows sq = 0 (it powers the data-gating
+    energy optimization of Fig. 3) — so vectors with tiny ranges can round
+    to an all-zero representation.
+    """
+    if scale_fmt.signed:
+        raise ValueError("per-vector scale factors are unsigned (paper §4.4)")
+    s_fp = np.asarray(s_fp, dtype=np.float64)
+    qmax = 2**scale_fmt.bits - 1  # unsigned M-bit scale: full [0, 2^M - 1]
+    axes = _coarse_axes(s_fp.shape, channel_axes)
+    smax = s_fp.max(axis=axes, keepdims=True)  # Eq. 7e
+    gamma = np.maximum(smax / qmax, 1e-30)  # Eq. 7f
+    sq = np.clip(np.rint(s_fp / gamma), 0, qmax)  # Eq. 7g
+    return TwoLevelScales(sq=sq, gamma=gamma)
+
+
+def decompose_scales_channel_first(
+    x: np.ndarray,
+    layout: VectorLayout,
+    fmt: IntFormat,
+    scale_fmt: IntFormat,
+    channel_axes: tuple[int, ...] = (),
+) -> TwoLevelScales:
+    """Alternative order (§4.4): coarse scale first, vector scales second.
+
+    gamma(k) is derived from the channel absmax as if doing coarse-grained
+    quantization, then the integer per-vector scale is the ratio of the
+    vector's own requirement to gamma, rounded up so no vector clips more
+    than plain per-vector scaling would.
+    """
+    if scale_fmt.signed:
+        raise ValueError("per-vector scale factors are unsigned (paper §4.4)")
+    s_fp = per_vector_scales(x, layout, fmt)
+    qmax = 2**scale_fmt.bits - 1
+    axes = _coarse_axes(s_fp.shape, channel_axes)
+    # Coarse scale chosen so the largest vector scale maps to qmax exactly
+    # when divided through - but computed from the channel absmax, i.e. the
+    # coarse-grained calibration a per-channel quantizer would have used.
+    channel_absmax = s_fp.max(axis=axes, keepdims=True) * fmt.qmax
+    gamma = np.maximum(channel_absmax / (fmt.qmax * qmax), 1e-30)
+    sq = np.clip(np.ceil(s_fp / gamma), 0, qmax)
+    return TwoLevelScales(sq=sq, gamma=gamma)
+
+
+def fake_quant_two_level(
+    x: np.ndarray,
+    layout: VectorLayout,
+    fmt: IntFormat,
+    scale_fmt: IntFormat,
+    channel_axes: tuple[int, ...] = (),
+    order: str = "vector_first",
+    alpha: np.ndarray | None = None,
+) -> np.ndarray:
+    """Full Eq. 7 pipeline: returns the simulated-quantized tensor x_q2.
+
+    The element codes xq are computed against the *unquantized* per-vector
+    scale (Eq. 7c) and then rescaled by the two-level composition
+    sq * gamma (Eq. 7i/7j), exactly as the paper specifies — quantizing the
+    scale after the elements, not before.
+    """
+    x = np.asarray(x)
+    s_fp = per_vector_scales(x, layout, fmt, alpha=alpha)
+    if order == "vector_first":
+        scales = decompose_scales(s_fp, scale_fmt, channel_axes)
+    elif order == "channel_first":
+        scales = decompose_scales_channel_first(x, layout, fmt, scale_fmt, channel_axes)
+    else:
+        raise ValueError(f"order must be vector_first or channel_first, got {order!r}")
+    axis_len = x.shape[layout.axis]
+    s_elem = layout.expand(np.maximum(s_fp, 1e-12), axis_len)  # Eq. 7c scale
+    xq = np.clip(np.rint(x / s_elem), fmt.qmin, fmt.qmax)
+    s2_elem = layout.expand(scales.effective, axis_len)  # Eq. 7h broadcast
+    return xq * s2_elem
+
+
+def scale_memory_overhead_bits(vector_size: int, elem_bits: int, scale_bits: int) -> float:
+    """Relative memory overhead M / (V * N) of per-vector scales (§4.4)."""
+    return scale_bits / (vector_size * elem_bits)

@@ -1,0 +1,55 @@
+"""Single-level per-vector scaled quantization (paper §4, Table 3).
+
+One floating-point scale factor per V-element vector along the dot-product
+reduction axis. This is the accuracy-ceiling variant; the hardware-friendly
+two-level scheme (:mod:`repro.quant.two_level`) quantizes these scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.formats import IntFormat, scale_from_absmax
+from repro.quant.granularity import VectorLayout
+
+
+def per_vector_scales(
+    x: np.ndarray,
+    layout: VectorLayout,
+    fmt: IntFormat,
+    alpha: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-vector scale factors, shape (..., n_vectors) — Eq. 7a/7b.
+
+    ``alpha`` overrides the per-vector absmax (e.g. from a calibrator); by
+    default the max-calibrated absmax of each vector is used, the paper's
+    standard choice for VS-Quant.
+    """
+    if alpha is None:
+        alpha = layout.vector_absmax(x)
+    return scale_from_absmax(alpha, fmt)
+
+
+def fake_quant_per_vector(
+    x: np.ndarray,
+    layout: VectorLayout,
+    fmt: IntFormat,
+    scales: np.ndarray | None = None,
+    scale_dtype: str = "fp32",
+) -> np.ndarray:
+    """Simulated single-level per-vector quantization (Eq. 7c/7d).
+
+    ``scale_dtype`` of ``"fp16"`` rounds the per-vector scales to half
+    precision first (the S=fp16 columns of Tables 6–7).
+    """
+    x = np.asarray(x)
+    if scales is None:
+        scales = per_vector_scales(x, layout, fmt)
+    if scale_dtype == "fp16":
+        scales = scales.astype(np.float16).astype(np.float64)
+    elif scale_dtype != "fp32":
+        raise ValueError(f"scale_dtype must be fp32 or fp16, got {scale_dtype!r}")
+    axis_len = x.shape[layout.axis]
+    s_full = layout.expand(np.maximum(scales, 1e-12), axis_len)
+    q = np.clip(np.rint(x / s_full), fmt.qmin, fmt.qmax)
+    return q * s_full

@@ -1,0 +1,77 @@
+"""A compact reverse-mode automatic differentiation engine on NumPy.
+
+This is the compute substrate the rest of the library is built on: the
+quantization library (``repro.quant``) inserts fake-quantization nodes into
+graphs built from these tensors, and QAT backpropagates through them with a
+straight-through estimator.
+
+Public surface:
+
+- :class:`Tensor` — n-d array with ``.backward()``
+- free functions mirroring the method API (``matmul``, ``softmax`` …)
+- :func:`no_grad` context manager
+- :mod:`repro.tensor.gradcheck` — finite-difference gradient verification
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, as_tensor
+from repro.tensor import ops
+from repro.tensor.ops import (
+    matmul,
+    relu,
+    gelu,
+    tanh,
+    sigmoid,
+    exp,
+    log,
+    sqrt,
+    abs as abs_,
+    maximum,
+    minimum,
+    where,
+    softmax,
+    log_softmax,
+    logsumexp,
+    concatenate,
+    stack,
+    pad2d,
+    conv2d,
+    max_pool2d,
+    avg_pool2d,
+    embedding_lookup,
+    cross_entropy,
+    dropout,
+)
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "ops",
+    "matmul",
+    "relu",
+    "gelu",
+    "tanh",
+    "sigmoid",
+    "exp",
+    "log",
+    "sqrt",
+    "abs_",
+    "maximum",
+    "minimum",
+    "where",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "concatenate",
+    "stack",
+    "pad2d",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "embedding_lookup",
+    "cross_entropy",
+    "dropout",
+    "gradcheck",
+]

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG, artifact caching, logging."""
+
+from repro.utils.rng import seeded_rng, set_global_seed, global_rng
+from repro.utils.cache import artifact_dir, cached_array_bundle, save_array_bundle
+from repro.utils.log import get_logger
+
+__all__ = [
+    "seeded_rng",
+    "set_global_seed",
+    "global_rng",
+    "artifact_dir",
+    "cached_array_bundle",
+    "save_array_bundle",
+    "get_logger",
+]

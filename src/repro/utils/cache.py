@@ -1,0 +1,57 @@
+"""On-disk artifact cache for expensive-to-recompute arrays.
+
+Pretrained model weights are trained once per process fleet and cached under
+``REPRO_ARTIFACT_DIR`` (default: ``<repo>/.artifacts``) as ``.npz`` bundles,
+keyed by a caller-supplied name that should encode every input that affects
+the result (model config, dataset seed, trainer hyperparameters).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+
+def artifact_dir() -> Path:
+    """Return (and create) the artifact cache directory."""
+    root = os.environ.get("REPRO_ARTIFACT_DIR")
+    if root is None:
+        root = Path(__file__).resolve().parents[3] / ".artifacts"
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_array_bundle(name: str, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Persist a named dict of arrays; returns the bundle path."""
+    path = artifact_dir() / f"{name}.npz"
+    # numpy appends .npz to names lacking the suffix, so the temp file must
+    # already end in .npz for the rename below to find it.
+    tmp = path.with_name(f"{name}.tmp.npz")
+    np.savez_compressed(tmp, **{k: np.asarray(v) for k, v in arrays.items()})
+    os.replace(tmp, path)
+    return path
+
+
+def load_array_bundle(name: str) -> dict[str, np.ndarray] | None:
+    """Load a bundle saved by :func:`save_array_bundle`; None if absent."""
+    path = artifact_dir() / f"{name}.npz"
+    if not path.exists():
+        return None
+    with np.load(path, allow_pickle=False) as data:
+        return {k: data[k] for k in data.files}
+
+
+def cached_array_bundle(
+    name: str, build: Callable[[], Mapping[str, np.ndarray]]
+) -> dict[str, np.ndarray]:
+    """Return the cached bundle ``name``, building and saving it on miss."""
+    found = load_array_bundle(name)
+    if found is not None:
+        return found
+    built = {k: np.asarray(v) for k, v in build().items()}
+    save_array_bundle(name, built)
+    return built

@@ -1,0 +1,19 @@
+"""Thin logging facade with a library-wide namespace."""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    logger = logging.getLogger(f"repro.{name}")
+    if not logging.getLogger("repro").handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+    return logger

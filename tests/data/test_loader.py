@@ -1,0 +1,42 @@
+"""Batch iterator."""
+
+import numpy as np
+import pytest
+
+from repro.data import batches
+
+
+def test_batches_cover_all_rows():
+    x = np.arange(10)
+    y = np.arange(10) * 2
+    seen = []
+    for xb, yb in batches([x, y], 3):
+        np.testing.assert_array_equal(yb, xb * 2)
+        seen.extend(xb.tolist())
+    assert sorted(seen) == list(range(10))
+
+
+def test_shuffle_permutes_but_keeps_alignment(rng):
+    x = np.arange(20)
+    y = np.arange(20) * 3
+    out = []
+    for xb, yb in batches([x, y], 4, rng=rng, shuffle=True):
+        np.testing.assert_array_equal(yb, xb * 3)
+        out.extend(xb.tolist())
+    assert sorted(out) == list(range(20))
+    assert out != list(range(20))  # actually shuffled
+
+
+def test_shuffle_requires_rng():
+    with pytest.raises(ValueError):
+        next(batches([np.arange(4)], 2, shuffle=True))
+
+
+def test_drop_last():
+    chunks = list(batches([np.arange(10)], 4, drop_last=True))
+    assert [len(c[0]) for c in chunks] == [4, 4]
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        next(batches([np.arange(3), np.arange(4)], 2))

@@ -1,0 +1,56 @@
+"""Synthetic QA dataset: structural invariants of every generated example."""
+
+import numpy as np
+
+from repro.data import QAVocab, SynthQADataset
+
+
+class TestVocab:
+    def test_id_ranges_disjoint(self):
+        v = QAVocab()
+        specials = {v.cls, v.sep, v.stop, v.pad}
+        queries = set(range(v.query_base, v.query_base + v.n_queries))
+        triggers = set(range(v.trigger_base, v.trigger_base + v.n_queries))
+        fillers = set(range(v.filler_base, v.filler_base + v.n_fillers))
+        all_ids = specials | queries | triggers | fillers
+        assert len(all_ids) == 4 + 2 * v.n_queries + v.n_fillers
+        assert max(all_ids) == v.size - 1
+
+
+class TestDataset:
+    def test_deterministic(self):
+        a = SynthQADataset(10, seed_key="x").materialize()
+        b = SynthQADataset(10, seed_key="x").materialize()
+        for arr_a, arr_b in zip(a, b):
+            np.testing.assert_array_equal(arr_a, arr_b)
+
+    def test_structure_of_every_example(self):
+        v = QAVocab()
+        tokens, starts, ends, mask = SynthQADataset(200, seed_key="s").materialize()
+        for i in range(len(tokens)):
+            seq, s, e = tokens[i], starts[i], ends[i]
+            assert seq[0] == v.cls
+            assert v.query_base <= seq[1] < v.query_base + v.n_queries
+            assert seq[2] == v.sep
+            q = seq[1] - v.query_base
+            trig = v.trigger_base + q
+            # Exactly one trigger for this query in the body.
+            assert (seq[3:] == trig).sum() == 1
+            trig_pos = 3 + int(np.where(seq[3:] == trig)[0][0])
+            assert s == trig_pos + 1
+            # Span ends right before the stop token.
+            assert seq[e + 1] == v.stop
+            assert s <= e
+            # Answer tokens are fillers.
+            assert all(v.filler_base <= t for t in seq[s : e + 1])
+
+    def test_mask_marks_non_pad(self):
+        v = QAVocab()
+        tokens, _, _, mask = SynthQADataset(20).materialize()
+        np.testing.assert_array_equal(mask, tokens != v.pad)
+
+    def test_answer_lengths_bounded(self):
+        ds = SynthQADataset(100, max_answer_len=4)
+        _, starts, ends, _ = ds.materialize()
+        lengths = ends - starts + 1
+        assert lengths.min() >= 1 and lengths.max() <= 4

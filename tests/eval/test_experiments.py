@@ -1,0 +1,81 @@
+"""Experiment adapters and the accuracy cache, using a synthetic bundle."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.eval.acc_cache import cached_quantized_accuracy, config_key
+from repro.eval.experiments import image_task, make_task, qa_task, quantized_accuracy
+from repro.models.pretrained import PretrainedBundle
+from repro.quant import PTQConfig
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture
+def tmp_artifacts(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+    return tmp_path
+
+
+@pytest.fixture
+def image_bundle():
+    rng = seeded_rng("eval-exp")
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4, rng=rng),
+    )
+    model.eval()
+    calib = rng.standard_normal((32, 3, 8, 8))
+    eval_x = rng.standard_normal((64, 3, 8, 8))
+    eval_y = rng.integers(0, 4, 64)
+    return PretrainedBundle(
+        name="toy-image",
+        task="image",
+        model=model,
+        calib_data=(calib,),
+        eval_data=(eval_x, eval_y),
+        fp32_metric=25.0,
+    )
+
+
+class TestTasks:
+    def test_image_task_structure(self, image_bundle):
+        task = image_task(image_bundle, eval_limit=16)
+        assert task.forward is None
+        assert task.fp32_metric == 25.0
+        assert len(task.calib_batches) == 1
+
+    def test_make_task_dispatch(self, image_bundle):
+        assert make_task(image_bundle).name == "toy-image"
+
+    def test_quantized_accuracy_runs(self, image_bundle):
+        acc = quantized_accuracy(image_bundle, PTQConfig.per_channel(8, 8), eval_limit=32)
+        assert 0.0 <= acc <= 100.0
+
+
+class TestAccuracyCache:
+    def test_cache_hit_skips_recompute(self, image_bundle, tmp_artifacts, monkeypatch):
+        cfg = PTQConfig.per_channel(8, 8)
+        first = cached_quantized_accuracy(image_bundle, cfg, eval_limit=16)
+
+        def boom(*a, **k):
+            raise AssertionError("should not recompute on cache hit")
+
+        monkeypatch.setattr("repro.eval.acc_cache.quantized_accuracy", boom)
+        second = cached_quantized_accuracy(image_bundle, cfg, eval_limit=16)
+        assert first == second
+
+    def test_key_distinguishes_configs_and_limits(self):
+        a = config_key(PTQConfig.per_channel(8, 8), 100)
+        b = config_key(PTQConfig.per_channel(4, 8), 100)
+        c = config_key(PTQConfig.per_channel(8, 8), 200)
+        d = config_key(PTQConfig.per_channel(8, 8, calibration="mse"), 100)
+        assert len({a, b, c, d}) == 4
+
+    def test_different_models_different_files(self, image_bundle, tmp_artifacts):
+        cfg = PTQConfig.per_channel(8, 8)
+        cached_quantized_accuracy(image_bundle, cfg, eval_limit=16)
+        files = list(tmp_artifacts.glob("accuracy-cache-*.json"))
+        assert len(files) == 1 and "toy-image" in files[0].name

@@ -1,0 +1,45 @@
+"""Metrics: top-1 accuracy and SQuAD-style span F1."""
+
+import numpy as np
+import pytest
+
+from repro.eval import span_f1, top1_accuracy
+
+
+class TestTop1:
+    def test_perfect(self):
+        logits = np.eye(4) * 10
+        assert top1_accuracy(logits, np.arange(4)) == 100.0
+
+    def test_all_wrong(self):
+        logits = np.eye(2)[::-1] * 10
+        assert top1_accuracy(logits, np.arange(2)) == 0.0
+
+    def test_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert top1_accuracy(logits, np.array([0, 1])) == 50.0
+
+
+class TestSpanF1:
+    def test_exact_match_is_100(self):
+        assert span_f1([3], [5], [3], [5]) == 100.0
+
+    def test_no_overlap_is_0(self):
+        assert span_f1([0], [1], [5], [7]) == 0.0
+
+    def test_partial_overlap(self):
+        # pred [2,5] (4 tokens), gold [4,7] (4 tokens), overlap 2
+        # precision = recall = 0.5 -> F1 = 0.5
+        assert span_f1([2], [5], [4], [7]) == pytest.approx(50.0)
+
+    def test_subset_prediction(self):
+        # pred [4,5] inside gold [3,6]: precision 1, recall 0.5 -> F1 2/3
+        assert span_f1([4], [5], [3], [6]) == pytest.approx(100 * 2 / 3)
+
+    def test_mean_over_examples(self):
+        f1 = span_f1([0, 0], [0, 0], [0, 5], [0, 7])
+        assert f1 == pytest.approx(50.0)
+
+    def test_single_token_spans(self):
+        assert span_f1([2], [2], [2], [2]) == 100.0
+        assert span_f1([2], [2], [3], [3]) == 0.0

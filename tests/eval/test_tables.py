@@ -1,0 +1,24 @@
+"""Table formatting."""
+
+from repro.eval import format_markdown, format_table
+
+
+def test_format_table_aligns_columns():
+    out = format_table(["name", "value"], [["a", 1.5], ["long-name", 22.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "22.25" in out and "1.50" in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_format_markdown_structure():
+    out = format_markdown(["x", "y"], [[1.0, 2.0]])
+    lines = out.splitlines()
+    assert lines[0] == "| x | y |"
+    assert lines[1] == "| --- | --- |"
+    assert lines[2] == "| 1.00 | 2.00 |"

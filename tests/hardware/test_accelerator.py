@@ -1,0 +1,98 @@
+"""Accelerator configs, labels, normalization, gating measurement."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    BASELINE_8BIT,
+    AcceleratorConfig,
+    AcceleratorModel,
+    normalized_metrics,
+)
+from repro.hardware.accelerator import gating_fraction_from_scales
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "label", ["8/8/-/-", "4/4/4/4", "4/8/6/10", "6/8/-/10", "3/8/6/-"]
+    )
+    def test_roundtrip(self, label):
+        assert AcceleratorConfig.from_label(label).label == label
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig.from_label("8/8/-")
+
+    def test_is_vsquant(self):
+        assert not AcceleratorConfig.from_label("8/8/-/-").is_vsquant
+        assert AcceleratorConfig.from_label("8/8/6/-").is_vsquant
+
+    def test_with_rounding(self):
+        cfg = AcceleratorConfig.from_label("4/4/4/4").with_rounding(4)
+        assert cfg.scale_product_bits == 4
+
+
+class TestNormalization:
+    def test_baseline_normalizes_to_one(self):
+        e, a, p = normalized_metrics(BASELINE_8BIT)
+        assert e == pytest.approx(1.0)
+        assert a == pytest.approx(1.0)
+        assert p == pytest.approx(1.0)
+
+    def test_paper_headline_shapes(self):
+        """The paper's headline results hold in shape (§1/§8)."""
+        # ~2x energy saving for a 4-bit per-channel datapath.
+        e44, a44, _ = normalized_metrics(AcceleratorConfig.from_label("4/4/-/-"))
+        assert 0.4 < e44 < 0.62
+        # VS-Quant 4/4/4/4: large area saving (paper: 37%).
+        _, a4444, _ = normalized_metrics(AcceleratorConfig.from_label("4/4/4/4"))
+        assert 0.5 < a4444 < 0.72
+        # 4/8/6/10: ~26% area saving (paper Fig. 5/6).
+        _, a48610, _ = normalized_metrics(AcceleratorConfig.from_label("4/8/6/10"))
+        assert 0.68 < a48610 < 0.82
+
+    def test_vsquant_energy_overhead_is_modest(self):
+        """Fig. 3: full-precision scale product adds modest overhead."""
+        e_pc, _, _ = normalized_metrics(AcceleratorConfig.from_label("4/4/-/-"))
+        e_vs, _, _ = normalized_metrics(AcceleratorConfig.from_label("4/4/4/4"))
+        assert e_pc < e_vs < e_pc * 1.35
+
+    def test_perf_per_area_reciprocal_area(self):
+        e, a, p = normalized_metrics(AcceleratorConfig.from_label("4/4/-/-"))
+        assert p == pytest.approx(1 / a, rel=1e-9)
+
+
+class TestNetworkEnergy:
+    def test_weights_by_macs(self):
+        model = AcceleratorModel(AcceleratorConfig.from_label("8/8/-/-"))
+        per_op = model.energy_per_op()
+        assert model.network_energy([100, 200]) == pytest.approx(300 * per_op)
+
+    def test_gated_layers_cheaper(self):
+        cfg = AcceleratorConfig.from_label("4/4/4/4").with_rounding(4)
+        model = AcceleratorModel(cfg)
+        plain = model.network_energy([1000])
+        gated = model.network_energy([1000], gated_fractions=[0.5])
+        assert gated < plain
+
+
+class TestGatingMeasurement:
+    def test_full_width_product_never_gates(self):
+        sw = np.array([1, 2, 3])
+        sa = np.array([1, 1, 1])
+        assert gating_fraction_from_scales(sw, sa, full_bits=8, product_bits=None) == 0.0
+
+    def test_aggressive_rounding_gates_small_products(self):
+        sw = np.array([1.0, 1.0, 15.0, 15.0])
+        sa = np.array([1.0, 1.0, 15.0, 15.0])
+        # products: 1, 1, 225, 225; full 8 bits -> round to 4 bits drops 4 LSBs
+        frac = gating_fraction_from_scales(sw, sa, full_bits=8, product_bits=4)
+        assert frac == pytest.approx(0.5)
+
+    def test_one_sided_scales(self):
+        sw = np.array([0.0, 8.0])
+        frac = gating_fraction_from_scales(sw, None, full_bits=4, product_bits=2)
+        assert frac == pytest.approx(0.5)
+
+    def test_no_scales_no_gating(self):
+        assert gating_fraction_from_scales(None, None, 8, 4) == 0.0

@@ -1,0 +1,61 @@
+"""Component-level energy/area breakdowns."""
+
+import pytest
+
+from repro.hardware import DEFAULT_TECH, PEModel, VectorMACModel
+
+
+def pe(**kw):
+    return PEModel(mac=VectorMACModel(**kw))
+
+
+class TestEnergyBreakdown:
+    def test_sums_to_energy_per_op(self):
+        p = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=4)
+        b = p.energy_breakdown(DEFAULT_TECH)
+        assert sum(b.values()) == pytest.approx(p.energy_per_op(DEFAULT_TECH))
+
+    def test_components_present(self):
+        b = pe(weight_bits=8, act_bits=8).energy_breakdown(DEFAULT_TECH)
+        assert set(b) == {"datapath", "buffers", "collector", "ppu", "control"}
+        assert all(v >= 0 for v in b.values())
+
+    def test_datapath_dominates_at_8bit(self):
+        b = pe(weight_bits=8, act_bits=8).energy_breakdown(DEFAULT_TECH)
+        assert b["datapath"] == max(b.values())
+
+    def test_control_fraction_grows_at_low_precision(self):
+        # Fixed overheads are precision-independent, so their share rises.
+        def control_share(bits):
+            b = pe(weight_bits=bits, act_bits=bits).energy_breakdown(DEFAULT_TECH)
+            return b["control"] / sum(b.values())
+
+        assert control_share(4) > control_share(8)
+
+    def test_gating_only_touches_gated_components(self):
+        p = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=4, scale_product_bits=4)
+        b0 = p.energy_breakdown(DEFAULT_TECH, 0.0)
+        b5 = p.energy_breakdown(DEFAULT_TECH, 0.5)
+        assert b5["datapath"] < b0["datapath"]
+        assert b5["collector"] < b0["collector"]
+        assert b5["control"] == b0["control"]
+        assert b5["buffers"] == b0["buffers"]
+
+
+class TestAreaBreakdown:
+    def test_sums_to_area(self):
+        p = pe(weight_bits=4, act_bits=8, wscale_bits=6, ascale_bits=10)
+        b = p.area_breakdown(DEFAULT_TECH)
+        assert sum(b.values()) == pytest.approx(p.area(DEFAULT_TECH))
+
+    def test_buffers_dominate_area(self):
+        b = pe(weight_bits=8, act_bits=8).area_breakdown(DEFAULT_TECH)
+        assert b["buffers"] == max(b.values())
+
+    def test_vsquant_ppu_larger(self):
+        plain = pe(weight_bits=4, act_bits=4).area_breakdown(DEFAULT_TECH)
+        vs = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=4).area_breakdown(
+            DEFAULT_TECH
+        )
+        assert vs["ppu"] > plain["ppu"]
+        assert vs["buffers"] > plain["buffers"]  # scale storage overhead

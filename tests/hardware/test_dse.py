@@ -1,0 +1,82 @@
+"""Design-space enumeration and Pareto extraction."""
+
+import pytest
+
+from repro.hardware import (
+    DesignPoint,
+    ScalingScheme,
+    enumerate_design_space,
+    pareto_front,
+)
+from repro.hardware.dse import SCHEMES, accuracy_bands, attach_accuracy
+
+
+class TestEnumeration:
+    def test_poc_only_count(self):
+        pts = enumerate_design_space(schemes=(ScalingScheme.POC,))
+        # 4 weight precisions x 4 act precisions
+        assert len(pts) == 16
+        assert all(not p.config.is_vsquant for p in pts)
+
+    def test_pvaw_count(self):
+        pts = enumerate_design_space(schemes=(ScalingScheme.PVAW,))
+        # 4 x 4 x 5 x 5 scale combinations
+        assert len(pts) == 400
+
+    def test_full_space_unique_labels(self):
+        pts = enumerate_design_space()
+        labels = [p.label for p in pts]
+        assert len(labels) == len(set(labels))
+        # POC + PVAO + PVWO + PVAW = 16 + 80 + 80 + 400
+        assert len(pts) == 576
+
+    def test_scheme_flags(self):
+        assert ScalingScheme.PVAW.weights_pv and ScalingScheme.PVAW.acts_pv
+        assert not ScalingScheme.POC.weights_pv and not ScalingScheme.POC.acts_pv
+        assert ScalingScheme.PVWO.weights_pv and not ScalingScheme.PVWO.acts_pv
+
+    def test_metrics_populated(self):
+        pts = enumerate_design_space(schemes=(ScalingScheme.POC,))
+        for p in pts:
+            assert p.energy > 0 and p.area > 0 and p.perf_per_area > 0
+            assert p.accuracy is None
+
+
+def mk(label, scheme, energy, area, ppa, acc=None):
+    from repro.hardware import AcceleratorConfig
+
+    return DesignPoint(AcceleratorConfig.from_label(label), scheme, energy, area, ppa, acc)
+
+
+class TestPareto:
+    def test_dominated_point_removed(self):
+        good = mk("4/4/-/-", ScalingScheme.POC, 0.5, 0.5, 2.0)
+        bad = mk("8/8/-/-", ScalingScheme.POC, 1.0, 1.0, 1.0)
+        front = pareto_front([good, bad])
+        assert front == [good]
+
+    def test_incomparable_points_kept(self):
+        a = mk("4/8/-/-", ScalingScheme.POC, 0.5, 1.0, 1.0)
+        b = mk("8/4/-/-", ScalingScheme.POC, 1.0, 0.5, 2.0)
+        front = pareto_front([a, b])
+        assert set(id(p) for p in front) == {id(a), id(b)}
+
+    def test_duplicate_metrics_both_kept(self):
+        a = mk("4/8/-/-", ScalingScheme.POC, 0.5, 1.0, 1.0)
+        b = mk("8/4/-/-", ScalingScheme.POC, 0.5, 1.0, 1.0)
+        assert len(pareto_front([a, b])) == 2
+
+
+class TestAccuracyJoin:
+    def test_attach_and_filter(self):
+        pts = enumerate_design_space(schemes=(ScalingScheme.POC,))
+        joined = attach_accuracy(pts, lambda cfg: float(cfg.weight_bits * 10), min_accuracy=40.0)
+        assert all(p.accuracy >= 40.0 for p in joined)
+        assert {p.config.weight_bits for p in joined} == {4, 6, 8}
+
+    def test_accuracy_bands_nested(self):
+        pts = enumerate_design_space(schemes=(ScalingScheme.POC,))
+        joined = attach_accuracy(pts, lambda cfg: float(cfg.weight_bits * 10))
+        bands = accuracy_bands(joined, thresholds=(30.0, 60.0, 80.0))
+        assert all(p.accuracy >= 80 for p in bands[80.0])
+        assert all(30 <= p.accuracy < 60 for p in bands[30.0])

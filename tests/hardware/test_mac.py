@@ -1,0 +1,82 @@
+"""Vector MAC model: width arithmetic and cost monotonicity."""
+
+import pytest
+
+from repro.hardware import DEFAULT_TECH, VectorMACModel
+
+
+class TestWidths:
+    def test_dot_width_formula(self):
+        # 2N + log2(V), paper §5
+        mac = VectorMACModel(weight_bits=8, act_bits=8, vector_size=16)
+        assert mac.dot_width == 20
+        mac4 = VectorMACModel(weight_bits=4, act_bits=4, vector_size=16)
+        assert mac4.dot_width == 12
+
+    def test_partial_sum_width_includes_scale_product(self):
+        # 2N + log2 V + 2M, paper §5
+        mac = VectorMACModel(8, 8, 16, wscale_bits=4, ascale_bits=4)
+        assert mac.partial_sum_width == 20 + 8
+
+    def test_scale_product_rounding_caps_width(self):
+        mac = VectorMACModel(4, 4, 16, wscale_bits=6, ascale_bits=6, scale_product_bits=4)
+        assert mac.scale_product_width == 4
+        full = VectorMACModel(4, 4, 16, wscale_bits=6, ascale_bits=6)
+        assert full.scale_product_width == 12
+
+    def test_one_sided_scaling(self):
+        mac = VectorMACModel(6, 8, 16, wscale_bits=6, ascale_bits=None)
+        assert mac.is_vsquant
+        assert mac.scale_product_full_bits == 6
+
+    def test_baseline_has_no_scale_path(self):
+        mac = VectorMACModel(8, 8, 16)
+        assert not mac.is_vsquant
+        assert mac.scale_product_width == 0
+        assert mac.partial_sum_width == mac.dot_width
+
+
+class TestEnergy:
+    def test_lower_precision_lower_energy(self):
+        e8 = VectorMACModel(8, 8).energy_per_op(DEFAULT_TECH)
+        e4 = VectorMACModel(4, 4).energy_per_op(DEFAULT_TECH)
+        e3 = VectorMACModel(3, 3).energy_per_op(DEFAULT_TECH)
+        assert e3 < e4 < e8
+
+    def test_vsquant_adds_overhead(self):
+        base = VectorMACModel(4, 4).energy_per_op(DEFAULT_TECH)
+        vs = VectorMACModel(4, 4, wscale_bits=4, ascale_bits=4).energy_per_op(DEFAULT_TECH)
+        assert base < vs < base * 1.6
+
+    def test_rounding_reduces_energy(self):
+        full = VectorMACModel(4, 4, wscale_bits=6, ascale_bits=6)
+        rounded = VectorMACModel(4, 4, wscale_bits=6, ascale_bits=6, scale_product_bits=4)
+        assert rounded.energy_per_op(DEFAULT_TECH) < full.energy_per_op(DEFAULT_TECH)
+
+    def test_gating_reduces_energy(self):
+        mac = VectorMACModel(4, 4, wscale_bits=4, ascale_bits=4, scale_product_bits=4)
+        e0 = mac.energy_per_op(DEFAULT_TECH, gated_fraction=0.0)
+        e3 = mac.energy_per_op(DEFAULT_TECH, gated_fraction=0.3)
+        assert e3 < e0
+
+    def test_invalid_gating_fraction(self):
+        mac = VectorMACModel(4, 4)
+        with pytest.raises(ValueError):
+            mac.energy_per_op(DEFAULT_TECH, gated_fraction=1.5)
+
+
+class TestArea:
+    def test_lower_precision_smaller(self):
+        a8 = VectorMACModel(8, 8).area(DEFAULT_TECH)
+        a4 = VectorMACModel(4, 4).area(DEFAULT_TECH)
+        assert a4 < a8
+
+    def test_vsquant_larger_than_baseline(self):
+        base = VectorMACModel(4, 4).area(DEFAULT_TECH)
+        vs = VectorMACModel(4, 4, wscale_bits=4, ascale_bits=4).area(DEFAULT_TECH)
+        assert vs > base
+
+    def test_larger_vector_more_area(self):
+        v16 = VectorMACModel(4, 4, vector_size=16).area(DEFAULT_TECH)
+        v32 = VectorMACModel(4, 4, vector_size=32).area(DEFAULT_TECH)
+        assert v32 > 1.5 * v16

@@ -1,0 +1,55 @@
+"""PE model: storage overheads and composition."""
+
+import pytest
+
+from repro.hardware import DEFAULT_TECH, PEModel, VectorMACModel
+
+
+def pe(**mac_kwargs):
+    return PEModel(mac=VectorMACModel(**mac_kwargs))
+
+
+class TestStorage:
+    def test_scale_storage_overhead_matches_paper(self):
+        # N = M = 4, V = 16: +0.25 bits/element = 6.25% (paper §4.4)
+        p = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=4)
+        assert p.weight_elem_bits == pytest.approx(4.25)
+        assert p.act_elem_bits == pytest.approx(4.25)
+
+    def test_baseline_no_overhead(self):
+        p = pe(weight_bits=8, act_bits=8)
+        assert p.weight_elem_bits == 8.0
+
+    def test_collector_width_exceeds_partial_sum(self):
+        p = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=4)
+        assert p.collector_width > p.mac.partial_sum_width
+
+
+class TestEnergy:
+    def test_energy_decreases_with_precision(self):
+        e8 = pe(weight_bits=8, act_bits=8).energy_per_op(DEFAULT_TECH)
+        e4 = pe(weight_bits=4, act_bits=4).energy_per_op(DEFAULT_TECH)
+        assert e4 < e8
+        # Fixed overheads keep the saving below the pure-multiplier 4x.
+        assert e4 > e8 / 4
+
+    def test_gating_saves_energy_in_pe_too(self):
+        p = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=4, scale_product_bits=4)
+        assert p.energy_per_op(DEFAULT_TECH, 0.4) < p.energy_per_op(DEFAULT_TECH, 0.0)
+
+    def test_dynamic_act_scaling_costs_ppu_energy(self):
+        with_ppu = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=4)
+        without = pe(weight_bits=4, act_bits=4, wscale_bits=4, ascale_bits=None)
+        assert with_ppu.energy_per_op(DEFAULT_TECH) > without.energy_per_op(DEFAULT_TECH)
+
+
+class TestArea:
+    def test_buffers_dominate_and_scale_with_bits(self):
+        a8 = pe(weight_bits=8, act_bits=8).area(DEFAULT_TECH)
+        a4 = pe(weight_bits=4, act_bits=4).area(DEFAULT_TECH)
+        assert 0.3 < a4 / a8 < 0.8
+
+    def test_perf_per_area_inverse_of_area(self):
+        p8 = pe(weight_bits=8, act_bits=8)
+        p4 = pe(weight_bits=4, act_bits=4)
+        assert p4.perf_per_area(DEFAULT_TECH) > p8.perf_per_area(DEFAULT_TECH)

@@ -1,0 +1,74 @@
+"""Timing model: precision-independence of throughput, utilization."""
+
+import pytest
+
+from repro.hardware import PEModel, VectorMACModel
+from repro.hardware.timing import (
+    LayerWork,
+    miniresnet_workload,
+    network_latency,
+    schedule_layer,
+    throughput_ops_per_cycle,
+)
+
+
+def pe(wb=8, ab=8, V=16, lanes=8, **kw):
+    return PEModel(mac=VectorMACModel(wb, ab, V, **kw), lanes=lanes)
+
+
+class TestLayerWork:
+    def test_conv_macs(self):
+        w = LayerWork.from_conv("c", in_channels=16, out_channels=32, kernel=3, out_h=8, out_w=8)
+        assert w.reduction == 16 * 9
+        assert w.macs == 32 * 64 * 144
+
+    def test_linear_macs(self):
+        w = LayerWork.from_linear("l", in_features=64, out_features=10, rows=4)
+        assert w.macs == 64 * 40
+
+
+class TestSchedule:
+    def test_exact_fit_full_utilization(self):
+        # reduction 32 = 2 vectors, outputs 16 = 2 lane groups.
+        w = LayerWork("x", n_outputs=16, reduction=32)
+        s = schedule_layer(w, pe())
+        assert s.cycles == 4
+        assert s.utilization == pytest.approx(1.0)
+
+    def test_ragged_reduction_wastes_slots(self):
+        w = LayerWork("x", n_outputs=8, reduction=17)  # 2 vector steps, 15 wasted
+        s = schedule_layer(w, pe())
+        assert s.cycles == 2
+        assert s.utilization == pytest.approx(17 / 32)
+
+    def test_cycles_independent_of_precision(self):
+        """The paper's §6 premise: all configs run the same ops/cycle."""
+        layers = miniresnet_workload()
+        base = network_latency(layers, pe(8, 8))
+        for wb, ab, kw in [(4, 4, {}), (3, 8, {}), (4, 4, dict(wscale_bits=4, ascale_bits=4))]:
+            assert network_latency(layers, pe(wb, ab, **kw)) == base
+
+    def test_larger_vector_fewer_cycles_lower_utilization(self):
+        w = LayerWork("x", n_outputs=8, reduction=40)
+        s16 = schedule_layer(w, pe(V=16))  # 3 vector steps, 48 slots/row
+        s32 = schedule_layer(w, pe(V=32))  # 2 vector steps, 64 slots/row
+        assert s32.cycles < s16.cycles
+        assert s32.utilization < s16.utilization
+
+
+class TestWorkload:
+    def test_miniresnet_layer_count(self):
+        layers = miniresnet_workload(depth=2)
+        # stem + 3 stages x 2 blocks x 2 convs + 2 projections + head
+        assert len(layers) == 1 + 12 + 2 + 1
+
+    def test_total_macs_positive_and_dominated_by_convs(self):
+        layers = miniresnet_workload()
+        macs = {l.name: l.macs for l in layers}
+        assert macs["head"] < max(macs.values()) / 10
+
+    def test_throughput_bounded_by_peak(self):
+        layers = miniresnet_workload()
+        p = pe()
+        tput = throughput_ops_per_cycle(layers, p)
+        assert 0 < tput <= p.lanes * p.mac.vector_size

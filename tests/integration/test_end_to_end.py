@@ -1,0 +1,136 @@
+"""End-to-end integration: train tiny models, PTQ them, check paper shapes.
+
+These tests do real (small) training runs and full PTQ pipelines without the
+cached pretrained models, so they exercise the same path the benchmarks use
+but finish in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import SynthImageDataset, SynthQADataset
+from repro.eval.metrics import evaluate_image_classifier, evaluate_qa_model
+from repro.models import MiniBERT, MiniBERTConfig, MiniResNet
+from repro.models.train import train_image_classifier, train_qa_model
+from repro.quant import PTQConfig, quantize_model
+
+TINY_BERT = MiniBERTConfig(
+    name="tiny-bert",
+    vocab_size=64,
+    max_seq_len=48,
+    d_model=32,
+    num_layers=2,
+    num_heads=2,
+    d_ff=64,
+    dropout=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_cnn():
+    train_x, train_y = SynthImageDataset(400, size=16, seed_key="it-train").materialize()
+    val_x, val_y = SynthImageDataset(160, size=16, seed_key="it-val").materialize()
+    model = MiniResNet(num_classes=10, depth=1, seed=1)
+    train_image_classifier(model, train_x, train_y, val_x, val_y, epochs=6, lr=3e-3)
+    return model, val_x, val_y
+
+
+@pytest.fixture(scope="module")
+def trained_bert():
+    # A 2-layer model learns a reduced-query-count variant quickly; the
+    # full 12-query task is reserved for the pretrained benchmark models.
+    from repro.data.synthqa import QAVocab
+
+    vocab = QAVocab(n_queries=4, n_fillers=12)
+    train = SynthQADataset(800, seed_key="it-train", vocab=vocab).materialize()
+    val = SynthQADataset(160, seed_key="it-val", vocab=vocab).materialize()
+    model = MiniBERT(TINY_BERT, seed=1)
+    train_qa_model(model, *train, val_data=val, epochs=8)
+    return model, val
+
+
+class TestImagePipeline:
+    def test_model_learned_something(self, trained_cnn):
+        model, val_x, val_y = trained_cnn
+        acc = evaluate_image_classifier(model, val_x, val_y)
+        assert acc > 35.0  # 10 classes, chance = 10%
+
+    def test_8bit_ptq_preserves_accuracy(self, trained_cnn):
+        model, val_x, val_y = trained_cnn
+        fp = evaluate_image_classifier(model, val_x, val_y)
+        q = quantize_model(model, PTQConfig.per_channel(8, 8), calib_batches=[(val_x[:64],)])
+        acc = evaluate_image_classifier(q, val_x, val_y)
+        assert acc >= fp - 3.0
+
+    def test_vsquant_beats_per_channel_at_3bit(self, trained_cnn):
+        model, val_x, val_y = trained_cnn
+        calib = [(val_x[:64],)]
+        q_pc = quantize_model(model, PTQConfig.per_channel(3, 3), calib_batches=calib)
+        q_vs = quantize_model(
+            model, PTQConfig.vs_quant(3, 3, weight_scale="6", act_scale="6"), calib_batches=calib
+        )
+        acc_pc = evaluate_image_classifier(q_pc, val_x, val_y)
+        acc_vs = evaluate_image_classifier(q_vs, val_x, val_y)
+        assert acc_vs >= acc_pc
+
+    def test_quantized_model_state_dict_roundtrip(self, trained_cnn):
+        model, val_x, _ = trained_cnn
+        q = quantize_model(model, PTQConfig.vs_quant(4, 4), calib_batches=[(val_x[:32],)])
+        state = q.state_dict()
+        q2 = quantize_model(model, PTQConfig.vs_quant(4, 4), calib_batches=[(val_x[:32],)])
+        q2.load_state_dict(state)
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            a = q(val_x[:8]).data
+            b = q2(val_x[:8]).data
+        np.testing.assert_allclose(a, b)
+
+
+class TestQAPipeline:
+    def test_model_learned_something(self, trained_bert):
+        model, val = trained_bert
+        f1 = evaluate_qa_model(model, *val)
+        assert f1 > 25.0  # far above random span choice
+
+    def test_8bit_vsquant_preserves_f1(self, trained_bert):
+        model, val = trained_bert
+        tokens, starts, ends, mask = val
+        fp = evaluate_qa_model(model, *val)
+        q = quantize_model(
+            model,
+            PTQConfig.vs_quant(8, 8, weight_scale="6", act_scale="10"),
+            calib_batches=[(tokens[:64], mask[:64])],
+            forward=lambda m, b: m(b[0], mask=b[1]),
+        )
+        acc = evaluate_qa_model(q, *val)
+        assert acc >= fp - 4.0
+
+    def test_low_bit_weight_per_vector_advantage(self, trained_bert):
+        model, val = trained_bert
+        tokens, starts, ends, mask = val
+        calib = [(tokens[:64], mask[:64])]
+        fwd = lambda m, b: m(b[0], mask=b[1])  # noqa: E731
+        q_pc = quantize_model(model, PTQConfig.per_channel(3, 8), calib_batches=calib, forward=fwd)
+        q_vs = quantize_model(model, PTQConfig.vs_quant(3, 8), calib_batches=calib, forward=fwd)
+        f1_pc = evaluate_qa_model(q_pc, *val)
+        f1_vs = evaluate_qa_model(q_vs, *val)
+        assert f1_vs >= f1_pc
+
+
+class TestCrossModuleConsistency:
+    def test_ptq_config_label_matches_accelerator_label(self):
+        from repro.hardware import AcceleratorConfig
+
+        ptq = PTQConfig.vs_quant(4, 8, weight_scale="6", act_scale="10")
+        hw = AcceleratorConfig.from_label("4/8/6/10")
+        assert ptq.label == hw.label
+
+    def test_memory_overhead_consistent_with_pe_model(self):
+        from repro.hardware import PEModel, VectorMACModel
+        from repro.quant import scale_memory_overhead_bits
+
+        pe = PEModel(mac=VectorMACModel(4, 4, 16, wscale_bits=4, ascale_bits=4))
+        overhead = scale_memory_overhead_bits(16, 4, 4)
+        assert pe.weight_elem_bits == pytest.approx(4 * (1 + overhead))

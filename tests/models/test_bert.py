@@ -1,0 +1,68 @@
+"""MiniBERT: shapes, span decoding, trainability."""
+
+import numpy as np
+
+from repro.data import SynthQADataset
+from repro.models import MINIBERT_BASE, MINIBERT_LARGE, MiniBERT
+from repro.models.train import _span_loss
+from repro.optim import Adam
+from repro.tensor import Tensor
+from repro.tensor.tensor import no_grad
+
+
+class TestArchitecture:
+    def test_logits_shape(self):
+        model = MiniBERT(MINIBERT_BASE)
+        model.eval()
+        tokens = np.zeros((2, 10), dtype=np.int64)
+        out = model(tokens)
+        assert out.shape == (2, 10, 2)
+
+    def test_configs_differ_in_size(self):
+        base = MiniBERT(MINIBERT_BASE)
+        large = MiniBERT(MINIBERT_LARGE)
+        assert large.num_parameters() > 1.5 * base.num_parameters()
+
+    def test_deterministic_init(self):
+        a = MiniBERT(MINIBERT_BASE, seed=3)
+        b = MiniBERT(MINIBERT_BASE, seed=3)
+        np.testing.assert_array_equal(a.token_emb.weight.data, b.token_emb.weight.data)
+
+
+class TestSpanDecoding:
+    def test_end_never_before_start(self, rng):
+        model = MiniBERT(MINIBERT_BASE)
+        model.eval()
+        tokens, _, _, mask = SynthQADataset(16, seed_key="dec").materialize()
+        with no_grad():
+            logits = model(tokens, mask=mask)
+        starts, ends = model.predict_spans(logits, mask)
+        assert (ends >= starts).all()
+
+    def test_padded_positions_never_predicted(self):
+        model = MiniBERT(MINIBERT_BASE)
+        model.eval()
+        tokens = np.zeros((1, 10), dtype=np.int64)
+        mask = np.zeros((1, 10), dtype=bool)
+        mask[0, :4] = True
+        with no_grad():
+            logits = model(tokens, mask=mask)
+        starts, ends = model.predict_spans(logits, mask)
+        assert starts[0] < 4 and ends[0] < 4
+
+
+class TestTraining:
+    def test_span_loss_decreases(self):
+        model = MiniBERT(MINIBERT_BASE, seed=1)
+        tokens, starts, ends, mask = SynthQADataset(32, seed_key="fit").materialize()
+        opt = Adam(model.parameters(), lr=2e-3)
+        model.train()
+        first = None
+        for _ in range(25):
+            opt.zero_grad()
+            loss = _span_loss(model(tokens, mask=mask), starts, ends, mask)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < 0.6 * first

@@ -1,0 +1,22 @@
+"""Pretrained-zoo API surface (no training: only cheap paths)."""
+
+import pytest
+
+from repro.models import MODEL_NAMES, pretrained
+from repro.models.pretrained import PretrainedBundle
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown model"):
+        pretrained("resnet50")
+
+
+def test_model_names_enumerates_zoo():
+    assert MODEL_NAMES == ("miniresnet", "minibert-base", "minibert-large")
+
+
+def test_bundle_metric_names():
+    image = PretrainedBundle("x", "image", None, (), (), 0.0)
+    qa = PretrainedBundle("y", "qa", None, (), (), 0.0)
+    assert image.metric_name == "Top1"
+    assert qa.metric_name == "F1"

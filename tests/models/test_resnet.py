@@ -1,0 +1,71 @@
+"""MiniResNet: shapes, determinism, trainability."""
+
+import numpy as np
+
+from repro.models import BasicBlock, MiniResNet
+from repro.optim import Adam
+from repro.tensor import Tensor, ops
+from repro.tensor.tensor import no_grad
+from repro.utils.rng import seeded_rng
+
+
+class TestArchitecture:
+    def test_output_shape(self, rng):
+        model = MiniResNet(num_classes=10)
+        model.eval()
+        out = model(Tensor(rng.standard_normal((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_spatial_downsampling(self, rng):
+        # Three stages: 32 -> 32 -> 16 -> 8
+        block = BasicBlock(16, 32, stride=2, rng=rng)
+        block.eval()
+        out = block(Tensor(rng.standard_normal((1, 16, 32, 32))))
+        assert out.shape == (1, 32, 16, 16)
+
+    def test_identity_skip_when_shapes_match(self, rng):
+        block = BasicBlock(16, 16, stride=1, rng=rng)
+        assert block.proj is None
+
+    def test_projection_skip_on_channel_change(self, rng):
+        block = BasicBlock(16, 32, stride=1, rng=rng)
+        assert block.proj is not None
+
+    def test_deterministic_init(self):
+        a = MiniResNet(seed=7)
+        b = MiniResNet(seed=7)
+        for (na, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_width_scales_channels(self):
+        narrow = MiniResNet(width=1)
+        wide = MiniResNet(width=2)
+        assert wide.num_parameters() > 3 * narrow.num_parameters()
+
+
+class TestTraining:
+    def test_overfits_tiny_batch(self):
+        model = MiniResNet(num_classes=4, depth=1)
+        gen = seeded_rng("overfit")
+        x = gen.standard_normal((8, 3, 32, 32))
+        y = np.arange(8) % 4
+        opt = Adam(model.parameters(), lr=3e-3)
+        model.train()
+        first = None
+        for _ in range(30):
+            opt.zero_grad()
+            loss = ops.cross_entropy(model(x), y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < 0.3 * first
+
+    def test_eval_deterministic(self, rng):
+        model = MiniResNet()
+        model.eval()
+        x = rng.standard_normal((2, 3, 32, 32))
+        with no_grad():
+            a = model(x).data
+            b = model(x).data
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,72 @@
+"""Multi-head attention and transformer encoder."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = nn.MultiHeadAttention(16, 4, rng=rng)
+        out = mha(Tensor(rng.standard_normal((2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_head_divisibility_check(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_mask_blocks_padded_positions(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, rng=rng)
+        mha.eval()
+        x = rng.standard_normal((1, 4, 8))
+        mask = np.array([[True, True, False, False]])
+        out_masked = mha(Tensor(x), mask=mask).data
+        # Changing padded-position content must not affect valid outputs.
+        x2 = x.copy()
+        x2[0, 2:] = 99.0
+        out_masked2 = mha(Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(out_masked[0, :2], out_masked2[0, :2], atol=1e-10)
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, rng=rng)
+        mha.eval()
+        mha(Tensor(rng.standard_normal((1, 3, 8)))).sum().backward()
+        for proj in (mha.q_proj, mha.k_proj, mha.v_proj, mha.out_proj):
+            assert proj.weight.grad is not None
+
+    def test_gradcheck_small(self, rng):
+        mha = nn.MultiHeadAttention(4, 2, rng=rng)
+        mha.eval()
+        x = Tensor(rng.standard_normal((1, 3, 4)), requires_grad=True)
+        assert gradcheck(lambda x: mha(x), [x], atol=3e-4)
+
+
+class TestTransformer:
+    def test_encoder_layer_shape(self, rng):
+        layer = nn.TransformerEncoderLayer(16, 4, 32, rng=rng)
+        layer.eval()
+        out = layer(Tensor(rng.standard_normal((2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_encoder_stacks_layers(self, rng):
+        enc = nn.TransformerEncoder(3, 8, 2, 16, rng=rng)
+        assert len(enc.layers) == 3
+        enc.eval()
+        out = enc(Tensor(rng.standard_normal((1, 4, 8))))
+        assert out.shape == (1, 4, 8)
+
+    def test_dropout_only_in_training(self, rng):
+        enc = nn.TransformerEncoder(1, 8, 2, 16, dropout=0.5, rng=rng)
+        enc.eval()
+        x = rng.standard_normal((1, 4, 8))
+        a = enc(Tensor(x)).data
+        b = enc(Tensor(x)).data
+        np.testing.assert_array_equal(a, b)  # deterministic in eval
+
+    def test_layernorm_keeps_scale_bounded(self, rng):
+        enc = nn.TransformerEncoder(2, 8, 2, 16, rng=rng)
+        enc.eval()
+        out = enc(Tensor(rng.standard_normal((2, 4, 8)) * 100)).data
+        assert np.abs(out).max() < 50

@@ -1,0 +1,43 @@
+"""Weight initialization schemes."""
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestKaiming:
+    def test_std_matches_fan_in(self, rng):
+        w = init.kaiming_normal((256, 128), rng)
+        expected = np.sqrt(2.0 / 128)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_conv_fan_in_includes_kernel(self, rng):
+        w = init.kaiming_normal((64, 32, 3, 3), rng)
+        expected = np.sqrt(2.0 / (32 * 9))
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_explicit_fan_in(self, rng):
+        w = init.kaiming_normal((100, 100), rng, fan_in=50)
+        expected = np.sqrt(2.0 / 50)
+        assert abs(w.std() - expected) / expected < 0.15
+
+
+class TestXavier:
+    def test_bounds(self, rng):
+        w = init.xavier_uniform((64, 48), rng)
+        limit = np.sqrt(6.0 / (64 + 48))
+        assert w.min() >= -limit and w.max() <= limit
+
+    def test_mean_near_zero(self, rng):
+        w = init.xavier_uniform((256, 256), rng)
+        assert abs(w.mean()) < 0.01
+
+
+class TestSimple:
+    def test_normal_std(self, rng):
+        w = init.normal((1000, 10), rng, std=0.05)
+        assert abs(w.std() - 0.05) < 0.01
+
+    def test_zeros_ones(self):
+        assert not init.zeros((3, 3)).any()
+        assert init.ones((2,)).sum() == 2.0

@@ -1,0 +1,105 @@
+"""Linear, Conv2d, pooling, dropout, embedding layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+class TestLinear:
+    def test_output_matches_manual(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_batched_3d_input(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_gradcheck(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        assert gradcheck(lambda x: layer(x), [x])
+
+    def test_repr(self):
+        assert "in=4" in repr(nn.Linear(4, 3))
+
+
+class TestConv2d:
+    def test_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_one_by_one_conv_is_channel_mix(self, rng):
+        conv = nn.Conv2d(4, 2, 1, bias=False, rng=rng)
+        x = rng.standard_normal((1, 4, 3, 3))
+        out = conv(Tensor(x)).data
+        w = conv.weight.data[:, :, 0, 0]
+        expected = np.einsum("kc,bchw->bkhw", w, x)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_kaiming_init_scale(self):
+        conv = nn.Conv2d(16, 16, 3, rng=np.random.default_rng(0))
+        std = conv.weight.data.std()
+        expected = np.sqrt(2.0 / (16 * 9))
+        assert 0.7 * expected < std < 1.3 * expected
+
+    def test_weight_grad_flows(self, rng):
+        conv = nn.Conv2d(2, 2, 3, rng=rng)
+        conv(Tensor(rng.standard_normal((1, 2, 5, 5)))).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+
+class TestPooling:
+    def test_max_pool_module(self, rng):
+        pool = nn.MaxPool2d(2)
+        out = pool(Tensor(rng.standard_normal((1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_avg_pool_module_stride(self, rng):
+        pool = nn.AvgPool2d(3, stride=1)
+        assert pool(Tensor(rng.standard_normal((1, 1, 5, 5)))).shape == (1, 1, 3, 3)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = nn.GlobalAvgPool2d()(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+
+class TestDropout:
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_eval_mode_identity(self, rng):
+        d = nn.Dropout(0.5, rng=rng)
+        d.eval()
+        x = Tensor(rng.standard_normal(10))
+        assert d(x) is x
+
+    def test_train_mode_zeroes(self, rng):
+        d = nn.Dropout(0.5, rng=rng)
+        out = d(Tensor(np.ones(1000))).data
+        assert (out == 0).sum() > 300
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_rows_match_table(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([7])).data
+        np.testing.assert_allclose(out[0], emb.weight.data[7])

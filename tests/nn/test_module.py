@@ -1,0 +1,138 @@
+"""Module system: registration, traversal, state_dict, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        m = Toy()
+        names = {n for n, _ in m.named_parameters()}
+        assert names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_buffers_found(self):
+        m = Toy()
+        assert dict(m.named_buffers())["counter"].shape == (1,)
+        # BatchNorm registers running stats
+        bn = nn.BatchNorm2d(4)
+        assert {n for n, _ in bn.named_buffers()} == {"running_mean", "running_var"}
+
+    def test_reassignment_moves_category(self):
+        m = Toy()
+        m.fc1 = nn.Parameter(np.zeros(3))  # replace module with a parameter
+        assert "fc1" in m._params and "fc1" not in m._modules
+
+    def test_named_modules(self):
+        m = Toy()
+        names = {n for n, _ in m.named_modules()}
+        assert {"", "fc1", "fc2"} <= names
+
+    def test_num_parameters(self):
+        m = nn.Linear(4, 3)
+        assert m.num_parameters() == 4 * 3 + 3
+
+    def test_apply_visits_all(self):
+        m = Toy()
+        visited = []
+        m.apply(lambda mod: visited.append(type(mod).__name__))
+        assert visited.count("Linear") == 2
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = Toy()
+        m.eval()
+        assert not m.training and not m.fc1.training
+        m.train()
+        assert m.training and m.fc2.training
+
+    def test_zero_grad_clears(self):
+        m = Toy()
+        x = Tensor(np.ones((2, 4)))
+        m(x).sum().backward()
+        assert m.fc1.weight.grad is not None
+        m.zero_grad()
+        assert m.fc1.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip_restores_values(self, rng):
+        a, b = Toy(), Toy()
+        for p in a.parameters():
+            p.data = rng.standard_normal(p.shape)
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Toy()
+        sd = m.state_dict()
+        sd["fc1.weight"][:] = 99.0
+        assert not (m.fc1.weight.data == 99.0).any()
+
+    def test_buffers_roundtrip(self):
+        a = nn.BatchNorm2d(3)
+        a.set_buffer("running_mean", np.array([1.0, 2.0, 3.0]))
+        b = nn.BatchNorm2d(3)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b.running_mean, [1.0, 2.0, 3.0])
+
+    def test_unexpected_key_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_missing_key_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Tanh())
+        x = Tensor(np.array([-5.0, 5.0]))
+        np.testing.assert_allclose(seq(x).data, np.tanh(np.maximum([-5.0, 5.0], 0)))
+
+    def test_sequential_indexing(self):
+        relu, tanh = nn.ReLU(), nn.Tanh()
+        seq = nn.Sequential(relu, tanh)
+        assert seq[0] is relu and seq[1] is tanh
+        assert len(seq) == 2
+        assert list(seq) == [relu, tanh]
+
+    def test_modulelist_registers_params(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(ml.named_parameters())) == 4
+        assert len(ml) == 2
+
+    def test_modulelist_append(self):
+        ml = nn.ModuleList()
+        ml.append(nn.Linear(2, 2))
+        assert len(ml) == 1 and isinstance(ml[0], nn.Linear)

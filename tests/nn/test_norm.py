@@ -1,0 +1,74 @@
+"""BatchNorm2d and LayerNorm semantics."""
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+class TestBatchNorm:
+    def test_train_mode_normalizes_batch(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = rng.standard_normal((8, 3, 4, 4)) * 5 + 2
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(3), atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = rng.standard_normal((16, 2, 4, 4)) + 10.0
+        bn(Tensor(x))
+        assert (bn.running_mean > 4.0).all()  # moved half way to ~10
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.set_buffer("running_mean", np.array([1.0, -1.0]))
+        bn.set_buffer("running_var", np.array([4.0, 4.0]))
+        bn.eval()
+        x = np.ones((1, 2, 2, 2))
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out[0, 0], np.zeros((2, 2)), atol=1e-3)
+        np.testing.assert_allclose(out[0, 1], np.ones((2, 2)), atol=1e-3)
+
+    def test_eval_mode_does_not_update_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.standard_normal((4, 2, 3, 3)) + 7))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+    def test_rejects_non_4d(self, rng):
+        bn = nn.BatchNorm2d(2)
+        try:
+            bn(Tensor(rng.standard_normal((4, 2))))
+            raise AssertionError("expected ValueError")
+        except ValueError:
+            pass
+
+    def test_affine_params_learnable(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(Tensor(rng.standard_normal((4, 2, 3, 3)))).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        ln = nn.LayerNorm(16)
+        x = rng.standard_normal((4, 5, 16)) * 3 + 1
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros((4, 5)), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones((4, 5)), atol=1e-2)
+
+    def test_affine_transform_applied(self, rng):
+        ln = nn.LayerNorm(4)
+        ln.weight.data = np.array([2.0, 2.0, 2.0, 2.0])
+        ln.bias.data = np.array([1.0, 1.0, 1.0, 1.0])
+        x = rng.standard_normal((3, 4))
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(3), atol=1e-7)
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(5)
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        assert gradcheck(lambda x: ln(x), [x], atol=2e-4)

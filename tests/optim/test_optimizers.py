@@ -1,0 +1,107 @@
+"""Optimizers: convergence behaviour and bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_loss(p: Parameter):
+    # f(p) = ||p - 3||^2, minimum at 3
+    return ((p - 3.0) * (p - 3.0)).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3 * np.ones(4), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(1) * 10)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(1))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad: no-op, no crash
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_requires_trainable_params(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1), requires_grad=False)], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.3)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3 * np.ones(4), atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        # After one step from zero grad history, update magnitude ~ lr.
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.5)
+        opt.zero_grad()
+        quadratic_loss(p).backward()
+        opt.step()
+        assert abs(abs(p.data[0]) - 0.5) < 0.05
+
+    def test_handles_rosenbrock_direction(self):
+        # Adam should make monotonic-ish progress on a badly scaled problem.
+        p = Parameter(np.array([0.0, 0.0]))
+        scale = np.array([1.0, 100.0])
+        opt = Adam([p], lr=0.1)
+        first = None
+        for i in range(200):
+            opt.zero_grad()
+            loss = ((p - 1.0) * (p - 1.0) * scale).sum()
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first * 0.01
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_ignores_none_grads(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

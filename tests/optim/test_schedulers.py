@@ -1,0 +1,75 @@
+"""Learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, ConstantLR, CosineLR, WarmupLinearLR
+
+
+def make_opt():
+    return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+
+class TestConstant:
+    def test_holds_lr(self):
+        opt = make_opt()
+        sched = ConstantLR(opt, lr=0.123)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 0.123
+
+
+class TestCosine:
+    def test_starts_near_max_and_decays_to_min(self):
+        opt = make_opt()
+        sched = CosineLR(opt, max_lr=1.0, total_steps=100, min_lr=0.1)
+        sched.step()
+        assert opt.lr > 0.95
+        for _ in range(99):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_monotone_decreasing(self):
+        opt = make_opt()
+        sched = CosineLR(opt, max_lr=1.0, total_steps=50)
+        lrs = []
+        for _ in range(50):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_total(self):
+        opt = make_opt()
+        sched = CosineLR(opt, max_lr=1.0, total_steps=10, min_lr=0.0)
+        for _ in range(20):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+
+class TestWarmupLinear:
+    def test_warmup_ramps_up(self):
+        opt = make_opt()
+        sched = WarmupLinearLR(opt, max_lr=1.0, warmup_steps=10, total_steps=100)
+        lrs = []
+        for _ in range(10):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs[0] == pytest.approx(0.1)
+        assert all(b >= a for a, b in zip(lrs, lrs[1:]))
+
+    def test_decays_to_zero(self):
+        opt = make_opt()
+        sched = WarmupLinearLR(opt, max_lr=1.0, warmup_steps=5, total_steps=20)
+        for _ in range(20):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_peak_at_warmup_boundary(self):
+        opt = make_opt()
+        sched = WarmupLinearLR(opt, max_lr=2.0, warmup_steps=4, total_steps=100)
+        peak = 0.0
+        for _ in range(100):
+            sched.step()
+            peak = max(peak, opt.lr)
+        assert peak <= 2.0 and peak > 1.9

@@ -1,0 +1,120 @@
+"""Quantization analysis tooling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import Granularity, PTQConfig, QuantSpec, Quantizer
+from repro.quant.analysis import (
+    ErrorStats,
+    activation_range_profile,
+    layer_sensitivity,
+    quant_error_stats,
+    vector_range_spread,
+    weight_error_table,
+)
+from repro.tensor import Tensor
+from repro.tensor.tensor import no_grad
+
+
+def tiny_model(rng):
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4, rng=rng),
+    )
+
+
+class TestErrorStats:
+    def test_zero_error(self):
+        x = np.ones(10)
+        stats = ErrorStats.between(x, x)
+        assert stats.mse == 0.0 and stats.sqnr_db == np.inf
+
+    def test_known_error(self):
+        x = np.zeros(4)
+        stats = ErrorStats.between(x, np.full(4, 0.5))
+        assert stats.mse == pytest.approx(0.25)
+        assert stats.max_abs == 0.5 and stats.mean_abs == 0.5
+
+    def test_more_bits_higher_sqnr(self, rng):
+        x = rng.standard_normal(2048)
+        s4 = quant_error_stats(x, Quantizer(QuantSpec(bits=4)))
+        s8 = quant_error_stats(x, Quantizer(QuantSpec(bits=8)))
+        assert s8.sqnr_db > s4.sqnr_db + 15  # ~6 dB/bit
+
+    def test_per_vector_higher_sqnr_on_spread_data(self, rng):
+        x = rng.standard_normal(256) * np.exp(rng.standard_normal(256))
+        pt = quant_error_stats(x, Quantizer(QuantSpec(bits=4)))
+        pv = quant_error_stats(
+            x,
+            Quantizer(
+                QuantSpec(
+                    bits=4,
+                    granularity=Granularity.PER_VECTOR,
+                    vector_size=16,
+                    vector_axis=0,
+                )
+            ),
+        )
+        assert pv.sqnr_db > pt.sqnr_db
+
+
+class TestWeightErrorTable:
+    def test_covers_all_layers_and_configs(self, rng):
+        model = tiny_model(rng)
+        configs = [PTQConfig.per_channel(4, 4), PTQConfig.vs_quant(4, 4)]
+        table = weight_error_table(model, configs)
+        assert len(table) == 2  # conv + linear
+        for per_config in table.values():
+            assert set(per_config) == {"4/4/-/-", "4/4/fp/fp"}
+            # Per-vector weight error is never worse than per-channel.
+            assert per_config["4/4/fp/fp"].mse <= per_config["4/4/-/-"].mse + 1e-12
+
+
+class TestLayerSensitivity:
+    def test_one_layer_at_a_time(self, rng):
+        model = tiny_model(rng)
+        model.eval()
+        x = rng.standard_normal((8, 3, 8, 8))
+
+        with no_grad():
+            ref = model(Tensor(x)).data
+
+        def evaluate(m):
+            with no_grad():
+                out = m(Tensor(x)).data
+            return -float(np.abs(out - ref).mean())  # higher = better
+
+        res = layer_sensitivity(
+            model, PTQConfig.per_channel(3, 3), [(x,)], evaluate
+        )
+        assert set(res) == {"layer0", "layer3"}
+        # Quantizing a single layer injects some error.
+        assert all(v <= 0 for v in res.values())
+
+
+class TestActivationProfile:
+    def test_profile_shapes_and_signs(self, rng):
+        model = tiny_model(rng)
+        x = rng.standard_normal((8, 3, 8, 8))
+        profile = activation_range_profile(model, PTQConfig.per_channel(8, 8), [(x,)])
+        assert "layer0" in profile and "layer3" in profile
+        # First layer sees signed input; linear sees post-ReLU >= 0.
+        assert profile["layer0"]["min"] < 0
+        assert profile["layer3"]["min"] >= 0
+        for stats in profile.values():
+            assert stats["p99.9"] <= stats["absmax"] + 1e-9
+
+
+class TestVectorRangeSpread:
+    def test_uniform_weights_spread_near_one(self):
+        w = np.ones((8, 64, 1, 1))
+        assert vector_range_spread(w) == pytest.approx(1.0)
+
+    def test_heavy_tailed_weights_spread_below_one(self, rng):
+        w = rng.standard_normal((8, 64, 3, 3)) * np.exp(
+            rng.standard_normal((8, 64, 3, 3))
+        )
+        assert vector_range_spread(w) < 0.8

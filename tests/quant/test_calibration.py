@@ -1,0 +1,104 @@
+"""Calibration methods (Table 2's columns)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    CALIBRATION_METHODS,
+    EntropyCalibrator,
+    IntFormat,
+    MaxCalibrator,
+    MSECalibrator,
+    PercentileCalibrator,
+    make_calibrator,
+)
+from repro.quant.formats import fake_quantize, scale_from_absmax
+
+FMT8 = IntFormat(8)
+FMT4 = IntFormat(4)
+
+
+def heavy_tailed(rng, n=4096):
+    """Gaussian body + rare large outliers, the distribution that separates
+    calibration methods (paper §3)."""
+    x = rng.standard_normal(n)
+    x[: n // 100] *= 50.0
+    return x
+
+
+class TestMax:
+    def test_returns_absmax_per_group(self, rng):
+        x = rng.standard_normal((3, 100))
+        out = MaxCalibrator().calibrate(x, FMT8)
+        np.testing.assert_allclose(out, np.abs(x).max(axis=1))
+
+
+class TestPercentile:
+    def test_clips_outliers(self, rng):
+        x = heavy_tailed(rng)[None]
+        alpha = PercentileCalibrator(99.9).calibrate(x, FMT8)[0]
+        assert alpha < np.abs(x).max()
+
+    def test_higher_percentile_higher_alpha(self, rng):
+        x = heavy_tailed(rng)[None]
+        a_lo = PercentileCalibrator(99.9).calibrate(x, FMT8)[0]
+        a_hi = PercentileCalibrator(99.9999).calibrate(x, FMT8)[0]
+        assert a_hi >= a_lo
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileCalibrator(0.0)
+        with pytest.raises(ValueError):
+            PercentileCalibrator(101.0)
+
+    def test_name(self):
+        assert PercentileCalibrator(99.99).name == "percentile_99.99"
+
+
+class TestMSE:
+    def test_beats_max_on_heavy_tails(self, rng):
+        x = heavy_tailed(rng)[None]
+        alpha_mse = MSECalibrator().calibrate(x, FMT4)[0]
+        alpha_max = np.abs(x).max()
+
+        def mse(alpha):
+            s = scale_from_absmax(np.asarray(alpha), FMT4)
+            return ((fake_quantize(x, s, FMT4) - x) ** 2).mean()
+
+        assert mse(alpha_mse) <= mse(alpha_max)
+
+    def test_uniform_data_keeps_full_range(self, rng):
+        # No outliers: clipping only hurts, so alpha should stay near max.
+        x = rng.uniform(-1, 1, size=(1, 4096))
+        alpha = MSECalibrator().calibrate(x, FMT8)[0]
+        assert alpha > 0.8 * np.abs(x).max()
+
+
+class TestEntropy:
+    def test_clips_heavy_tails(self, rng):
+        x = heavy_tailed(rng)[None]
+        alpha = EntropyCalibrator().calibrate(x, FMT8)[0]
+        assert 0 < alpha < np.abs(x).max()
+
+    def test_all_zero_group_survives(self):
+        x = np.zeros((1, 512))
+        alpha = EntropyCalibrator().calibrate(x, FMT8)[0]
+        assert alpha == 0.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", CALIBRATION_METHODS)
+    def test_all_named_methods_construct_and_run(self, name, rng):
+        calib = make_calibrator(name)
+        x = rng.standard_normal((2, 512))
+        alpha = calib.calibrate(x, FMT8)
+        assert alpha.shape == (2,)
+        assert (alpha > 0).all()
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_calibrator("magic")
+
+    def test_min_samples_exposed(self):
+        assert MaxCalibrator().min_samples == 1
+        assert EntropyCalibrator().min_samples > MSECalibrator().min_samples

@@ -1,0 +1,81 @@
+"""Property-based invariants of the calibration methods."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    EntropyCalibrator,
+    IntFormat,
+    MaxCalibrator,
+    MSECalibrator,
+    PercentileCalibrator,
+)
+from repro.quant.formats import fake_quantize, scale_from_absmax
+
+
+@st.composite
+def sample_groups(draw):
+    seed = draw(st.integers(0, 2**16))
+    n = draw(st.integers(64, 512))
+    heavy = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((2, n))
+    if heavy:
+        x *= np.exp(rng.standard_normal((2, n)))
+    return x
+
+
+class TestAlphaBounds:
+    @given(sample_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_all_methods_bounded_by_absmax(self, x):
+        """No calibrator may choose a range beyond the observed absmax."""
+        fmt = IntFormat(8)
+        absmax = np.abs(x).max(axis=1)
+        for calib in (
+            MaxCalibrator(),
+            PercentileCalibrator(99.9),
+            EntropyCalibrator(n_bins=128),
+            MSECalibrator(n_candidates=10),
+        ):
+            alpha = calib.calibrate(x, fmt)
+            assert (alpha <= absmax + 1e-9).all(), type(calib).__name__
+
+    @given(sample_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_positive_for_nonzero_data(self, x):
+        fmt = IntFormat(4)
+        for calib in (MaxCalibrator(), PercentileCalibrator(99.9), MSECalibrator()):
+            alpha = calib.calibrate(x, fmt)
+            assert (alpha > 0).all()
+
+
+class TestMSEOptimality:
+    @given(sample_groups())
+    @settings(max_examples=25, deadline=None)
+    def test_mse_never_worse_than_max_on_its_objective(self, x):
+        """MSE calibration minimizes its own objective vs max calibration."""
+        fmt = IntFormat(4)
+        calib = MSECalibrator(n_candidates=20)
+        alpha_mse = calib.calibrate(x, fmt)
+        alpha_max = np.abs(x).max(axis=1)
+
+        def mse(alpha):
+            scale = scale_from_absmax(alpha, fmt)[:, None]
+            return ((fake_quantize(x, scale, fmt) - x) ** 2).mean(axis=1)
+
+        assert (mse(alpha_mse) <= mse(alpha_max) + 1e-12).all()
+
+
+class TestPercentileMonotonicity:
+    @given(sample_groups())
+    @settings(max_examples=25, deadline=None)
+    def test_alpha_monotone_in_percentile(self, x):
+        fmt = IntFormat(8)
+        alphas = [
+            PercentileCalibrator(p).calibrate(x, fmt)
+            for p in (99.0, 99.9, 99.99, 100.0)
+        ]
+        for lo, hi in zip(alphas, alphas[1:]):
+            assert (lo <= hi + 1e-12).all()

@@ -1,0 +1,88 @@
+"""Bit-packing export: lossless round-trips and exact byte accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import IntFormat, VectorLayout
+from repro.quant.export import pack_bits, pack_tensor, unpack_bits, unpack_tensor
+from repro.quant.integer_exec import quantize_tensor
+
+
+class TestPackBits:
+    @given(
+        st.lists(st.integers(-7, 7), min_size=0, max_size=100),
+        st.just(4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_signed_roundtrip(self, values, bits):
+        arr = np.array(values, dtype=np.int64)
+        buf = pack_bits(arr, bits, signed=True)
+        out = unpack_bits(buf, len(values), bits, signed=True)
+        np.testing.assert_array_equal(out, arr)
+
+    @given(st.lists(st.integers(0, 63), min_size=0, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_unsigned_roundtrip_6bit(self, values):
+        arr = np.array(values, dtype=np.int64)
+        buf = pack_bits(arr, 6, signed=False)
+        np.testing.assert_array_equal(unpack_bits(buf, len(values), 6, False), arr)
+
+    def test_packing_density(self):
+        # 16 x 4-bit values = 8 bytes exactly.
+        buf = pack_bits(np.arange(16) % 8, 4, signed=False)
+        assert len(buf) == 8
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([8]), 4, signed=True)
+        with pytest.raises(ValueError):
+            pack_bits(np.array([-1]), 4, signed=False)
+
+    def test_odd_bit_widths(self):
+        arr = np.array([0, 1, 2, 3, -4, -1])
+        buf = pack_bits(arr, 3, signed=True)
+        assert len(buf) == (6 * 3 + 7) // 8
+        np.testing.assert_array_equal(unpack_bits(buf, 6, 3, True), arr)
+
+
+class TestPackedTensor:
+    def _make(self, rng, n=64, V=16, bits=4, sbits=4):
+        x = rng.standard_normal((8, n))
+        return quantize_tensor(
+            x,
+            VectorLayout(axis=1, vector_size=V),
+            IntFormat(bits, signed=True),
+            IntFormat(sbits, signed=False),
+            channel_axes=(0,),
+        )
+
+    def test_lossless_roundtrip(self, rng):
+        qt = self._make(rng)
+        back = unpack_tensor(pack_tensor(qt))
+        np.testing.assert_array_equal(back.codes, qt.codes)
+        np.testing.assert_array_equal(back.sq, qt.sq)
+        np.testing.assert_allclose(back.gamma, qt.gamma, rtol=1e-7)  # fp32 storage
+        np.testing.assert_allclose(back.dequantize(), qt.dequantize(), rtol=1e-6, atol=1e-7)
+
+    def test_effective_bits_match_paper(self, rng):
+        # N = M = 4, V = 16 -> 4.25 effective bits/element (paper §4.4).
+        qt = self._make(rng, n=64, V=16, bits=4, sbits=4)
+        packed = pack_tensor(qt)
+        assert packed.effective_bits_per_element == pytest.approx(4.25, abs=0.01)
+
+    def test_padded_axis_accounting(self, rng):
+        # axis_len 20 with V=16 pads to 32 codes/row; effective bits rise.
+        x = rng.standard_normal((4, 20))
+        qt = quantize_tensor(
+            x, VectorLayout(1, 16), IntFormat(4), IntFormat(4, signed=False)
+        )
+        packed = pack_tensor(qt)
+        assert packed.effective_bits_per_element > 4.25
+
+    def test_payload_smaller_than_fp32(self, rng):
+        qt = self._make(rng, bits=4, sbits=4)
+        packed = pack_tensor(qt)
+        fp32_bytes = 8 * 64 * 4
+        assert packed.payload_bytes < fp32_bytes / 7  # ~4.25 vs 32 bits

@@ -1,0 +1,135 @@
+"""Integer format primitives (Eq. 1-3) including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import IntFormat, dequantize, fake_quantize, int_range, quantize
+from repro.quant.formats import scale_from_absmax
+
+
+class TestIntFormat:
+    def test_signed_ranges(self):
+        assert int_range(8, signed=True) == (-127, 127)
+        assert int_range(4, signed=True) == (-7, 7)
+        assert int_range(3, signed=True) == (-3, 3)
+
+    def test_unsigned_ranges_match_paper(self):
+        # Paper: unsigned x_q clipped to [0, 2^(N-1) - 1]
+        assert int_range(8, signed=False) == (0, 127)
+        assert int_range(4, signed=False) == (0, 7)
+
+    def test_levels(self):
+        assert IntFormat(4, signed=True).levels == 15
+        assert IntFormat(4, signed=False).levels == 8
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IntFormat(1)
+
+    def test_str(self):
+        assert str(IntFormat(4, True)) == "sint4"
+        assert str(IntFormat(8, False)) == "uint8"
+
+
+class TestQuantizeDequantize:
+    def test_scale_from_absmax_eq1(self):
+        fmt = IntFormat(8)
+        np.testing.assert_allclose(scale_from_absmax(127.0, fmt), 1.0)
+        np.testing.assert_allclose(scale_from_absmax(1.0, fmt), 1 / 127)
+
+    def test_zero_absmax_gets_floor(self):
+        fmt = IntFormat(8)
+        s = scale_from_absmax(np.zeros(3), fmt)
+        assert (s > 0).all()
+
+    def test_quantize_clips(self):
+        fmt = IntFormat(4)
+        q = quantize(np.array([100.0, -100.0]), 1.0, fmt)
+        np.testing.assert_array_equal(q, [7, -7])
+
+    def test_round_half_to_even(self):
+        fmt = IntFormat(8)
+        q = quantize(np.array([0.5, 1.5, 2.5]), 1.0, fmt)
+        np.testing.assert_array_equal(q, [0, 2, 2])
+
+    def test_codes_are_integral(self, rng):
+        fmt = IntFormat(6)
+        x = rng.standard_normal(100)
+        q = quantize(x, scale_from_absmax(np.abs(x).max(), fmt), fmt)
+        np.testing.assert_array_equal(q, np.rint(q))
+
+    def test_fake_quantize_identity_on_grid(self):
+        fmt = IntFormat(8)
+        grid = np.arange(-127, 128) * 0.5
+        np.testing.assert_allclose(fake_quantize(grid, 0.5, fmt), grid)
+
+
+@st.composite
+def arrays_and_bits(draw):
+    bits = draw(st.integers(min_value=2, max_value=8))
+    arr = draw(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=1, max_dims=3, max_side=8),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+        )
+    )
+    return arr, bits
+
+
+class TestProperties:
+    @given(arrays_and_bits())
+    @settings(max_examples=80, deadline=None)
+    def test_max_calibrated_error_bounded_by_half_scale(self, data):
+        """|x - fq(x)| <= s/2 under max calibration (no clipping occurs)."""
+        x, bits = data
+        fmt = IntFormat(bits, signed=True)
+        scale = scale_from_absmax(np.abs(x).max(), fmt)
+        err = np.abs(fake_quantize(x, scale, fmt) - x)
+        assert (err <= scale / 2 + 1e-12).all()
+
+    @given(arrays_and_bits())
+    @settings(max_examples=80, deadline=None)
+    def test_codes_within_format_range(self, data):
+        x, bits = data
+        fmt = IntFormat(bits, signed=True)
+        scale = scale_from_absmax(np.abs(x).max(), fmt)
+        q = quantize(x, scale, fmt)
+        assert q.min() >= fmt.qmin and q.max() <= fmt.qmax
+
+    @given(arrays_and_bits())
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_idempotent(self, data):
+        """fake_quantize(fake_quantize(x)) == fake_quantize(x)."""
+        x, bits = data
+        fmt = IntFormat(bits, signed=True)
+        scale = scale_from_absmax(np.abs(x).max(), fmt)
+        once = fake_quantize(x, scale, fmt)
+        twice = fake_quantize(once, scale, fmt)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(
+        st.floats(0.01, 1e3),
+        st.integers(min_value=3, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_bits_never_worse(self, absmax, bits):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-absmax, absmax, size=64)
+        fmt_lo = IntFormat(bits - 1)
+        fmt_hi = IntFormat(bits)
+        err_lo = np.abs(fake_quantize(x, scale_from_absmax(absmax, fmt_lo), fmt_lo) - x).mean()
+        err_hi = np.abs(fake_quantize(x, scale_from_absmax(absmax, fmt_hi), fmt_hi) - x).mean()
+        assert err_hi <= err_lo + 1e-12
+
+    @given(arrays_and_bits())
+    @settings(max_examples=50, deadline=None)
+    def test_dequantize_inverse_of_scaling(self, data):
+        x, bits = data
+        fmt = IntFormat(bits)
+        scale = scale_from_absmax(np.abs(x).max(), fmt)
+        q = quantize(x, scale, fmt)
+        np.testing.assert_allclose(dequantize(q, scale), q * scale)

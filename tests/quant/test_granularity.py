@@ -1,0 +1,109 @@
+"""Vector-view machinery: reshaping invariants (hypothesis-verified)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import Granularity, VectorLayout, group_reduce_absmax
+
+
+class TestVectorLayout:
+    def test_n_vectors_ceil_division(self):
+        layout = VectorLayout(axis=0, vector_size=16)
+        assert layout.n_vectors(16) == 1
+        assert layout.n_vectors(17) == 2
+        assert layout.n_vectors(64) == 4
+
+    def test_invalid_vector_size(self):
+        with pytest.raises(ValueError):
+            VectorLayout(axis=0, vector_size=0)
+
+    def test_to_vectors_shape(self, rng):
+        x = rng.standard_normal((4, 33, 5))
+        xv = VectorLayout(axis=1, vector_size=16).to_vectors(x)
+        assert xv.shape == (4, 5, 3, 16)  # axis moved to end, 3 vectors
+
+    def test_tail_padding_is_zero(self, rng):
+        x = rng.standard_normal((2, 5))
+        xv = VectorLayout(axis=1, vector_size=4).to_vectors(x)
+        np.testing.assert_array_equal(xv[..., -1, 1:], np.zeros((2, 3)))
+
+    def test_vector_absmax_manual(self):
+        x = np.array([[1.0, -2.0, 3.0, 0.5]])
+        layout = VectorLayout(axis=1, vector_size=2)
+        np.testing.assert_array_equal(layout.vector_absmax(x), [[2.0, 3.0]])
+
+    def test_expand_broadcasts_per_vector_values(self):
+        layout = VectorLayout(axis=1, vector_size=2)
+        out = layout.expand(np.array([[10.0, 20.0]]), axis_len=4)
+        np.testing.assert_array_equal(out, [[10.0, 10.0, 20.0, 20.0]])
+
+    def test_expand_truncates_padded_tail(self):
+        layout = VectorLayout(axis=0, vector_size=4)
+        out = layout.expand(np.array([1.0, 2.0]), axis_len=6)
+        np.testing.assert_array_equal(out, [1.0, 1.0, 1.0, 1.0, 2.0, 2.0])
+
+    def test_negative_axis(self, rng):
+        x = rng.standard_normal((3, 7))
+        a = VectorLayout(axis=-1, vector_size=4).vector_absmax(x)
+        b = VectorLayout(axis=1, vector_size=4).vector_absmax(x)
+        np.testing.assert_array_equal(a, b)
+
+
+@st.composite
+def tensor_and_layout(draw):
+    ndim = draw(st.integers(1, 4))
+    shape = tuple(draw(st.integers(1, 9)) for _ in range(ndim))
+    axis = draw(st.integers(-ndim, ndim - 1))
+    v = draw(st.integers(1, 8))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    return rng.standard_normal(shape), VectorLayout(axis=axis, vector_size=v)
+
+
+class TestProperties:
+    @given(tensor_and_layout())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, data):
+        """from_vectors(to_vectors(x)) == x for any shape/axis/V."""
+        x, layout = data
+        axis_len = x.shape[layout.axis]
+        xv = layout.to_vectors(x)
+        back = layout.from_vectors(xv, axis_len)
+        np.testing.assert_array_equal(back, x)
+
+    @given(tensor_and_layout())
+    @settings(max_examples=100, deadline=None)
+    def test_expand_constant_within_vector(self, data):
+        """Every element of a vector receives its vector's value."""
+        x, layout = data
+        axis_len = x.shape[layout.axis]
+        vmax = layout.vector_absmax(x)
+        expanded = layout.expand(vmax, axis_len)
+        assert expanded.shape == x.shape
+        # The expanded absmax dominates every element it covers.
+        assert (np.abs(x) <= expanded + 1e-12).all()
+
+    @given(tensor_and_layout())
+    @settings(max_examples=60, deadline=None)
+    def test_absmax_partition(self, data):
+        """Max over all per-vector maxima equals the tensor absmax."""
+        x, layout = data
+        vmax = layout.vector_absmax(x)
+        np.testing.assert_allclose(vmax.max(), np.abs(x).max())
+
+
+class TestGroupReduce:
+    def test_per_tensor_scalar(self, rng):
+        x = rng.standard_normal((3, 4))
+        assert group_reduce_absmax(x, Granularity.PER_TENSOR) == np.abs(x).max()
+
+    def test_per_channel_shape(self, rng):
+        x = rng.standard_normal((5, 3, 2, 2))
+        out = group_reduce_absmax(x, Granularity.PER_CHANNEL, channel_axis=0)
+        assert out.shape == (5,)
+        np.testing.assert_allclose(out, np.abs(x).max(axis=(1, 2, 3)))
+
+    def test_per_vector_requires_layout(self, rng):
+        with pytest.raises(ValueError):
+            group_reduce_absmax(rng.standard_normal(4), Granularity.PER_VECTOR)

@@ -1,0 +1,65 @@
+"""Integer conv2d: equivalence with the fake-quant convolution path."""
+
+import numpy as np
+import pytest
+
+from repro.quant import IntFormat, VectorLayout
+from repro.quant.integer_exec import integer_conv2d, quantize_tensor
+from repro.quant.two_level import fake_quant_two_level
+from repro.tensor import Tensor, ops
+
+S4 = IntFormat(4, signed=True)
+S8 = IntFormat(8, signed=True)
+U6 = IntFormat(6, signed=False)
+
+
+def reference(x, w, stride, padding, fmt, sfmt, V):
+    """Fake-quant both operands (Eq. 7), then a float convolution."""
+    xl = VectorLayout(axis=1, vector_size=V)
+    xq = fake_quant_two_level(x, xl, fmt, sfmt, channel_axes=())
+    wq = fake_quant_two_level(w, xl, fmt, sfmt, channel_axes=(0,))
+    return ops.conv2d(Tensor(xq), Tensor(wq), stride=stride, padding=padding).data
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (1, 1)])
+def test_matches_fake_quant_reference(rng, stride, padding):
+    V = 8
+    x = rng.standard_normal((2, 16, 6, 6))
+    w = rng.standard_normal((5, 16, 3, 3))
+    xq = quantize_tensor(x, VectorLayout(1, V), S8, U6, channel_axes=())
+    wq = quantize_tensor(w, VectorLayout(1, V), S8, U6, channel_axes=(0,))
+    got = integer_conv2d(xq, wq, stride=stride, padding=padding)
+    ref = reference(x, w, stride, padding, S8, U6, V)
+    np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+
+def test_padded_channel_tail(rng):
+    # C = 12 with V = 8: tail vector is half padding; zero padding must not
+    # perturb results.
+    x = rng.standard_normal((1, 12, 5, 5))
+    w = rng.standard_normal((3, 12, 3, 3))
+    xq = quantize_tensor(x, VectorLayout(1, 8), S4, U6)
+    wq = quantize_tensor(w, VectorLayout(1, 8), S4, U6, channel_axes=(0,))
+    got = integer_conv2d(xq, wq, padding=1)
+    ref = reference(x, w, 1, 1, S4, U6, 8)
+    np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+
+def test_geometry_checks(rng):
+    x = rng.standard_normal((1, 16, 5, 5))
+    w = rng.standard_normal((3, 16, 3, 3))
+    xq = quantize_tensor(x, VectorLayout(1, 8), S4, U6)
+    wq = quantize_tensor(w, VectorLayout(1, 4), S4, U6, channel_axes=(0,))
+    with pytest.raises(ValueError, match="geometry"):
+        integer_conv2d(xq, wq)
+
+
+def test_scale_product_rounding_monotone_error(rng):
+    x = rng.standard_normal((1, 16, 6, 6)) * np.exp(rng.standard_normal((1, 16, 6, 6)))
+    w = rng.standard_normal((4, 16, 3, 3))
+    xq = quantize_tensor(x, VectorLayout(1, 16), S8, U6)
+    wq = quantize_tensor(w, VectorLayout(1, 16), S8, U6, channel_axes=(0,))
+    exact = integer_conv2d(xq, wq)
+    err6 = np.abs(integer_conv2d(xq, wq, scale_product_bits=6) - exact).mean()
+    err3 = np.abs(integer_conv2d(xq, wq, scale_product_bits=3) - exact).mean()
+    assert err3 >= err6

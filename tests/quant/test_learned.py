@@ -1,0 +1,117 @@
+"""Learned scale factors (LSQ) — the paper's future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import Adam
+from repro.quant import IntFormat, PTQConfig, VectorLayout, quantize_model
+from repro.quant.learned import (
+    LearnedScaleWeightQuantizer,
+    attach_learned_scales,
+    lsq_fake_quant,
+)
+from repro.quant.vsquant import fake_quant_per_vector
+from repro.tensor import Tensor, ops
+
+S4 = IntFormat(4, signed=True)
+
+
+class TestLSQOp:
+    def test_forward_matches_fake_quant(self, rng):
+        w = rng.standard_normal(64)
+        s = np.full(64, 0.1)
+        out = lsq_fake_quant(Tensor(w), Tensor(s), S4).data
+        expected = np.clip(np.rint(w / 0.1), -7, 7) * 0.1
+        np.testing.assert_allclose(out, expected)
+
+    def test_weight_grad_masked_outside_range(self):
+        w = Tensor(np.array([0.05, 10.0, -10.0]), requires_grad=True)
+        s = Tensor(np.ones(3))
+        lsq_fake_quant(w, s, S4).sum().backward()
+        np.testing.assert_array_equal(w.grad, [1.0, 0.0, 0.0])
+
+    def test_scale_grad_lsq_formula(self):
+        s = Tensor(np.array([1.0]), requires_grad=True)
+        # w/s = 0.3 -> q = 0, ds = q - w/s = -0.3
+        w = Tensor(np.array([0.3]))
+        lsq_fake_quant(w, s, S4).sum().backward()
+        np.testing.assert_allclose(s.grad, [-0.3])
+
+    def test_scale_grad_clipped_regions(self):
+        s = Tensor(np.array([1.0]), requires_grad=True)
+        w = Tensor(np.array([100.0]))  # clipped high -> ds = qmax
+        lsq_fake_quant(w, s, S4).sum().backward()
+        np.testing.assert_allclose(s.grad, [7.0])
+
+    def test_scale_grad_broadcast_reduces(self, rng):
+        s = Tensor(np.array([0.5]), requires_grad=True)
+        w = Tensor(rng.standard_normal(16))
+        lsq_fake_quant(w, s, S4).sum().backward()
+        assert s.grad.shape == (1,)
+
+
+class TestLearnedQuantizer:
+    def test_init_matches_max_calibration(self, rng):
+        w = rng.standard_normal((8, 32, 3, 3))
+        q = LearnedScaleWeightQuantizer(w, vector_size=16, fmt=S4)
+        out = q(Tensor(w)).data
+        ref = fake_quant_per_vector(w, VectorLayout(1, 16), S4)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_scales_are_parameters(self, rng):
+        w = rng.standard_normal((4, 16))
+        q = LearnedScaleWeightQuantizer(w, vector_size=8, fmt=S4, vector_axis=1)
+        names = [n for n, _ in q.named_parameters()]
+        assert names == ["log_scale"]
+
+    def test_training_scales_reduces_error(self, rng):
+        # Heavy-tailed weights: max calibration is suboptimal; training the
+        # scales should cut reconstruction MSE.
+        w_data = rng.standard_normal((4, 64)) * np.exp(rng.standard_normal((4, 64)))
+        q = LearnedScaleWeightQuantizer(w_data, vector_size=32, fmt=S4, vector_axis=1)
+        w = Tensor(w_data)
+
+        def mse():
+            diff = q(w) - w
+            return (diff * diff).mean()
+
+        initial = mse().item()
+        opt = Adam(q.parameters(), lr=5e-3)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = mse()
+            loss.backward()
+            opt.step()
+        assert mse().item() < initial
+
+
+class TestAttach:
+    def test_replaces_all_weight_quantizers(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 8, 3, rng=rng), nn.ReLU(), nn.GlobalAvgPool2d(), nn.Linear(8, 2, rng=rng)
+        )
+        q = quantize_model(model, PTQConfig.vs_quant(4, 8, act_signed=True))
+        n = attach_learned_scales(q, fmt_bits=4)
+        assert n == 2
+        # Scale parameters are now part of the model's parameter list.
+        names = [n_ for n_, _ in q.named_parameters()]
+        assert any("log_scale" in n_ for n_ in names)
+
+    def test_end_to_end_training_moves_scales(self, rng):
+        model = nn.Sequential(nn.Linear(16, 8, rng=rng), nn.ReLU(), nn.Linear(8, 3, rng=rng))
+        q = quantize_model(model, PTQConfig.vs_quant(3, 8, act_signed=True))
+        attach_learned_scales(q, fmt_bits=3, vector_size=8)
+        before = {
+            n_: p.data.copy() for n_, p in q.named_parameters() if "log_scale" in n_
+        }
+        x = rng.standard_normal((32, 16))
+        y = rng.integers(0, 3, 32)
+        opt = Adam(q.parameters(), lr=1e-2)
+        q.train()
+        for _ in range(10):
+            opt.zero_grad()
+            ops.cross_entropy(q(Tensor(x)), y).backward()
+            opt.step()
+        after = {n_: p.data for n_, p in q.named_parameters() if "log_scale" in n_}
+        assert any(not np.allclose(before[k], after[k]) for k in before)

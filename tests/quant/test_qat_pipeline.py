@@ -1,0 +1,45 @@
+"""qat_finetune_* pipeline functions (small real runs)."""
+
+import numpy as np
+
+from repro.data import SynthImageDataset, SynthQADataset
+from repro.data.synthqa import QAVocab
+from repro.models import MiniBERT, MiniBERTConfig, MiniResNet
+from repro.quant import PTQConfig, qat_finetune_image, qat_finetune_qa
+from repro.quant.qlayers import quant_layers
+
+
+def test_qat_finetune_image_returns_quantized_model():
+    train_x, train_y = SynthImageDataset(80, size=16, seed_key="qat-i").materialize()
+    eval_x, eval_y = SynthImageDataset(40, size=16, seed_key="qat-ie").materialize()
+    model = MiniResNet(depth=1, seed=3)
+    result = qat_finetune_image(
+        model,
+        PTQConfig.vs_quant(4, 4),
+        train_x,
+        train_y,
+        eval_x,
+        eval_y,
+        epochs=1,
+    )
+    assert 0.0 <= result.metric <= 100.0
+    assert result.epochs == 1
+    assert quant_layers(result.model), "returned model must be quantized"
+    # The original float model is untouched.
+    assert not quant_layers(model)
+
+
+def test_qat_finetune_qa_returns_quantized_model():
+    vocab = QAVocab(n_queries=4, n_fillers=8)
+    train = SynthQADataset(80, seed_key="qat-q", vocab=vocab).materialize()
+    eval_data = SynthQADataset(40, seed_key="qat-qe", vocab=vocab).materialize()
+    cfg = MiniBERTConfig(
+        name="qat-tiny", vocab_size=64, max_seq_len=48, d_model=32,
+        num_layers=1, num_heads=2, d_ff=64, dropout=0.0,
+    )
+    model = MiniBERT(cfg, seed=3)
+    result = qat_finetune_qa(
+        model, PTQConfig.vs_quant(4, 8), train, eval_data, epochs=1
+    )
+    assert 0.0 <= result.metric <= 100.0
+    assert quant_layers(result.model)

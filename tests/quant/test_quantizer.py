@@ -1,0 +1,157 @@
+"""Quantizer objects: calibration state machine, STE, spec handling."""
+
+import numpy as np
+import pytest
+
+from repro.quant import Granularity, QuantSpec, Quantizer, ScaleFormat
+from repro.quant.quantizer import ScaleKind
+from repro.tensor import Tensor
+
+
+def spec(**kw):
+    defaults = dict(bits=8, signed=True, granularity=Granularity.PER_TENSOR)
+    defaults.update(kw)
+    return QuantSpec(**defaults)
+
+
+class TestScaleFormat:
+    def test_parse(self):
+        assert ScaleFormat.parse(None).kind is ScaleKind.FP32
+        assert ScaleFormat.parse("fp32").kind is ScaleKind.FP32
+        assert ScaleFormat.parse("fp16").kind is ScaleKind.FP16
+        sf = ScaleFormat.parse("6")
+        assert sf.kind is ScaleKind.INT and sf.bits == 6
+
+    def test_int_requires_bits(self):
+        with pytest.raises(ValueError):
+            ScaleFormat(ScaleKind.INT)
+
+    def test_str(self):
+        assert str(ScaleFormat.parse("fp16")) == "fp16"
+        assert str(ScaleFormat.parse("4")) == "int4"
+
+
+class TestDynamicPerTensor:
+    def test_fake_quant_applied(self, rng):
+        q = Quantizer(spec(bits=4))
+        x = rng.standard_normal(64)
+        out = q(Tensor(x)).data
+        assert not np.allclose(out, x)
+        # On-grid values survive
+        codes = np.unique(np.rint(out / (np.abs(x).max() / 7)))
+        assert len(codes) <= 15
+
+    def test_high_bits_near_lossless(self, rng):
+        q = Quantizer(spec(bits=8))
+        x = rng.standard_normal(64)
+        np.testing.assert_allclose(q(Tensor(x)).data, x, atol=np.abs(x).max() / 200)
+
+
+class TestStaticPerTensor:
+    def test_static_requires_calibration(self, rng):
+        q = Quantizer(spec(dynamic=False))
+        with pytest.raises(RuntimeError, match="static per-tensor"):
+            q(Tensor(rng.standard_normal(8)))
+
+    def test_observe_finalize_flow(self, rng):
+        q = Quantizer(spec(bits=8, dynamic=False, calibration="max"))
+        q.begin_observation()
+        q(Tensor(np.array([1.0, -3.0])))  # observation pass returns input
+        q(Tensor(np.array([2.0, 0.5])))
+        q.finalize()
+        assert q.is_calibrated
+        # Scale frozen at absmax 3.0: quantizing a larger value clips.
+        out = q(Tensor(np.array([10.0]))).data
+        np.testing.assert_allclose(out, [3.0], rtol=1e-6)
+
+    def test_observation_pass_is_identity(self, rng):
+        q = Quantizer(spec(dynamic=False))
+        q.begin_observation()
+        x = rng.standard_normal(16)
+        np.testing.assert_array_equal(q(Tensor(x)).data, x)
+
+    def test_finalize_without_observation_raises(self):
+        q = Quantizer(spec(dynamic=False))
+        with pytest.raises(RuntimeError):
+            q.finalize()
+
+    def test_static_non_tensor_granularity_rejected(self, rng):
+        q = Quantizer(spec(granularity=Granularity.PER_CHANNEL, channel_axes=(0,), dynamic=False))
+        q.begin_observation()
+        q(Tensor(rng.standard_normal((2, 4))))
+        with pytest.raises(RuntimeError, match="per-tensor"):
+            q.finalize()
+
+    def test_observe_downsamples_large_batches(self):
+        q = Quantizer(spec(dynamic=False))
+        q.begin_observation()
+        q.observe(np.zeros(1 << 20))
+        assert q._samples[0].size <= 65536
+
+
+class TestPerChannel:
+    def test_channelwise_scales(self, rng):
+        q = Quantizer(spec(bits=4, granularity=Granularity.PER_CHANNEL, channel_axes=(0,)))
+        x = rng.standard_normal((4, 100))
+        x[0] *= 100  # huge channel must not poison the others
+        out = q(Tensor(x)).data
+        small_err = np.abs(out[1:] - x[1:]).max()
+        assert small_err < np.abs(x[1:]).max() / 7
+
+
+class TestPerVector:
+    def test_two_level_spec(self, rng):
+        q = Quantizer(
+            spec(
+                bits=4,
+                granularity=Granularity.PER_VECTOR,
+                vector_size=8,
+                vector_axis=-1,
+                channel_axes=(0,),
+                scale=ScaleFormat.parse("4"),
+            )
+        )
+        x = rng.standard_normal((4, 32))
+        out = q(Tensor(x)).data
+        assert out.shape == x.shape
+        assert not np.allclose(out, x)
+
+    def test_fp16_scale_spec(self, rng):
+        q = Quantizer(
+            spec(
+                bits=4,
+                granularity=Granularity.PER_VECTOR,
+                vector_size=8,
+                vector_axis=-1,
+                scale=ScaleFormat.parse("fp16"),
+            )
+        )
+        out = q(Tensor(rng.standard_normal((2, 16)))).data
+        assert out.shape == (2, 16)
+
+
+class TestSTE:
+    def test_gradient_passes_through_unchanged(self, rng):
+        q = Quantizer(spec(bits=3))
+        x = Tensor(rng.standard_normal(16), requires_grad=True)
+        out = q(x)
+        g = rng.standard_normal(16)
+        out.backward(g)
+        np.testing.assert_array_equal(x.grad, g)
+
+    def test_no_grad_tensor_stays_gradless(self, rng):
+        q = Quantizer(spec(bits=3))
+        out = q(Tensor(rng.standard_normal(4)))
+        assert not out.requires_grad
+
+
+class TestSpecHelpers:
+    def test_with_signed(self):
+        s = spec(signed=True).with_signed(False)
+        assert not s.signed
+
+    def test_fmt_properties(self):
+        s = spec(bits=4, scale=ScaleFormat.parse("6"))
+        assert s.fmt.bits == 4
+        assert s.scale_fmt.bits == 6 and not s.scale_fmt.signed
+        assert spec().scale_fmt is None

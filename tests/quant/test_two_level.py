@@ -1,0 +1,150 @@
+"""Two-level quantization: the Eq. 7a-7j invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    IntFormat,
+    TwoLevelScales,
+    VectorLayout,
+    decompose_scales,
+    fake_quant_per_vector,
+    fake_quant_two_level,
+    scale_memory_overhead_bits,
+)
+from repro.quant.two_level import decompose_scales_channel_first
+from repro.quant.vsquant import per_vector_scales
+
+U4 = IntFormat(4, signed=False)
+U6 = IntFormat(6, signed=False)
+S4 = IntFormat(4, signed=True)
+S8 = IntFormat(8, signed=True)
+
+
+class TestDecompose:
+    def test_sq_integer_and_in_range(self, rng):
+        s = np.abs(rng.standard_normal((3, 5))) + 1e-3
+        two = decompose_scales(s, U4, channel_axes=(0,))
+        np.testing.assert_array_equal(two.sq, np.rint(two.sq))
+        assert two.sq.min() >= 0 and two.sq.max() <= 15
+
+    def test_max_vector_hits_scale_qmax(self, rng):
+        # Eq. 7f/7g: the largest per-vector scale in each channel maps to
+        # 2^M - 1 exactly.
+        s = np.abs(rng.standard_normal((4, 6))) + 1e-3
+        two = decompose_scales(s, U4, channel_axes=(0,))
+        np.testing.assert_array_equal(two.sq.max(axis=1), np.full(4, 15))
+
+    def test_composition_error_bounded_by_half_gamma(self, rng):
+        s = np.abs(rng.standard_normal((4, 6))) + 1e-3
+        two = decompose_scales(s, U6, channel_axes=(0,))
+        err = np.abs(two.effective - s)
+        assert (err <= two.gamma / 2 + 1e-12).all()
+
+    def test_gamma_shape_keeps_channel_axes(self, rng):
+        s = np.abs(rng.standard_normal((4, 6))) + 1e-3
+        two = decompose_scales(s, U4, channel_axes=(0,))
+        assert two.gamma.shape == (4, 1)
+        # Per-tensor coarse level (activations): single gamma.
+        two_t = decompose_scales(s, U4, channel_axes=())
+        assert two_t.gamma.shape == (1, 1)
+
+    def test_signed_scale_format_rejected(self, rng):
+        with pytest.raises(ValueError):
+            decompose_scales(np.ones((2, 2)), IntFormat(4, signed=True))
+
+    def test_effective_property(self):
+        two = TwoLevelScales(sq=np.array([2.0, 3.0]), gamma=np.array([0.5]))
+        np.testing.assert_allclose(two.effective, [1.0, 1.5])
+
+
+class TestChannelFirst:
+    def test_sq_in_range(self, rng):
+        x = rng.standard_normal((4, 32))
+        layout = VectorLayout(axis=1, vector_size=8)
+        two = decompose_scales_channel_first(x, layout, S4, U4, channel_axes=(0,))
+        assert two.sq.min() >= 0 and two.sq.max() <= 15
+        np.testing.assert_array_equal(two.sq, np.rint(two.sq))
+
+    def test_ceil_never_shrinks_range(self, rng):
+        # channel_first uses ceil: the composed scale covers at least the
+        # fp requirement, so no extra clipping of elements can occur.
+        x = rng.standard_normal((4, 32))
+        layout = VectorLayout(axis=1, vector_size=8)
+        s_fp = per_vector_scales(x, layout, S4)
+        two = decompose_scales_channel_first(x, layout, S4, U4, channel_axes=(0,))
+        assert (two.effective >= s_fp - 1e-12).all()
+
+    def test_signed_scale_rejected(self, rng):
+        layout = VectorLayout(axis=1, vector_size=8)
+        with pytest.raises(ValueError):
+            decompose_scales_channel_first(
+                np.ones((2, 8)), layout, S4, IntFormat(4, signed=True)
+            )
+
+
+class TestFakeQuantTwoLevel:
+    def test_wide_scale_format_approaches_single_level(self, rng):
+        """With a 10-bit scale, two-level ~= single-level fp per-vector."""
+        x = rng.standard_normal((8, 64))
+        layout = VectorLayout(axis=1, vector_size=16)
+        one = fake_quant_per_vector(x, layout, S8)
+        two = fake_quant_two_level(x, layout, S8, IntFormat(10, signed=False), channel_axes=(0,))
+        np.testing.assert_allclose(one, two, rtol=5e-3, atol=5e-3)
+
+    def test_narrow_scale_format_worse_than_wide(self, rng):
+        x = rng.standard_normal((8, 64)) * np.exp(rng.standard_normal((8, 64)))
+        layout = VectorLayout(axis=1, vector_size=16)
+
+        def mse(scale_bits):
+            out = fake_quant_two_level(
+                x, layout, S4, IntFormat(scale_bits, signed=False), channel_axes=(0,)
+            )
+            return ((out - x) ** 2).mean()
+
+        assert mse(6) <= mse(3) + 1e-15
+
+    def test_unknown_order_rejected(self, rng):
+        layout = VectorLayout(axis=0, vector_size=4)
+        with pytest.raises(ValueError):
+            fake_quant_two_level(np.ones(4), layout, S4, U4, order="sideways")
+
+    def test_channel_first_order_runs(self, rng):
+        x = rng.standard_normal((4, 32))
+        layout = VectorLayout(axis=1, vector_size=8)
+        out = fake_quant_two_level(x, layout, S4, U4, channel_axes=(0,), order="channel_first")
+        assert out.shape == x.shape
+
+    @given(st.integers(0, 2**16), st.integers(3, 8), st.integers(3, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_two_level_error_bounded(self, seed, bits, scale_bits):
+        """Two-level error <= element rounding + scale rounding contributions.
+
+        |x_q2 - x| <= s_fp/2 + |xq| * gamma/2 elementwise (triangle
+        inequality over the two rounding steps of Eq. 7).
+        """
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((3, 24)) * np.exp(rng.standard_normal((3, 24)))
+        fmt = IntFormat(bits, signed=True)
+        sfmt = IntFormat(scale_bits, signed=False)
+        layout = VectorLayout(axis=1, vector_size=8)
+        out = fake_quant_two_level(x, layout, fmt, sfmt, channel_axes=(0,))
+        s_fp = per_vector_scales(x, layout, fmt)
+        two = decompose_scales(s_fp, sfmt, channel_axes=(0,))
+        s_elem = layout.expand(s_fp, x.shape[1])
+        gamma_elem = layout.expand(np.broadcast_to(two.gamma, s_fp.shape), x.shape[1])
+        xq = np.clip(np.rint(x / s_elem), fmt.qmin, fmt.qmax)
+        bound = s_elem / 2 + np.abs(xq) * gamma_elem / 2
+        assert (np.abs(out - x) <= bound + 1e-9).all()
+
+
+class TestMemoryOverhead:
+    def test_paper_example(self):
+        # N = M = 4, V = 16 -> 6.25% overhead (paper §4.4)
+        assert scale_memory_overhead_bits(16, 4, 4) == pytest.approx(0.0625)
+
+    def test_scaling(self):
+        assert scale_memory_overhead_bits(32, 4, 4) == pytest.approx(0.03125)
+        assert scale_memory_overhead_bits(16, 8, 4) == pytest.approx(0.03125)

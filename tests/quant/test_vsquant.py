@@ -1,0 +1,98 @@
+"""Single-level per-vector quantization (paper §4, Table 3/4 semantics)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import IntFormat, VectorLayout, fake_quant_per_vector, per_vector_scales
+from repro.quant.formats import fake_quantize, scale_from_absmax
+
+
+class TestScales:
+    def test_scale_maps_vector_max_to_qmax(self, rng):
+        fmt = IntFormat(4)
+        x = rng.standard_normal((2, 32))
+        layout = VectorLayout(axis=1, vector_size=16)
+        s = per_vector_scales(x, layout, fmt)
+        vmax = layout.vector_absmax(x)
+        np.testing.assert_allclose(s * fmt.qmax, vmax)
+
+    def test_explicit_alpha_override(self, rng):
+        fmt = IntFormat(4)
+        x = rng.standard_normal((2, 16))
+        layout = VectorLayout(axis=1, vector_size=16)
+        s = per_vector_scales(x, layout, fmt, alpha=np.full((2, 1), 7.0))
+        np.testing.assert_allclose(s, 1.0)
+
+
+class TestFakeQuant:
+    def test_error_bounded_by_own_vector_scale(self, rng):
+        fmt = IntFormat(4)
+        layout = VectorLayout(axis=0, vector_size=8)
+        x = rng.standard_normal(64) * rng.uniform(0.1, 10, size=64)
+        out = fake_quant_per_vector(x, layout, fmt)
+        s_elem = layout.expand(per_vector_scales(x, layout, fmt), 64)
+        assert (np.abs(out - x) <= s_elem / 2 + 1e-12).all()
+
+    def test_v1_equals_elementwise_precision(self, rng):
+        # V=1: every element gets its own scale -> only rounding of the
+        # element to qmax remains; relative error is ~1/(2*qmax).
+        fmt = IntFormat(6)
+        layout = VectorLayout(axis=0, vector_size=1)
+        x = rng.standard_normal(100) * 100
+        out = fake_quant_per_vector(x, layout, fmt)
+        rel = np.abs(out - x) / np.abs(x)
+        assert rel.max() <= 0.5 / fmt.qmax + 1e-9
+
+    def test_fp16_scales_close_to_fp32(self, rng):
+        fmt = IntFormat(4)
+        layout = VectorLayout(axis=0, vector_size=16)
+        x = rng.standard_normal(64)
+        a = fake_quant_per_vector(x, layout, fmt, scale_dtype="fp32")
+        b = fake_quant_per_vector(x, layout, fmt, scale_dtype="fp16")
+        np.testing.assert_allclose(a, b, rtol=2e-3, atol=2e-3)
+
+    def test_invalid_scale_dtype(self, rng):
+        fmt = IntFormat(4)
+        layout = VectorLayout(axis=0, vector_size=4)
+        try:
+            fake_quant_per_vector(np.ones(4), layout, fmt, scale_dtype="bf16")
+            raise AssertionError("expected ValueError")
+        except ValueError:
+            pass
+
+    def test_unsigned_clips_negatives(self, rng):
+        fmt = IntFormat(4, signed=False)
+        layout = VectorLayout(axis=0, vector_size=4)
+        out = fake_quant_per_vector(np.array([-1.0, 0.5, 1.0, 0.2]), layout, fmt)
+        assert out[0] == 0.0
+
+
+class TestGranularityOrdering:
+    """Finer scales never increase the per-element error bound (paper §4.1)."""
+
+    @given(st.integers(0, 2**16), st.sampled_from([1, 2, 4, 8, 16, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_per_vector_bound_tighter_than_per_tensor(self, seed, V):
+        rng = np.random.default_rng(seed)
+        fmt = IntFormat(4)
+        x = rng.standard_normal(64) * np.exp(rng.standard_normal(64))
+        layout = VectorLayout(axis=0, vector_size=V)
+        out_pv = fake_quant_per_vector(x, layout, fmt)
+        s_pt = scale_from_absmax(np.abs(x).max(), fmt)
+        # Per-vector error obeys the global bound that per-tensor promises.
+        assert (np.abs(out_pv - x) <= s_pt / 2 + 1e-12).all()
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_smaller_vectors_no_worse_mse(self, seed):
+        """Table 4's monotone trend: MSE(V=4) <= MSE(V=64) on lognormal data."""
+        rng = np.random.default_rng(seed)
+        fmt = IntFormat(6)
+        x = rng.standard_normal(256) * np.exp(rng.standard_normal(256) * 0.8)
+        mses = []
+        for V in (4, 64):
+            layout = VectorLayout(axis=0, vector_size=V)
+            out = fake_quant_per_vector(x, layout, fmt)
+            mses.append(((out - x) ** 2).mean())
+        assert mses[0] <= mses[1] + 1e-15

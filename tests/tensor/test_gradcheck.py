@@ -1,0 +1,41 @@
+"""The gradient checker itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+from repro.tensor.gradcheck import numerical_grad
+from repro.tensor.tensor import Tensor as T
+
+
+def test_passes_on_correct_gradient(rng):
+    x = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+    assert gradcheck(lambda x: x * x, [x])
+
+
+def test_fails_on_wrong_gradient(rng):
+    x = Tensor(rng.standard_normal(4), requires_grad=True)
+
+    def bad_op(x):
+        out_data = x.data * 2.0
+
+        def backward(g):
+            x._accumulate(g * 3.0)  # wrong: claims dy/dx = 3
+
+        return T._make(out_data, (x,), backward)
+
+    with pytest.raises(AssertionError, match="gradcheck failed"):
+        gradcheck(bad_op, [x])
+
+
+def test_numerical_grad_linear_exact(rng):
+    x = Tensor(rng.standard_normal(5), requires_grad=True)
+    w = rng.standard_normal(5)
+    num = numerical_grad(lambda x: x * Tensor(w), [x], wrt=0)
+    np.testing.assert_allclose(num, w, atol=1e-6)
+
+
+def test_skips_non_grad_inputs(rng):
+    x = Tensor(rng.standard_normal(3), requires_grad=True)
+    c = Tensor(rng.standard_normal(3), requires_grad=False)
+    assert gradcheck(lambda x, c: x * c, [x, c])

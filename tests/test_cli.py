@@ -1,0 +1,45 @@
+"""CLI surface: parsing and the hardware-only commands (no model training)."""
+
+import pytest
+
+from repro.cli import _parse_quant_label, build_parser, main
+from repro.quant.granularity import Granularity
+
+
+class TestParsing:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quant_label_poc(self):
+        cfg = _parse_quant_label("4/8/-/-")
+        assert cfg.weight_granularity is Granularity.PER_CHANNEL
+        assert cfg.label == "4/8/-/-"
+
+    def test_quant_label_pvaw(self):
+        cfg = _parse_quant_label("4/8/6/10")
+        assert cfg.weight_granularity is Granularity.PER_VECTOR
+        assert cfg.label == "4/8/6/10"
+
+    def test_quant_label_pvwo(self):
+        cfg = _parse_quant_label("4/8/6/-")
+        assert cfg.weight_granularity is Granularity.PER_VECTOR
+        assert cfg.act_granularity is Granularity.PER_TENSOR
+
+    def test_bad_label(self):
+        with pytest.raises(SystemExit):
+            _parse_quant_label("4/8")
+
+
+class TestHardwareCommands:
+    def test_hw_prints_metrics(self, capsys):
+        assert main(["hw", "8/8/-/-", "4/4/4/4"]) == 0
+        out = capsys.readouterr().out
+        assert "8/8/-/-" in out and "4/4/4/4" in out
+        assert "energy/op" in out
+
+    def test_dse_prints_frontier(self, capsys):
+        assert main(["dse", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+        assert "576 design points" in out

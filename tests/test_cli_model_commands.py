@@ -1,0 +1,72 @@
+"""CLI model commands, exercised against a stubbed tiny model zoo."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cli import main
+from repro.models.pretrained import PretrainedBundle
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture
+def stub_zoo(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+    rng = seeded_rng("cli-stub")
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4, rng=rng),
+    )
+    model.eval()
+    bundle = PretrainedBundle(
+        name="miniresnet",
+        task="image",
+        model=model,
+        calib_data=(rng.standard_normal((16, 3, 8, 8)),),
+        eval_data=(rng.standard_normal((32, 3, 8, 8)), rng.integers(0, 4, 32)),
+        fp32_metric=30.0,
+    )
+
+    def fake_pretrained(name):
+        return bundle
+
+    # The CLI does `from repro.models import pretrained` at call time, so
+    # patching the package attribute is sufficient. (The submodule of the
+    # same name is shadowed by the function export, hence setattr on the
+    # package object rather than a dotted string.)
+    import repro.models
+
+    monkeypatch.setattr(repro.models, "pretrained", fake_pretrained)
+    monkeypatch.setattr(repro.models, "MODEL_NAMES", ("miniresnet",))
+    return bundle
+
+
+class TestModelsCommand:
+    def test_lists_zoo(self, stub_zoo, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "miniresnet" in out and "30.00" in out
+
+
+class TestPTQCommand:
+    def test_reports_drop(self, stub_zoo, capsys):
+        assert main(["ptq", "--model", "miniresnet", "--config", "4/4/4/4",
+                     "--eval-limit", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "fp32 Top1: 30.00" in out
+        assert "PTQ" in out and "drop" in out
+
+    def test_per_channel_config(self, stub_zoo, capsys):
+        assert main(["ptq", "--model", "miniresnet", "--config", "8/8/-/-",
+                     "--eval-limit", "16"]) == 0
+        assert "8/8/-/-" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_prints_gain_column(self, stub_zoo, capsys):
+        assert main(["sweep", "--model", "miniresnet", "--bits", "4",
+                     "--eval-limit", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "VS-Quant" in out and "gain" in out

@@ -1,0 +1,41 @@
+"""Artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.utils import cache
+
+
+@pytest.fixture
+def tmp_artifacts(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_save_and_load_roundtrip(tmp_artifacts):
+    arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+    cache.save_array_bundle("test-bundle", arrays)
+    loaded = cache.load_array_bundle("test-bundle")
+    np.testing.assert_array_equal(loaded["w"], arrays["w"])
+    np.testing.assert_array_equal(loaded["b"], arrays["b"])
+
+
+def test_load_missing_returns_none(tmp_artifacts):
+    assert cache.load_array_bundle("nope") is None
+
+
+def test_cached_bundle_builds_once(tmp_artifacts):
+    calls = []
+
+    def build():
+        calls.append(1)
+        return {"x": np.ones(2)}
+
+    a = cache.cached_array_bundle("once", build)
+    b = cache.cached_array_bundle("once", build)
+    assert len(calls) == 1
+    np.testing.assert_array_equal(a["x"], b["x"])
+
+
+def test_artifact_dir_created(tmp_artifacts):
+    assert cache.artifact_dir().exists()

@@ -1,0 +1,36 @@
+"""Deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.utils.rng import seeded_rng, set_global_seed
+
+
+def test_same_keys_same_stream():
+    a = seeded_rng("model", 3).standard_normal(5)
+    b = seeded_rng("model", 3).standard_normal(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_keys_differ():
+    a = seeded_rng("model", 3).standard_normal(5)
+    b = seeded_rng("model", 4).standard_normal(5)
+    c = seeded_rng("other", 3).standard_normal(5)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_global_seed_changes_streams():
+    set_global_seed(0)
+    a = seeded_rng("x").standard_normal(3)
+    set_global_seed(1)
+    b = seeded_rng("x").standard_normal(3)
+    set_global_seed(0)  # restore for other tests
+    c = seeded_rng("x").standard_normal(3)
+    assert not np.array_equal(a, b)
+    np.testing.assert_array_equal(a, c)
+
+
+def test_string_hash_stable_across_processes():
+    # FNV-1a of "abc" is fixed; derived stream must be identical every run.
+    vals = seeded_rng("abc").integers(0, 1_000_000, size=3)
+    np.testing.assert_array_equal(vals, seeded_rng("abc").integers(0, 1_000_000, size=3))
