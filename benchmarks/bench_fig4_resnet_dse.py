@@ -5,8 +5,9 @@ Paper shape: within each accuracy band, VS-Quant points Pareto-dominate the
 the high-accuracy bands that per-channel 4-bit points cannot.
 """
 
+from repro.eval.sweep import run_dse
+
 from .conftest import save_result
-from .dse_common import run_dse
 
 
 def test_fig4_resnet_dse(benchmark, miniresnet):

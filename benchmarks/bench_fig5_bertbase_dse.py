@@ -7,8 +7,9 @@ near-full-precision accuracy with low-bit weights at smaller area than the
 the paper's 3-4 — see EXPERIMENTS.md.)
 """
 
+from repro.eval.sweep import WEIGHT_BITS_QA, run_dse
+
 from .conftest import save_result
-from .dse_common import WEIGHT_BITS_QA, run_dse
 
 
 def test_fig5_bertbase_dse(benchmark, minibert_base):

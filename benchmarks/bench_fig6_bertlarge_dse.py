@@ -5,8 +5,9 @@ Same sweep as Figure 5 on the larger model: the collapse region
 relaxed accuracy bands admit very low-bit VS-Quant points.
 """
 
+from repro.eval.sweep import WEIGHT_BITS_QA, run_dse
+
 from .conftest import save_result
-from .dse_common import WEIGHT_BITS_QA, run_dse
 
 
 def test_fig6_bertlarge_dse(benchmark, minibert_large):

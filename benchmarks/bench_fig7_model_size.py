@@ -10,7 +10,7 @@ import numpy as np
 from repro.eval import format_table
 
 from .conftest import save_result
-from .dse_common import EVAL_LIMIT, WEIGHT_BITS_QA, grid_configs
+from repro.eval.sweep import EVAL_LIMIT, WEIGHT_BITS_QA, grid_configs
 from repro.eval.acc_cache import cached_quantized_accuracy
 from repro.hardware import normalized_metrics
 

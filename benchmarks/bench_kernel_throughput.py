@@ -1,0 +1,168 @@
+"""Fake-quant kernel throughput microbenchmark (the perf trajectory).
+
+Two measurements, recorded to ``benchmarks/results/kernel_throughput.txt``
+so future PRs can compare against a baseline:
+
+1. **Kernel GB/s** — raw ``fake_quant_two_level`` bandwidth on a large
+   weight-shaped tensor under the seed configuration (float64 compute) and
+   the dtype-preserving float32 path.
+2. **Repeated-batch eval** — ms/batch of a per-vector two-level quantized
+   MLP over repeated evaluation batches, seed mode (weight cache off +
+   float64 compute) vs fast mode (weight fake-quant cache + float32).
+   Frozen weights dominate the fake-quant work at small batch sizes, so
+   caching their quantization is where the sweep engine's wall-clock win
+   comes from; the acceptance floor is a 3x speedup.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_kernel_throughput.py``)
+or via pytest (``pytest benchmarks/bench_kernel_throughput.py --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.quant import (
+    IntFormat,
+    PTQConfig,
+    quantize_model,
+    set_weight_cache_enabled,
+    weight_cache_stats,
+)
+from repro.quant.granularity import VectorLayout
+from repro.quant.two_level import fake_quant_two_level
+from repro.tensor.tensor import no_grad
+from repro.utils.dtypes import compute_dtype
+from repro.utils.rng import seeded_rng
+
+#: (weight-shaped array rows, cols) for the raw-kernel measurement.
+KERNEL_SHAPE = (1024, 4096)
+#: Repeated-batch eval: layer width, depth, batch size, batches timed.
+WIDTH, DEPTH, BATCH, ROUNDS = 512, 3, 8, 16
+
+
+def _best_time(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def kernel_bandwidth() -> dict[str, tuple[float, float]]:
+    """(GB/s, Melem/s) of the two-level fake-quant kernel per dtype policy.
+
+    GB/s is normalized by input bytes, so equal GB/s at half the element
+    width means the float32 path runs ~2x faster per element — Melem/s is
+    the apples-to-apples column.
+    """
+    layout = VectorLayout(-1, 16)
+    fmt, sfmt = IntFormat(4), IntFormat(4, signed=False)
+    base = seeded_rng("kernel-bench").standard_normal(KERNEL_SHAPE)
+    out: dict[str, tuple[float, float]] = {}
+    for name, dtype, policy in (
+        ("float64 (seed)", np.float64, "float64"),
+        ("float32 (preserve)", np.float32, "preserve"),
+    ):
+        x = base.astype(dtype)
+        with compute_dtype(policy):
+            run = lambda: fake_quant_two_level(x, layout, fmt, sfmt, channel_axes=(0,))
+            run()  # warmup
+            t = _best_time(run)
+        out[name] = (x.nbytes / t / 1e9, x.size / t / 1e6)
+    return out
+
+
+def _quantized_mlp(dtype) -> tuple[nn.Module, np.ndarray]:
+    rng = seeded_rng("throughput-model")
+    layers: list[nn.Module] = []
+    for i in range(DEPTH):
+        layers.append(nn.Linear(WIDTH, WIDTH, rng=rng))
+        if i < DEPTH - 1:
+            layers.append(nn.ReLU())
+    model = nn.Sequential(*layers)
+    model.eval()
+    for p in model.parameters():
+        p.data = p.data.astype(dtype)
+    batch = seeded_rng("throughput-batch").standard_normal((BATCH, WIDTH)).astype(dtype)
+    config = PTQConfig.vs_quant(4, 8, weight_scale="4", act_scale="6")
+    qmodel = quantize_model(model, config, calib_batches=[(batch,)])
+    return qmodel, batch
+
+
+def _eval_seconds(qmodel, batch) -> float:
+    start = time.perf_counter()
+    with no_grad():
+        for _ in range(ROUNDS):
+            qmodel(batch)
+    return time.perf_counter() - start
+
+
+def repeated_batch_eval() -> dict[str, float]:
+    """ms/batch in seed mode vs fast mode, plus the speedup and hit rate."""
+    # Seed mode: every batch re-fake-quantizes the frozen weights in float64.
+    set_weight_cache_enabled(False)
+    try:
+        with compute_dtype("float64"):
+            qmodel, batch = _quantized_mlp(np.float64)
+            _eval_seconds(qmodel, batch)  # warmup
+            t_seed = _eval_seconds(qmodel, batch)
+    finally:
+        set_weight_cache_enabled(True)
+
+    # Fast mode: weight fake-quant cached across batches, float32 compute.
+    with compute_dtype("preserve"):
+        qmodel, batch = _quantized_mlp(np.float32)
+        _eval_seconds(qmodel, batch)  # warmup (also fills the cache)
+        t_fast = _eval_seconds(qmodel, batch)
+        hits, misses = weight_cache_stats(qmodel)
+
+    return {
+        "seed_ms_per_batch": 1e3 * t_seed / ROUNDS,
+        "fast_ms_per_batch": 1e3 * t_fast / ROUNDS,
+        "speedup": t_seed / t_fast,
+        "cache_hits": float(hits),
+        "cache_misses": float(misses),
+    }
+
+
+def build_report() -> tuple[str, dict[str, float]]:
+    bw = kernel_bandwidth()
+    ev = repeated_batch_eval()
+    lines = [f"fake_quant_two_level on {KERNEL_SHAPE} (V=16, W4/S4):"]
+    for name, (gbps, meps) in bw.items():
+        lines.append(f"  {name:<20} {gbps:6.2f} GB/s  {meps:8.1f} Melem/s")
+    lines.append(
+        f"repeated-batch eval ({DEPTH}x{WIDTH}x{WIDTH} MLP, batch {BATCH}, "
+        f"{ROUNDS} batches, W4/A8 S4/S6):"
+    )
+    lines.append(f"  seed (no cache, f64)  {ev['seed_ms_per_batch']:7.2f} ms/batch")
+    lines.append(f"  fast (cache, f32)     {ev['fast_ms_per_batch']:7.2f} ms/batch")
+    lines.append(f"  speedup               {ev['speedup']:7.2f}x")
+    lines.append(
+        f"  weight cache          {int(ev['cache_hits'])} hits / "
+        f"{int(ev['cache_misses'])} misses"
+    )
+    return "\n".join(lines), ev
+
+
+def test_kernel_throughput(benchmark):
+    from .conftest import save_result
+
+    text, ev = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    save_result("kernel_throughput", text)
+    # Frozen weights: one miss per layer, everything after is a hit.
+    assert ev["cache_misses"] == DEPTH
+    assert ev["cache_hits"] >= DEPTH * (ROUNDS - 1)
+    # The acceptance floor: >=3x on the repo's dominant eval pattern.
+    assert ev["speedup"] >= 3.0, f"speedup {ev['speedup']:.2f}x < 3x"
+
+
+if __name__ == "__main__":
+    report, metrics = build_report()
+    print(report)
+    if metrics["speedup"] < 3.0:
+        raise SystemExit(f"FAIL: speedup {metrics['speedup']:.2f}x < 3x")

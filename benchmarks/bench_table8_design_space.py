@@ -6,6 +6,7 @@ Figures 4-6 sweep.
 """
 
 from repro.eval import format_table
+from repro.eval.sweep import grid_configs
 from repro.hardware import ScalingScheme, enumerate_design_space
 from repro.hardware.dse import SCALE_PRECISIONS, VALUE_PRECISIONS
 
@@ -42,6 +43,7 @@ def test_table8_design_space(benchmark):
         f"Weight/activation precision: {VALUE_PRECISIONS}\n"
         f"Scale precision: {SCALE_PRECISIONS}\n"
         f"Scaling granularity: POC, PVAO, PVWO, PVAW\n"
+        f"Accuracy-evaluated subset (sweep engine grid): {len(grid_configs())} points\n"
     )
     save_result("table8_design_space", header + table)
 

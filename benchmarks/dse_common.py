@@ -1,121 +1,35 @@
 """Shared machinery for the design-space figures (Figs. 4-7).
 
-Joins the analytical hardware model (energy/op, performance per area) with
-measured PTQ accuracy for a reduced-but-representative subset of Table 8's
-design space, then reports accuracy-banded Pareto frontiers exactly like the
-paper's scatter plots.
+The DSE harness now lives in :mod:`repro.eval.sweep`, where the grid is
+evaluated through the parallel sweep engine (set ``REPRO_SWEEP_WORKERS`` or
+pass ``workers=`` to fan it across a process pool). This module re-exports
+the public names so existing bench imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.eval import format_table
-from repro.eval.acc_cache import cached_quantized_accuracy
-from repro.hardware import (
-    AcceleratorConfig,
-    DesignPoint,
-    ScalingScheme,
-    normalized_metrics,
-    pareto_front,
+from repro.eval.sweep import (  # noqa: F401
+    ACT_BITS,
+    EVAL_LIMIT,
+    PVAO_SCALES,
+    PVAW_SCALES,
+    PVWO_SCALES,
+    WEIGHT_BITS,
+    WEIGHT_BITS_QA,
+    DSEResult,
+    grid_configs,
+    run_dse,
 )
-from repro.hardware.dse import accuracy_bands
-from repro.quant import PTQConfig
 
-EVAL_LIMIT = 256
-
-#: Reduced accuracy grid (single-CPU budget): weight precision sweeps the
-#: full range, activations cover the two regimes that matter (4 = CNN
-#: operating point, 8 = transformer floor), and scale pairs are chosen to
-#: overlap Tables 5-7 so most points come from the accuracy cache.
-WEIGHT_BITS = (3, 4, 6, 8)
-#: Transformer stand-ins collapse ~1-2 bits lower than real BERT, so their
-#: design-space sweep extends down to 2-bit weights.
-WEIGHT_BITS_QA = (2, 3, 4, 6)
-ACT_BITS = (4, 8)
-PVAW_SCALES = (("4", "4"), ("6", "6"))
-PVWO_SCALES = ("4",)
-PVAO_SCALES = ("6",)
-
-
-def grid_configs(
-    weight_bits: tuple[int, ...] = WEIGHT_BITS,
-) -> list[tuple[ScalingScheme, PTQConfig, AcceleratorConfig]]:
-    """The (scheme, quantization config, hardware config) evaluation grid."""
-    out = []
-    for wb in weight_bits:
-        for ab in ACT_BITS:
-            out.append(
-                (
-                    ScalingScheme.POC,
-                    PTQConfig.per_channel(wb, ab),
-                    AcceleratorConfig(wb, ab),
-                )
-            )
-            for ws, asc in PVAW_SCALES:
-                out.append(
-                    (
-                        ScalingScheme.PVAW,
-                        PTQConfig.vs_quant(wb, ab, weight_scale=ws, act_scale=asc),
-                        AcceleratorConfig(wb, ab, wscale_bits=int(ws), ascale_bits=int(asc)),
-                    )
-                )
-            for ws in PVWO_SCALES:
-                out.append(
-                    (
-                        ScalingScheme.PVWO,
-                        PTQConfig.vs_quant(wb, ab, weight_scale=ws, weights=True, activations=False),
-                        AcceleratorConfig(wb, ab, wscale_bits=int(ws)),
-                    )
-                )
-            for asc in PVAO_SCALES:
-                out.append(
-                    (
-                        ScalingScheme.PVAO,
-                        PTQConfig.vs_quant(wb, ab, act_scale=asc, weights=False, activations=True),
-                        AcceleratorConfig(wb, ab, ascale_bits=int(asc)),
-                    )
-                )
-    return out
-
-
-@dataclass
-class DSEResult:
-    points: list[DesignPoint]
-    bands: dict[float, list[DesignPoint]]
-    table: str
-
-
-def run_dse(
-    bundle,
-    thresholds: tuple[float, ...],
-    weight_bits: tuple[int, ...] = WEIGHT_BITS,
-) -> DSEResult:
-    """Evaluate the grid for one model; band and Pareto-annotate it.
-
-    ``thresholds`` are ascending accuracy floors (the paper's color bands);
-    points below the lowest are dropped, like the papers' plots.
-    """
-    points: list[DesignPoint] = []
-    for scheme, qcfg, hwcfg in grid_configs(weight_bits):
-        acc = cached_quantized_accuracy(bundle, qcfg, eval_limit=EVAL_LIMIT)
-        if acc < thresholds[0]:
-            continue
-        energy, area, ppa = normalized_metrics(hwcfg)
-        points.append(DesignPoint(hwcfg, scheme, energy, area, ppa, acc))
-
-    bands = accuracy_bands(points, thresholds)
-    rows = []
-    for floor in sorted(bands, reverse=True):
-        members = bands[floor]
-        if not members:
-            continue
-        front = pareto_front(members)
-        for p in sorted(front, key=lambda p: p.energy):
-            rows.append(
-                [f">={floor:.1f}", p.label, p.scheme.name, p.accuracy, p.energy, p.perf_per_area]
-            )
-    table = format_table(
-        ["Acc band", "Config", "Scheme", "Accuracy", "Energy/op", "Perf/Area"], rows
-    )
-    return DSEResult(points=points, bands=bands, table=table)
+__all__ = [
+    "ACT_BITS",
+    "EVAL_LIMIT",
+    "PVAO_SCALES",
+    "PVAW_SCALES",
+    "PVWO_SCALES",
+    "WEIGHT_BITS",
+    "WEIGHT_BITS_QA",
+    "DSEResult",
+    "grid_configs",
+    "run_dse",
+]

@@ -11,7 +11,9 @@ hw
 dse
     Enumerate the hardware design space and print the Pareto frontier.
 sweep
-    Accuracy sweep over weight/activation bitwidths for one model.
+    PTQ accuracy sweep for one model — the bitwidth grid or the Figs. 4-6
+    design-space grid — optionally fanned across worker processes
+    (``--workers`` / ``REPRO_SWEEP_WORKERS``).
 """
 
 from __future__ import annotations
@@ -92,25 +94,63 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.eval import format_table, quantized_accuracy
+    import time
+
+    from repro.eval import format_table
+    from repro.eval.sweep import WEIGHT_BITS, WEIGHT_BITS_QA, run_dse, run_sweep
     from repro.models import pretrained
     from repro.quant import PTQConfig
 
     bundle = pretrained(args.model)
-    rows = []
-    for bits in args.bits:
-        pc = quantized_accuracy(
-            bundle, PTQConfig.per_channel(bits, args.act_bits or bits),
-            eval_limit=args.eval_limit,
-        )
-        vs = quantized_accuracy(
-            bundle,
-            PTQConfig.vs_quant(bits, args.act_bits or bits, weight_scale="6", act_scale="10"),
-            eval_limit=args.eval_limit,
-        )
-        rows.append([f"W{bits}/A{args.act_bits or bits}", pc, vs, vs - pc])
     print(f"fp32 {bundle.metric_name}: {bundle.fp32_metric:.2f}")
+
+    if args.grid == "dse":
+        # The design-space grid of Figs. 4-6 (fig4 for image models, fig5/6
+        # weight bits for the transformer stand-ins). --bits narrows the
+        # weight precisions; the grid's activation bits are fixed, so
+        # --act-bits is rejected rather than silently ignored.
+        if args.act_bits is not None:
+            raise SystemExit("--act-bits does not apply to --grid dse "
+                             "(the design-space grid fixes activation bits)")
+        fp32 = bundle.fp32_metric
+        if bundle.task == "image":
+            weight_bits = WEIGHT_BITS
+            thresholds = (fp32 - 2.5, fp32 - 1.5, fp32 - 1.0, fp32 - 0.5)
+        else:
+            weight_bits = WEIGHT_BITS_QA
+            thresholds = (fp32 - 16.0, fp32 - 6.0, fp32 - 2.0, fp32 - 0.75)
+        if args.bits is not None:
+            weight_bits = tuple(args.bits)
+        start = time.perf_counter()
+        result = run_dse(
+            bundle,
+            thresholds,
+            weight_bits=weight_bits,
+            workers=args.workers,
+            eval_limit=args.eval_limit,
+        )
+        elapsed = time.perf_counter() - start
+        print(result.table)
+        print(f"{len(result.points)} qualifying points in {elapsed:.2f}s "
+              f"(workers={args.workers or 'env'})")
+        return 0
+
+    # Bitwidth sweep: per-channel vs VS-Quant at each weight precision,
+    # evaluated as one flat grid so --workers parallelizes all of it.
+    if args.bits is None:
+        args.bits = [3, 4, 6, 8]
+    pairs = []
+    for bits in args.bits:
+        ab = args.act_bits or bits
+        pairs.append(PTQConfig.per_channel(bits, ab))
+        pairs.append(PTQConfig.vs_quant(bits, ab, weight_scale="6", act_scale="10"))
+    sweep = run_sweep(bundle, pairs, eval_limit=args.eval_limit, workers=args.workers)
+    rows = []
+    for i, bits in enumerate(args.bits):
+        pc, vs = sweep.accuracies[2 * i], sweep.accuracies[2 * i + 1]
+        rows.append([f"W{bits}/A{args.act_bits or bits}", pc, vs, vs - pc])
     print(format_table(["bits", "per-channel", "VS-Quant", "gain"], rows))
+    print(f"{len(pairs)} points in {sweep.elapsed:.2f}s (workers={sweep.workers})")
     return 0
 
 
@@ -136,11 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=12)
     p.set_defaults(fn=_cmd_dse)
 
-    p = sub.add_parser("sweep", help="bitwidth sweep: per-channel vs VS-Quant")
+    p = sub.add_parser("sweep", help="PTQ accuracy sweep (parallelizable)")
     p.add_argument("--model", required=True, choices=("miniresnet", "minibert-base", "minibert-large"))
-    p.add_argument("--bits", type=int, nargs="+", default=[3, 4, 6, 8])
+    p.add_argument("--grid", choices=("bits", "dse"), default="bits",
+                   help="'bits': per-channel vs VS-Quant per bitwidth; "
+                        "'dse': the Figs. 4-6 design-space grid")
+    p.add_argument("--bits", type=int, nargs="+", default=None,
+                   help="weight bitwidths (default 3 4 6 8; narrows the dse grid too)")
     p.add_argument("--act-bits", type=int, default=None)
     p.add_argument("--eval-limit", type=int, default=400)
+    p.add_argument("--workers", type=int, default=None,
+                   help="process count for the sweep (default: REPRO_SWEEP_WORKERS or 1)")
     p.set_defaults(fn=_cmd_sweep)
     return parser
 

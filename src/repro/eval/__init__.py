@@ -14,6 +14,14 @@ from repro.eval.experiments import (
     make_task,
     quantized_accuracy,
 )
+from repro.eval.acc_cache import cached_quantized_accuracy, config_key, update_cache
+from repro.eval.sweep import (
+    DSEResult,
+    SweepResult,
+    grid_configs,
+    run_dse,
+    run_sweep,
+)
 
 __all__ = [
     "top1_accuracy",
@@ -27,4 +35,12 @@ __all__ = [
     "qa_task",
     "make_task",
     "quantized_accuracy",
+    "cached_quantized_accuracy",
+    "config_key",
+    "update_cache",
+    "DSEResult",
+    "SweepResult",
+    "grid_configs",
+    "run_dse",
+    "run_sweep",
 ]

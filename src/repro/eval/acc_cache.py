@@ -7,13 +7,27 @@ figures sweep supersets of the tables). Results are memoized in a JSON file
 under the artifact directory keyed by model name + config label + the full
 config repr, so re-running a benchmark is free and cross-benchmark sharing
 is automatic.
+
+Concurrency: the parallel sweep executor (:mod:`repro.eval.sweep`) has many
+worker processes writing to the same cache file. Stores go through
+:func:`update_cache`, which takes an exclusive ``fcntl`` file lock around
+the load-merge-store sequence, so a writer can never clobber entries a
+concurrent writer added between its read and its write (the classic
+lost-update race). The store itself stays an atomic tmp-file rename, so
+lock-free readers always see a complete JSON document.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.eval.experiments import quantized_accuracy
 from repro.quant.ptq import PTQConfig
@@ -30,6 +44,21 @@ def _cache_path(model_name: str) -> Path:
     return artifact_dir() / f"accuracy-cache-{model_name}.json"
 
 
+@contextlib.contextmanager
+def _exclusive_lock(model_name: str) -> Iterator[None]:
+    """Cross-process mutex for one model's cache file."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = _cache_path(model_name).with_suffix(".lock")
+    with open(lock_path, "a") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
 def _load(model_name: str) -> dict[str, float]:
     path = _cache_path(model_name)
     if not path.exists():
@@ -44,9 +73,35 @@ def _store(model_name: str, cache: dict[str, float]) -> None:
     tmp.replace(path)
 
 
+def load_cache(model_name: str) -> dict[str, float]:
+    """A snapshot of the on-disk cache for one model."""
+    return _load(model_name)
+
+
+def update_cache(model_name: str, entries: Mapping[str, float]) -> dict[str, float]:
+    """Merge ``entries`` into the cache file, lost-update-safe.
+
+    Load-merge-store runs under an exclusive file lock so concurrent
+    writers serialize and nobody's entries are dropped. Returns the merged
+    cache contents.
+    """
+    with _exclusive_lock(model_name):
+        cache = _load(model_name)
+        cache.update(entries)
+        _store(model_name, cache)
+    return cache
+
+
+#: Bump whenever an accuracy-affecting numeric behaviour changes (not just
+#: config fields), so stale entries from older code are never mixed in.
+#: v2: Quantizer.observe ceil-division downsampling + dtype-preserving
+#: kernels.
+CACHE_SCHEMA = 2
+
+
 def config_key(config: PTQConfig, eval_limit: int | None) -> str:
     """Stable cache key covering every accuracy-relevant config field."""
-    return f"{config!r}|eval={eval_limit}"
+    return f"s{CACHE_SCHEMA}|{config!r}|eval={eval_limit}"
 
 
 def cached_quantized_accuracy(
@@ -60,8 +115,6 @@ def cached_quantized_accuracy(
     if key in cache:
         return cache[key]
     acc = quantized_accuracy(bundle, config, eval_limit=eval_limit)
-    cache = _load(bundle.name)  # re-read: parallel benches may have written
-    cache[key] = acc
-    _store(bundle.name, cache)
+    update_cache(bundle.name, {key: acc})
     logger.info("%s %s -> %.2f", bundle.name, config.label, acc)
     return acc

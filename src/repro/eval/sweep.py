@@ -1,0 +1,273 @@
+"""Parallel PTQ sweep engine — the repo's hottest workload, parallelized.
+
+The paper's headline artifacts (Tables 2-9, Figs. 4-7) are design-space
+sweeps evaluating hundreds of (model, quantization-config) points. The seed
+walked those grids serially; this module fans them across a process pool:
+
+- :func:`run_sweep` evaluates a list of :class:`~repro.quant.PTQConfig`
+  points for one model, serially or across ``workers`` processes. Each
+  worker process materializes the model bundle once and reuses it for every
+  point it is handed (with the default ``fork`` start method workers simply
+  inherit the parent's already-loaded bundle). Results are merged through
+  the file-locked accuracy cache (:mod:`repro.eval.acc_cache`), so
+  concurrent workers never drop each other's entries and later benches get
+  every point for free.
+- :func:`grid_configs` / :func:`run_dse` are the design-space harness for
+  Figures 4-6 (previously ``benchmarks/dse_common.py``), ported onto the
+  sweep engine so ``REPRO_SWEEP_WORKERS`` (or an explicit ``workers=``)
+  parallelizes every DSE bench.
+
+Determinism: a point's accuracy is a pure function of (bundle, config,
+eval_limit) — quantization kernels and eval loops are seed-free NumPy — so
+the parallel path is bitwise identical to the serial path, regardless of
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.eval.acc_cache import cached_quantized_accuracy, config_key
+from repro.eval.tables import format_table
+from repro.hardware import (
+    AcceleratorConfig,
+    DesignPoint,
+    ScalingScheme,
+    normalized_metrics,
+    pareto_front,
+)
+from repro.hardware.dse import accuracy_bands
+from repro.quant.ptq import PTQConfig
+from repro.utils.log import get_logger
+
+logger = get_logger("sweep")
+
+EVAL_LIMIT = 256
+
+#: Reduced accuracy grid (single-CPU budget): weight precision sweeps the
+#: full range, activations cover the two regimes that matter (4 = CNN
+#: operating point, 8 = transformer floor), and scale pairs are chosen to
+#: overlap Tables 5-7 so most points come from the accuracy cache.
+WEIGHT_BITS = (3, 4, 6, 8)
+#: Transformer stand-ins collapse ~1-2 bits lower than real BERT, so their
+#: design-space sweep extends down to 2-bit weights.
+WEIGHT_BITS_QA = (2, 3, 4, 6)
+ACT_BITS = (4, 8)
+PVAW_SCALES = (("4", "4"), ("6", "6"))
+PVWO_SCALES = ("4",)
+PVAO_SCALES = ("6",)
+
+#: Per-process bundle memo. The parent seeds it before forking workers, so
+#: forked children inherit the loaded model instead of re-materializing it;
+#: spawn-started workers (or cold processes) fall back to ``pretrained()``.
+_BUNDLES: dict[str, object] = {}
+
+
+def register_bundle(bundle) -> None:
+    """Pre-seed the per-process bundle memo with an already-built bundle."""
+    _BUNDLES[bundle.name] = bundle
+
+
+def _get_bundle(name: str):
+    bundle = _BUNDLES.get(name)
+    if bundle is None:
+        from repro.models.pretrained import pretrained
+
+        bundle = pretrained(name)
+        _BUNDLES[name] = bundle
+    return bundle
+
+
+def _eval_point(job: tuple[str, PTQConfig, int | None]) -> float:
+    """Worker entry: evaluate one grid point against the shared bundle."""
+    model_name, config, eval_limit = job
+    bundle = _get_bundle(model_name)
+    return cached_quantized_accuracy(bundle, config, eval_limit=eval_limit)
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_SWEEP_WORKERS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SWEEP_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class SweepResult:
+    """Accuracies for one model over a config grid, in input order."""
+
+    model: str
+    configs: list[PTQConfig]
+    accuracies: list[float]
+    eval_limit: int | None
+    workers: int
+    elapsed: float = 0.0
+    _by_key: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        self._by_key = {
+            config_key(c, self.eval_limit): a
+            for c, a in zip(self.configs, self.accuracies)
+        }
+
+    def accuracy(self, config: PTQConfig) -> float:
+        return self._by_key[config_key(config, self.eval_limit)]
+
+    def table(self) -> str:
+        rows = [[c.label, a] for c, a in zip(self.configs, self.accuracies)]
+        return format_table(["Config", "Accuracy"], rows)
+
+
+def run_sweep(
+    bundle_or_name,
+    configs: list[PTQConfig],
+    eval_limit: int | None = None,
+    workers: int | None = None,
+) -> SweepResult:
+    """Evaluate every config for one model, optionally across processes.
+
+    Parameters
+    ----------
+    bundle_or_name:
+        A :class:`~repro.models.pretrained.PretrainedBundle` or a model
+        name resolvable by :func:`repro.models.pretrained.pretrained`.
+        Passing a bundle also registers it in the per-process memo so
+        forked workers inherit it without reloading.
+    configs:
+        The grid points. Results come back in the same order.
+    workers:
+        Process count; ``None`` reads ``REPRO_SWEEP_WORKERS`` (default 1).
+        1 evaluates in-process.
+    """
+    workers = default_workers() if workers is None else max(1, int(workers))
+    if isinstance(bundle_or_name, str):
+        bundle = _get_bundle(bundle_or_name)
+    else:
+        bundle = bundle_or_name
+        register_bundle(bundle)
+    jobs = [(bundle.name, config, eval_limit) for config in configs]
+
+    start = time.perf_counter()
+    if workers <= 1 or len(jobs) <= 1:
+        accuracies = [_eval_point(job) for job in jobs]
+    else:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(jobs)), mp_context=ctx
+        ) as pool:
+            accuracies = list(pool.map(_eval_point, jobs))
+    elapsed = time.perf_counter() - start
+    logger.info(
+        "sweep %s: %d points, %d workers, %.2fs",
+        bundle.name,
+        len(jobs),
+        workers,
+        elapsed,
+    )
+    return SweepResult(
+        model=bundle.name,
+        configs=list(configs),
+        accuracies=accuracies,
+        eval_limit=eval_limit,
+        workers=workers,
+        elapsed=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Design-space harness (Figures 4-6, Table 8's accuracy-joined subset)
+# ----------------------------------------------------------------------
+def grid_configs(
+    weight_bits: tuple[int, ...] = WEIGHT_BITS,
+) -> list[tuple[ScalingScheme, PTQConfig, AcceleratorConfig]]:
+    """The (scheme, quantization config, hardware config) evaluation grid."""
+    out = []
+    for wb in weight_bits:
+        for ab in ACT_BITS:
+            out.append(
+                (
+                    ScalingScheme.POC,
+                    PTQConfig.per_channel(wb, ab),
+                    AcceleratorConfig(wb, ab),
+                )
+            )
+            for ws, asc in PVAW_SCALES:
+                out.append(
+                    (
+                        ScalingScheme.PVAW,
+                        PTQConfig.vs_quant(wb, ab, weight_scale=ws, act_scale=asc),
+                        AcceleratorConfig(wb, ab, wscale_bits=int(ws), ascale_bits=int(asc)),
+                    )
+                )
+            for ws in PVWO_SCALES:
+                out.append(
+                    (
+                        ScalingScheme.PVWO,
+                        PTQConfig.vs_quant(wb, ab, weight_scale=ws, weights=True, activations=False),
+                        AcceleratorConfig(wb, ab, wscale_bits=int(ws)),
+                    )
+                )
+            for asc in PVAO_SCALES:
+                out.append(
+                    (
+                        ScalingScheme.PVAO,
+                        PTQConfig.vs_quant(wb, ab, act_scale=asc, weights=False, activations=True),
+                        AcceleratorConfig(wb, ab, ascale_bits=int(asc)),
+                    )
+                )
+    return out
+
+
+@dataclass
+class DSEResult:
+    points: list[DesignPoint]
+    bands: dict[float, list[DesignPoint]]
+    table: str
+
+
+def run_dse(
+    bundle,
+    thresholds: tuple[float, ...],
+    weight_bits: tuple[int, ...] = WEIGHT_BITS,
+    workers: int | None = None,
+    eval_limit: int = EVAL_LIMIT,
+) -> DSEResult:
+    """Evaluate the grid for one model; band and Pareto-annotate it.
+
+    ``thresholds`` are ascending accuracy floors (the paper's color bands);
+    points below the lowest are dropped, like the papers' plots. The grid
+    is evaluated through :func:`run_sweep`, so ``workers`` (or
+    ``REPRO_SWEEP_WORKERS``) fans it across a process pool.
+    """
+    grid = grid_configs(weight_bits)
+    sweep = run_sweep(
+        bundle, [qcfg for _, qcfg, _ in grid], eval_limit=eval_limit, workers=workers
+    )
+    points: list[DesignPoint] = []
+    for (scheme, _qcfg, hwcfg), acc in zip(grid, sweep.accuracies):
+        if acc < thresholds[0]:
+            continue
+        energy, area, ppa = normalized_metrics(hwcfg)
+        points.append(DesignPoint(hwcfg, scheme, energy, area, ppa, acc))
+
+    bands = accuracy_bands(points, thresholds)
+    rows = []
+    for floor in sorted(bands, reverse=True):
+        members = bands[floor]
+        if not members:
+            continue
+        front = pareto_front(members)
+        for p in sorted(front, key=lambda p: p.energy):
+            rows.append(
+                [f">={floor:.1f}", p.label, p.scheme.name, p.accuracy, p.energy, p.perf_per_area]
+            )
+    table = format_table(
+        ["Acc band", "Config", "Scheme", "Accuracy", "Energy/op", "Perf/Area"], rows
+    )
+    return DSEResult(points=points, bands=bands, table=table)

@@ -10,10 +10,39 @@ from repro.tensor.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A Tensor that is trainable by default and tracked by Modules."""
+    """A Tensor that is trainable by default and tracked by Modules.
+
+    Parameters carry a monotonically increasing :attr:`version` counter,
+    bumped every time ``.data`` is reassigned (optimizer steps,
+    ``load_state_dict``). Consumers that memoize arrays derived from frozen
+    weights — e.g. the weight fake-quant cache in
+    :class:`repro.quant.Quantizer` — key on ``(data identity, version)`` so
+    a QAT update invalidates them automatically. Mutating ``param.data``
+    *in place* bypasses the setter; call :meth:`bump_version` afterwards if
+    you do that.
+    """
 
     def __init__(self, data, requires_grad: bool = True):
+        self._version = 0
         super().__init__(data, requires_grad=requires_grad)
+
+    @property
+    def data(self) -> np.ndarray:
+        return Tensor.data.__get__(self)
+
+    @data.setter
+    def data(self, value) -> None:
+        Tensor.data.__set__(self, np.asarray(value))
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Number of times ``.data`` has been (re)assigned."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Invalidate caches after an in-place mutation of ``.data``."""
+        self._version += 1
 
 
 class Module:

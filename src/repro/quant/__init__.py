@@ -38,8 +38,14 @@ from repro.quant.two_level import (
     fake_quant_two_level,
     scale_memory_overhead_bits,
 )
-from repro.quant.quantizer import QuantSpec, Quantizer, ScaleFormat
-from repro.quant.qlayers import QuantLinear, QuantConv2d
+from repro.quant.quantizer import (
+    QuantSpec,
+    Quantizer,
+    ScaleFormat,
+    set_weight_cache_enabled,
+    weight_cache_enabled,
+)
+from repro.quant.qlayers import QuantLinear, QuantConv2d, weight_cache_stats
 from repro.quant.ptq import quantize_model, PTQConfig
 from repro.quant.qat import qat_finetune_image, qat_finetune_qa
 from repro.quant.integer_exec import (
@@ -84,8 +90,11 @@ __all__ = [
     "QuantSpec",
     "Quantizer",
     "ScaleFormat",
+    "set_weight_cache_enabled",
+    "weight_cache_enabled",
     "QuantLinear",
     "QuantConv2d",
+    "weight_cache_stats",
     "quantize_model",
     "PTQConfig",
     "qat_finetune_image",

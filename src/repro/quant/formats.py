@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.dtypes import resolve_dtype
+
 
 @dataclass(frozen=True)
 class IntFormat:
@@ -51,20 +53,32 @@ def scale_from_absmax(absmax: np.ndarray, fmt: IntFormat, eps: float = 1e-12) ->
     """Eq. 1: s = alpha / qmax, floored at ``eps`` to avoid divide-by-zero.
 
     A group whose values are all zero gets scale ``eps``; its codes are all
-    zero, so the floor never changes results.
+    zero, so the floor never changes results. Computes in the dtype the
+    :mod:`repro.utils.dtypes` policy resolves for ``absmax`` (float32 in ->
+    float32 out under the default ``preserve`` policy).
     """
-    return np.maximum(np.asarray(absmax, dtype=np.float64) / fmt.qmax, eps)
+    absmax = np.asarray(absmax)
+    dt = resolve_dtype(absmax)
+    return np.maximum(absmax.astype(dt, copy=False) / fmt.qmax, eps)
 
 
 def quantize(x: np.ndarray, scale: np.ndarray, fmt: IntFormat) -> np.ndarray:
-    """Eq. 2: xq = clip(round(x / s), qmin, qmax), round-half-to-even."""
-    q = np.rint(np.asarray(x) / scale)
+    """Eq. 2: xq = clip(round(x / s), qmin, qmax), round-half-to-even.
+
+    The working dtype follows ``x`` (not ``scale``), so a float32 tensor
+    quantized against a float64 calibration scale stays in float32.
+    """
+    x = np.asarray(x)
+    dt = resolve_dtype(x)
+    q = np.rint(x.astype(dt, copy=False) / np.asarray(scale).astype(dt, copy=False))
     return np.clip(q, fmt.qmin, fmt.qmax)
 
 
 def dequantize(xq: np.ndarray, scale: np.ndarray) -> np.ndarray:
     """Eq. 3: simulated-quantized value s * xq."""
-    return np.asarray(xq) * scale
+    xq = np.asarray(xq)
+    dt = resolve_dtype(xq)
+    return xq.astype(dt, copy=False) * np.asarray(scale).astype(dt, copy=False)
 
 
 def fake_quantize(x: np.ndarray, scale: np.ndarray, fmt: IntFormat) -> np.ndarray:

@@ -107,3 +107,19 @@ def quant_layers(model: nn.Module) -> list[tuple[str, QuantConv2d | QuantLinear]
         for name, m in model.named_modules()
         if isinstance(m, (QuantConv2d, QuantLinear))
     ]
+
+
+def weight_cache_stats(model: nn.Module) -> tuple[int, int]:
+    """Aggregate (hits, misses) of every weight fake-quant cache in a model.
+
+    Weights are Parameters, so their quantizers memoize on (identity,
+    version) — see :class:`repro.quant.Quantizer`. On a frozen model every
+    forward after the first should be all hits.
+    """
+    hits = misses = 0
+    for _, layer in quant_layers(model):
+        q = layer.weight_quantizer
+        if q is not None:
+            hits += q.cache_hits
+            misses += q.cache_misses
+    return hits, misses

@@ -32,6 +32,7 @@ import numpy as np
 from repro.quant.formats import IntFormat, scale_from_absmax
 from repro.quant.granularity import VectorLayout
 from repro.quant.vsquant import per_vector_scales
+from repro.utils.dtypes import resolve_dtype
 
 
 @dataclass(frozen=True)
@@ -77,7 +78,8 @@ def decompose_scales(
     """
     if scale_fmt.signed:
         raise ValueError("per-vector scale factors are unsigned (paper §4.4)")
-    s_fp = np.asarray(s_fp, dtype=np.float64)
+    s_fp = np.asarray(s_fp)
+    s_fp = s_fp.astype(resolve_dtype(s_fp), copy=False)
     qmax = 2**scale_fmt.bits - 1  # unsigned M-bit scale: full [0, 2^M - 1]
     axes = _coarse_axes(s_fp.shape, channel_axes)
     smax = s_fp.max(axis=axes, keepdims=True)  # Eq. 7e
@@ -132,6 +134,7 @@ def fake_quant_two_level(
     """
     x = np.asarray(x)
     s_fp = per_vector_scales(x, layout, fmt, alpha=alpha)
+    s_fp = s_fp.astype(resolve_dtype(x), copy=False)
     if order == "vector_first":
         scales = decompose_scales(s_fp, scale_fmt, channel_axes)
     elif order == "channel_first":

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.quant.formats import IntFormat, scale_from_absmax
 from repro.quant.granularity import VectorLayout
+from repro.utils.dtypes import resolve_dtype
 
 
 def per_vector_scales(
@@ -43,10 +44,12 @@ def fake_quant_per_vector(
     precision first (the S=fp16 columns of Tables 6–7).
     """
     x = np.asarray(x)
+    dt = resolve_dtype(x)
     if scales is None:
         scales = per_vector_scales(x, layout, fmt)
+    scales = np.asarray(scales).astype(dt, copy=False)
     if scale_dtype == "fp16":
-        scales = scales.astype(np.float16).astype(np.float64)
+        scales = scales.astype(np.float16).astype(dt)
     elif scale_dtype != "fp32":
         raise ValueError(f"scale_dtype must be fp32 or fp16, got {scale_dtype!r}")
     axis_len = x.shape[layout.axis]

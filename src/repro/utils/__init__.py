@@ -1,7 +1,13 @@
-"""Shared utilities: deterministic RNG, artifact caching, logging."""
+"""Shared utilities: deterministic RNG, artifact caching, logging, dtypes."""
 
 from repro.utils.rng import seeded_rng, set_global_seed, global_rng
 from repro.utils.cache import artifact_dir, cached_array_bundle, save_array_bundle
+from repro.utils.dtypes import (
+    compute_dtype,
+    get_compute_dtype,
+    resolve_dtype,
+    set_compute_dtype,
+)
 from repro.utils.log import get_logger
 
 __all__ = [
@@ -11,5 +17,9 @@ __all__ = [
     "artifact_dir",
     "cached_array_bundle",
     "save_array_bundle",
+    "compute_dtype",
+    "get_compute_dtype",
+    "resolve_dtype",
+    "set_compute_dtype",
     "get_logger",
 ]

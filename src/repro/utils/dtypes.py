@@ -1,0 +1,86 @@
+"""Compute-dtype policy for the quantization kernels.
+
+The seed implementation unconditionally upcast kernel inputs to
+``np.float64`` (``scale_from_absmax`` forced it, and everything downstream
+inherited it), which doubles memory traffic and halves SIMD throughput for
+models stored in float32. The kernels in :mod:`repro.quant.formats`,
+:mod:`repro.quant.vsquant`, and :mod:`repro.quant.two_level` now resolve
+their working dtype through this module instead.
+
+Policies
+--------
+``preserve`` (default)
+    Compute in the input's own floating dtype: float32 in -> float32
+    compute, float64 in -> float64 compute. Sub-float32 inputs (float16)
+    and non-float inputs (integer codes) are promoted to float32/float64
+    respectively so rounding error stays bounded.
+``float32`` / ``float64``
+    Force every kernel to the named dtype regardless of input — ``float64``
+    reproduces the seed behaviour exactly and is what the throughput
+    microbenchmark uses as its baseline.
+
+The policy is process-global. Set it with :func:`set_compute_dtype`, scope
+it with the :func:`compute_dtype` context manager, or seed it from the
+``REPRO_COMPUTE_DTYPE`` environment variable (invalid values fall back to
+``preserve``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+
+VALID_POLICIES = ("preserve", "float32", "float64")
+
+_policy = os.environ.get("REPRO_COMPUTE_DTYPE", "preserve")
+if _policy not in VALID_POLICIES:
+    _policy = "preserve"
+
+
+def get_compute_dtype() -> str:
+    """The active compute-dtype policy name."""
+    return _policy
+
+
+def set_compute_dtype(policy: str) -> None:
+    """Set the process-global compute-dtype policy."""
+    global _policy
+    if policy not in VALID_POLICIES:
+        raise ValueError(f"policy must be one of {VALID_POLICIES}, got {policy!r}")
+    _policy = policy
+
+
+@contextlib.contextmanager
+def compute_dtype(policy: str):
+    """Temporarily switch the compute-dtype policy."""
+    prev = _policy
+    set_compute_dtype(policy)
+    try:
+        yield
+    finally:
+        set_compute_dtype(prev)
+
+
+def resolve_dtype(*arrays) -> np.dtype:
+    """The dtype a quant kernel should compute in for these inputs.
+
+    Under ``preserve`` this is the widest floating dtype among the inputs
+    (floored at float32), or float64 when none of them is floating-point.
+    Under a forced policy it is that dtype unconditionally.
+    """
+    if _policy != "preserve":
+        return np.dtype(_policy)
+    best: np.dtype | None = None
+    for a in arrays:
+        dt = getattr(a, "dtype", None)
+        if dt is None:
+            dt = np.asarray(a).dtype
+        if dt.kind == "f" and (best is None or dt.itemsize > best.itemsize):
+            best = dt
+    if best is None:
+        return np.dtype(np.float64)
+    if best.itemsize < 4:
+        return np.dtype(np.float32)
+    return best

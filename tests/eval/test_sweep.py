@@ -1,0 +1,113 @@
+"""Parallel sweep engine: determinism vs serial, cache merge safety."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro import nn
+from repro.eval.acc_cache import config_key, load_cache, update_cache
+from repro.eval.sweep import default_workers, run_sweep
+from repro.models.pretrained import PretrainedBundle
+from repro.quant import PTQConfig
+from repro.utils.rng import seeded_rng
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="requires fork start method"
+)
+
+
+def _tiny_bundle(name: str = "tinysweep") -> PretrainedBundle:
+    rng = seeded_rng("sweep-test")
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4, rng=rng),
+    )
+    model.eval()
+    return PretrainedBundle(
+        name=name,
+        task="image",
+        model=model,
+        calib_data=(rng.standard_normal((8, 3, 8, 8)),),
+        eval_data=(rng.standard_normal((32, 3, 8, 8)), rng.integers(0, 4, 32)),
+        fp32_metric=30.0,
+    )
+
+
+GRID = [
+    PTQConfig.per_channel(4, 4),
+    PTQConfig.per_channel(8, 8),
+    PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="6"),
+    PTQConfig.vs_quant(8, 8, weight_scale="6", act_scale="6"),
+    PTQConfig.vs_quant(3, 8, weight_scale="4", act_scale="6", activations=False),
+]
+
+
+class TestSerialSweep:
+    def test_orders_results_like_inputs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        bundle = _tiny_bundle()
+        result = run_sweep(bundle, GRID, eval_limit=16, workers=1)
+        assert len(result.accuracies) == len(GRID)
+        for cfg, acc in zip(GRID, result.accuracies):
+            assert result.accuracy(cfg) == acc
+
+    def test_populates_shared_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        bundle = _tiny_bundle()
+        run_sweep(bundle, GRID, eval_limit=16, workers=1)
+        cache = load_cache(bundle.name)
+        for cfg in GRID:
+            assert config_key(cfg, 16) in cache
+
+
+@needs_fork
+class TestParallelSweep:
+    def test_parallel_bitwise_matches_serial(self, monkeypatch, tmp_path):
+        bundle = _tiny_bundle()
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "serial"))
+        serial = run_sweep(bundle, GRID, eval_limit=16, workers=1)
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "parallel"))
+        parallel = run_sweep(bundle, GRID, eval_limit=16, workers=2)
+        # Bitwise-identical accuracies, independent of scheduling.
+        assert parallel.accuracies == serial.accuracies
+        assert parallel.workers == 2
+
+    def test_merged_cache_contains_every_grid_key(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        bundle = _tiny_bundle()
+        run_sweep(bundle, GRID, eval_limit=16, workers=3)
+        cache = load_cache(bundle.name)
+        for cfg in GRID:
+            assert config_key(cfg, 16) in cache
+
+
+def _racing_writer(index: int) -> None:
+    for j in range(25):
+        update_cache("racemodel", {f"k{index}-{j}": float(j)})
+
+
+@needs_fork
+class TestCacheRace:
+    def test_concurrent_writers_lose_no_updates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        ctx = mp.get_context("fork")
+        procs = [ctx.Process(target=_racing_writer, args=(i,)) for i in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        cache = load_cache("racemodel")
+        assert len(cache) == 100  # 4 writers x 25 keys, none dropped
+
+
+class TestDefaultWorkers:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        assert default_workers() == 4
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "junk")
+        assert default_workers() == 1

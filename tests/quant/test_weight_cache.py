@@ -1,0 +1,158 @@
+"""Weight fake-quant cache: hits on frozen weights, invalidation on QAT."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import SGD
+from repro.quant import (
+    Granularity,
+    PTQConfig,
+    QuantSpec,
+    Quantizer,
+    ScaleFormat,
+    quantize_model,
+    set_weight_cache_enabled,
+    weight_cache_stats,
+)
+from repro.quant.qlayers import quant_layers
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import seeded_rng
+
+
+def _pv_quantizer() -> Quantizer:
+    return Quantizer(
+        QuantSpec(
+            bits=4,
+            granularity=Granularity.PER_VECTOR,
+            vector_size=16,
+            vector_axis=1,
+            channel_axes=(0,),
+            scale=ScaleFormat.parse("4"),
+        )
+    )
+
+
+class TestParameterVersion:
+    def test_reassignment_bumps_version(self, rng):
+        p = Parameter(rng.standard_normal((8, 8)))
+        v0 = p.version
+        p.data = p.data - 0.1
+        assert p.version == v0 + 1
+
+    def test_bump_version_covers_inplace_mutation(self, rng):
+        p = Parameter(rng.standard_normal((8, 8)))
+        v0 = p.version
+        p.data[0, 0] = 42.0  # bypasses the setter
+        assert p.version == v0
+        p.bump_version()
+        assert p.version == v0 + 1
+
+    def test_plain_tensors_have_no_version(self, rng):
+        assert not hasattr(Tensor(rng.standard_normal(4)), "version")
+
+
+class TestQuantizerCache:
+    def test_repeated_calls_hit_cache(self, rng):
+        q = _pv_quantizer()
+        p = Parameter(rng.standard_normal((16, 32)))
+        first = q(p)
+        second = q(p)
+        assert q.cache_misses == 1
+        assert q.cache_hits == 1
+        assert second.data is first.data  # memoized array, not a recompute
+
+    def test_update_invalidates(self, rng):
+        q = _pv_quantizer()
+        p = Parameter(rng.standard_normal((16, 32)))
+        before = q(p).data
+        p.data = p.data * 0.5
+        after = q(p).data
+        assert q.cache_misses == 2
+        assert not np.array_equal(before, after)
+
+    def test_activations_never_cached(self, rng):
+        q = _pv_quantizer()
+        x = Tensor(rng.standard_normal((16, 32)))
+        q(x)
+        q(x)
+        assert q.cache_hits == 0 and q.cache_misses == 0
+
+    def test_disable_switch(self, rng):
+        q = _pv_quantizer()
+        p = Parameter(rng.standard_normal((16, 32)))
+        set_weight_cache_enabled(False)
+        try:
+            q(p)
+            q(p)
+        finally:
+            set_weight_cache_enabled(True)
+        assert q.cache_hits == 0 and q.cache_misses == 0
+
+    def test_policy_switch_invalidates(self, rng):
+        from repro.utils.dtypes import compute_dtype
+
+        q = _pv_quantizer()
+        p = Parameter(rng.standard_normal((16, 32)).astype(np.float32))
+        preserved = q(p).data
+        assert preserved.dtype == np.float32
+        with compute_dtype("float64"):
+            forced = q(p).data
+        assert q.cache_misses == 2, "stale cache served across a policy switch"
+        assert forced.dtype == np.float64
+
+    def test_record_scales_bypasses_cache(self, rng):
+        q = _pv_quantizer()
+        p = Parameter(rng.standard_normal((16, 32)))
+        q(p)  # populate
+        q.record_scales = True
+        q(p)
+        assert q.last_sq is not None  # refreshed despite warm cache
+
+
+@pytest.fixture
+def qat_setup():
+    rng = seeded_rng("weight-cache-qat")
+    model = nn.Sequential(nn.Linear(32, 16, rng=rng), nn.ReLU(), nn.Linear(16, 8, rng=rng))
+    batch = rng.standard_normal((4, 32))
+    config = PTQConfig.vs_quant(4, 8, weight_scale="4", act_scale="6")
+    qmodel = quantize_model(model, config, calib_batches=[(batch,)])
+    return qmodel, batch
+
+
+class TestQATInvalidation:
+    def test_qat_step_produces_fresh_weights(self, qat_setup):
+        qmodel, batch = qat_setup
+        layers = [layer for _, layer in quant_layers(qmodel)]
+
+        with no_grad():
+            qmodel(batch)
+        before = [layer.weight_quantizer(layer.weight).data.copy() for layer in layers]
+
+        qmodel.train()
+        opt = SGD(qmodel.parameters(), lr=0.5)
+        loss = (qmodel(batch) * qmodel(batch)).sum()
+        loss.backward()
+        opt.step()
+
+        after = [layer.weight_quantizer(layer.weight).data for layer in layers]
+        for b, a in zip(before, after):
+            assert not np.array_equal(b, a), "stale fake-quant weight after QAT step"
+
+    def test_noop_step_hits_cache(self, qat_setup):
+        qmodel, batch = qat_setup
+        with no_grad():
+            qmodel(batch)
+        hits0, misses0 = weight_cache_stats(qmodel)
+
+        # A step with no gradients reassigns nothing: versions unchanged.
+        opt = SGD(qmodel.parameters(), lr=0.5)
+        opt.zero_grad()
+        opt.step()
+
+        with no_grad():
+            qmodel(batch)
+        hits1, misses1 = weight_cache_stats(qmodel)
+        assert misses1 == misses0, "no-op step spuriously invalidated the cache"
+        assert hits1 > hits0

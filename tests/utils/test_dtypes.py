@@ -1,0 +1,77 @@
+"""Compute-dtype policy and dtype preservation through the quant kernels."""
+
+import numpy as np
+import pytest
+
+from repro.quant import IntFormat, fake_quantize
+from repro.quant.formats import scale_from_absmax
+from repro.quant.granularity import VectorLayout
+from repro.quant.two_level import fake_quant_two_level
+from repro.quant.vsquant import fake_quant_per_vector
+from repro.utils.dtypes import compute_dtype, get_compute_dtype, resolve_dtype, set_compute_dtype
+
+
+class TestPolicy:
+    def test_preserve_keeps_float32(self):
+        assert resolve_dtype(np.zeros(3, dtype=np.float32)) == np.float32
+
+    def test_preserve_keeps_float64(self):
+        assert resolve_dtype(np.zeros(3, dtype=np.float64)) == np.float64
+
+    def test_non_float_defaults_to_float64(self):
+        assert resolve_dtype(np.zeros(3, dtype=np.int32)) == np.float64
+
+    def test_float16_floored_at_float32(self):
+        assert resolve_dtype(np.zeros(3, dtype=np.float16)) == np.float32
+
+    def test_widest_input_wins(self):
+        f32 = np.zeros(3, dtype=np.float32)
+        f64 = np.zeros(3, dtype=np.float64)
+        assert resolve_dtype(f32, f64) == np.float64
+
+    def test_forced_policy(self):
+        with compute_dtype("float64"):
+            assert resolve_dtype(np.zeros(3, dtype=np.float32)) == np.float64
+        with compute_dtype("float32"):
+            assert resolve_dtype(np.zeros(3, dtype=np.float64)) == np.float32
+
+    def test_context_restores(self):
+        before = get_compute_dtype()
+        with compute_dtype("float64"):
+            assert get_compute_dtype() == "float64"
+        assert get_compute_dtype() == before
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            set_compute_dtype("float128")
+
+
+class TestKernelDtypePreservation:
+    fmt = IntFormat(4)
+    sfmt = IntFormat(4, signed=False)
+    layout = VectorLayout(-1, 16)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_fake_quantize(self, rng, dtype):
+        x = rng.standard_normal((8, 32)).astype(dtype)
+        s = scale_from_absmax(np.abs(x).max(), self.fmt)
+        assert s.dtype == dtype
+        assert fake_quantize(x, s, self.fmt).dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_per_vector(self, rng, dtype):
+        x = rng.standard_normal((8, 32)).astype(dtype)
+        assert fake_quant_per_vector(x, self.layout, self.fmt).dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_two_level(self, rng, dtype):
+        x = rng.standard_normal((8, 32)).astype(dtype)
+        out = fake_quant_two_level(x, self.layout, self.fmt, self.sfmt, channel_axes=(0,))
+        assert out.dtype == dtype
+
+    def test_float32_close_to_float64(self, rng):
+        x64 = rng.standard_normal((16, 64))
+        x32 = x64.astype(np.float32)
+        out64 = fake_quant_two_level(x64, self.layout, self.fmt, self.sfmt, channel_axes=(0,))
+        out32 = fake_quant_two_level(x32, self.layout, self.fmt, self.sfmt, channel_axes=(0,))
+        np.testing.assert_allclose(out32, out64, rtol=1e-4, atol=1e-5)
