@@ -132,6 +132,10 @@ def repeated_batch_eval() -> dict[str, float]:
 def build_report() -> tuple[str, dict[str, float]]:
     bw = kernel_bandwidth()
     ev = repeated_batch_eval()
+    for name, (gbps, meps) in bw.items():
+        key = "f64_seed" if "64" in name else "f32_preserve"
+        ev[f"kernel_gbps_{key}"] = gbps
+        ev[f"kernel_melems_{key}"] = meps
     lines = [f"fake_quant_two_level on {KERNEL_SHAPE} (V=16, W4/S4):"]
     for name, (gbps, meps) in bw.items():
         lines.append(f"  {name:<20} {gbps:6.2f} GB/s  {meps:8.1f} Melem/s")
@@ -150,10 +154,11 @@ def build_report() -> tuple[str, dict[str, float]]:
 
 
 def test_kernel_throughput(benchmark):
-    from .conftest import save_result
+    from .conftest import save_bench_json, save_result
 
     text, ev = benchmark.pedantic(build_report, rounds=1, iterations=1)
     save_result("kernel_throughput", text)
+    save_bench_json("kernel_throughput", ev)
     # Frozen weights: one miss per layer, everything after is a hit.
     assert ev["cache_misses"] == DEPTH
     assert ev["cache_hits"] >= DEPTH * (ROUNDS - 1)
@@ -162,7 +167,15 @@ def test_kernel_throughput(benchmark):
 
 
 if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import save_bench_json, save_result
+
     report, metrics = build_report()
     print(report)
+    save_result("kernel_throughput", report)
+    save_bench_json("kernel_throughput", metrics)
     if metrics["speedup"] < 3.0:
         raise SystemExit(f"FAIL: speedup {metrics['speedup']:.2f}x < 3x")

@@ -1,0 +1,139 @@
+"""Serving throughput benchmark: dynamic batching vs sequential requests.
+
+Exports the zoo MiniResNet as a W4/A4 S4/S4 artifact (the paper's
+4.25-effective-bit deployment format, §4.4), loads it into the integer
+inference engine in float32 serving precision, and measures three
+throughputs over the same synthetic request stream (see
+``repro.serve.bench``):
+
+1. single-stream sequential serving against the production server,
+2. the same server under open-loop concurrent load (dynamic batching),
+3. a batching-disabled server under the same load (control).
+
+The acceptance floor is **dynamic batching >= 3x sequential
+single-request serving**; all three numbers plus the batched latency
+percentiles land in ``benchmarks/results/BENCH_serve_throughput.json``
+for the perf trajectory.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_serve_throughput.py``)
+or via pytest (``pytest benchmarks/bench_serve_throughput.py --benchmark-only``).
+``--smoke`` exercises the full export → load → serve → stop path on an
+untrained tiny model with a handful of requests (the CI smoke test); it
+skips the speedup assertion.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro.deploy import IntegerEngine, save_artifact
+from repro.quant import PTQConfig, quantize_model
+from repro.serve import format_comparison, model_batch_fn, throughput_comparison
+from repro.utils.rng import seeded_rng
+
+#: The paper's flagship deployable format: 4-bit codes, 4-bit scales, V=16.
+QUANT = dict(weight_bits=4, act_bits=4, weight_scale="4", act_scale="4")
+REQUESTS, MAX_BATCH, MAX_WAIT_MS, WORKERS = 192, 16, 10.0, 1
+SPEEDUP_FLOOR = 3.0
+
+
+def _artifact_from_model(model, tmpdir: str, calib: np.ndarray) -> IntegerEngine:
+    config = PTQConfig.vs_quant(
+        QUANT["weight_bits"], QUANT["act_bits"],
+        weight_scale=QUANT["weight_scale"], act_scale=QUANT["act_scale"],
+    )
+    qmodel = quantize_model(model, config, calib_batches=[(calib,)])
+    save_artifact(qmodel, tmpdir, quant_label=config.label, task="image")
+    return IntegerEngine.load(tmpdir, per_sample_scale=True, precision="float32")
+
+
+def _measure(model, n_requests: int, input_hw: int = 32) -> dict[str, float]:
+    rng = seeded_rng("serve-bench")
+    calib = rng.standard_normal((16, 3, input_hw, input_hw))
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmpdir:
+        engine = _artifact_from_model(model, tmpdir, calib)
+        payloads = [
+            rng.standard_normal((3, input_hw, input_hw)).astype(np.float32)
+            for _ in range(n_requests)
+        ]
+        return throughput_comparison(
+            model_batch_fn(engine.model),
+            payloads,
+            max_batch_size=MAX_BATCH,
+            max_wait_ms=MAX_WAIT_MS,
+            num_workers=WORKERS,
+        )
+
+
+def run_full() -> dict[str, float]:
+    """The recorded benchmark: the pretrained zoo MiniResNet."""
+    from repro.models import pretrained
+
+    return _measure(pretrained("miniresnet").model, REQUESTS)
+
+
+def run_smoke() -> dict[str, float]:
+    """CI smoke: untrained tiny MiniResNet, a handful of requests.
+
+    Exercises export → checksum-verified load → serve → drain → stop
+    without touching the training cache; makes no perf assertion.
+    """
+    from repro.models.resnet import MiniResNet
+
+    model = MiniResNet(num_classes=10, width=1, depth=1, seed=0)
+    model.eval()
+    return _measure(model, n_requests=8)
+
+
+def test_serve_throughput(benchmark, miniresnet):
+    from .conftest import save_bench_json, save_result
+
+    metrics = benchmark.pedantic(
+        lambda: _measure(miniresnet.model, REQUESTS), rounds=1, iterations=1
+    )
+    text = format_comparison(metrics)
+    save_result("serve_throughput", text)
+    save_bench_json("serve_throughput", metrics, quant=QUANT)
+    assert metrics["dynamic_mean_batch"] > 1.5, "batching never engaged"
+    # The batched server must not regress the unbatched control (the
+    # batching-only contribution is recorded as speedup_vs_unbatched and
+    # grows with core count; the headline floor is the serving framing).
+    assert metrics["speedup_vs_unbatched"] >= 0.9
+    assert metrics["speedup"] >= SPEEDUP_FLOOR, (
+        f"dynamic batching {metrics['speedup']:.2f}x < {SPEEDUP_FLOOR}x floor"
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import save_bench_json, save_result
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny untrained model, no perf assertion (CI)")
+    args = parser.parse_args()
+
+    metrics = run_smoke() if args.smoke else run_full()
+    report = format_comparison(metrics)
+    print(report)
+    if args.smoke:
+        save_bench_json("serve_smoke", metrics, quant=QUANT)
+        print("serve smoke OK")  # the path ran end-to-end; no perf assertion
+    else:
+        save_result("serve_throughput", report)
+        save_bench_json("serve_throughput", metrics, quant=QUANT)
+        if metrics["speedup_vs_unbatched"] < 0.9:
+            raise SystemExit(
+                f"FAIL: batched server regressed the unbatched control "
+                f"({metrics['speedup_vs_unbatched']:.2f}x)"
+            )
+        if metrics["speedup"] < SPEEDUP_FLOOR:
+            raise SystemExit(
+                f"FAIL: dynamic batching {metrics['speedup']:.2f}x < {SPEEDUP_FLOOR}x"
+            )

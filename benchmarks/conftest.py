@@ -11,6 +11,7 @@ pays the (cached) model load, the rest share it.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -23,6 +24,20 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}")
+
+
+def save_bench_json(name: str, metrics: dict, **extra) -> Path:
+    """Persist machine-readable benchmark metrics as BENCH_<name>.json.
+
+    These files are the repo's perf trajectory: CI prints them on every
+    run, so regressions show up as diffs in the recorded numbers rather
+    than anecdotes.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    payload = {"bench": name, "metrics": metrics, **extra}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

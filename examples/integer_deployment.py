@@ -1,70 +1,93 @@
-"""Deployment path: pack VS-Quant tensors to bits and execute in integers.
+"""Deployment path: whole-model artifacts executed by the integer engine.
 
 Run:  python examples/integer_deployment.py
 
-Demonstrates the part of the pipeline a real accelerator would consume:
+Demonstrates the pipeline a real accelerator deployment would consume:
 
-1. quantize weights/activations into integer codes + two-level scales
-2. bit-pack them at exact widths (the paper's 4.25-effective-bit format)
-3. execute the layer with pure integer dot products (Eq. 5)
-4. verify bit-exact agreement with the fake-quant simulation
+1. PTQ-quantize a model into two-level VS-Quant form
+2. save it as a versioned, checksummed artifact — manifest JSON plus
+   bit-packed weights at exact widths (the paper's 4.25-effective-bit
+   format), via a custom topology builder registered for this model
+3. load the artifact back (checksums verified, packing lossless) and
+   execute it end-to-end with pure integer dot products (Eq. 5)
+4. verify agreement with the fake-quant simulation
 5. show the effect of the hardware's scale-product rounding knob
 """
 
+import tempfile
+
 import numpy as np
 
-from repro.quant import IntFormat, VectorLayout
-from repro.quant.export import pack_tensor, unpack_tensor
-from repro.quant.integer_exec import (
-    fake_quant_linear_reference,
-    integer_linear,
-    quantize_tensor,
-)
+from repro import nn
+from repro.deploy import IntegerEngine, load_artifact, register_builder, save_artifact
+from repro.quant import PTQConfig, quantize_model
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import seeded_rng
+
+
+def build_mlp(arch: dict) -> nn.Module:
+    """Topology builder: the artifact stores (builder name, arch kwargs)."""
+    rng = seeded_rng("integer-deploy-mlp")
+    return nn.Sequential(
+        nn.Linear(arch["d_in"], arch["d_hidden"], rng=rng),
+        nn.ReLU(),
+        nn.Linear(arch["d_hidden"], arch["d_out"], rng=rng),
+    )
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
-    x = rng.standard_normal((8, 256))  # activations
-    w = rng.standard_normal((64, 256))  # weights
-    fmt = IntFormat(4, signed=True)  # 4-bit elements
-    sfmt = IntFormat(4, signed=False)  # 4-bit per-vector scales
-    V = 16
+    rng = seeded_rng("integer-deploy-data")
+    arch = {"d_in": 256, "d_hidden": 128, "d_out": 16}
+    register_builder("demo-mlp", build_mlp)
+    model = build_mlp(arch)
+    model.eval()
+    x = rng.standard_normal((8, arch["d_in"]))
 
     print("1) quantize (two-level, V=16, N=M=4)")
-    xq = quantize_tensor(x, VectorLayout(-1, V), fmt, sfmt)
-    wq = quantize_tensor(w, VectorLayout(1, V), fmt, sfmt, channel_axes=(0,))
+    config = PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")
+    qmodel = quantize_model(model, config, calib_batches=[(x,)])
 
-    print("2) bit-pack")
-    packed_w = pack_tensor(wq)
-    fp32_bytes = w.size * 4
-    print(f"   fp32 weights: {fp32_bytes} bytes")
-    print(
-        f"   packed:       {packed_w.payload_bytes} bytes "
-        f"({packed_w.effective_bits_per_element:.2f} effective bits/element, "
-        f"{fp32_bytes / packed_w.payload_bytes:.1f}x compression)"
-    )
-    wq_restored = unpack_tensor(packed_w)
-    assert np.array_equal(wq_restored.codes, wq.codes), "packing must be lossless"
+    with tempfile.TemporaryDirectory(prefix="repro-deploy-") as artifact_dir:
+        print("2) save the artifact (manifest + bit-packed weights)")
+        manifest = save_artifact(
+            qmodel, artifact_dir, builder="demo-mlp", arch=arch,
+            quant_label=config.label,
+        )
+        summary = manifest["summary"]
+        fp32_bytes = summary["fp32_weight_bytes"]
+        print(f"   fp32 weights: {fp32_bytes} bytes")
+        print(
+            f"   packed:       {summary['packed_weight_bytes']} bytes "
+            f"({fp32_bytes / summary['packed_weight_bytes']:.1f}x compression), "
+            f"sha256 {manifest['payload']['sha256'][:16]}…"
+        )
 
-    print("3) integer execution (Eq. 5)")
-    y_int = integer_linear(xq, wq_restored)
+        print("3) load + execute end-to-end in integers")
+        artifact = load_artifact(artifact_dir)  # checksums verified here
+        engine = IntegerEngine.load(artifact_dir)
+        y_int = engine(x)
 
-    print("4) verify against fake-quant simulation")
-    y_ref = fake_quant_linear_reference(x, w, V, fmt, sfmt)
-    err = np.abs(y_int - y_ref).max() / np.abs(y_ref).max()
-    print(
-        f"   max rel |integer - fake-quant| = {err:.2e} "
-        "(identical up to float summation order)"
-    )
+        print("4) verify against the fake-quant simulation")
+        with no_grad():
+            y_ref = qmodel(Tensor(x)).data
+        err = np.abs(y_int - y_ref).max() / np.abs(y_ref).max()
+        print(
+            f"   max rel |integer - fake-quant| = {err:.2e} "
+            "(identical up to float summation order)"
+        )
+        codes_bits = artifact.layers[0].weight.fmt.bits
+        print(f"   layer 0 codes round-tripped at {codes_bits}-bit width losslessly")
 
-    print("5) scale-product rounding (the Fig. 3 energy knob)")
-    fp = x @ w.T
-    for bits in (None, 6, 4):
-        y = integer_linear(xq, wq, scale_product_bits=bits)
-        noise = ((y - fp) ** 2).mean()
-        sqnr = 10 * np.log10((fp**2).mean() / noise)
-        name = "full" if bits is None else f"{bits}-bit"
-        print(f"   scale product {name:>6}: SQNR vs fp32 = {sqnr:5.1f} dB")
+        print("5) scale-product rounding (the Fig. 3 energy knob)")
+        with no_grad():
+            fp = model(Tensor(x)).data
+        for bits in (None, 6, 4):
+            eng = IntegerEngine.load(artifact_dir, scale_product_bits=bits)
+            y = eng(x)
+            noise = ((y - fp) ** 2).mean()
+            sqnr = 10 * np.log10((fp**2).mean() / noise)
+            name = "full" if bits is None else f"{bits}-bit"
+            print(f"   scale product {name:>6}: SQNR vs fp32 = {sqnr:5.1f} dB")
 
 
 if __name__ == "__main__":

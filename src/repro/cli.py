@@ -14,6 +14,15 @@ sweep
     PTQ accuracy sweep for one model — the bitwidth grid or the Figs. 4-6
     design-space grid — optionally fanned across worker processes
     (``--workers`` / ``REPRO_SWEEP_WORKERS``).
+export
+    PTQ-quantize a model and save a bit-packed deployment artifact
+    (manifest + packed weights) for the integer inference engine.
+serve
+    Load an artifact into the integer engine and serve synthetic traffic
+    through the dynamic-batching server; prints latency/throughput stats.
+bench-serve
+    Sequential vs dynamically-batched serving throughput on an artifact;
+    optionally writes the metrics as a BENCH JSON.
 """
 
 from __future__ import annotations
@@ -154,6 +163,135 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_artifact(model_name: str, config_label: str, out: str, calib_limit: int):
+    """Shared by the export/serve/bench-serve commands: PTQ + save."""
+    from repro.deploy import save_artifact
+    from repro.eval.experiments import make_task
+    from repro.models import pretrained
+    from repro.quant import quantize_model
+
+    bundle = pretrained(model_name)
+    config = _parse_quant_label(config_label)
+    task = make_task(bundle)
+    calib = [tuple(a[:calib_limit] for a in task.calib_batches[0])]
+    qmodel = quantize_model(bundle.model, config, calib_batches=calib, forward=task.forward)
+    sample = bundle.eval_data[0]
+    manifest = save_artifact(
+        qmodel,
+        out,
+        name=model_name,
+        task=bundle.task,
+        quant_label=config.label,
+        input_shape=tuple(sample.shape[1:]),
+    )
+    return bundle, manifest
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.deploy import ArtifactError
+
+    try:
+        _, manifest = _export_artifact(args.model, args.config, args.out, args.calib_limit)
+    except ArtifactError as exc:
+        raise SystemExit(f"export failed: {exc}") from exc
+    summary = manifest["summary"]
+    payload = manifest["payload"]
+    compression = summary["fp32_weight_bytes"] / max(summary["packed_weight_bytes"], 1)
+    print(f"artifact: {args.out}")
+    print(f"model={manifest['model']['name']} config={manifest['quant']['label']}")
+    print(
+        f"{summary['num_quantized_layers']} quantized layers, "
+        f"{summary['num_float_params']} float tensors, "
+        f"{payload['bytes']} payload bytes"
+    )
+    print(
+        f"packed weights: {summary['packed_weight_bytes']} bytes "
+        f"({compression:.1f}x vs fp32)"
+    )
+    print(f"sha256: {payload['sha256']}")
+    return 0
+
+
+def _synthetic_payloads(engine, count: int, seed: int = 0) -> list:
+    """Synthesize single-request payloads matching the artifact's task."""
+    import numpy as np
+
+    from repro.utils.rng import seeded_rng
+
+    rng = seeded_rng("serve-payloads", seed)
+    model_meta = engine.manifest["model"]
+    if model_meta.get("task") == "qa":
+        arch = model_meta["arch"]
+        T, vocab = int(arch["max_seq_len"]), int(arch["vocab_size"])
+        return [
+            (rng.integers(0, vocab, T), np.ones(T, dtype=bool)) for _ in range(count)
+        ]
+    shape = tuple(model_meta.get("input_shape") or (3, 32, 32))
+    return [rng.standard_normal(shape).astype(np.float32) for _ in range(count)]
+
+
+def _load_engine(args: argparse.Namespace):
+    from repro.deploy import ArtifactError, IntegerEngine
+
+    try:
+        return IntegerEngine.load(
+            args.artifact,
+            per_sample_scale=True,
+            precision=args.precision,
+        )
+    except ArtifactError as exc:
+        raise SystemExit(f"cannot load artifact: {exc}") from exc
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve_model
+
+    engine = _load_engine(args)
+    payloads = _synthetic_payloads(engine, args.requests)
+    server = serve_model(
+        engine.model,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers,
+        max_queue=max(args.requests, 8),
+    )
+    print(
+        f"serving {engine.manifest['model']['name']} "
+        f"({engine.manifest['quant']['label']}) — {args.requests} requests, "
+        f"batch<={args.batch_size}, wait {args.max_wait_ms}ms, {args.workers} workers"
+    )
+    with server:
+        pending = [server.submit(p) for p in payloads]
+        for handle in pending:
+            handle.wait()
+        print(server.stats().format())
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import format_comparison, model_batch_fn, throughput_comparison
+
+    engine = _load_engine(args)
+    payloads = _synthetic_payloads(engine, args.requests)
+    metrics = throughput_comparison(
+        model_batch_fn(engine.model),
+        payloads,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers,
+    )
+    print(format_comparison(metrics))
+    if args.json:
+        payload = {"bench": "serve_throughput", "artifact": str(args.artifact), "metrics": metrics}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="VS-Quant reproduction command-line interface"
@@ -188,6 +326,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="process count for the sweep (default: REPRO_SWEEP_WORKERS or 1)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("export", help="save a bit-packed deployment artifact")
+    p.add_argument("--model", required=True, choices=("miniresnet", "minibert-base", "minibert-large"))
+    p.add_argument("--config", required=True,
+                   help="two-level W/A/ws/as config, e.g. 4/8/4/6 (integer scales required)")
+    p.add_argument("--out", required=True, help="artifact directory to create")
+    p.add_argument("--calib-limit", type=int, default=64)
+    p.set_defaults(fn=_cmd_export)
+
+    serve_common = argparse.ArgumentParser(add_help=False)
+    serve_common.add_argument("--artifact", required=True, help="artifact directory from `repro export`")
+    serve_common.add_argument("--requests", type=int, default=64)
+    serve_common.add_argument("--batch-size", type=int, default=16)
+    serve_common.add_argument("--max-wait-ms", type=float, default=10.0)
+    serve_common.add_argument("--workers", type=int, default=1)
+    serve_common.add_argument("--precision", choices=("float32", "float64"), default="float32",
+                              help="engine glue precision (float32 = serving default)")
+
+    p = sub.add_parser("serve", parents=[serve_common],
+                       help="serve synthetic traffic through the integer engine")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("bench-serve", parents=[serve_common],
+                       help="sequential vs dynamic-batching serve throughput")
+    p.add_argument("--json", default=None, help="also write metrics to this BENCH JSON path")
+    p.set_defaults(fn=_cmd_bench_serve)
     return parser
 
 

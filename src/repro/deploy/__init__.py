@@ -1,0 +1,52 @@
+"""Deployment artifacts and the integer inference engine (paper §4.4).
+
+This package is the bridge between the simulation side of the repo and a
+servable system:
+
+- :mod:`repro.deploy.artifact` — a versioned, checksummed whole-model
+  artifact format: a ``manifest.json`` describing topology + quantization
+  formats, and a ``weights.bin`` blob holding bit-packed N-bit weight
+  codes, M-bit per-vector scales, fp coarse scales, and the float
+  parameters of the non-quantized layers (BatchNorm, LayerNorm,
+  embeddings, biases).
+- :mod:`repro.deploy.engine` — an integer inference engine that rebuilds
+  the model topology from an artifact and executes every quantized layer
+  with the true integer kernels of :mod:`repro.quant.integer_exec`
+  (Eq. 5), bit-consistent with the fake-quant simulation.
+
+See ``docs/serving.md`` for the format specification.
+"""
+
+from repro.deploy.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ActSpec,
+    Artifact,
+    ArtifactError,
+    ArtifactLayer,
+    load_artifact,
+    register_builder,
+    save_artifact,
+)
+from repro.deploy.engine import (
+    IntegerConv2d,
+    IntegerEngine,
+    IntegerLinear,
+    build_integer_model,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ActSpec",
+    "Artifact",
+    "ArtifactError",
+    "ArtifactLayer",
+    "load_artifact",
+    "register_builder",
+    "save_artifact",
+    "IntegerConv2d",
+    "IntegerEngine",
+    "IntegerLinear",
+    "build_integer_model",
+]

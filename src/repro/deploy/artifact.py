@@ -1,0 +1,497 @@
+"""Whole-model quantized artifacts: versioned, checksummed, bit-packed.
+
+An artifact is a directory with two files:
+
+``manifest.json``
+    Format version, model topology (a builder name + architecture kwargs,
+    so the loader can reconstruct the exact module tree), the quantization
+    formats of every quantized layer, and a segment table into the payload
+    blob with per-segment SHA-256 checksums.
+``weights.bin``
+    One contiguous blob. Quantized layer weights are stored as exact-width
+    bitstreams (N-bit two's-complement codes and M-bit unsigned per-vector
+    scales via :func:`repro.quant.export.pack_bits`); coarse gammas,
+    biases, and all non-quantized float parameters are stored as raw
+    little-endian arrays at their native dtype so a save → load round-trip
+    is bitwise lossless.
+
+``save_artifact`` consumes a fake-quantized model produced by
+:func:`repro.quant.ptq.quantize_model` under a two-level VS-Quant config
+(the paper's deployable representation); ``load_artifact`` verifies the
+checksums and returns the unpacked layers, from which
+:func:`repro.deploy.engine.build_integer_model` rebuilds a runnable model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro import nn
+from repro.quant.export import pack_bits, unpack_bits
+from repro.quant.formats import IntFormat
+from repro.quant.granularity import Granularity, VectorLayout
+from repro.quant.integer_exec import QuantizedTensor, quantize_tensor
+from repro.quant.qlayers import QuantConv2d, QuantLinear, quant_layers
+from repro.quant.quantizer import Quantizer, ScaleKind
+from repro.utils.log import get_logger
+
+logger = get_logger("deploy")
+
+ARTIFACT_FORMAT = "repro.deploy/quantized-model"
+ARTIFACT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+PAYLOAD_NAME = "weights.bin"
+
+
+class ArtifactError(RuntimeError):
+    """Raised for unexportable models, malformed or corrupt artifacts."""
+
+
+# ----------------------------------------------------------------------
+# topology builders
+# ----------------------------------------------------------------------
+_BUILDERS: dict[str, Callable[[dict], nn.Module]] = {}
+
+
+def register_builder(name: str, build: Callable[[dict], nn.Module]) -> None:
+    """Register a topology builder: ``build(arch) -> float model skeleton``.
+
+    The zoo models are pre-registered ("miniresnet", "minibert"); custom
+    models register a builder before ``load_artifact`` so the manifest's
+    ``model.builder``/``model.arch`` pair can be turned back into modules.
+    """
+    _BUILDERS[name] = build
+
+
+def get_builder(name: str) -> Callable[[dict], nn.Module]:
+    if name not in _BUILDERS:
+        raise ArtifactError(
+            f"no topology builder registered for {name!r}; call "
+            f"repro.deploy.register_builder({name!r}, fn) first "
+            f"(registered: {sorted(_BUILDERS)})"
+        )
+    return _BUILDERS[name]
+
+
+def _build_miniresnet(arch: dict) -> nn.Module:
+    from repro.models.resnet import MiniResNet
+
+    return MiniResNet(**arch)
+
+
+def _build_minibert(arch: dict) -> nn.Module:
+    from repro.models.bert import MiniBERT, MiniBERTConfig
+
+    return MiniBERT(MiniBERTConfig(**arch))
+
+
+register_builder("miniresnet", _build_miniresnet)
+register_builder("minibert", _build_minibert)
+
+
+def model_meta(model: nn.Module) -> tuple[str, dict]:
+    """Derive (builder, arch) for a model the zoo builders can rebuild."""
+    from repro.models.bert import MiniBERT
+    from repro.models.resnet import MiniResNet
+
+    if isinstance(model, MiniResNet):
+        return "miniresnet", dict(model.arch)
+    if isinstance(model, MiniBERT):
+        import dataclasses
+
+        return "minibert", dataclasses.asdict(model.config)
+    raise ArtifactError(
+        f"cannot derive a topology builder for {type(model).__name__}; pass "
+        "builder=/arch= explicitly (and register_builder the constructor)"
+    )
+
+
+# ----------------------------------------------------------------------
+# payload blob
+# ----------------------------------------------------------------------
+class _BlobWriter:
+    """Appends byte segments and records (offset, length, sha256)."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._offset = 0
+
+    def add(self, data: bytes) -> dict:
+        seg = {
+            "offset": self._offset,
+            "bytes": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+        self._chunks.append(data)
+        self._offset += len(data)
+        return seg
+
+    def add_array(self, arr: np.ndarray) -> dict:
+        arr = np.ascontiguousarray(arr)
+        seg = self.add(arr.tobytes())
+        seg["dtype"] = str(arr.dtype)
+        seg["shape"] = list(arr.shape)
+        return seg
+
+    def payload(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+def _read_segment(blob: bytes, seg: Mapping, verify: bool) -> bytes:
+    lo, n = int(seg["offset"]), int(seg["bytes"])
+    if lo < 0 or lo + n > len(blob):
+        raise ArtifactError(f"segment [{lo}, {lo + n}) outside payload of {len(blob)} bytes")
+    data = blob[lo : lo + n]
+    if verify and hashlib.sha256(data).hexdigest() != seg["sha256"]:
+        raise ArtifactError(f"checksum mismatch for segment at offset {lo}")
+    return data
+
+
+def _read_array(blob: bytes, seg: Mapping, verify: bool) -> np.ndarray:
+    data = _read_segment(blob, seg, verify)
+    arr = np.frombuffer(data, dtype=np.dtype(seg["dtype"]))
+    return arr.reshape([int(d) for d in seg["shape"]]).copy()
+
+
+# ----------------------------------------------------------------------
+# layer specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ActSpec:
+    """Runtime activation-quantization format of one layer.
+
+    Activations are quantized dynamically at inference time (the paper's
+    deployment mode), so the artifact records the *format* — bit widths,
+    signedness detected during calibration, vector geometry — rather than
+    any data.
+    """
+
+    bits: int
+    signed: bool
+    scale_bits: int
+    vector_size: int
+    vector_axis: int
+
+    @property
+    def fmt(self) -> IntFormat:
+        return IntFormat(self.bits, self.signed)
+
+    @property
+    def scale_fmt(self) -> IntFormat:
+        return IntFormat(self.scale_bits, signed=False)
+
+    @property
+    def layout(self) -> VectorLayout:
+        return VectorLayout(self.vector_axis, self.vector_size)
+
+
+@dataclass
+class ArtifactLayer:
+    """One quantized layer, unpacked and ready for the integer engine."""
+
+    name: str
+    kind: str  # "conv2d" | "linear"
+    geometry: dict
+    weight: QuantizedTensor
+    bias: np.ndarray | None
+    act: ActSpec
+
+
+@dataclass
+class Artifact:
+    """A loaded artifact: manifest + unpacked layers + float parameters."""
+
+    manifest: dict
+    layers: list[ArtifactLayer]
+    floats: dict[str, np.ndarray]
+
+    @property
+    def builder(self) -> str:
+        return self.manifest["model"]["builder"]
+
+    @property
+    def arch(self) -> dict:
+        return self.manifest["model"]["arch"]
+
+    @property
+    def task(self) -> str | None:
+        return self.manifest["model"].get("task")
+
+
+def _require_two_level(name: str, role: str, q: Quantizer | None) -> None:
+    """The artifact format stores per-vector two-level integer tensors only."""
+    if q is None:
+        raise ArtifactError(f"layer {name}: {role} quantizer missing; run quantize_model first")
+    spec = q.spec
+    if spec.granularity is not Granularity.PER_VECTOR or spec.scale.kind is not ScaleKind.INT:
+        raise ArtifactError(
+            f"layer {name}: {role} must use per-vector two-level integer scales "
+            f"(got granularity={spec.granularity.value}, scale={spec.scale}); "
+            "export a PTQConfig.vs_quant(...) model with integer weight_scale/act_scale"
+        )
+    if spec.calibration != "max":
+        raise ArtifactError(
+            f"layer {name}: {role} calibration {spec.calibration!r} is not "
+            "representable in the artifact (deployment uses max scaling)"
+        )
+    if spec.decompose_order != "vector_first":
+        raise ArtifactError(
+            f"layer {name}: decompose_order {spec.decompose_order!r} is not "
+            "supported by the integer engine (vector_first only)"
+        )
+
+
+def _layer_geometry(layer: QuantConv2d | QuantLinear) -> tuple[str, dict]:
+    if isinstance(layer, QuantConv2d):
+        return "conv2d", {
+            "in_channels": layer.in_channels,
+            "out_channels": layer.out_channels,
+            "kernel_size": layer.kernel_size,
+            "stride": layer.stride,
+            "padding": layer.padding,
+        }
+    return "linear", {
+        "in_features": layer.in_features,
+        "out_features": layer.out_features,
+    }
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def save_artifact(
+    model: nn.Module,
+    path: str | Path,
+    *,
+    builder: str | None = None,
+    arch: dict | None = None,
+    name: str | None = None,
+    task: str | None = None,
+    quant_label: str | None = None,
+    input_shape: tuple[int, ...] | None = None,
+) -> dict:
+    """Serialize a fake-quantized model into an artifact directory.
+
+    ``model`` must come from :func:`repro.quant.ptq.quantize_model` under a
+    two-level VS-Quant config. ``builder``/``arch`` name the topology (zoo
+    models are auto-derived). Returns the manifest dict.
+    """
+    layers = quant_layers(model)
+    if not layers:
+        raise ArtifactError("model has no quantized layers; run quantize_model first")
+    if builder is None:
+        builder, derived_arch = model_meta(model)
+        if arch is None:
+            arch = derived_arch
+    elif arch is None:
+        try:  # an explicit builder keeps priority; only the arch is derived
+            _, arch = model_meta(model)
+        except ArtifactError as exc:
+            raise ArtifactError(
+                f"builder={builder!r} needs an explicit arch= for {type(model).__name__}"
+            ) from exc
+    get_builder(builder)  # fail fast on unknown builders
+
+    blob = _BlobWriter()
+    quantized_keys: set[str] = set()
+    layer_entries: list[dict] = []
+    packed_payload = 0
+    fp32_weight_bytes = 0
+
+    for dotted, layer in layers:
+        _require_two_level(dotted, "weight", layer.weight_quantizer)
+        _require_two_level(dotted, "input", layer.input_quantizer)
+        wspec = layer.weight_quantizer.spec
+        aspec = layer.input_quantizer.spec
+
+        weight = np.asarray(layer.weight.data, dtype=np.float64)
+        layout = VectorLayout(wspec.vector_axis, wspec.vector_size)
+        qt = quantize_tensor(
+            weight, layout, wspec.fmt, wspec.scale_fmt, channel_axes=wspec.channel_axes
+        )
+        codes_seg = blob.add(pack_bits(qt.codes, wspec.bits, wspec.signed))
+        scales_seg = blob.add(pack_bits(qt.sq, wspec.scale_fmt.bits, signed=False))
+        gamma_seg = blob.add_array(np.asarray(qt.gamma, dtype=np.float64))
+        packed_payload += codes_seg["bytes"] + scales_seg["bytes"]
+        fp32_weight_bytes += weight.size * 4
+
+        kind, geometry = _layer_geometry(layer)
+        bias_entry = None
+        quantized_keys.add(f"{dotted}.weight")
+        if layer.bias is not None:
+            bias_entry = blob.add_array(np.asarray(layer.bias.data))
+            quantized_keys.add(f"{dotted}.bias")
+
+        layer_entries.append(
+            {
+                "name": dotted,
+                "kind": kind,
+                "geometry": geometry,
+                "weight": {
+                    "elem_bits": wspec.bits,
+                    "elem_signed": wspec.signed,
+                    "scale_bits": wspec.scale_fmt.bits,
+                    "vector_size": wspec.vector_size,
+                    "axis": wspec.vector_axis,
+                    "axis_len": qt.axis_len,
+                    "codes_shape": list(qt.codes.shape),
+                    "sq_shape": list(qt.sq.shape),
+                    "codes": codes_seg,
+                    "scales": scales_seg,
+                    "gamma": gamma_seg,
+                },
+                "bias": bias_entry,
+                "act": {
+                    "bits": aspec.bits,
+                    "signed": aspec.signed,
+                    "scale_bits": aspec.scale_fmt.bits,
+                    "vector_size": aspec.vector_size,
+                    "vector_axis": aspec.vector_axis,
+                },
+            }
+        )
+
+    float_entries: list[dict] = []
+    for key, value in model.state_dict().items():
+        plain = key[len("buffer.") :] if key.startswith("buffer.") else key
+        if plain in quantized_keys:
+            continue
+        entry = blob.add_array(np.asarray(value))
+        entry["key"] = key
+        float_entries.append(entry)
+
+    payload = blob.payload()
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "format_version": ARTIFACT_VERSION,
+        "created_unix": time.time(),
+        "model": {
+            "name": name or builder,
+            "builder": builder,
+            "arch": arch,
+            "task": task,
+            "input_shape": list(input_shape) if input_shape else None,
+        },
+        "quant": {"label": quant_label, "decompose_order": "vector_first"},
+        "payload": {
+            "file": PAYLOAD_NAME,
+            "bytes": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        },
+        "summary": {
+            "num_quantized_layers": len(layer_entries),
+            "num_float_params": len(float_entries),
+            "packed_weight_bytes": packed_payload,
+            "fp32_weight_bytes": fp32_weight_bytes,
+        },
+        "layers": layer_entries,
+        "floats": float_entries,
+    }
+
+    out = Path(path)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / PAYLOAD_NAME).write_bytes(payload)
+    (out / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    logger.info(
+        "saved artifact %s: %d quantized layers, %d payload bytes",
+        out,
+        len(layer_entries),
+        len(payload),
+    )
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def load_artifact(path: str | Path, verify: bool = True) -> Artifact:
+    """Read an artifact directory back into unpacked tensors.
+
+    With ``verify=True`` (default) the whole-payload and per-segment
+    SHA-256 checksums are recomputed; any mismatch raises
+    :class:`ArtifactError` before a single tensor is deserialized.
+    """
+    root = Path(path)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ArtifactError(f"no {MANIFEST_NAME} in {root}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"malformed manifest in {root}: {exc}") from exc
+
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(f"not a quantized-model artifact: format={manifest.get('format')!r}")
+    if manifest.get("format_version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"artifact format version {manifest.get('format_version')} "
+            f"unsupported (this build reads version {ARTIFACT_VERSION})"
+        )
+
+    blob = (root / manifest["payload"]["file"]).read_bytes()
+    if verify:
+        if len(blob) != manifest["payload"]["bytes"]:
+            raise ArtifactError(
+                f"payload is {len(blob)} bytes, manifest says {manifest['payload']['bytes']}"
+            )
+        if hashlib.sha256(blob).hexdigest() != manifest["payload"]["sha256"]:
+            raise ArtifactError("payload checksum mismatch (corrupt weights.bin)")
+
+    layers: list[ArtifactLayer] = []
+    for entry in manifest["layers"]:
+        w = entry["weight"]
+        fmt = IntFormat(w["elem_bits"], w["elem_signed"])
+        scale_fmt = IntFormat(w["scale_bits"], signed=False)
+        codes_shape = tuple(int(d) for d in w["codes_shape"])
+        sq_shape = tuple(int(d) for d in w["sq_shape"])
+        codes = unpack_bits(
+            _read_segment(blob, w["codes"], verify),
+            int(np.prod(codes_shape)),
+            fmt.bits,
+            fmt.signed,
+        ).reshape(codes_shape)
+        sq = unpack_bits(
+            _read_segment(blob, w["scales"], verify),
+            int(np.prod(sq_shape)),
+            scale_fmt.bits,
+            signed=False,
+        ).reshape(sq_shape)
+        gamma = _read_array(blob, w["gamma"], verify)
+        weight = QuantizedTensor(
+            codes=codes.astype(np.float64),
+            sq=sq.astype(np.float64),
+            gamma=gamma,
+            layout=VectorLayout(int(w["axis"]), int(w["vector_size"])),
+            axis_len=int(w["axis_len"]),
+            fmt=fmt,
+            scale_fmt=scale_fmt,
+        )
+        bias = _read_array(blob, entry["bias"], verify) if entry["bias"] else None
+        act = ActSpec(
+            bits=int(entry["act"]["bits"]),
+            signed=bool(entry["act"]["signed"]),
+            scale_bits=int(entry["act"]["scale_bits"]),
+            vector_size=int(entry["act"]["vector_size"]),
+            vector_axis=int(entry["act"]["vector_axis"]),
+        )
+        layers.append(
+            ArtifactLayer(
+                name=entry["name"],
+                kind=entry["kind"],
+                geometry=entry["geometry"],
+                weight=weight,
+                bias=bias,
+                act=act,
+            )
+        )
+
+    floats = {e["key"]: _read_array(blob, e, verify) for e in manifest["floats"]}
+    return Artifact(manifest=manifest, layers=layers, floats=floats)

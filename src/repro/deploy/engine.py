@@ -1,0 +1,328 @@
+"""Integer inference engine: execute a loaded artifact end-to-end.
+
+The engine rebuilds the model topology named by the manifest, loads the
+float parameters of the non-quantized layers, and swaps every quantized
+Conv2d/Linear for an :class:`IntegerConv2d`/:class:`IntegerLinear` that
+
+1. dynamically quantizes its input activations into the two-level integer
+   representation recorded in the artifact (N-bit codes, M-bit per-vector
+   scales — the datapath of Fig. 2b), and
+2. executes the layer with the true integer kernels of
+   :mod:`repro.quant.integer_exec` (Eq. 5), applying the fp coarse scales
+   and bias once per output.
+
+Everything outside the GEMMs — BatchNorm, LayerNorm, softmax, residual
+adds, pooling — runs in floating point, exactly as the paper's accelerator
+leaves non-MAC work to higher precision. The result is bit-consistent with
+the fake-quant simulation of :mod:`repro.quant.qlayers` up to float
+summation order (asserted by ``tests/deploy/test_engine.py``).
+
+Two serving-relevant knobs:
+
+``per_sample_scale``
+    The fake-quant path computes the activation coarse scale gamma over the
+    whole batch tensor, so a sample's output depends on what it was batched
+    with. Serving wants batch-invariant replies; ``per_sample_scale=True``
+    keeps one gamma per sample (``channel_axes=(0,)``) so dynamic batching
+    never changes a response.
+``scale_product_bits``
+    The hardware scale-product rounding knob of Fig. 3, applied uniformly
+    to every layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.deploy.artifact import (
+    ActSpec,
+    Artifact,
+    ArtifactError,
+    ArtifactLayer,
+    get_builder,
+    load_artifact,
+)
+from repro.quant.integer_exec import (
+    QuantizedTensor,
+    exact_gemm_dtype,
+    fold_quantize_conv_nchw,
+    integer_conv2d,
+    integer_conv2d_prefolded,
+    integer_linear,
+    quantize_tensor,
+)
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class _IntegerLayerBase(nn.Module):
+    """Shared activation-quantization plumbing for integer layers."""
+
+    def __init__(
+        self,
+        weight_q: QuantizedTensor,
+        bias: np.ndarray | None,
+        act: ActSpec,
+        per_sample_scale: bool = False,
+        scale_product_bits: int | None = None,
+        out_dtype: type | None = None,
+    ):
+        super().__init__()
+        self.weight_q = weight_q
+        self.act = act
+        self.per_sample_scale = per_sample_scale
+        self.scale_product_bits = scale_product_bits
+        #: None = strict float64 reference arithmetic; np.float32 = serving
+        #: precision (exact integer accumulators, fused fp32 scaling).
+        self.out_dtype = out_dtype
+        self.bias_data = (
+            bias.astype(out_dtype) if bias is not None and out_dtype is not None else bias
+        )
+        # When this layer's integer GEMM fits float32 exactly, store the
+        # activation codes narrow too (halves kernel traffic, same bits).
+        nv, V = weight_q.codes.shape[-2:]
+        reduction = nv * V
+        if weight_q.codes.ndim == 5:  # conv KRS(nv)(V): reduce over R*S too
+            reduction *= weight_q.codes.shape[1] * weight_q.codes.shape[2]
+        self._code_dtype = exact_gemm_dtype(
+            act.fmt, act.scale_fmt, weight_q.fmt, weight_q.scale_fmt, reduction
+        )
+
+    def _quantize_input(self, x) -> QuantizedTensor:
+        data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+        if self.out_dtype is not None and data.dtype != self.out_dtype:
+            data = data.astype(self.out_dtype)
+        channel_axes = (0,) if self.per_sample_scale else ()
+        return quantize_tensor(
+            data,
+            self.act.layout,
+            self.act.fmt,
+            self.act.scale_fmt,
+            channel_axes=channel_axes,
+            code_dtype=self._code_dtype,
+        )
+
+
+class IntegerLinear(_IntegerLayerBase):
+    """Linear layer executed with per-vector integer dot products."""
+
+    def __init__(self, weight_q, bias, act, geometry: dict, **kwargs):
+        super().__init__(weight_q, bias, act, **kwargs)
+        self.in_features = geometry["in_features"]
+        self.out_features = geometry["out_features"]
+
+    def forward(self, x) -> Tensor:
+        xq = self._quantize_input(x)
+        out = integer_linear(
+            xq,
+            self.weight_q,
+            scale_product_bits=self.scale_product_bits,
+            out_dtype=self.out_dtype,
+        )
+        if self.bias_data is not None:
+            out = out + self.bias_data
+        return Tensor(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegerLinear(in={self.in_features}, out={self.out_features}, "
+            f"w={self.weight_q.fmt}, act={self.act.fmt})"
+        )
+
+
+class IntegerConv2d(_IntegerLayerBase):
+    """Conv2d executed with the VS-Quant integer conv pipeline."""
+
+    def __init__(self, weight_q, bias, act, geometry: dict, **kwargs):
+        super().__init__(weight_q, bias, act, **kwargs)
+        self.in_channels = geometry["in_channels"]
+        self.out_channels = geometry["out_channels"]
+        self.kernel_size = geometry["kernel_size"]
+        self.stride = geometry["stride"]
+        self.padding = geometry["padding"]
+        # Serving fast path: when channels align with the vector size, the
+        # activation quantize+fold runs fused in NCHW (no transposed input
+        # copy) against weights folded once here at load time.
+        self._fused = (
+            self.out_dtype is not None
+            and self.scale_product_bits is None
+            and self.act.vector_axis == 1
+            and self.in_channels % self.act.vector_size == 0
+        )
+        if self._fused:
+            K = weight_q.codes.shape[0]
+            self._wf = np.multiply(
+                weight_q.codes, weight_q.sq[..., None], dtype=self._code_dtype
+            ).reshape(K, -1)
+            self._gamma_w = np.asarray(weight_q.gamma).reshape(K)
+
+    def forward(self, x) -> Tensor:
+        if self._fused:
+            data = x.data if isinstance(x, Tensor) else np.asarray(x)
+            if data.dtype != self.out_dtype:
+                data = data.astype(self.out_dtype)
+            xf, gamma_x = fold_quantize_conv_nchw(
+                data,
+                self.act.vector_size,
+                self.act.fmt,
+                self.act.scale_fmt,
+                self.per_sample_scale,
+                self._code_dtype,
+            )
+            out = integer_conv2d_prefolded(
+                xf,
+                gamma_x,
+                self._wf,
+                self._gamma_w,
+                self.kernel_size,
+                self.stride,
+                self.padding,
+                self.out_dtype,
+            )
+        else:
+            xq = self._quantize_input(x)
+            out = integer_conv2d(
+                xq,
+                self.weight_q,
+                stride=self.stride,
+                padding=self.padding,
+                scale_product_bits=self.scale_product_bits,
+                out_dtype=self.out_dtype,
+            )
+        if self.bias_data is not None:
+            out = out + self.bias_data[None, :, None, None]
+        return Tensor(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegerConv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, "
+            f"w={self.weight_q.fmt}, act={self.act.fmt})"
+        )
+
+
+def _set_submodule(root: nn.Module, dotted: str, module: nn.Module) -> None:
+    parts = dotted.split(".")
+    parent = root
+    for part in parts[:-1]:
+        if part not in parent._modules:
+            raise ArtifactError(f"manifest layer {dotted!r} not found in rebuilt topology")
+        parent = parent._modules[part]
+    if parts[-1] not in parent._modules:
+        raise ArtifactError(f"manifest layer {dotted!r} not found in rebuilt topology")
+    setattr(parent, parts[-1], module)
+
+
+def _make_integer_layer(
+    spec: ArtifactLayer,
+    per_sample_scale: bool,
+    scale_product_bits: int | None,
+    out_dtype: type | None,
+) -> nn.Module:
+    cls = {"conv2d": IntegerConv2d, "linear": IntegerLinear}.get(spec.kind)
+    if cls is None:
+        raise ArtifactError(f"unknown layer kind {spec.kind!r} for {spec.name}")
+    return cls(
+        spec.weight,
+        spec.bias,
+        spec.act,
+        spec.geometry,
+        per_sample_scale=per_sample_scale,
+        scale_product_bits=scale_product_bits,
+        out_dtype=out_dtype,
+    )
+
+
+def build_integer_model(
+    artifact: Artifact,
+    per_sample_scale: bool = False,
+    scale_product_bits: int | None = None,
+    precision: str = "float64",
+) -> nn.Module:
+    """Rebuild the artifact's topology with integer layers swapped in.
+
+    ``precision="float64"`` is the strict reference mode (bit-consistent
+    with the fake-quant simulation up to summation order).
+    ``precision="float32"`` runs the non-integer glue (BatchNorm,
+    activations, residuals) and the fp scale application in single
+    precision — the integer accumulators stay exact — roughly halving the
+    engine's memory traffic for serving.
+    """
+    if precision not in ("float64", "float32"):
+        raise ValueError(f"precision must be float64 or float32, got {precision!r}")
+    out_dtype = np.float32 if precision == "float32" else None
+    model = get_builder(artifact.builder)(dict(artifact.arch))
+    params = dict(model.named_parameters())
+    for key, value in artifact.floats.items():
+        if out_dtype is not None and value.dtype.kind == "f":
+            value = value.astype(out_dtype)
+        if key.startswith("buffer."):
+            try:
+                model._assign_buffer(key[len("buffer.") :], value)
+            except KeyError as exc:
+                raise ArtifactError(f"artifact buffer {key!r} not in topology") from exc
+            continue
+        if key not in params:
+            raise ArtifactError(f"artifact parameter {key!r} not in rebuilt topology")
+        if params[key].shape != value.shape:
+            raise ArtifactError(
+                f"shape mismatch for {key!r}: topology {params[key].shape} "
+                f"vs artifact {value.shape} (arch drift?)"
+            )
+        params[key].data = value
+    for spec in artifact.layers:
+        _set_submodule(
+            model,
+            spec.name,
+            _make_integer_layer(spec, per_sample_scale, scale_product_bits, out_dtype),
+        )
+    model.eval()
+    return model
+
+
+class IntegerEngine:
+    """A loaded artifact plus its runnable integer model.
+
+    ``engine(*inputs)`` executes one forward pass under ``no_grad`` and
+    returns the raw output array; ``engine.model`` is the underlying
+    :class:`repro.nn.Module` for callers (evaluators, servers) that want
+    the module interface.
+    """
+
+    def __init__(self, artifact: Artifact, model: nn.Module):
+        self.artifact = artifact
+        self.model = model
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        per_sample_scale: bool = False,
+        scale_product_bits: int | None = None,
+        precision: str = "float64",
+        verify: bool = True,
+    ) -> "IntegerEngine":
+        artifact = load_artifact(path, verify=verify)
+        model = build_integer_model(
+            artifact,
+            per_sample_scale=per_sample_scale,
+            scale_product_bits=scale_product_bits,
+            precision=precision,
+        )
+        return cls(artifact, model)
+
+    @property
+    def manifest(self) -> dict:
+        return self.artifact.manifest
+
+    @property
+    def task(self) -> str | None:
+        return self.artifact.task
+
+    def __call__(self, *args, **kwargs) -> np.ndarray:
+        with no_grad():
+            out = self.model(*args, **kwargs)
+        return out.data if isinstance(out, Tensor) else np.asarray(out)

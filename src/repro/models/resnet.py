@@ -54,6 +54,9 @@ class MiniResNet(nn.Module):
         seed: int = 0,
     ):
         super().__init__()
+        #: Constructor arguments, recorded so a deployment artifact can
+        #: rebuild an identical topology (see :mod:`repro.deploy`).
+        self.arch = {"num_classes": num_classes, "width": width, "depth": depth}
         rng = seeded_rng("miniresnet-init", seed)
         chans = [16 * width, 32 * width, 64 * width]
         self.stem = nn.Conv2d(3, chans[0], 3, stride=1, padding=1, bias=False, rng=rng)

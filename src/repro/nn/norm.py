@@ -41,13 +41,21 @@ class BatchNorm2d(Module):
                 "running_var",
                 (1 - m) * self.running_var + m * var.data.reshape(-1),
             )
-        else:
-            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
-            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
-        inv = (var + self.eps) ** -0.5
-        w = self.weight.reshape(1, -1, 1, 1)
-        b = self.bias.reshape(1, -1, 1, 1)
-        return (x - mean) * inv * w + b
+            inv = (var + self.eps) ** -0.5
+            w = self.weight.reshape(1, -1, 1, 1)
+            b = self.bias.reshape(1, -1, 1, 1)
+            return (x - mean) * inv * w + b
+        # Eval: running stats are constants, so fold the whole affine into
+        # one per-channel scale/shift pair — two passes over the activation
+        # instead of four (the serving engine's inference hot path). Keeps
+        # the weight/bias Tensors in the chain so QAT-style finetuning of a
+        # frozen-stats model still receives gradients.
+        inv = (Tensor(self.running_var.reshape(1, -1, 1, 1)) + self.eps) ** -0.5
+        scale = self.weight.reshape(1, -1, 1, 1) * inv
+        shift = self.bias.reshape(1, -1, 1, 1) - Tensor(
+            self.running_mean.reshape(1, -1, 1, 1)
+        ) * scale
+        return x * scale + shift
 
 
 class LayerNorm(Module):

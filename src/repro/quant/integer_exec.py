@@ -65,15 +65,36 @@ def quantize_tensor(
     fmt: IntFormat,
     scale_fmt: IntFormat,
     channel_axes: tuple[int, ...] = (),
+    code_dtype: type | None = None,
 ) -> QuantizedTensor:
-    """Quantize a real tensor into the two-level integer representation."""
+    """Quantize a real tensor into the two-level integer representation.
+
+    Works entirely in the ``(..., n_vectors, V)`` vector view — one
+    ``to_vectors`` pass instead of the expand/re-vectorize round-trip, and
+    the round/clip steps reuse one temporary — which matters on the
+    serving hot path where every activation tensor goes through here once
+    per layer. Codes are bitwise identical to
+    :func:`repro.quant.two_level.fake_quant_two_level`'s Eq. 7c codes
+    (padded tail elements are zero either way; division stays float64, so
+    ties round identically). ``code_dtype`` optionally stores the integer
+    codes narrower (e.g. float32, exact for any width the formats allow)
+    to halve downstream kernel traffic.
+    """
     x = np.asarray(x)
-    s_fp = per_vector_scales(x, layout, fmt)
+    xv = layout.to_vectors(x)
+    if xv.size:
+        # absmax without materializing |xv|: max of (max, -min) per vector.
+        alpha = np.maximum(xv.max(axis=-1), -xv.min(axis=-1))
+    else:
+        alpha = np.zeros(xv.shape[:-1])
+    s_fp = per_vector_scales(x, layout, fmt, alpha=alpha)
     scales: TwoLevelScales = decompose_scales(s_fp, scale_fmt, channel_axes)
     axis_len = x.shape[layout.axis]
-    s_elem = layout.expand(np.maximum(s_fp, 1e-12), axis_len)
-    codes_flat = np.clip(np.rint(x / s_elem), fmt.qmin, fmt.qmax)
-    codes = layout.to_vectors(codes_flat)
+    codes = xv / np.maximum(s_fp, 1e-12)[..., None]
+    np.rint(codes, out=codes)
+    np.clip(codes, fmt.qmin, fmt.qmax, out=codes)
+    if code_dtype is not None:
+        codes = codes.astype(code_dtype, copy=False)
     return QuantizedTensor(
         codes=codes,
         sq=scales.sq,
@@ -83,6 +104,94 @@ def quantize_tensor(
         fmt=fmt,
         scale_fmt=scale_fmt,
     )
+
+
+def fold_quantize_conv_nchw(
+    x: np.ndarray,
+    vector_size: int,
+    fmt: IntFormat,
+    scale_fmt: IntFormat,
+    per_sample: bool,
+    fold_dtype: type,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Serving fast path: quantize + scale-fold an NCHW activation in place.
+
+    Requires ``C % vector_size == 0`` (vectors are contiguous channel
+    blocks, so no transposed copy of the input is needed — the only layout
+    change is the final fused write into the (B, H, W, C) array the im2col
+    GEMM consumes). Produces exactly the folded operand
+    ``codes * sq`` that :func:`integer_conv2d`'s fast path would build from
+    a :func:`quantize_tensor` result, plus the coarse gamma (per-sample
+    ``(B, 1, 1, 1)`` or per-tensor).
+    """
+    B, C, H, W = x.shape
+    nv = C // vector_size
+    xr = x.reshape(B, nv, vector_size, H, W)
+    absmax = np.maximum(xr.max(axis=2), -xr.min(axis=2))  # (B, nv, H, W)
+    s = np.maximum(absmax / fmt.qmax, 1e-12)  # scale_from_absmax
+    sq_qmax = 2**scale_fmt.bits - 1
+    axes = (1, 2, 3) if per_sample else (0, 1, 2, 3)
+    gamma = np.maximum(s.max(axis=axes, keepdims=True) / sq_qmax, 1e-30)
+    sq = np.clip(np.rint(s / gamma), 0, sq_qmax)
+    codes = xr / s[:, :, None]
+    np.rint(codes, out=codes)
+    # Clip is load-bearing for unsigned formats: the absmax scale covers the
+    # magnitude of negative inputs, but their codes must clamp to qmin=0.
+    np.clip(codes, fmt.qmin, fmt.qmax, out=codes)
+    folded = np.empty((B, H, W, C), dtype=fold_dtype)
+    np.multiply(codes, sq[:, :, None], out=folded.transpose(0, 3, 1, 2).reshape(xr.shape))
+    return folded, gamma
+
+
+def _im2col_cols(
+    xf: np.ndarray, R: int, S: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int, int]:
+    """(B, H, W, C) folded activations -> im2col matrix (B*P*Q, R*S*C)."""
+    B, H, W_, C = xf.shape
+    P = (H + 2 * padding - R) // stride + 1
+    Q = (W_ + 2 * padding - S) // stride + 1
+    if padding:
+        xf = np.pad(xf, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+    sb, sh, sw, sc = xf.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xf, shape=(B, P, Q, R, S, C), strides=(sb, sh * stride, sw * stride, sh, sw, sc)
+    )
+    return windows.reshape(B * P * Q, R * S * C), B, P, Q  # materializes patches
+
+
+def _fused_gamma_scale(gamma_x, gamma_w: np.ndarray) -> np.ndarray:
+    """Fold both coarse scales into one per-output factor ((K,) or batched)."""
+    gx = np.asarray(gamma_x)
+    if gx.size > 1:
+        return gx * gamma_w
+    return float(gx.reshape(-1)[0]) * gamma_w
+
+
+def integer_conv2d_prefolded(
+    xf: np.ndarray,
+    gamma_x: np.ndarray,
+    wf: np.ndarray,
+    gamma_w: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+    out_dtype: type,
+) -> np.ndarray:
+    """im2col GEMM over pre-folded operands (the serving engine hot loop).
+
+    ``xf``: (B, H, W, C) folded activation codes from
+    :func:`fold_quantize_conv_nchw`; ``wf``: (K, R*S*C) folded weight codes
+    (precomputed once at artifact load). Equivalent to
+    :func:`integer_conv2d` with ``scale_product_bits=None`` — same exact
+    integer accumulators, same fused scaling — minus the per-call folds.
+    """
+    cols, B, P, Q = _im2col_cols(xf, kernel_size, kernel_size, stride, padding)
+    acc = cols @ wf.T
+    scale = _fused_gamma_scale(gamma_x, gamma_w)
+    scaled = np.multiply(
+        acc.reshape(B, P, Q, wf.shape[0]), scale.astype(out_dtype, copy=False), dtype=out_dtype
+    )
+    return np.ascontiguousarray(np.moveaxis(scaled, 3, 1))
 
 
 def round_scale_product(
@@ -100,10 +209,43 @@ def round_scale_product(
     return np.rint(np.asarray(product, dtype=np.float64) / shift) * shift
 
 
+#: Largest integer float32 represents exactly (2**24); integer GEMMs whose
+#: worst-case accumulator stays below this can run in single precision with
+#: bitwise-identical results.
+_F32_EXACT_LIMIT = float(2**24)
+
+
+def exact_gemm_dtype(
+    x_fmt: IntFormat,
+    x_scale_fmt: IntFormat,
+    w_fmt: IntFormat,
+    w_scale_fmt: IntFormat,
+    reduction: int,
+):
+    """float32 when the folded integer GEMM cannot overflow 24 bits.
+
+    With the scales folded into the codes, every product is bounded by
+    qmax_x * sqmax_x * qmax_w * sqmax_w and every partial sum by that times
+    the reduction length; below 2**24 all of them are exact float32
+    integers, so SGEMM (≈2x DGEMM throughput, half the im2col traffic)
+    returns the same integers DGEMM would. The paper's flagship W4/A4
+    S4/S4 format qualifies for every layer of the model zoo.
+    """
+    bound = (
+        x_fmt.qmax
+        * (2**x_scale_fmt.bits - 1)
+        * w_fmt.qmax
+        * (2**w_scale_fmt.bits - 1)
+        * reduction
+    )
+    return np.float32 if bound < _F32_EXACT_LIMIT else np.float64
+
+
 def integer_linear(
     x: QuantizedTensor,
     w: QuantizedTensor,
     scale_product_bits: int | None = None,
+    out_dtype: type | None = None,
 ) -> np.ndarray:
     """Execute a linear layer exactly as the VS-Quant PE does (Eq. 5).
 
@@ -113,6 +255,16 @@ def integer_linear(
     dot products are scaled by the (optionally rounded) integer scale
     product and accumulated; the two fp gammas are applied once at the end.
 
+    The activation gamma may be per-tensor (``channel_axes=()``, one value)
+    or per-sample (``channel_axes=(0,)``, the serving engine's
+    batch-invariant mode); any non-batch gamma axis must be singleton.
+
+    ``out_dtype=None`` (default) applies the fp gammas in float64 with the
+    reference operation order — the bit-consistency contract the tests pin
+    down. ``out_dtype=np.float32`` is the serving engine's low-precision
+    mode: the integer accumulator is still exact, but the coarse scales are
+    applied as one fused float32 multiply (~1e-7 relative noise).
+
     Returns the real-valued output (batch..., out_features).
     """
     if x.codes.shape[-2:] != w.codes.shape[-2:]:
@@ -120,17 +272,44 @@ def integer_linear(
             f"vector geometry mismatch: activations {x.codes.shape[-2:]} vs "
             f"weights {w.codes.shape[-2:]}"
         )
-    # Integer dot product per vector: (batch..., 1, nv, V) x (K, nv, V).
-    dot = np.einsum("...vi,kvi->...kv", x.codes, w.codes, optimize=True)
-    product = x.sq[..., None, :] * w.sq[None, :, :]  # (batch..., K, nv)
-    full_bits = x.scale_fmt.bits + w.scale_fmt.bits
-    product = round_scale_product(product, full_bits, scale_product_bits)
-    acc = (dot * product).sum(axis=-1)  # (batch..., K)
-    # The activation gamma is per-tensor (channel_axes=()): one value.
-    gamma_x = float(np.asarray(x.gamma).reshape(-1)[0])
+    if scale_product_bits is None:
+        # Fast path: with no scale-product rounding, sq distributes into the
+        # codes — every code*scale product and partial sum is a small exact
+        # integer, so one GEMM over the flattened (nv, V) axis is bitwise
+        # identical to the per-vector accumulation below (in float32 when
+        # the 24-bit accumulator bound allows, float64 otherwise).
+        nv, V = x.codes.shape[-2:]
+        dt = exact_gemm_dtype(x.fmt, x.scale_fmt, w.fmt, w.scale_fmt, nv * V)
+        xf = np.multiply(x.codes, x.sq[..., None], dtype=dt).reshape(
+            x.codes.shape[:-2] + (-1,)
+        )
+        wf = np.multiply(w.codes, w.sq[..., None], dtype=dt).reshape(
+            w.codes.shape[0], -1
+        )
+        acc = xf @ wf.T  # exact integers
+        if out_dtype is None:
+            # Back to float64 before the fp gamma scaling (reference order).
+            acc = acc.astype(np.float64, copy=False)
+    else:
+        # Integer dot product per vector: (batch..., 1, nv, V) x (K, nv, V).
+        dot = np.einsum("...vi,kvi->...kv", x.codes, w.codes, optimize=True)
+        product = x.sq[..., None, :] * w.sq[None, :, :]  # (batch..., K, nv)
+        full_bits = x.scale_fmt.bits + w.scale_fmt.bits
+        product = round_scale_product(product, full_bits, scale_product_bits)
+        acc = (dot * product).sum(axis=-1)  # (batch..., K)
     # The weight gamma is per output channel: shape (K, 1) -> (K,).
     gamma_w = np.asarray(w.gamma).reshape(w.codes.shape[0])
-    return acc * gamma_x * gamma_w
+    gamma_x = np.asarray(x.gamma)
+    if out_dtype is not None:
+        # Fused low-precision scaling: fold both gammas into one small
+        # per-output factor ((K,) or (batch, 1, K)), one accumulator pass.
+        scale = _fused_gamma_scale(gamma_x, gamma_w)
+        return np.multiply(acc, scale.astype(out_dtype, copy=False), dtype=out_dtype)
+    if gamma_x.size == 1:  # per-tensor: multiply by a scalar
+        return acc * float(gamma_x.reshape(-1)[0]) * gamma_w
+    # Per-sample: gamma keeps sq's ndim with singleton non-batch axes, e.g.
+    # (B, 1, 1) against acc (B, T, K) — trailing broadcast lines up.
+    return acc * gamma_w * gamma_x
 
 
 def integer_conv2d(
@@ -139,6 +318,7 @@ def integer_conv2d(
     stride: int = 1,
     padding: int = 0,
     scale_product_bits: int | None = None,
+    out_dtype: type | None = None,
 ) -> np.ndarray:
     """Execute a conv layer with the VS-Quant integer pipeline.
 
@@ -147,6 +327,7 @@ def integer_conv2d(
     position owns its vectors, matching Fig. 1's V x 1 x 1 geometry. The
     per-(r, s) vector dot products are scaled by the rounded integer scale
     product and accumulated across (r, s, vectors); fp gammas apply once.
+    ``out_dtype`` as in :func:`integer_linear`.
 
     Returns the real-valued output (B, K, P, Q).
     """
@@ -157,31 +338,62 @@ def integer_conv2d(
     if (nv, V) != (nvw, Vw):
         raise ValueError(f"vector geometry mismatch: {(nv, V)} vs {(nvw, Vw)}")
     full_bits = x.scale_fmt.bits + w.scale_fmt.bits
-
-    codes = x.codes
-    sq = x.sq
-    if padding:
-        pad_c = ((0, 0), (padding, padding), (padding, padding), (0, 0), (0, 0))
-        codes = np.pad(codes, pad_c)
-        sq = np.pad(sq, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
     P = (H + 2 * padding - R) // stride + 1
     Q = (W_ + 2 * padding - S) // stride + 1
 
-    out = np.zeros((B, K, P, Q))
-    # Loop over the R x S kernel footprint (vectorized over B, P, Q, K, nv):
-    # the same strided-slice structure hardware uses for weight reuse.
-    for r in range(R):
-        for s in range(S):
-            xs = codes[:, r : r + stride * P : stride, s : s + stride * Q : stride]
-            ss = sq[:, r : r + stride * P : stride, s : s + stride * Q : stride]
-            dot = np.einsum("bpqvi,kvi->bkpqv", xs, w.codes[:, r, s], optimize=True)
-            # (B,1,P,Q,nv) x (1,K,1,1,nv) -> (B,K,P,Q,nv)
-            product = ss[:, None, :, :, :] * w.sq[None, :, r, s, :][:, :, None, None, :]
-            product = round_scale_product(product, full_bits, scale_product_bits)
-            out += (dot * product).sum(axis=-1)
-    gamma_x = float(np.asarray(x.gamma).reshape(-1)[0])
+    if scale_product_bits is None:
+        # Fast path (see integer_linear): fold the integer per-vector scales
+        # into the codes — all products and partial sums stay exact
+        # integers, so this is bitwise identical to the rounding path with
+        # rounding disabled, but runs as one im2col GEMM per layer (float32
+        # when the 24-bit accumulator bound allows). Folding before padding
+        # keeps the pad on the narrow flattened array.
+        C2 = nv * V
+        dt = exact_gemm_dtype(x.fmt, x.scale_fmt, w.fmt, w.scale_fmt, R * S * C2)
+        xf = np.multiply(x.codes, x.sq[..., None], dtype=dt).reshape(B, H, W_, C2)
+        wf = np.multiply(w.codes, w.sq[..., None], dtype=dt).reshape(K, R * S * C2)
+        if out_dtype is not None:
+            # Fused low-precision scaling — the serving engine's prefolded
+            # hot loop, via the same shared im2col/scale helpers.
+            cols, _, P, Q = _im2col_cols(xf, R, S, stride, padding)
+            acc = cols @ wf.T
+            scale = _fused_gamma_scale(x.gamma, np.asarray(w.gamma).reshape(K))
+            scaled = np.multiply(
+                acc.reshape(B, P, Q, K), scale.astype(out_dtype, copy=False), dtype=out_dtype
+            )
+            return np.ascontiguousarray(np.moveaxis(scaled, 3, 1))
+        cols, _, P, Q = _im2col_cols(xf, R, S, stride, padding)
+        acc_f = cols @ wf.T  # exact integers
+        # (B, P, Q, K) -> contiguous float64 NCHW before the fp gamma scaling.
+        out = np.ascontiguousarray(
+            np.moveaxis(acc_f.reshape(B, P, Q, K), 3, 1), dtype=np.float64
+        )
+    else:
+        codes = x.codes
+        sq = x.sq
+        if padding:
+            pad_c = ((0, 0), (padding, padding), (padding, padding), (0, 0), (0, 0))
+            codes = np.pad(codes, pad_c)
+            sq = np.pad(sq, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+        out = np.zeros((B, K, P, Q))
+        # Loop over the R x S kernel footprint (vectorized over B, P, Q, K,
+        # nv): the same strided-slice structure hardware uses for weight
+        # reuse.
+        for r in range(R):
+            for s in range(S):
+                xs = codes[:, r : r + stride * P : stride, s : s + stride * Q : stride]
+                ss = sq[:, r : r + stride * P : stride, s : s + stride * Q : stride]
+                dot = np.einsum("bpqvi,kvi->bkpqv", xs, w.codes[:, r, s], optimize=True)
+                # (B,1,P,Q,nv) x (1,K,1,1,nv) -> (B,K,P,Q,nv)
+                product = ss[:, None, :, :, :] * w.sq[None, :, r, s, :][:, :, None, None, :]
+                product = round_scale_product(product, full_bits, scale_product_bits)
+                out += (dot * product).sum(axis=-1)
     gamma_w = np.asarray(w.gamma).reshape(K)
-    return out * gamma_x * gamma_w[None, :, None, None]
+    gamma_x = np.asarray(x.gamma)
+    if gamma_x.size == 1:  # per-tensor activation gamma
+        return out * float(gamma_x.reshape(-1)[0]) * gamma_w[None, :, None, None]
+    # Per-sample gamma (B, 1, 1, 1) broadcasts against out (B, K, P, Q).
+    return out * gamma_w[None, :, None, None] * gamma_x
 
 
 def fake_quant_linear_reference(

@@ -11,6 +11,7 @@ so QAT trains the underlying full-precision weights through the quantizer
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -134,8 +135,12 @@ class Quantizer:
         self.last_sq: np.ndarray | None = None
         #: Memoized fake-quant of the last versioned input (weights): the
         #: source array, its Parameter version, the compute-dtype policy it
-        #: was computed under, and the result.
+        #: was computed under, and the result. Guarded by ``_cache_lock`` so
+        #: a serving worker pool can share one quantized model (the lock
+        #: covers lookup *and* recompute, so a cold cache is filled exactly
+        #: once no matter how many threads race on it).
         self._cache: tuple[np.ndarray, int, str, np.ndarray] | None = None
+        self._cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
         if spec.granularity is Granularity.PER_VECTOR and spec.vector_size < 1:
@@ -281,19 +286,20 @@ class Quantizer:
             return self._fake_quant_array(x.data)
         data = x.data
         policy = get_compute_dtype()
-        cached = self._cache
-        if (
-            cached is not None
-            and cached[0] is data
-            and cached[1] == version
-            and cached[2] == policy
-        ):
-            self.cache_hits += 1
-            return cached[3]
-        fq = self._fake_quant_array(data)
-        self._cache = (data, version, policy, fq)
-        self.cache_misses += 1
-        return fq
+        with self._cache_lock:
+            cached = self._cache
+            if (
+                cached is not None
+                and cached[0] is data
+                and cached[1] == version
+                and cached[2] == policy
+            ):
+                self.cache_hits += 1
+                return cached[3]
+            fq = self._fake_quant_array(data)
+            self._cache = (data, version, policy, fq)
+            self.cache_misses += 1
+            return fq
 
     def __call__(self, x) -> Tensor:
         """Fake-quantize ``x`` with a straight-through-estimator backward."""
@@ -305,6 +311,21 @@ class Quantizer:
                 x._accumulate(g)
 
         return Tensor._make(fq, (x,), backward)
+
+    # ------------------------------------------------------------------
+    # (de)serialization — locks are neither picklable nor deep-copyable
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_cache_lock"] = None
+        # The memo is keyed on array *identity*, which never survives
+        # (de)serialization — dropping it saves shipping every weight twice.
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
 
     def __repr__(self) -> str:
         return f"Quantizer({self.spec})"

@@ -1,0 +1,36 @@
+"""Threaded inference serving with dynamic batching.
+
+- :mod:`repro.serve.server` — :class:`InferenceServer`: a bounded request
+  queue (backpressure), a worker pool whose workers coalesce requests into
+  batches (max-batch-size + max-wait-ms), and latency/throughput stats.
+- :mod:`repro.serve.runners` — adapters that turn a model (or
+  :class:`repro.deploy.IntegerEngine`) into the server's ``batch_fn``:
+  stack single-sample payloads, run one forward, split the outputs.
+- :mod:`repro.serve.bench` — sequential vs dynamically-batched throughput
+  comparison used by ``repro bench-serve`` and
+  ``benchmarks/bench_serve_throughput.py``.
+
+See ``docs/serving.md`` for the design.
+"""
+
+from repro.serve.bench import format_comparison, throughput_comparison
+from repro.serve.runners import model_batch_fn, serve_model
+from repro.serve.server import (
+    InferenceServer,
+    PendingResponse,
+    ServerClosed,
+    ServerOverloaded,
+    ServeStats,
+)
+
+__all__ = [
+    "InferenceServer",
+    "PendingResponse",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ServeStats",
+    "model_batch_fn",
+    "serve_model",
+    "format_comparison",
+    "throughput_comparison",
+]

@@ -1,0 +1,58 @@
+"""Adapters from models/engines to the server's ``batch_fn`` contract.
+
+A request payload is one sample: a single array (image tasks) or a tuple
+of aligned arrays (QA tasks: ``(tokens, mask)``). The runner stacks the
+payloads along a new leading batch axis, runs one forward pass under
+``no_grad``, and splits the output back into per-request rows — the
+mechanism that lets dynamic batching amortize per-forward overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.server import InferenceServer
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def _stack_payloads(payloads: list) -> tuple:
+    """Stack single-sample payloads into batched model arguments."""
+    first = payloads[0]
+    if isinstance(first, tuple):
+        n_fields = len(first)
+        for p in payloads:
+            if not isinstance(p, tuple) or len(p) != n_fields:
+                raise ValueError("mixed payload shapes in one batch")
+        return tuple(
+            np.stack([np.asarray(p[i]) for p in payloads]) for i in range(n_fields)
+        )
+    return (np.stack([np.asarray(p) for p in payloads]),)
+
+
+def model_batch_fn(model, forward=None):
+    """Build a ``batch_fn`` around a module (or an IntegerEngine's model).
+
+    ``forward(model, batch_args)`` adapts call signatures, mirroring
+    :func:`repro.quant.ptq.quantize_model`; the default calls
+    ``model(*batch_args)``. The per-request result is the output row
+    (``out[i]``) as a plain array.
+    """
+    module = getattr(model, "model", model)  # accept IntegerEngine directly
+
+    def batch_fn(payloads: list) -> list[np.ndarray]:
+        args = _stack_payloads(payloads)
+        with no_grad():
+            out = forward(module, args) if forward is not None else module(*args)
+        data = out.data if isinstance(out, Tensor) else np.asarray(out)
+        if data.shape[0] != len(payloads):
+            raise RuntimeError(
+                f"model returned leading dim {data.shape[0]} for batch of {len(payloads)}"
+            )
+        return [data[i] for i in range(len(payloads))]
+
+    return batch_fn
+
+
+def serve_model(model, *, forward=None, **server_kwargs) -> InferenceServer:
+    """Convenience: wrap a model/engine in an (unstarted) InferenceServer."""
+    return InferenceServer(model_batch_fn(model, forward=forward), **server_kwargs)

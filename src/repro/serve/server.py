@@ -1,0 +1,341 @@
+"""Threaded inference server with dynamic batching and backpressure.
+
+Architecture (one process, shared-memory handoff):
+
+    submit() -> bounded request queue -> worker pool
+                                          each worker: pop one request,
+                                          coalesce more until max_batch_size
+                                          or max_wait_ms, run batch_fn,
+                                          resolve the per-request futures
+
+Dynamic batching is the server's throughput lever: single-sample requests
+arriving within ``max_wait_ms`` of each other are stacked into one forward
+pass, amortizing the per-call overhead (activation quantization, kernel
+dispatch) that dominates small-model latency. Backpressure comes from the
+bounded queue: when it is full, ``submit`` either blocks or raises
+:class:`ServerOverloaded`, so producers can shed load instead of growing an
+unbounded backlog.
+
+``batch_fn(list_of_payloads) -> sequence_of_results`` is the only model
+contract; :mod:`repro.serve.runners` builds one from a model or engine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_malloc_tuned = False
+
+
+def _tune_allocator() -> None:
+    """Raise glibc's mmap threshold so batch-sized temporaries are recycled.
+
+    NumPy temporaries above ~128 KB default to fresh ``mmap`` regions that
+    are returned to the kernel on free, so a steady-state serving loop pays
+    page-fault cost for the same buffers on every forward. Raising
+    M_MMAP_THRESHOLD keeps them on the heap. Best-effort: silently a no-op
+    off glibc.
+    """
+    global _malloc_tuned
+    if _malloc_tuned:
+        return
+    _malloc_tuned = True
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.mallopt(ctypes.c_int(-3), ctypes.c_int(256 * 1024 * 1024))  # M_MMAP_THRESHOLD
+    except Exception:  # noqa: BLE001 - musl/mac simply skip the tuning
+        pass
+
+
+class ServerOverloaded(RuntimeError):
+    """The request queue is full (backpressure signal to the producer)."""
+
+
+class ServerClosed(RuntimeError):
+    """The server is not accepting requests (not started, or stopped)."""
+
+
+@dataclass
+class ServeStats:
+    """Aggregate serving statistics since server start."""
+
+    completed: int
+    errors: int
+    rejected: int
+    elapsed_s: float
+    requests_per_s: float
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p90: float
+    latency_ms_p99: float
+    batches: int
+    mean_batch_size: float
+    max_batch_size_seen: int
+
+    def format(self) -> str:
+        return (
+            f"requests: {self.completed} ok, {self.errors} errored, "
+            f"{self.rejected} rejected\n"
+            f"throughput: {self.requests_per_s:.1f} req/s over {self.elapsed_s:.2f}s\n"
+            f"latency ms: mean {self.latency_ms_mean:.2f}  p50 {self.latency_ms_p50:.2f}  "
+            f"p90 {self.latency_ms_p90:.2f}  p99 {self.latency_ms_p99:.2f}\n"
+            f"batching: {self.batches} batches, mean size {self.mean_batch_size:.2f}, "
+            f"max {self.max_batch_size_seen}"
+        )
+
+
+class _Request:
+    __slots__ = ("payload", "done", "result", "error", "t_submit")
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+        self.t_submit = time.perf_counter()
+
+
+class PendingResponse:
+    """Future-like handle returned by :meth:`InferenceServer.submit`."""
+
+    def __init__(self, request: _Request):
+        self._request = request
+
+    def wait(self, timeout: float | None = None):
+        """Block until the result is ready; re-raises the worker's error."""
+        if not self._request.done.wait(timeout):
+            raise TimeoutError("inference request did not complete in time")
+        if self._request.error is not None:
+            raise self._request.error
+        return self._request.result
+
+    @property
+    def ready(self) -> bool:
+        return self._request.done.is_set()
+
+
+@dataclass
+class _StatsAccumulator:
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    latencies_ms: list[float] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+    errors: int = 0
+    rejected: int = 0
+
+
+class InferenceServer:
+    """Dynamic-batching worker-pool server over an in-process queue.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``batch_fn(payloads) -> results`` where ``payloads`` is a list of
+        submitted request payloads and ``results`` has one entry per
+        payload, in order.
+    max_batch_size:
+        Upper bound on coalesced batch size (1 disables batching).
+    max_wait_ms:
+        How long a worker holding a non-full batch waits for more requests
+        before dispatching. The first request of a batch pays at most this
+        much extra latency.
+    num_workers:
+        Worker threads. Each forms and executes its own batches, so
+        concurrency and batching compose.
+    max_queue:
+        Bound on queued (not yet picked up) requests — the backpressure
+        knob.
+    """
+
+    def __init__(
+        self,
+        batch_fn,
+        *,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 1,
+        max_queue: int = 256,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.batch_fn = batch_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.num_workers = num_workers
+        self._queue: queue.Queue[_Request] = queue.Queue(maxsize=max_queue)
+        self._workers: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._drain = True  # whether workers finish the backlog after stop
+        self._running = False
+        self._stats = _StatsAccumulator()
+        self._t_start = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        if self._running:
+            return self
+        _tune_allocator()
+        self._fail_queued()  # a submit/stop race can strand a request
+        self._stop.clear()
+        self._drain = True
+        self._stats = _StatsAccumulator()
+        self._t_start = time.perf_counter()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}", daemon=True)
+            for i in range(self.num_workers)
+        ]
+        self._running = True
+        for t in self._workers:
+            t.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the pool. ``drain=True`` serves queued requests first;
+        otherwise workers exit after their current batch and the backlog
+        fails with :class:`ServerClosed`."""
+        if not self._running:
+            return
+        self._running = False  # reject new submissions immediately
+        self._drain = drain
+        if drain:
+            self._queue.join()
+        self._stop.set()
+        for t in self._workers:
+            t.join()
+        self._workers = []
+        # Fail the backlog (drain=False) and any request that slipped past
+        # the _running check in submit() while we were shutting down.
+        self._fail_queued()
+
+    def _fail_queued(self) -> None:
+        while True:
+            try:
+                req = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            req.error = ServerClosed("server stopped before request ran")
+            req.done.set()
+            self._queue.task_done()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, payload, *, block: bool = True, timeout: float | None = None) -> PendingResponse:
+        """Enqueue one request; returns a handle to ``wait()`` on.
+
+        When the queue is full: ``block=True`` waits (up to ``timeout``),
+        ``block=False`` raises :class:`ServerOverloaded` immediately.
+        """
+        if not self._running:
+            raise ServerClosed("server is not running (call start() or use as a context manager)")
+        req = _Request(payload)
+        try:
+            self._queue.put(req, block=block, timeout=timeout)
+        except queue.Full:
+            with self._stats.lock:
+                self._stats.rejected += 1
+            raise ServerOverloaded(
+                f"request queue full ({self._queue.maxsize} pending); retry later"
+            ) from None
+        # stop() may have completed between the _running check and the put;
+        # once the workers are gone nothing else will touch the queue, so
+        # failing the stragglers here keeps wait() from hanging forever.
+        if not self._running and not self._workers:
+            self._fail_queued()
+        return PendingResponse(req)
+
+    def infer(self, payload, timeout: float | None = None):
+        """Synchronous convenience: submit + wait."""
+        return self.submit(payload).wait(timeout)
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> list[_Request] | None:
+        """Pop one request, then coalesce more until size/deadline."""
+        try:
+            first = self._queue.get(timeout=0.05)
+        except queue.Empty:
+            return None
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1e3
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining <= 0:
+                    batch.append(self._queue.get_nowait())
+                else:
+                    batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set() or (self._drain and not self._queue.empty()):
+            batch = self._collect_batch()
+            if batch is None:
+                continue
+            try:
+                results = self.batch_fn([r.payload for r in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"batch_fn returned {len(results)} results for {len(batch)} requests"
+                    )
+                errors: list[BaseException | None] = [None] * len(batch)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to clients
+                results = [None] * len(batch)
+                errors = [exc] * len(batch)
+            t_done = time.perf_counter()
+            with self._stats.lock:
+                self._stats.batch_sizes.append(len(batch))
+                for req in batch:
+                    self._stats.latencies_ms.append(1e3 * (t_done - req.t_submit))
+                self._stats.errors += sum(e is not None for e in errors)
+            for req, result, error in zip(batch, results, errors):
+                req.result = result
+                req.error = error
+                req.done.set()
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> ServeStats:
+        """Snapshot of latency/throughput/batching counters."""
+        with self._stats.lock:
+            lat = np.asarray(self._stats.latencies_ms, dtype=np.float64)
+            sizes = np.asarray(self._stats.batch_sizes, dtype=np.float64)
+            errors = self._stats.errors
+            rejected = self._stats.rejected
+        elapsed = max(time.perf_counter() - self._t_start, 1e-9)
+        completed = int(lat.size) - errors
+        pct = (lambda q: float(np.percentile(lat, q))) if lat.size else (lambda q: 0.0)
+        return ServeStats(
+            completed=completed,
+            errors=errors,
+            rejected=rejected,
+            elapsed_s=elapsed,
+            requests_per_s=lat.size / elapsed,
+            latency_ms_mean=float(lat.mean()) if lat.size else 0.0,
+            latency_ms_p50=pct(50),
+            latency_ms_p90=pct(90),
+            latency_ms_p99=pct(99),
+            batches=int(sizes.size),
+            mean_batch_size=float(sizes.mean()) if sizes.size else 0.0,
+            max_batch_size_seen=int(sizes.max()) if sizes.size else 0,
+        )

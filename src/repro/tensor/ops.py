@@ -15,7 +15,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 from scipy import special
 
-from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
+from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
 
 __all__ = [
     "matmul",
@@ -99,6 +99,10 @@ def sigmoid(x) -> Tensor:
 def relu(x) -> Tensor:
     x = as_tensor(x)
     out = np.maximum(x.data, 0.0)
+    if not is_grad_enabled():
+        # Inference hot path: skip materializing the gradient mask (two
+        # full passes over the activation that no_grad would discard).
+        return Tensor._make(out, (x,), None)
     return _unary(x, out, (x.data > 0).astype(x.data.dtype))
 
 

@@ -14,28 +14,31 @@ into a broadcast operand are reduced back to its shape by
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: a serving worker pool runs concurrent no_grad
+# inference without racing a process-global flag (two overlapping no_grad
+# blocks on different threads must not restore each other's state).
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    prev = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_STATE.enabled = prev
 
 
 def is_grad_enabled() -> bool:
-    """True when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    """True when operations record the autograd graph (this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -75,7 +78,7 @@ class Tensor:
             arr = arr.astype(np.float64)
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
@@ -137,7 +140,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op output, recording the graph only when needed."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = any(p.requires_grad for p in parents) and is_grad_enabled()
         out = Tensor(data, requires_grad=needs)
         if needs:
             out._parents = tuple(parents)

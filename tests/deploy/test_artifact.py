@@ -1,0 +1,177 @@
+"""Artifact format: lossless round-trips, checksums, topology rebuild."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.deploy import (
+    ARTIFACT_FORMAT,
+    ArtifactError,
+    load_artifact,
+    register_builder,
+    save_artifact,
+)
+from repro.deploy.artifact import MANIFEST_NAME, PAYLOAD_NAME
+from repro.models.resnet import MiniResNet
+from repro.quant import PTQConfig, VectorLayout, quantize_model
+from repro.quant.integer_exec import quantize_tensor
+from repro.quant.qlayers import quant_layers
+
+
+@pytest.fixture
+def tiny_resnet_artifact(rng, tmp_path):
+    model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+    model.eval()
+    calib = rng.standard_normal((4, 3, 16, 16))
+    config = PTQConfig.vs_quant(4, 8, weight_scale="4", act_scale="6")
+    qmodel = quantize_model(model, config, calib_batches=[(calib,)])
+    out = tmp_path / "artifact"
+    manifest = save_artifact(qmodel, out, quant_label=config.label, task="image")
+    return qmodel, out, manifest
+
+
+class TestSave:
+    def test_manifest_structure(self, tiny_resnet_artifact):
+        qmodel, out, manifest = tiny_resnet_artifact
+        assert manifest["format"] == ARTIFACT_FORMAT
+        assert manifest["format_version"] == 1
+        assert manifest["model"]["builder"] == "miniresnet"
+        assert manifest["model"]["arch"] == {"num_classes": 4, "width": 1, "depth": 1}
+        assert manifest["quant"]["label"] == "4/8/4/6"
+        assert len(manifest["layers"]) == len(quant_layers(qmodel))
+        assert (out / MANIFEST_NAME).exists() and (out / PAYLOAD_NAME).exists()
+        assert manifest["payload"]["bytes"] == (out / PAYLOAD_NAME).stat().st_size
+
+    def test_packed_weights_beat_fp32(self, tiny_resnet_artifact):
+        _, _, manifest = tiny_resnet_artifact
+        s = manifest["summary"]
+        # ~4.25 + scale overhead effective bits vs 32: at least 6x smaller.
+        assert s["packed_weight_bytes"] * 6 < s["fp32_weight_bytes"]
+
+    def test_non_two_level_model_rejected(self, rng, tmp_path):
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        model.eval()
+        calib = rng.standard_normal((4, 3, 16, 16))
+        qmodel = quantize_model(
+            model, PTQConfig.per_channel(8, 8), calib_batches=[(calib,)]
+        )
+        with pytest.raises(ArtifactError, match="per-vector two-level"):
+            save_artifact(qmodel, tmp_path / "bad")
+
+    def test_unquantized_model_rejected(self, tmp_path):
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        with pytest.raises(ArtifactError, match="no quantized layers"):
+            save_artifact(model, tmp_path / "bad")
+
+    def test_unregistered_topology_needs_builder(self, rng, tmp_path):
+        model = nn.Sequential(nn.Linear(32, 8, rng=rng))
+        model.eval()
+        config = PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")
+        qmodel = quantize_model(model, config, calib_batches=[(rng.standard_normal((4, 32)),)])
+        with pytest.raises(ArtifactError, match="builder"):
+            save_artifact(qmodel, tmp_path / "bad")
+        register_builder("test-seq-mlp", lambda arch: nn.Sequential(nn.Linear(32, 8)))
+        manifest = save_artifact(qmodel, tmp_path / "ok", builder="test-seq-mlp", arch={})
+        assert manifest["model"]["builder"] == "test-seq-mlp"
+        # A custom builder without an arch needs the arch stated explicitly.
+        with pytest.raises(ArtifactError, match="explicit arch"):
+            save_artifact(qmodel, tmp_path / "bad2", builder="test-seq-mlp")
+
+    def test_explicit_builder_not_overridden_by_zoo_meta(self, rng, tmp_path):
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        model.eval()
+        qmodel = quantize_model(
+            model,
+            PTQConfig.vs_quant(4, 8, weight_scale="4", act_scale="6"),
+            calib_batches=[(rng.standard_normal((4, 3, 16, 16)),)],
+        )
+        register_builder("custom-resnet", lambda arch: MiniResNet(**arch))
+        manifest = save_artifact(qmodel, tmp_path / "custom", builder="custom-resnet")
+        assert manifest["model"]["builder"] == "custom-resnet"  # arch derived, builder kept
+        assert manifest["model"]["arch"]["num_classes"] == 4
+
+
+class TestLoadRoundTrip:
+    def test_codes_and_scales_bitwise_lossless(self, tiny_resnet_artifact):
+        qmodel, out, _ = tiny_resnet_artifact
+        artifact = load_artifact(out)
+        by_name = {layer.name: layer for layer in artifact.layers}
+        for dotted, layer in quant_layers(qmodel):
+            spec = layer.weight_quantizer.spec
+            expected = quantize_tensor(
+                np.asarray(layer.weight.data, dtype=np.float64),
+                VectorLayout(spec.vector_axis, spec.vector_size),
+                spec.fmt,
+                spec.scale_fmt,
+                channel_axes=spec.channel_axes,
+            )
+            got = by_name[dotted].weight
+            np.testing.assert_array_equal(got.codes, expected.codes)
+            np.testing.assert_array_equal(got.sq, expected.sq)
+            # gamma is stored at native float64: exactly equal, not just close
+            np.testing.assert_array_equal(got.gamma, expected.gamma)
+
+    def test_float_params_lossless(self, tiny_resnet_artifact):
+        qmodel, out, _ = tiny_resnet_artifact
+        artifact = load_artifact(out)
+        state = qmodel.state_dict()
+        quantized = {name for name, _ in quant_layers(qmodel)}
+        for key, value in artifact.floats.items():
+            np.testing.assert_array_equal(value, state[key])
+            plain = key.removeprefix("buffer.")
+            assert not any(plain.startswith(f"{q}.") for q in quantized) or (
+                not plain.endswith((".weight", ".bias"))
+            )
+
+    def test_act_spec_round_trips_signedness(self, tiny_resnet_artifact):
+        qmodel, out, _ = tiny_resnet_artifact
+        artifact = load_artifact(out)
+        by_name = {layer.name: layer for layer in artifact.layers}
+        for dotted, layer in quant_layers(qmodel):
+            assert by_name[dotted].act.signed == layer.input_quantizer.spec.signed
+
+
+class TestIntegrity:
+    def test_corrupt_payload_detected(self, tiny_resnet_artifact):
+        _, out, _ = tiny_resnet_artifact
+        blob = bytearray((out / PAYLOAD_NAME).read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        (out / PAYLOAD_NAME).write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError, match="checksum"):
+            load_artifact(out)
+
+    def test_truncated_payload_detected(self, tiny_resnet_artifact):
+        _, out, _ = tiny_resnet_artifact
+        blob = (out / PAYLOAD_NAME).read_bytes()
+        (out / PAYLOAD_NAME).write_bytes(blob[:-10])
+        with pytest.raises(ArtifactError):
+            load_artifact(out)
+
+    def test_unsupported_version_rejected(self, tiny_resnet_artifact):
+        _, out, _ = tiny_resnet_artifact
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        manifest["format_version"] = 99
+        (out / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(out)
+
+    def test_wrong_format_rejected(self, tiny_resnet_artifact):
+        _, out, _ = tiny_resnet_artifact
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        manifest["format"] = "something/else"
+        (out / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="format"):
+            load_artifact(out)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_artifact(tmp_path / "nowhere")
+
+    def test_malformed_manifest(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ArtifactError, match="malformed"):
+            load_artifact(bad)

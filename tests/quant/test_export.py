@@ -86,3 +86,71 @@ class TestPackedTensor:
         packed = pack_tensor(qt)
         fp32_bytes = 8 * 64 * 4
         assert packed.payload_bytes < fp32_bytes / 7  # ~4.25 vs 32 bits
+
+
+class TestEdgeCases:
+    """1-bit formats, empty tensors, odd sizes, conv layouts."""
+
+    def test_one_bit_unsigned_roundtrip(self):
+        arr = np.array([0, 1, 1, 0, 1, 0, 0, 1, 1])
+        buf = pack_bits(arr, 1, signed=False)
+        assert len(buf) == 2  # 9 bits -> 2 bytes
+        np.testing.assert_array_equal(unpack_bits(buf, 9, 1, False), arr)
+
+    def test_one_bit_signed_twos_complement(self):
+        # 1-bit two's complement holds {-1, 0}.
+        arr = np.array([0, -1, -1, 0])
+        buf = pack_bits(arr, 1, signed=True)
+        np.testing.assert_array_equal(unpack_bits(buf, 4, 1, True), arr)
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1]), 1, signed=True)
+
+    def test_empty_roundtrip(self):
+        for signed in (True, False):
+            buf = pack_bits(np.array([], dtype=np.int64), 4, signed=signed)
+            assert buf == b""
+            out = unpack_bits(buf, 0, 4, signed)
+            assert out.size == 0
+
+    def test_empty_unpack_tolerates_nonempty_buffer_suffix(self):
+        # Regression guard: count * bits slicing must not read stale bits.
+        buf = pack_bits(np.array([3, 1]), 4, signed=False)
+        np.testing.assert_array_equal(unpack_bits(buf, 1, 4, False), [3])
+
+    def test_odd_bit_total_not_byte_aligned(self):
+        # 5 values x 3 bits = 15 bits -> 2 bytes with one dead bit.
+        arr = np.array([3, -4, 0, 2, -1])
+        buf = pack_bits(arr, 3, signed=True)
+        assert len(buf) == 2
+        np.testing.assert_array_equal(unpack_bits(buf, 5, 3, True), arr)
+
+    def test_odd_axis_lengths_preserved_through_packing(self, rng):
+        # axis_len 13 with V=8: padded tail codes survive the round trip.
+        x = rng.standard_normal((3, 13))
+        qt = quantize_tensor(x, VectorLayout(1, 8), IntFormat(4), IntFormat(4, signed=False))
+        back = unpack_tensor(pack_tensor(qt))
+        np.testing.assert_array_equal(back.codes, qt.codes)
+        assert back.axis_len == 13
+        np.testing.assert_allclose(back.dequantize(), qt.dequantize(), rtol=1e-6, atol=1e-7)
+
+    def test_conv_layout_roundtrip(self, rng):
+        # KCRS weights quantized along C (the paper's conv geometry).
+        w = rng.standard_normal((6, 18, 3, 3))
+        qt = quantize_tensor(
+            w, VectorLayout(1, 16), IntFormat(4), IntFormat(6, signed=False), channel_axes=(0,)
+        )
+        assert qt.codes.shape == (6, 3, 3, 2, 16)  # C=18 -> 2 vectors of 16
+        back = unpack_tensor(pack_tensor(qt))
+        np.testing.assert_array_equal(back.codes, qt.codes)
+        np.testing.assert_array_equal(back.sq, qt.sq)
+        assert back.layout == qt.layout and back.axis_len == 18
+        np.testing.assert_allclose(back.dequantize(), qt.dequantize(), rtol=1e-6, atol=1e-7)
+
+    def test_three_bit_tensor_roundtrip(self, rng):
+        # Non-power-of-two element width through the whole tensor path.
+        x = rng.standard_normal((4, 32))
+        qt = quantize_tensor(x, VectorLayout(1, 8), IntFormat(3), IntFormat(3, signed=False))
+        packed = pack_tensor(qt)
+        back = unpack_tensor(packed)
+        np.testing.assert_array_equal(back.codes, qt.codes)
+        np.testing.assert_array_equal(back.sq, qt.sq)

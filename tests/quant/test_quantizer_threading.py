@@ -1,0 +1,97 @@
+"""Thread-safety of the weight fake-quant cache (serving worker pools)."""
+
+import copy
+import pickle
+import threading
+
+import numpy as np
+
+from repro import nn
+from repro.quant import Granularity, PTQConfig, QuantSpec, Quantizer, ScaleFormat, quantize_model
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def _weight_quantizer() -> Quantizer:
+    return Quantizer(
+        QuantSpec(
+            bits=4,
+            granularity=Granularity.PER_VECTOR,
+            vector_size=16,
+            vector_axis=1,
+            channel_axes=(0,),
+            scale=ScaleFormat.parse("4"),
+        )
+    )
+
+
+class TestConcurrentCache:
+    def test_shared_quantizer_races_cleanly(self, rng):
+        q = _weight_quantizer()
+        weight = nn.Parameter(rng.standard_normal((32, 64)))
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def run(idx: int) -> None:
+            barrier.wait()
+            with no_grad():
+                out = None
+                for _ in range(50):
+                    out = q(weight).data
+                results[idx] = out
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for out in results[1:]:
+            np.testing.assert_array_equal(out, results[0])
+        # The lock covers lookup AND recompute: the cold cache fills once.
+        assert q.cache_misses == 1
+        assert q.cache_hits == 8 * 50 - 1
+
+    def test_shared_quantized_model_across_workers(self, rng):
+        model = nn.Sequential(nn.Linear(32, 32, rng=rng), nn.ReLU(), nn.Linear(32, 8, rng=rng))
+        model.eval()
+        calib = rng.standard_normal((4, 32))
+        config = PTQConfig.vs_quant(4, 8, weight_scale="4", act_scale="6")
+        qmodel = quantize_model(model, config, calib_batches=[(calib,)])
+        x = rng.standard_normal((4, 32))
+        with no_grad():
+            expected = qmodel(Tensor(x)).data
+
+        outputs = [None] * 6
+        barrier = threading.Barrier(6)
+
+        def worker(idx: int) -> None:
+            barrier.wait()
+            with no_grad():
+                for _ in range(20):
+                    outputs[idx] = qmodel(Tensor(x)).data
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for out in outputs:
+            np.testing.assert_array_equal(out, expected)
+
+
+class TestSerialization:
+    def test_deepcopy_recreates_lock(self, rng):
+        q = _weight_quantizer()
+        weight = nn.Parameter(rng.standard_normal((16, 32)))
+        with no_grad():
+            q(weight)
+        clone = copy.deepcopy(q)
+        assert clone._cache_lock is not q._cache_lock
+        with no_grad():
+            np.testing.assert_array_equal(clone(weight).data, q(weight).data)
+
+    def test_pickle_round_trip(self):
+        q = _weight_quantizer()
+        restored = pickle.loads(pickle.dumps(q))
+        assert restored.spec == q.spec
+        assert restored._cache_lock is not None

@@ -1,0 +1,245 @@
+"""InferenceServer: batching, backpressure, errors, lifecycle, stats."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceServer,
+    ServerClosed,
+    ServerOverloaded,
+    model_batch_fn,
+    serve_model,
+)
+
+
+def doubler(payloads):
+    return [2 * p for p in payloads]
+
+
+class TestBatching:
+    def test_requests_coalesce_into_batches(self):
+        sizes = []
+
+        def batch_fn(payloads):
+            sizes.append(len(payloads))
+            return payloads
+
+        with InferenceServer(batch_fn, max_batch_size=8, max_wait_ms=250.0) as server:
+            pending = [server.submit(i) for i in range(8)]
+            results = [h.wait(timeout=5.0) for h in pending]
+        assert results == list(range(8))
+        assert sum(sizes) == 8
+        assert max(sizes) > 1, "burst of 8 within the wait window never batched"
+
+    def test_max_batch_size_respected(self):
+        sizes = []
+
+        def batch_fn(payloads):
+            sizes.append(len(payloads))
+            time.sleep(0.002)
+            return payloads
+
+        with InferenceServer(batch_fn, max_batch_size=4, max_wait_ms=50.0) as server:
+            pending = [server.submit(i) for i in range(19)]
+            for h in pending:
+                h.wait(timeout=5.0)
+        assert sum(sizes) == 19
+        assert max(sizes) <= 4
+
+    def test_batch_disabled_when_size_one(self):
+        sizes = []
+
+        def batch_fn(payloads):
+            sizes.append(len(payloads))
+            return payloads
+
+        with InferenceServer(batch_fn, max_batch_size=1, max_wait_ms=50.0) as server:
+            for h in [server.submit(i) for i in range(5)]:
+                h.wait(timeout=5.0)
+        assert sizes == [1] * 5
+
+    def test_results_map_back_to_their_requests(self):
+        with InferenceServer(doubler, max_batch_size=4, max_wait_ms=20.0) as server:
+            pending = [(i, server.submit(i)) for i in range(17)]
+            for i, handle in pending:
+                assert handle.wait(timeout=5.0) == 2 * i
+
+    def test_infer_sync(self):
+        with InferenceServer(doubler, max_batch_size=2) as server:
+            assert server.infer(21) == 42
+
+
+class TestErrors:
+    def test_worker_exception_propagates_to_clients(self):
+        def batch_fn(payloads):
+            if any(p == "bad" for p in payloads):
+                raise ValueError("poison request")
+            return payloads
+
+        with InferenceServer(batch_fn, max_batch_size=1) as server:
+            bad = server.submit("bad")
+            with pytest.raises(ValueError, match="poison"):
+                bad.wait(timeout=5.0)
+            # The server keeps serving afterwards.
+            assert server.infer("fine") == "fine"
+            assert server.stats().errors >= 1
+
+    def test_wrong_result_count_is_an_error(self):
+        with InferenceServer(lambda p: [1], max_batch_size=4, max_wait_ms=50.0) as server:
+            handles = [server.submit(i) for i in range(3)]
+            with pytest.raises(RuntimeError, match="results"):
+                handles[0].wait(timeout=5.0)
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_nonblocking_submit(self):
+        release = threading.Event()
+
+        def slow(payloads):
+            release.wait(5.0)
+            return payloads
+
+        server = InferenceServer(slow, max_batch_size=1, max_queue=2, num_workers=1)
+        with server:
+            first = server.submit(0)  # picked up by the worker, then blocks
+            time.sleep(0.05)
+            server.submit(1)
+            server.submit(2)
+            with pytest.raises(ServerOverloaded):
+                server.submit(3, block=False)
+            assert server.stats().rejected == 1
+            release.set()
+            first.wait(timeout=5.0)
+
+    def test_blocking_submit_times_out(self):
+        release = threading.Event()
+
+        def slow(payloads):
+            release.wait(5.0)
+            return payloads
+
+        with InferenceServer(slow, max_batch_size=1, max_queue=1) as server:
+            server.submit(0)
+            time.sleep(0.05)
+            server.submit(1)
+            with pytest.raises(ServerOverloaded):
+                server.submit(2, timeout=0.05)
+            release.set()
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self):
+        server = InferenceServer(doubler)
+        with pytest.raises(ServerClosed):
+            server.submit(1)
+
+    def test_stop_drains_pending_requests(self):
+        server = InferenceServer(doubler, max_batch_size=2, max_wait_ms=1.0).start()
+        pending = [server.submit(i) for i in range(10)]
+        server.stop()
+        assert [h.wait(timeout=1.0) for h in pending] == [2 * i for i in range(10)]
+        with pytest.raises(ServerClosed):
+            server.submit(1)
+
+    def test_stop_without_drain_fails_backlog(self):
+        release = threading.Event()
+
+        def slow(payloads):
+            release.wait(5.0)
+            return payloads
+
+        server = InferenceServer(slow, max_batch_size=1, max_queue=16).start()
+        first = server.submit(0)  # occupies the worker
+        time.sleep(0.05)
+        backlog = [server.submit(i) for i in range(1, 5)]
+        release.set()
+        server.stop(drain=False)
+        first.wait(timeout=5.0)  # in-flight batch still completes
+        failed = 0
+        for handle in backlog:
+            try:
+                handle.wait(timeout=1.0)
+            except ServerClosed:
+                failed += 1
+        assert failed >= 1, "drain=False never failed any queued request"
+
+    def test_restart_after_stop(self):
+        server = InferenceServer(doubler)
+        with server:
+            assert server.infer(1) == 2
+        with server:
+            assert server.infer(2) == 4
+
+    def test_worker_pool_size(self):
+        seen = set()
+
+        def batch_fn(payloads):
+            seen.add(threading.current_thread().name)
+            time.sleep(0.01)
+            return payloads
+
+        with InferenceServer(batch_fn, max_batch_size=1, num_workers=3) as server:
+            for h in [server.submit(i) for i in range(12)]:
+                h.wait(timeout=5.0)
+        assert len(seen) > 1  # more than one worker participated
+
+
+class TestStats:
+    def test_latency_and_throughput_counters(self):
+        with InferenceServer(doubler, max_batch_size=4, max_wait_ms=5.0) as server:
+            for h in [server.submit(i) for i in range(9)]:
+                h.wait(timeout=5.0)
+            stats = server.stats()
+        assert stats.completed == 9
+        assert stats.errors == 0
+        assert stats.requests_per_s > 0
+        assert 0 < stats.latency_ms_p50 <= stats.latency_ms_p90 <= stats.latency_ms_p99
+        assert stats.batches >= 3  # 9 requests with max batch 4
+        assert stats.mean_batch_size >= 1.0
+        assert "req/s" in stats.format()
+
+
+class TestModelRunner:
+    def test_single_array_payloads_stack_and_split(self, rng):
+        from repro import nn
+
+        model = nn.Sequential(nn.Linear(8, 3, rng=rng))
+        model.eval()
+        batch_fn = model_batch_fn(model)
+        payloads = [rng.standard_normal(8) for _ in range(5)]
+        outs = batch_fn(payloads)
+        assert len(outs) == 5 and outs[0].shape == (3,)
+        # One stacked forward equals per-sample forwards.
+        solo = batch_fn(payloads[:1])[0]
+        np.testing.assert_allclose(solo, outs[0], rtol=1e-12)
+
+    def test_tuple_payloads_stack_fieldwise(self):
+        shapes = []
+
+        def fwd(model, batch):
+            tokens, mask = batch
+            shapes.append((tokens.shape, mask.shape))
+            return np.zeros((len(tokens), 2))
+
+        batch_fn = model_batch_fn(object(), forward=fwd)
+        payloads = [(np.arange(4), np.ones(4, dtype=bool)) for _ in range(3)]
+        outs = batch_fn(payloads)
+        assert len(outs) == 3 and outs[0].shape == (2,)
+        assert shapes == [((3, 4), (3, 4))]
+
+    def test_mixed_tuple_payloads_rejected(self):
+        batch_fn = model_batch_fn(object(), forward=lambda m, b: np.zeros((2, 1)))
+        with pytest.raises(ValueError, match="mixed payload"):
+            batch_fn([(np.arange(4),), np.arange(4)])
+
+    def test_serve_model_end_to_end(self, rng):
+        from repro import nn
+
+        model = nn.Sequential(nn.Linear(8, 3, rng=rng))
+        model.eval()
+        with serve_model(model, max_batch_size=4, max_wait_ms=5.0) as server:
+            out = server.infer(rng.standard_normal(8))
+        assert out.shape == (3,)

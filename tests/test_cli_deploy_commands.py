@@ -1,0 +1,111 @@
+"""CLI deployment commands (export / serve / bench-serve) on a tiny stub zoo."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.models.pretrained import PretrainedBundle
+from repro.models.resnet import MiniResNet
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture
+def stub_zoo(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+    rng = seeded_rng("cli-deploy-stub")
+    model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+    model.eval()
+    bundle = PretrainedBundle(
+        name="miniresnet",
+        task="image",
+        model=model,
+        calib_data=(rng.standard_normal((8, 3, 16, 16)),),
+        eval_data=(rng.standard_normal((16, 3, 16, 16)), rng.integers(0, 4, 16)),
+        fp32_metric=30.0,
+    )
+    import repro.models
+
+    monkeypatch.setattr(repro.models, "pretrained", lambda name: bundle)
+    return bundle
+
+
+@pytest.fixture
+def artifact_dir(stub_zoo, tmp_path):
+    out = tmp_path / "artifact"
+    assert main(["export", "--model", "miniresnet", "--config", "4/8/4/6",
+                 "--out", str(out), "--calib-limit", "8"]) == 0
+    return out
+
+
+class TestExportCommand:
+    def test_writes_artifact_and_summary(self, stub_zoo, tmp_path, capsys):
+        out = tmp_path / "artifact"
+        assert main(["export", "--model", "miniresnet", "--config", "4/8/4/6",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "quantized layers" in text and "sha256" in text
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["quant"]["label"] == "4/8/4/6"
+        assert manifest["model"]["input_shape"] == [3, 16, 16]
+
+    def test_non_two_level_config_rejected(self, stub_zoo, tmp_path):
+        with pytest.raises(SystemExit, match="export failed"):
+            main(["export", "--model", "miniresnet", "--config", "8/8/-/-",
+                  "--out", str(tmp_path / "bad")])
+
+
+class TestServeCommand:
+    def test_serves_synthetic_requests(self, artifact_dir, capsys):
+        assert main(["serve", "--artifact", str(artifact_dir), "--requests", "5",
+                     "--batch-size", "4", "--max-wait-ms", "2", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 5 ok" in out
+        assert "throughput" in out and "batching" in out
+
+    def test_missing_artifact_fails_cleanly(self, stub_zoo, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load artifact"):
+            main(["serve", "--artifact", str(tmp_path / "nope"), "--requests", "1"])
+
+
+class TestBenchServeCommand:
+    def test_reports_and_writes_json(self, artifact_dir, tmp_path, capsys):
+        json_path = tmp_path / "bench.json"
+        assert main(["bench-serve", "--artifact", str(artifact_dir), "--requests", "6",
+                     "--batch-size", "4", "--max-wait-ms", "2",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic batching" in out and "speedup" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["bench"] == "serve_throughput"
+        metrics = payload["metrics"]
+        assert metrics["requests"] == 6.0
+        assert metrics["dynamic_rps"] > 0 and metrics["sequential_rps"] > 0
+
+
+def test_qa_payload_synthesis(tmp_path, rng):
+    """QA artifacts get (tokens, mask) synthetic requests via the manifest arch."""
+    from repro.cli import _synthetic_payloads
+    from repro.deploy import IntegerEngine, save_artifact
+    from repro.models.bert import MiniBERT, MiniBERTConfig
+    from repro.quant import PTQConfig, quantize_model
+
+    cfg = MiniBERTConfig(name="minibert-test", vocab_size=8, max_seq_len=6,
+                         d_model=16, num_layers=1, num_heads=2, d_ff=32, dropout=0.0)
+    model = MiniBERT(cfg, seed=0)
+    model.eval()
+    tokens = rng.integers(0, 8, (4, 6))
+    mask = np.ones_like(tokens, dtype=bool)
+    qmodel = quantize_model(
+        model,
+        PTQConfig.vs_quant(4, 8, weight_scale="4", act_scale="6"),
+        calib_batches=[(tokens, mask)],
+        forward=lambda m, b: m(b[0], mask=b[1]),
+    )
+    save_artifact(qmodel, tmp_path / "bert", task="qa")
+    engine = IntegerEngine.load(tmp_path / "bert")
+    payloads = _synthetic_payloads(engine, 3)
+    assert len(payloads) == 3
+    t, m = payloads[0]
+    assert t.shape == (6,) and m.shape == (6,) and t.max() < 8
