@@ -17,6 +17,9 @@ sweep
 export
     PTQ-quantize a model and save a bit-packed deployment artifact
     (manifest + packed weights) for the integer inference engine.
+inspect
+    Print an artifact's manifest summary and embedded quantization plan
+    (format/version, topology source, per-layer formats, checksums).
 serve
     Load an artifact into the integer engine and serve synthetic traffic
     through the dynamic-batching server; prints latency/throughput stats.
@@ -163,8 +166,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _export_artifact(model_name: str, config_label: str, out: str, calib_limit: int):
+def _export_artifact(
+    model_name: str,
+    config_label: str,
+    out: str,
+    calib_limit: int,
+    quantize_embeddings: bool = False,
+    quantize_attention: bool = False,
+):
     """Shared by the export/serve/bench-serve commands: PTQ + save."""
+    import dataclasses
+
     from repro.deploy import save_artifact
     from repro.eval.experiments import make_task
     from repro.models import pretrained
@@ -172,6 +184,12 @@ def _export_artifact(model_name: str, config_label: str, out: str, calib_limit: 
 
     bundle = pretrained(model_name)
     config = _parse_quant_label(config_label)
+    if quantize_embeddings or quantize_attention:
+        config = dataclasses.replace(
+            config,
+            quantize_embeddings=quantize_embeddings,
+            quantize_attention=quantize_attention,
+        )
     task = make_task(bundle)
     calib = [tuple(a[:calib_limit] for a in task.calib_batches[0])]
     qmodel = quantize_model(bundle.model, config, calib_batches=calib, forward=task.forward)
@@ -191,7 +209,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.deploy import ArtifactError
 
     try:
-        _, manifest = _export_artifact(args.model, args.config, args.out, args.calib_limit)
+        _, manifest = _export_artifact(
+            args.model,
+            args.config,
+            args.out,
+            args.calib_limit,
+            quantize_embeddings=args.quantize_embeddings,
+            quantize_attention=args.quantize_attention,
+        )
     except ArtifactError as exc:
         raise SystemExit(f"export failed: {exc}") from exc
     summary = manifest["summary"]
@@ -209,6 +234,53 @@ def _cmd_export(args: argparse.Namespace) -> int:
         f"({compression:.1f}x vs fp32)"
     )
     print(f"sha256: {payload['sha256']}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.deploy import ArtifactError, has_builder, inspect_artifact
+    from repro.eval import format_table
+
+    try:
+        # Manifest + plan only: no payload bit-unpacking for a summary.
+        manifest, plan = inspect_artifact(args.artifact, verify=not args.no_verify)
+    except ArtifactError as exc:
+        raise SystemExit(f"cannot inspect artifact: {exc}") from exc
+    model = manifest["model"]
+    builder = model.get("builder")
+    if builder is None:
+        topology = "structural manifest (no builder needed)"
+    else:
+        status = "registered" if has_builder(builder) else "NOT registered here"
+        fallback = ", structural fallback available" if model.get("structure") else ""
+        topology = f"builder {builder!r} ({status}{fallback})"
+    print(f"artifact: {args.artifact}")
+    print(f"format: {manifest['format']} v{manifest['format_version']}")
+    print(f"model: {model['name']}  task={model.get('task')}  topology: {topology}")
+    print(f"quant: {manifest['quant'].get('label') or '-'}")
+    payload = manifest["payload"]
+    checks = "skipped" if args.no_verify else "ok"
+    print(f"payload: {payload['bytes']} bytes  sha256={payload['sha256'][:16]}…  checksums {checks}")
+    s = manifest["summary"]
+    print(
+        f"{s['num_quantized_layers']} quantized layers, {s['num_float_params']} float "
+        f"tensors, packed weights {s['packed_weight_bytes']} bytes "
+        f"({s['fp32_weight_bytes'] / max(s['packed_weight_bytes'], 1):.1f}x vs fp32)"
+    )
+
+    def fmt(spec):
+        if spec is None:
+            return "-"
+        return f"{'s' if spec.signed else 'u'}{spec.bits}/S{spec.scale_fmt.bits}"
+
+    rows = []
+    for entry in plan:
+        if entry.skipped:
+            rows.append([entry.name, entry.kind, "-", "-", "skipped"])
+            continue
+        extra = ",".join(entry.operands) if entry.operands else ""
+        rows.append([entry.name, entry.kind, fmt(entry.weight), fmt(entry.inputs), extra])
+    print(format_table(["layer", "kind", "weight", "act", "notes"], rows))
     return 0
 
 
@@ -333,7 +405,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="two-level W/A/ws/as config, e.g. 4/8/4/6 (integer scales required)")
     p.add_argument("--out", required=True, help="artifact directory to create")
     p.add_argument("--calib-limit", type=int, default=64)
+    p.add_argument("--quantize-embeddings", action="store_true",
+                   help="also quantize embedding tables (weight-only)")
+    p.add_argument("--quantize-attention", action="store_true",
+                   help="also quantize attention score/context matmul operands")
     p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("inspect", help="print an artifact's manifest + embedded plan")
+    p.add_argument("artifact", help="artifact directory from `repro export`")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip payload/segment checksum verification")
+    p.set_defaults(fn=_cmd_inspect)
 
     serve_common = argparse.ArgumentParser(add_help=False)
     serve_common.add_argument("--artifact", required=True, help="artifact directory from `repro export`")

@@ -24,12 +24,16 @@ from repro.deploy.artifact import (
     Artifact,
     ArtifactError,
     ArtifactLayer,
+    has_builder,
+    inspect_artifact,
     load_artifact,
     register_builder,
     save_artifact,
 )
+from repro.deploy.structure import StructureError, build_from_structure, module_structure
 from repro.deploy.engine import (
     IntegerConv2d,
+    IntegerEmbedding,
     IntegerEngine,
     IntegerLinear,
     build_integer_model,
@@ -42,10 +46,16 @@ __all__ = [
     "Artifact",
     "ArtifactError",
     "ArtifactLayer",
+    "has_builder",
+    "inspect_artifact",
     "load_artifact",
     "register_builder",
     "save_artifact",
+    "StructureError",
+    "build_from_structure",
+    "module_structure",
     "IntegerConv2d",
+    "IntegerEmbedding",
     "IntegerEngine",
     "IntegerLinear",
     "build_integer_model",

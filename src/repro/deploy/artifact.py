@@ -3,10 +3,12 @@
 An artifact is a directory with two files:
 
 ``manifest.json``
-    Format version, model topology (a builder name + architecture kwargs,
-    so the loader can reconstruct the exact module tree), the quantization
-    formats of every quantized layer, and a segment table into the payload
-    blob with per-segment SHA-256 checksums.
+    Format version, model topology — a **structural manifest** (module-tree
+    spec, see :mod:`repro.deploy.structure`) plus an optional builder name +
+    architecture kwargs as a fast path — the embedded
+    :class:`~repro.quant.plan.QuantPlan` describing every quantized layer,
+    and a segment table into the payload blob with per-segment SHA-256
+    checksums.
 ``weights.bin``
     One contiguous blob. Quantized layer weights are stored as exact-width
     bitstreams (N-bit two's-complement codes and M-bit unsigned per-vector
@@ -20,6 +22,10 @@ An artifact is a directory with two files:
 (the paper's deployable representation); ``load_artifact`` verifies the
 checksums and returns the unpacked layers, from which
 :func:`repro.deploy.engine.build_integer_model` rebuilds a runnable model.
+Because the manifest embeds both the plan and the structural module tree,
+*any* model round-trips save → load → serve without a registered topology
+builder (format version 2; version-1 artifacts still load, builder
+required).
 """
 
 from __future__ import annotations
@@ -34,18 +40,23 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro import nn
+from repro.deploy.structure import module_structure
 from repro.quant.export import pack_bits, unpack_bits
 from repro.quant.formats import IntFormat
 from repro.quant.granularity import Granularity, VectorLayout
 from repro.quant.integer_exec import QuantizedTensor, quantize_tensor
-from repro.quant.qlayers import QuantConv2d, QuantLinear, quant_layers
-from repro.quant.quantizer import Quantizer, ScaleKind
+from repro.quant.plan import LayerQuantSpec, QuantPlan, plan_from_model
+from repro.quant.qlayers import attention_layers, quant_layers
+from repro.quant.quantizer import QuantSpec, ScaleKind
 from repro.utils.log import get_logger
 
 logger = get_logger("deploy")
 
 ARTIFACT_FORMAT = "repro.deploy/quantized-model"
-ARTIFACT_VERSION = 1
+#: Version 2 adds the embedded QuantPlan + structural manifest (builder-less
+#: loading) and the embedding/attention layer kinds. Version 1 still loads.
+ARTIFACT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 PAYLOAD_NAME = "weights.bin"
@@ -56,7 +67,7 @@ class ArtifactError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
-# topology builders
+# topology builders (optional fast path since format v2)
 # ----------------------------------------------------------------------
 _BUILDERS: dict[str, Callable[[dict], nn.Module]] = {}
 
@@ -64,9 +75,10 @@ _BUILDERS: dict[str, Callable[[dict], nn.Module]] = {}
 def register_builder(name: str, build: Callable[[dict], nn.Module]) -> None:
     """Register a topology builder: ``build(arch) -> float model skeleton``.
 
-    The zoo models are pre-registered ("miniresnet", "minibert"); custom
-    models register a builder before ``load_artifact`` so the manifest's
-    ``model.builder``/``model.arch`` pair can be turned back into modules.
+    The zoo models are pre-registered ("miniresnet", "minibert"). Since
+    format v2 a builder is an optional fast path — the structural manifest
+    rebuilds any model whose classes are importable — but remains the way
+    to load models with non-serializable construction logic.
     """
     _BUILDERS[name] = build
 
@@ -79,6 +91,10 @@ def get_builder(name: str) -> Callable[[dict], nn.Module]:
             f"(registered: {sorted(_BUILDERS)})"
         )
     return _BUILDERS[name]
+
+
+def has_builder(name: str | None) -> bool:
+    return name is not None and name in _BUILDERS
 
 
 def _build_miniresnet(arch: dict) -> nn.Module:
@@ -171,7 +187,8 @@ class ActSpec:
     Activations are quantized dynamically at inference time (the paper's
     deployment mode), so the artifact records the *format* — bit widths,
     signedness detected during calibration, vector geometry — rather than
-    any data.
+    any data. Kept as the compact manifest form; the engine consumes the
+    full :class:`~repro.quant.quantizer.QuantSpec` from the embedded plan.
     """
 
     bits: int
@@ -192,17 +209,35 @@ class ActSpec:
     def layout(self) -> VectorLayout:
         return VectorLayout(self.vector_axis, self.vector_size)
 
+    def to_quant_spec(self) -> QuantSpec:
+        """Full QuantSpec (v1 manifests carry only this compact form)."""
+        from repro.quant.quantizer import ScaleFormat
+
+        return QuantSpec(
+            bits=self.bits,
+            signed=self.signed,
+            granularity=Granularity.PER_VECTOR,
+            vector_size=self.vector_size,
+            vector_axis=self.vector_axis,
+            channel_axes=(),
+            scale=ScaleFormat(ScaleKind.INT, self.scale_bits),
+            calibration="max",
+            dynamic=True,
+            decompose_order="vector_first",
+        )
+
 
 @dataclass
 class ArtifactLayer:
     """One quantized layer, unpacked and ready for the integer engine."""
 
     name: str
-    kind: str  # "conv2d" | "linear"
+    kind: str  # "conv2d" | "linear" | "embedding" | "attention"
     geometry: dict
-    weight: QuantizedTensor
+    weight: QuantizedTensor | None
     bias: np.ndarray | None
-    act: ActSpec
+    act: ActSpec | None
+    spec: LayerQuantSpec
 
 
 @dataclass
@@ -212,25 +247,29 @@ class Artifact:
     manifest: dict
     layers: list[ArtifactLayer]
     floats: dict[str, np.ndarray]
+    plan: QuantPlan
 
     @property
-    def builder(self) -> str:
+    def builder(self) -> str | None:
         return self.manifest["model"]["builder"]
 
     @property
     def arch(self) -> dict:
-        return self.manifest["model"]["arch"]
+        return self.manifest["model"]["arch"] or {}
 
     @property
     def task(self) -> str | None:
         return self.manifest["model"].get("task")
 
+    @property
+    def structure(self) -> dict | None:
+        return self.manifest["model"].get("structure")
 
-def _require_two_level(name: str, role: str, q: Quantizer | None) -> None:
+
+def _require_two_level(name: str, role: str, spec: QuantSpec | None) -> QuantSpec:
     """The artifact format stores per-vector two-level integer tensors only."""
-    if q is None:
+    if spec is None:
         raise ArtifactError(f"layer {name}: {role} quantizer missing; run quantize_model first")
-    spec = q.spec
     if spec.granularity is not Granularity.PER_VECTOR or spec.scale.kind is not ScaleKind.INT:
         raise ArtifactError(
             f"layer {name}: {role} must use per-vector two-level integer scales "
@@ -247,20 +286,16 @@ def _require_two_level(name: str, role: str, q: Quantizer | None) -> None:
             f"layer {name}: decompose_order {spec.decompose_order!r} is not "
             "supported by the integer engine (vector_first only)"
         )
+    return spec
 
 
-def _layer_geometry(layer: QuantConv2d | QuantLinear) -> tuple[str, dict]:
-    if isinstance(layer, QuantConv2d):
-        return "conv2d", {
-            "in_channels": layer.in_channels,
-            "out_channels": layer.out_channels,
-            "kernel_size": layer.kernel_size,
-            "stride": layer.stride,
-            "padding": layer.padding,
-        }
-    return "linear", {
-        "in_features": layer.in_features,
-        "out_features": layer.out_features,
+def _act_entry(spec: QuantSpec) -> dict:
+    return {
+        "bits": spec.bits,
+        "signed": spec.signed,
+        "scale_bits": spec.scale_fmt.bits,
+        "vector_size": spec.vector_size,
+        "vector_axis": spec.vector_axis,
     }
 
 
@@ -281,16 +316,20 @@ def save_artifact(
     """Serialize a fake-quantized model into an artifact directory.
 
     ``model`` must come from :func:`repro.quant.ptq.quantize_model` under a
-    two-level VS-Quant config. ``builder``/``arch`` name the topology (zoo
-    models are auto-derived). Returns the manifest dict.
+    two-level VS-Quant config. ``builder``/``arch`` name the topology fast
+    path (zoo models are auto-derived); models without one still round-trip
+    through the structural manifest. Returns the manifest dict.
     """
     layers = quant_layers(model)
     if not layers:
         raise ArtifactError("model has no quantized layers; run quantize_model first")
     if builder is None:
-        builder, derived_arch = model_meta(model)
-        if arch is None:
-            arch = derived_arch
+        try:
+            builder, derived_arch = model_meta(model)
+            if arch is None:
+                arch = derived_arch
+        except ArtifactError:
+            builder = None  # structural manifest carries the topology
     elif arch is None:
         try:  # an explicit builder keeps priority; only the arch is derived
             _, arch = model_meta(model)
@@ -298,8 +337,10 @@ def save_artifact(
             raise ArtifactError(
                 f"builder={builder!r} needs an explicit arch= for {type(model).__name__}"
             ) from exc
-    get_builder(builder)  # fail fast on unknown builders
+    if builder is not None:
+        get_builder(builder)  # fail fast on unknown builders
 
+    plan = plan_from_model(model)
     blob = _BlobWriter()
     quantized_keys: set[str] = set()
     layer_entries: list[dict] = []
@@ -307,10 +348,11 @@ def save_artifact(
     fp32_weight_bytes = 0
 
     for dotted, layer in layers:
-        _require_two_level(dotted, "weight", layer.weight_quantizer)
-        _require_two_level(dotted, "input", layer.input_quantizer)
-        wspec = layer.weight_quantizer.spec
-        aspec = layer.input_quantizer.spec
+        spec = plan.get(dotted)
+        wspec = _require_two_level(dotted, "weight", spec.weight)
+        aspec = None
+        if layer.input_quantizer is not None:
+            aspec = _require_two_level(dotted, "input", spec.inputs)
 
         weight = np.asarray(layer.weight.data, dtype=np.float64)
         layout = VectorLayout(wspec.vector_axis, wspec.vector_size)
@@ -323,7 +365,6 @@ def save_artifact(
         packed_payload += codes_seg["bytes"] + scales_seg["bytes"]
         fp32_weight_bytes += weight.size * 4
 
-        kind, geometry = _layer_geometry(layer)
         bias_entry = None
         quantized_keys.add(f"{dotted}.weight")
         if layer.bias is not None:
@@ -333,8 +374,8 @@ def save_artifact(
         layer_entries.append(
             {
                 "name": dotted,
-                "kind": kind,
-                "geometry": geometry,
+                "kind": layer.spec.kind,
+                "geometry": dict(layer.spec.geometry),
                 "weight": {
                     "elem_bits": wspec.bits,
                     "elem_signed": wspec.signed,
@@ -349,13 +390,25 @@ def save_artifact(
                     "gamma": gamma_seg,
                 },
                 "bias": bias_entry,
-                "act": {
-                    "bits": aspec.bits,
-                    "signed": aspec.signed,
-                    "scale_bits": aspec.scale_fmt.bits,
-                    "vector_size": aspec.vector_size,
-                    "vector_axis": aspec.vector_axis,
-                },
+                "act": _act_entry(aspec) if aspec is not None else None,
+            }
+        )
+
+    # Attention entries carry formats only: both matmul operands are
+    # quantized dynamically at inference time, there is nothing to pack.
+    for dotted, attn in attention_layers(model):
+        spec = plan.get(dotted)
+        for op_name, op_spec in spec.operands.items():
+            _require_two_level(dotted, f"operand {op_name!r}", op_spec)
+        layer_entries.append(
+            {
+                "name": dotted,
+                "kind": "attention",
+                "geometry": dict(spec.geometry),
+                "weight": None,
+                "bias": None,
+                "act": None,
+                "operands": {k: _act_entry(v) for k, v in spec.operands.items()},
             }
         )
 
@@ -374,13 +427,15 @@ def save_artifact(
         "format_version": ARTIFACT_VERSION,
         "created_unix": time.time(),
         "model": {
-            "name": name or builder,
+            "name": name or builder or type(model).__name__,
             "builder": builder,
             "arch": arch,
             "task": task,
             "input_shape": list(input_shape) if input_shape else None,
+            "structure": module_structure(model),
         },
         "quant": {"label": quant_label, "decompose_order": "vector_first"},
+        "plan": plan.to_list(),
         "payload": {
             "file": PAYLOAD_NAME,
             "bytes": len(payload),
@@ -412,14 +467,45 @@ def save_artifact(
 # ----------------------------------------------------------------------
 # load
 # ----------------------------------------------------------------------
-def load_artifact(path: str | Path, verify: bool = True) -> Artifact:
-    """Read an artifact directory back into unpacked tensors.
+def _v1_layer_spec(entry: Mapping) -> LayerQuantSpec:
+    """Synthesize a plan entry from a version-1 manifest layer."""
+    from repro.quant.quantizer import ScaleFormat
 
-    With ``verify=True`` (default) the whole-payload and per-segment
-    SHA-256 checksums are recomputed; any mismatch raises
-    :class:`ArtifactError` before a single tensor is deserialized.
-    """
-    root = Path(path)
+    w = entry["weight"]
+    wspec = QuantSpec(
+        bits=int(w["elem_bits"]),
+        signed=bool(w["elem_signed"]),
+        granularity=Granularity.PER_VECTOR,
+        vector_size=int(w["vector_size"]),
+        vector_axis=int(w["axis"]),
+        channel_axes=(0,),
+        scale=ScaleFormat(ScaleKind.INT, int(w["scale_bits"])),
+        calibration="max",
+        dynamic=True,
+        decompose_order="vector_first",
+    )
+    a = entry.get("act")
+    aspec = (
+        ActSpec(
+            bits=int(a["bits"]),
+            signed=bool(a["signed"]),
+            scale_bits=int(a["scale_bits"]),
+            vector_size=int(a["vector_size"]),
+            vector_axis=int(a["vector_axis"]),
+        ).to_quant_spec()
+        if a is not None  # weight-only kinds (embedding) carry no act block
+        else None
+    )
+    return LayerQuantSpec(
+        name=entry["name"],
+        kind=entry["kind"],
+        geometry=dict(entry["geometry"]),
+        weight=wspec,
+        inputs=aspec,
+    )
+
+
+def _read_manifest(root: Path) -> dict:
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.exists():
         raise ArtifactError(f"no {MANIFEST_NAME} in {root}")
@@ -430,23 +516,94 @@ def load_artifact(path: str | Path, verify: bool = True) -> Artifact:
 
     if manifest.get("format") != ARTIFACT_FORMAT:
         raise ArtifactError(f"not a quantized-model artifact: format={manifest.get('format')!r}")
-    if manifest.get("format_version") != ARTIFACT_VERSION:
+    version = manifest.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
         raise ArtifactError(
-            f"artifact format version {manifest.get('format_version')} "
-            f"unsupported (this build reads version {ARTIFACT_VERSION})"
+            f"artifact format version {version} unsupported "
+            f"(this build reads versions {list(_SUPPORTED_VERSIONS)})"
         )
+    return manifest
 
-    blob = (root / manifest["payload"]["file"]).read_bytes()
+
+def _read_payload(root: Path, manifest: Mapping) -> bytes:
+    payload_path = root / manifest["payload"]["file"]
+    try:
+        return payload_path.read_bytes()
+    except OSError as exc:
+        raise ArtifactError(f"cannot read payload {payload_path}: {exc}") from exc
+
+
+def _verify_payload(root: Path, manifest: Mapping) -> bytes:
+    blob = _read_payload(root, manifest)
+    if len(blob) != manifest["payload"]["bytes"]:
+        raise ArtifactError(
+            f"payload is {len(blob)} bytes, manifest says {manifest['payload']['bytes']}"
+        )
+    if hashlib.sha256(blob).hexdigest() != manifest["payload"]["sha256"]:
+        raise ArtifactError("payload checksum mismatch (corrupt weights.bin)")
+    return blob
+
+
+def _manifest_plan(manifest: Mapping) -> QuantPlan:
+    if manifest.get("plan"):
+        return QuantPlan.from_list(manifest["plan"])
+    # version 1: synthesize the plan from the layer table
+    return QuantPlan(_v1_layer_spec(e) for e in manifest["layers"])
+
+
+def inspect_artifact(path: str | Path, verify: bool = True) -> tuple[dict, QuantPlan]:
+    """Read an artifact's manifest + embedded plan without unpacking weights.
+
+    Everything ``repro inspect`` prints lives in ``manifest.json``;
+    ``verify=True`` additionally hashes the payload blob (one pass, no
+    bit-unpacking) so corruption is still caught at a fraction of a full
+    :func:`load_artifact`.
+    """
+    root = Path(path)
+    manifest = _read_manifest(root)
     if verify:
-        if len(blob) != manifest["payload"]["bytes"]:
-            raise ArtifactError(
-                f"payload is {len(blob)} bytes, manifest says {manifest['payload']['bytes']}"
-            )
-        if hashlib.sha256(blob).hexdigest() != manifest["payload"]["sha256"]:
-            raise ArtifactError("payload checksum mismatch (corrupt weights.bin)")
+        _verify_payload(root, manifest)
+    return manifest, _manifest_plan(manifest)
+
+
+def load_artifact(path: str | Path, verify: bool = True) -> Artifact:
+    """Read an artifact directory back into unpacked tensors.
+
+    With ``verify=True`` (default) the whole-payload and per-segment
+    SHA-256 checksums are recomputed; any mismatch raises
+    :class:`ArtifactError` before a single tensor is deserialized.
+    """
+    root = Path(path)
+    manifest = _read_manifest(root)
+    blob = _verify_payload(root, manifest) if verify else _read_payload(root, manifest)
+    plan = _manifest_plan(manifest)
 
     layers: list[ArtifactLayer] = []
     for entry in manifest["layers"]:
+        spec = plan.get(entry["name"])
+        if spec is None:
+            if entry["kind"] == "attention":
+                raise ArtifactError(
+                    f"manifest attention layer {entry['name']!r} missing from the plan"
+                )
+            # Tolerate a layer/plan name divergence (hand-edited manifest):
+            # the layer table alone fully describes conv/linear/embedding
+            # formats, exactly as version-1 manifests did.
+            spec = _v1_layer_spec(entry)
+        if entry["kind"] == "attention":
+            # Operand specs live in the plan; the manifest entry is a summary.
+            layers.append(
+                ArtifactLayer(
+                    name=entry["name"],
+                    kind="attention",
+                    geometry=dict(entry["geometry"]),
+                    weight=None,
+                    bias=None,
+                    act=None,
+                    spec=spec,
+                )
+            )
+            continue
         w = entry["weight"]
         fmt = IntFormat(w["elem_bits"], w["elem_signed"])
         scale_fmt = IntFormat(w["scale_bits"], signed=False)
@@ -475,23 +632,28 @@ def load_artifact(path: str | Path, verify: bool = True) -> Artifact:
             scale_fmt=scale_fmt,
         )
         bias = _read_array(blob, entry["bias"], verify) if entry["bias"] else None
-        act = ActSpec(
-            bits=int(entry["act"]["bits"]),
-            signed=bool(entry["act"]["signed"]),
-            scale_bits=int(entry["act"]["scale_bits"]),
-            vector_size=int(entry["act"]["vector_size"]),
-            vector_axis=int(entry["act"]["vector_axis"]),
+        act = (
+            ActSpec(
+                bits=int(entry["act"]["bits"]),
+                signed=bool(entry["act"]["signed"]),
+                scale_bits=int(entry["act"]["scale_bits"]),
+                vector_size=int(entry["act"]["vector_size"]),
+                vector_axis=int(entry["act"]["vector_axis"]),
+            )
+            if entry.get("act")
+            else None
         )
         layers.append(
             ArtifactLayer(
                 name=entry["name"],
                 kind=entry["kind"],
-                geometry=entry["geometry"],
+                geometry=dict(entry["geometry"]),
                 weight=weight,
                 bias=bias,
                 act=act,
+                spec=spec,
             )
         )
 
     floats = {e["key"]: _read_array(blob, e, verify) for e in manifest["floats"]}
-    return Artifact(manifest=manifest, layers=layers, floats=floats)
+    return Artifact(manifest=manifest, layers=layers, floats=floats, plan=plan)

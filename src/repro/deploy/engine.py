@@ -1,8 +1,13 @@
 """Integer inference engine: execute a loaded artifact end-to-end.
 
-The engine rebuilds the model topology named by the manifest, loads the
-float parameters of the non-quantized layers, and swaps every quantized
-Conv2d/Linear for an :class:`IntegerConv2d`/:class:`IntegerLinear` that
+The engine rebuilds the model topology from the manifest — via a
+registered builder when one exists (the fast path), otherwise from the
+embedded **structural manifest** (:mod:`repro.deploy.structure`), so any
+model round-trips save → load → serve without registration — loads the
+float parameters of the non-quantized layers, and replays the embedded
+:class:`~repro.quant.plan.QuantPlan`: every quantized position gets a
+unified :class:`~repro.quant.qlayers.QuantizedLayer` running an *integer*
+execution backend (:mod:`repro.quant.backends`) that
 
 1. dynamically quantizes its input activations into the two-level integer
    representation recorded in the artifact (N-bit codes, M-bit per-vector
@@ -11,11 +16,14 @@ Conv2d/Linear for an :class:`IntegerConv2d`/:class:`IntegerLinear` that
    :mod:`repro.quant.integer_exec` (Eq. 5), applying the fp coarse scales
    and bias once per output.
 
-Everything outside the GEMMs — BatchNorm, LayerNorm, softmax, residual
-adds, pooling — runs in floating point, exactly as the paper's accelerator
-leaves non-MAC work to higher precision. The result is bit-consistent with
-the fake-quant simulation of :mod:`repro.quant.qlayers` up to float
-summation order (asserted by ``tests/deploy/test_engine.py``).
+Backends are selected **per layer at runtime**: ``integer-prefolded``
+(weights scale-folded once at load; fused NCHW quantize+fold when channel
+vectors align) whenever no scale-product rounding is requested, plain
+``integer`` otherwise — both bitwise identical where they overlap, since
+they share the folded-GEMM kernels. Everything outside the GEMMs —
+BatchNorm, LayerNorm, softmax, residual adds, pooling — runs in floating
+point, exactly as the paper's accelerator leaves non-MAC work to higher
+precision.
 
 Two serving-relevant knobs:
 
@@ -32,187 +40,57 @@ Two serving-relevant knobs:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
 from repro import nn
 from repro.deploy.artifact import (
-    ActSpec,
     Artifact,
     ArtifactError,
     ArtifactLayer,
     get_builder,
+    has_builder,
     load_artifact,
 )
-from repro.quant.integer_exec import (
-    QuantizedTensor,
-    exact_gemm_dtype,
-    fold_quantize_conv_nchw,
-    integer_conv2d,
-    integer_conv2d_prefolded,
-    integer_linear,
-    quantize_tensor,
-)
+from repro.deploy.structure import StructureError, build_from_structure
+from repro.quant.plan import LayerQuantSpec
+from repro.quant.qlayers import QuantizedLayer, QuantMultiHeadAttention
+from repro.quant.quantizer import Quantizer
 from repro.tensor.tensor import Tensor, no_grad
 
 
-class _IntegerLayerBase(nn.Module):
-    """Shared activation-quantization plumbing for integer layers."""
-
-    def __init__(
-        self,
-        weight_q: QuantizedTensor,
-        bias: np.ndarray | None,
-        act: ActSpec,
-        per_sample_scale: bool = False,
-        scale_product_bits: int | None = None,
-        out_dtype: type | None = None,
-    ):
-        super().__init__()
-        self.weight_q = weight_q
-        self.act = act
-        self.per_sample_scale = per_sample_scale
-        self.scale_product_bits = scale_product_bits
-        #: None = strict float64 reference arithmetic; np.float32 = serving
-        #: precision (exact integer accumulators, fused fp32 scaling).
-        self.out_dtype = out_dtype
-        self.bias_data = (
-            bias.astype(out_dtype) if bias is not None and out_dtype is not None else bias
-        )
-        # When this layer's integer GEMM fits float32 exactly, store the
-        # activation codes narrow too (halves kernel traffic, same bits).
-        nv, V = weight_q.codes.shape[-2:]
-        reduction = nv * V
-        if weight_q.codes.ndim == 5:  # conv KRS(nv)(V): reduce over R*S too
-            reduction *= weight_q.codes.shape[1] * weight_q.codes.shape[2]
-        self._code_dtype = exact_gemm_dtype(
-            act.fmt, act.scale_fmt, weight_q.fmt, weight_q.scale_fmt, reduction
-        )
-
-    def _quantize_input(self, x) -> QuantizedTensor:
-        data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
-        if self.out_dtype is not None and data.dtype != self.out_dtype:
-            data = data.astype(self.out_dtype)
-        channel_axes = (0,) if self.per_sample_scale else ()
-        return quantize_tensor(
-            data,
-            self.act.layout,
-            self.act.fmt,
-            self.act.scale_fmt,
-            channel_axes=channel_axes,
-            code_dtype=self._code_dtype,
-        )
+class IntegerConv2d(QuantizedLayer):
+    """Conv2d position of an artifact, on an integer execution backend."""
 
 
-class IntegerLinear(_IntegerLayerBase):
-    """Linear layer executed with per-vector integer dot products."""
-
-    def __init__(self, weight_q, bias, act, geometry: dict, **kwargs):
-        super().__init__(weight_q, bias, act, **kwargs)
-        self.in_features = geometry["in_features"]
-        self.out_features = geometry["out_features"]
-
-    def forward(self, x) -> Tensor:
-        xq = self._quantize_input(x)
-        out = integer_linear(
-            xq,
-            self.weight_q,
-            scale_product_bits=self.scale_product_bits,
-            out_dtype=self.out_dtype,
-        )
-        if self.bias_data is not None:
-            out = out + self.bias_data
-        return Tensor(out)
-
-    def __repr__(self) -> str:
-        return (
-            f"IntegerLinear(in={self.in_features}, out={self.out_features}, "
-            f"w={self.weight_q.fmt}, act={self.act.fmt})"
-        )
+class IntegerLinear(QuantizedLayer):
+    """Linear position of an artifact, on an integer execution backend."""
 
 
-class IntegerConv2d(_IntegerLayerBase):
-    """Conv2d executed with the VS-Quant integer conv pipeline."""
-
-    def __init__(self, weight_q, bias, act, geometry: dict, **kwargs):
-        super().__init__(weight_q, bias, act, **kwargs)
-        self.in_channels = geometry["in_channels"]
-        self.out_channels = geometry["out_channels"]
-        self.kernel_size = geometry["kernel_size"]
-        self.stride = geometry["stride"]
-        self.padding = geometry["padding"]
-        # Serving fast path: when channels align with the vector size, the
-        # activation quantize+fold runs fused in NCHW (no transposed input
-        # copy) against weights folded once here at load time.
-        self._fused = (
-            self.out_dtype is not None
-            and self.scale_product_bits is None
-            and self.act.vector_axis == 1
-            and self.in_channels % self.act.vector_size == 0
-        )
-        if self._fused:
-            K = weight_q.codes.shape[0]
-            self._wf = np.multiply(
-                weight_q.codes, weight_q.sq[..., None], dtype=self._code_dtype
-            ).reshape(K, -1)
-            self._gamma_w = np.asarray(weight_q.gamma).reshape(K)
-
-    def forward(self, x) -> Tensor:
-        if self._fused:
-            data = x.data if isinstance(x, Tensor) else np.asarray(x)
-            if data.dtype != self.out_dtype:
-                data = data.astype(self.out_dtype)
-            xf, gamma_x = fold_quantize_conv_nchw(
-                data,
-                self.act.vector_size,
-                self.act.fmt,
-                self.act.scale_fmt,
-                self.per_sample_scale,
-                self._code_dtype,
-            )
-            out = integer_conv2d_prefolded(
-                xf,
-                gamma_x,
-                self._wf,
-                self._gamma_w,
-                self.kernel_size,
-                self.stride,
-                self.padding,
-                self.out_dtype,
-            )
-        else:
-            xq = self._quantize_input(x)
-            out = integer_conv2d(
-                xq,
-                self.weight_q,
-                stride=self.stride,
-                padding=self.padding,
-                scale_product_bits=self.scale_product_bits,
-                out_dtype=self.out_dtype,
-            )
-        if self.bias_data is not None:
-            out = out + self.bias_data[None, :, None, None]
-        return Tensor(out)
-
-    def __repr__(self) -> str:
-        return (
-            f"IntegerConv2d({self.in_channels}, {self.out_channels}, "
-            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, "
-            f"w={self.weight_q.fmt}, act={self.act.fmt})"
-        )
+class IntegerEmbedding(QuantizedLayer):
+    """Embedding position of an artifact: dequantized-table lookup."""
 
 
-def _set_submodule(root: nn.Module, dotted: str, module: nn.Module) -> None:
-    parts = dotted.split(".")
-    parent = root
-    for part in parts[:-1]:
-        if part not in parent._modules:
-            raise ArtifactError(f"manifest layer {dotted!r} not found in rebuilt topology")
-        parent = parent._modules[part]
-    if parts[-1] not in parent._modules:
-        raise ArtifactError(f"manifest layer {dotted!r} not found in rebuilt topology")
-    setattr(parent, parts[-1], module)
+_INTEGER_CLASSES = {
+    "conv2d": IntegerConv2d,
+    "linear": IntegerLinear,
+    "embedding": IntegerEmbedding,
+}
+
+
+def _pick_backend(spec: LayerQuantSpec, scale_product_bits: int | None) -> str:
+    """Per-layer runtime backend choice.
+
+    Scale folding distributes the integer per-vector scales into the
+    codes, which is exactly what the rounding knob perturbs — so rounding
+    forces the unfolded ``integer`` backend; everything else takes the
+    prefolded hot path (bitwise identical where both apply).
+    """
+    if scale_product_bits is not None:
+        return "integer"
+    return "integer-prefolded"
 
 
 def _make_integer_layer(
@@ -221,18 +99,36 @@ def _make_integer_layer(
     scale_product_bits: int | None,
     out_dtype: type | None,
 ) -> nn.Module:
-    cls = {"conv2d": IntegerConv2d, "linear": IntegerLinear}.get(spec.kind)
+    cls = _INTEGER_CLASSES.get(spec.kind)
     if cls is None:
         raise ArtifactError(f"unknown layer kind {spec.kind!r} for {spec.name}")
     return cls(
-        spec.weight,
-        spec.bias,
-        spec.act,
-        spec.geometry,
+        spec.spec,
+        bias=spec.bias,
+        weight_q=spec.weight,
+        backend=_pick_backend(spec.spec, scale_product_bits),
         per_sample_scale=per_sample_scale,
         scale_product_bits=scale_product_bits,
         out_dtype=out_dtype,
     )
+
+
+def _make_attention_layer(
+    spec: ArtifactLayer, module: nn.Module, per_sample_scale: bool
+) -> nn.Module:
+    if not isinstance(module, nn.MultiHeadAttention):
+        raise ArtifactError(
+            f"manifest attention layer {spec.name!r} does not sit on a "
+            f"MultiHeadAttention in the rebuilt topology (found {type(module).__name__})"
+        )
+    quantizers = {}
+    for op_name, op_spec in spec.spec.operands.items():
+        if per_sample_scale:
+            # Batch-invariant serving: one coarse gamma per sample (axis 0
+            # of every attention operand), matching the conv/linear layers.
+            op_spec = replace(op_spec, channel_axes=(0,))
+        quantizers[op_name] = Quantizer(op_spec)
+    return QuantMultiHeadAttention.from_float(module, spec.spec, quantizers)
 
 
 def build_integer_model(
@@ -253,7 +149,20 @@ def build_integer_model(
     if precision not in ("float64", "float32"):
         raise ValueError(f"precision must be float64 or float32, got {precision!r}")
     out_dtype = np.float32 if precision == "float32" else None
-    model = get_builder(artifact.builder)(dict(artifact.arch))
+
+    if has_builder(artifact.builder):
+        model = get_builder(artifact.builder)(dict(artifact.arch))
+    elif artifact.structure is not None:
+        try:
+            model = build_from_structure(artifact.structure)
+        except StructureError as exc:
+            raise ArtifactError(str(exc)) from exc
+    else:
+        # v1 artifacts carry no structure; the builder registry is the
+        # only way to rebuild them.
+        get_builder(artifact.builder or "<missing>")
+        raise AssertionError("unreachable")  # pragma: no cover
+
     params = dict(model.named_parameters())
     for key, value in artifact.floats.items():
         if out_dtype is not None and value.dtype.kind == "f":
@@ -272,11 +181,23 @@ def build_integer_model(
                 f"vs artifact {value.shape} (arch drift?)"
             )
         params[key].data = value
-    for spec in artifact.layers:
-        _set_submodule(
-            model,
-            spec.name,
-            _make_integer_layer(spec, per_sample_scale, scale_product_bits, out_dtype),
+
+    by_name = {spec.name: spec for spec in artifact.layers}
+
+    def predicate(dotted: str, module: nn.Module) -> bool:
+        return dotted in by_name
+
+    def factory(dotted: str, module: nn.Module) -> nn.Module:
+        spec = by_name[dotted]
+        if spec.kind == "attention":
+            return _make_attention_layer(spec, module, per_sample_scale)
+        return _make_integer_layer(spec, per_sample_scale, scale_product_bits, out_dtype)
+
+    swapped = set(nn.swap_modules(model, predicate, factory))
+    missing = [name for name in by_name if name not in swapped]
+    if missing:
+        raise ArtifactError(
+            f"manifest layer {missing[0]!r} not found in rebuilt topology"
         )
     model.eval()
     return model

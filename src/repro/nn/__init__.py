@@ -6,7 +6,7 @@ modules register parameters/buffers/submodules automatically, support
 ``eval()`` modes (BatchNorm and Dropout behave accordingly).
 """
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, swap_modules
 from repro.nn.container import Sequential, ModuleList
 from repro.nn.linear import Linear
 from repro.nn.conv import Conv2d
@@ -22,6 +22,7 @@ from repro.nn import init
 __all__ = [
     "Module",
     "Parameter",
+    "swap_modules",
     "Sequential",
     "ModuleList",
     "Linear",

@@ -46,11 +46,19 @@ class MultiHeadAttention(Module):
         # (B, T, D) -> (B, H, T, Dh)
         return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
 
+    def _operand(self, name: str, value: Tensor) -> Tensor:
+        """Hook over the score/context matmul operands (``q``/``k``/
+        ``probs``/``v``). Identity here; the quantized subclass
+        (:class:`repro.quant.qlayers.QuantMultiHeadAttention`) fake-quantizes
+        each operand, so the attention math itself lives in exactly one
+        place."""
+        return value
+
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         """``x``: (B, T, D); ``mask``: optional bool (B, T) of valid positions."""
         B, T, _ = x.shape
-        q = self._split_heads(self.q_proj(x), B, T)
-        k = self._split_heads(self.k_proj(x), B, T)
+        q = self._operand("q", self._split_heads(self.q_proj(x), B, T))
+        k = self._operand("k", self._split_heads(self.k_proj(x), B, T))
         v = self._split_heads(self.v_proj(x), B, T)
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.d_head))
@@ -58,7 +66,7 @@ class MultiHeadAttention(Module):
             bias = np.where(np.asarray(mask)[:, None, None, :], 0.0, -1e9)
             scores = scores + Tensor(bias)
         attn = ops.softmax(scores, axis=-1)
-        attn = self.attn_dropout(attn)
-        ctx = attn @ v  # (B, H, T, Dh)
+        attn = self._operand("probs", self.attn_dropout(attn))
+        ctx = attn @ self._operand("v", v)  # (B, H, T, Dh)
         ctx = ctx.transpose(0, 2, 1, 3).reshape(B, T, self.d_model)
         return self.out_proj(ctx)

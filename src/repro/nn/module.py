@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
@@ -190,3 +190,32 @@ class Module:
     def __repr__(self) -> str:
         inner = ", ".join(self._modules)
         return f"{type(self).__name__}({inner})"
+
+
+def swap_modules(
+    model: Module,
+    predicate: Callable[[str, Module], bool],
+    factory: Callable[[str, Module], Module],
+    _prefix: str = "",
+) -> list[str]:
+    """Replace every submodule matching ``predicate`` with ``factory``'s result.
+
+    The one shared traversal for module surgery — PTQ layer swapping, QAT
+    prep, and the deployment engine's topology rebuild all route through
+    here instead of hand-rolled recursions. ``predicate(dotted, module)``
+    decides whether a child is replaced; ``factory(dotted, module)`` builds
+    its replacement. Children of a *replacement* are walked too (so a
+    swapped wrapper — e.g. a quantized attention block — still gets its
+    inner projections swapped), but the replacement itself is never
+    re-tested against the predicate. Returns the dotted names swapped, in
+    traversal order.
+    """
+    swapped: list[str] = []
+    for name, child in list(model._modules.items()):
+        dotted = f"{_prefix}{name}"
+        if predicate(dotted, child):
+            child = factory(dotted, child)
+            setattr(model, name, child)
+            swapped.append(dotted)
+        swapped.extend(swap_modules(child, predicate, factory, _prefix=f"{dotted}."))
+    return swapped

@@ -10,7 +10,12 @@ Layout:
 - :mod:`repro.quant.vsquant` — single-level per-vector quantization (Table 3)
 - :mod:`repro.quant.two_level` — the two-level scheme, Eq. 7a–7j (Tables 5–7)
 - :mod:`repro.quant.quantizer` — stateful quantizer objects with STE
-- :mod:`repro.quant.qlayers` — QuantLinear / QuantConv2d fake-quant layers
+- :mod:`repro.quant.plan` — QuantPlan: declarative per-model quantization
+  plans from a layer-handler registry (the stack's shared contract)
+- :mod:`repro.quant.backends` — pluggable execution backends
+  (fakequant / integer / integer-prefolded)
+- :mod:`repro.quant.qlayers` — the unified QuantizedLayer (+ kind-pinned
+  QuantConv2d / QuantLinear / QuantEmbedding, quantized attention)
 - :mod:`repro.quant.ptq` — post-training quantization pipeline
 - :mod:`repro.quant.qat` — quantization-aware finetuning (Table 9)
 - :mod:`repro.quant.integer_exec` — true integer execution (Eq. 5) with
@@ -45,7 +50,33 @@ from repro.quant.quantizer import (
     set_weight_cache_enabled,
     weight_cache_enabled,
 )
-from repro.quant.qlayers import QuantLinear, QuantConv2d, weight_cache_stats
+from repro.quant.plan import (
+    LayerHandler,
+    LayerQuantSpec,
+    QuantPlan,
+    apply_plan,
+    build_plan,
+    get_handler,
+    plan_from_model,
+    register_handler,
+)
+from repro.quant.backends import (
+    ExecutionBackend,
+    QuantBackendError,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.quant.qlayers import (
+    QuantizedLayer,
+    QuantLinear,
+    QuantConv2d,
+    QuantEmbedding,
+    QuantMultiHeadAttention,
+    attention_layers,
+    quant_layers,
+    weight_cache_stats,
+)
 from repro.quant.ptq import quantize_model, PTQConfig
 from repro.quant.qat import qat_finetune_image, qat_finetune_qa
 from repro.quant.integer_exec import (
@@ -92,8 +123,26 @@ __all__ = [
     "ScaleFormat",
     "set_weight_cache_enabled",
     "weight_cache_enabled",
+    "LayerHandler",
+    "LayerQuantSpec",
+    "QuantPlan",
+    "apply_plan",
+    "build_plan",
+    "get_handler",
+    "plan_from_model",
+    "register_handler",
+    "ExecutionBackend",
+    "QuantBackendError",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "QuantizedLayer",
     "QuantLinear",
     "QuantConv2d",
+    "QuantEmbedding",
+    "QuantMultiHeadAttention",
+    "attention_layers",
+    "quant_layers",
     "weight_cache_stats",
     "quantize_model",
     "PTQConfig",

@@ -20,7 +20,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro import nn
-from repro.quant.granularity import Granularity, VectorLayout
+from repro.quant.granularity import VectorLayout
 from repro.quant.ptq import PTQConfig, quantize_model
 from repro.quant.qlayers import quant_layers
 from repro.quant.quantizer import Quantizer
@@ -68,7 +68,7 @@ def weight_error_table(
     Works on the float model directly (no calibration data needed) — the
     cheap first look at which scheme fits a checkpoint.
     """
-    from repro.quant.ptq import _weight_quantizer
+    from repro.quant.plan import weight_spec
 
     out: dict[str, dict[str, ErrorStats]] = {}
     for name, module in model.named_modules():
@@ -76,7 +76,7 @@ def weight_error_table(
             continue
         per_config: dict[str, ErrorStats] = {}
         for config in configs:
-            q = _weight_quantizer(config)
+            q = Quantizer(weight_spec(config))
             per_config[config.label] = quant_error_stats(module.weight.data, q)
         out[name] = per_config
     return out

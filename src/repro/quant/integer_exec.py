@@ -167,31 +167,74 @@ def _fused_gamma_scale(gamma_x, gamma_w: np.ndarray) -> np.ndarray:
     return float(gx.reshape(-1)[0]) * gamma_w
 
 
-def integer_conv2d_prefolded(
+def integer_linear_folded(
     xf: np.ndarray,
     gamma_x: np.ndarray,
     wf: np.ndarray,
     gamma_w: np.ndarray,
-    kernel_size: int,
+    out_dtype: type | None,
+) -> np.ndarray:
+    """GEMM over scale-folded linear operands (``codes * sq`` flattened).
+
+    The shared tail of :func:`integer_linear`'s fast path and the
+    ``integer-prefolded`` execution backend (which precomputes ``wf`` once
+    instead of per call) — one implementation, so the two are bitwise
+    identical by construction. ``out_dtype=None`` applies the coarse
+    gammas in float64 with the reference operation order;
+    ``out_dtype=np.float32`` fuses them into one low-precision multiply.
+    """
+    acc = xf @ wf.T  # exact integers
+    gamma_w = np.asarray(gamma_w).reshape(wf.shape[0])
+    gamma_x = np.asarray(gamma_x)
+    if out_dtype is not None:
+        scale = _fused_gamma_scale(gamma_x, gamma_w)
+        return np.multiply(acc, scale.astype(out_dtype, copy=False), dtype=out_dtype)
+    acc = acc.astype(np.float64, copy=False)
+    if gamma_x.size == 1:  # per-tensor: multiply by a scalar
+        return acc * float(gamma_x.reshape(-1)[0]) * gamma_w
+    # Per-sample: singleton non-batch axes broadcast against the output.
+    return acc * gamma_w * gamma_x
+
+
+def integer_conv2d_folded(
+    xf: np.ndarray,
+    gamma_x: np.ndarray,
+    wf: np.ndarray,
+    gamma_w: np.ndarray,
+    kernel_size: int | tuple[int, int],
     stride: int,
     padding: int,
-    out_dtype: type,
+    out_dtype: type | None,
 ) -> np.ndarray:
-    """im2col GEMM over pre-folded operands (the serving engine hot loop).
+    """im2col GEMM over pre-folded conv operands (the serving hot loop).
 
-    ``xf``: (B, H, W, C) folded activation codes from
-    :func:`fold_quantize_conv_nchw`; ``wf``: (K, R*S*C) folded weight codes
-    (precomputed once at artifact load). Equivalent to
+    ``xf``: (B, H, W, C) folded activation codes (from
+    :func:`fold_quantize_conv_nchw` or a folded :func:`quantize_tensor`
+    result); ``wf``: (K, R*S*C) folded weight codes; ``kernel_size`` is an
+    int for square kernels or an ``(R, S)`` pair. Equivalent to
     :func:`integer_conv2d` with ``scale_product_bits=None`` — same exact
-    integer accumulators, same fused scaling — minus the per-call folds.
+    integer accumulators, same scaling order — minus the per-call folds.
     """
-    cols, B, P, Q = _im2col_cols(xf, kernel_size, kernel_size, stride, padding)
-    acc = cols @ wf.T
-    scale = _fused_gamma_scale(gamma_x, gamma_w)
-    scaled = np.multiply(
-        acc.reshape(B, P, Q, wf.shape[0]), scale.astype(out_dtype, copy=False), dtype=out_dtype
+    R, S = (
+        (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
     )
-    return np.ascontiguousarray(np.moveaxis(scaled, 3, 1))
+    K = wf.shape[0]
+    cols, B, P, Q = _im2col_cols(xf, R, S, stride, padding)
+    acc = cols @ wf.T
+    gamma_w = np.asarray(gamma_w).reshape(K)
+    if out_dtype is not None:
+        scale = _fused_gamma_scale(gamma_x, gamma_w)
+        scaled = np.multiply(
+            acc.reshape(B, P, Q, K), scale.astype(out_dtype, copy=False), dtype=out_dtype
+        )
+        return np.ascontiguousarray(np.moveaxis(scaled, 3, 1))
+    # (B, P, Q, K) -> contiguous float64 NCHW before the fp gamma scaling.
+    out = np.ascontiguousarray(np.moveaxis(acc.reshape(B, P, Q, K), 3, 1), dtype=np.float64)
+    gamma_x = np.asarray(gamma_x)
+    if gamma_x.size == 1:  # per-tensor activation gamma
+        return out * float(gamma_x.reshape(-1)[0]) * gamma_w[None, :, None, None]
+    # Per-sample gamma (B, 1, 1, 1) broadcasts against out (B, K, P, Q).
+    return out * gamma_w[None, :, None, None] * gamma_x
 
 
 def round_scale_product(
@@ -286,17 +329,13 @@ def integer_linear(
         wf = np.multiply(w.codes, w.sq[..., None], dtype=dt).reshape(
             w.codes.shape[0], -1
         )
-        acc = xf @ wf.T  # exact integers
-        if out_dtype is None:
-            # Back to float64 before the fp gamma scaling (reference order).
-            acc = acc.astype(np.float64, copy=False)
-    else:
-        # Integer dot product per vector: (batch..., 1, nv, V) x (K, nv, V).
-        dot = np.einsum("...vi,kvi->...kv", x.codes, w.codes, optimize=True)
-        product = x.sq[..., None, :] * w.sq[None, :, :]  # (batch..., K, nv)
-        full_bits = x.scale_fmt.bits + w.scale_fmt.bits
-        product = round_scale_product(product, full_bits, scale_product_bits)
-        acc = (dot * product).sum(axis=-1)  # (batch..., K)
+        return integer_linear_folded(xf, x.gamma, wf, w.gamma, out_dtype)
+    # Integer dot product per vector: (batch..., 1, nv, V) x (K, nv, V).
+    dot = np.einsum("...vi,kvi->...kv", x.codes, w.codes, optimize=True)
+    product = x.sq[..., None, :] * w.sq[None, :, :]  # (batch..., K, nv)
+    full_bits = x.scale_fmt.bits + w.scale_fmt.bits
+    product = round_scale_product(product, full_bits, scale_product_bits)
+    acc = (dot * product).sum(axis=-1)  # (batch..., K)
     # The weight gamma is per output channel: shape (K, 1) -> (K,).
     gamma_w = np.asarray(w.gamma).reshape(w.codes.shape[0])
     gamma_x = np.asarray(x.gamma)
@@ -352,21 +391,10 @@ def integer_conv2d(
         dt = exact_gemm_dtype(x.fmt, x.scale_fmt, w.fmt, w.scale_fmt, R * S * C2)
         xf = np.multiply(x.codes, x.sq[..., None], dtype=dt).reshape(B, H, W_, C2)
         wf = np.multiply(w.codes, w.sq[..., None], dtype=dt).reshape(K, R * S * C2)
-        if out_dtype is not None:
-            # Fused low-precision scaling — the serving engine's prefolded
-            # hot loop, via the same shared im2col/scale helpers.
-            cols, _, P, Q = _im2col_cols(xf, R, S, stride, padding)
-            acc = cols @ wf.T
-            scale = _fused_gamma_scale(x.gamma, np.asarray(w.gamma).reshape(K))
-            scaled = np.multiply(
-                acc.reshape(B, P, Q, K), scale.astype(out_dtype, copy=False), dtype=out_dtype
-            )
-            return np.ascontiguousarray(np.moveaxis(scaled, 3, 1))
-        cols, _, P, Q = _im2col_cols(xf, R, S, stride, padding)
-        acc_f = cols @ wf.T  # exact integers
-        # (B, P, Q, K) -> contiguous float64 NCHW before the fp gamma scaling.
-        out = np.ascontiguousarray(
-            np.moveaxis(acc_f.reshape(B, P, Q, K), 3, 1), dtype=np.float64
+        # Shared folded-GEMM tail (also the integer-prefolded backend's hot
+        # loop, which precomputes wf once at load instead of per call).
+        return integer_conv2d_folded(
+            xf, x.gamma, wf, w.gamma, (R, S), stride, padding, out_dtype
         )
     else:
         codes = x.codes

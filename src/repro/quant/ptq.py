@@ -1,9 +1,14 @@
 """Post-training quantization pipeline (paper §3-§4 evaluation flow).
 
-``quantize_model`` clones a trained float model, swaps every Conv2d/Linear
-for its fake-quantized twin, runs a calibration pass over representative
-inputs, and returns the quantized model — no retraining, exactly the PTQ
-setting of Tables 2-7.
+``quantize_model`` clones a trained float model, builds a
+:class:`~repro.quant.plan.QuantPlan` for it (one declarative map of dotted
+module names to layer quant specs, via the layer-handler registry), applies
+the plan — swapping every planned layer for the unified fake-quantized
+:class:`~repro.quant.qlayers.QuantizedLayer` — runs a calibration pass over
+representative inputs, and returns the quantized model. No retraining,
+exactly the PTQ setting of Tables 2-7; QAT (:mod:`repro.quant.qat`) rides
+the same plan with training afterwards, and the deployment artifact
+(:mod:`repro.deploy`) embeds the same plan for the integer engine.
 
 Configuration factories mirror the paper's named schemes:
 
@@ -14,20 +19,25 @@ Configuration factories mirror the paper's named schemes:
   ``weights``/``activations`` flags): per-vector scales with static max
   calibration for weights and dynamic max calibration for activations
   (Table 3), optionally two-level integer scale factors (Tables 5-7).
+
+``quantize_embeddings`` / ``quantize_attention`` opt a model's embedding
+tables and attention score/context matmuls into the plan (the paper's
+fully-quantized BERT settings); both default off.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro import nn
 from repro.quant.granularity import Granularity
-from repro.quant.qlayers import QuantConv2d, QuantLinear, quant_layers
-from repro.quant.quantizer import QuantSpec, Quantizer, ScaleFormat, ScaleKind
+from repro.quant.plan import QuantPlan, apply_plan, build_plan
+from repro.quant.qlayers import quant_layers
+from repro.quant.quantizer import ScaleFormat, ScaleKind
 from repro.tensor.tensor import no_grad
 from repro.utils.log import get_logger
 
@@ -56,6 +66,9 @@ class PTQConfig:
     act_signed: bool | None = None
     decompose_order: str = "vector_first"
     skip: tuple[str, ...] = ()
+    #: Opt-in coverage beyond the GEMM/conv layers (paper's full-BERT mode).
+    quantize_embeddings: bool = False
+    quantize_attention: bool = False
 
     # ------------------------------------------------------------------
     # named schemes from the paper
@@ -89,12 +102,16 @@ class PTQConfig:
         activations: bool = True,
         act_signed: bool | None = None,
         decompose_order: str = "vector_first",
+        embeddings: bool = False,
+        attention: bool = False,
     ) -> "PTQConfig":
         """VS-Quant: per-vector scaling on weights and/or activations.
 
         ``weight_scale``/``act_scale`` accept 'fp32', 'fp16', or an integer
         bit width string for the two-level scheme (e.g. the paper's
         S=4/6 column is ``weight_scale="4", act_scale="6"``).
+        ``embeddings``/``attention`` extend coverage to embedding tables
+        and attention matmuls (MiniBERT's full quantization).
         """
         return PTQConfig(
             weight_bits=weight_bits,
@@ -111,6 +128,8 @@ class PTQConfig:
             act_dynamic=True,
             act_signed=act_signed,
             decompose_order=decompose_order,
+            quantize_embeddings=embeddings,
+            quantize_attention=attention,
         )
 
     @property
@@ -129,67 +148,12 @@ class PTQConfig:
         return f"{self.weight_bits}/{self.act_bits}/{ws}/{asc}"
 
 
-def _weight_quantizer(config: PTQConfig) -> Quantizer:
-    # Weight tensors: conv (K, C, R, S), linear (out, in). Output channel is
-    # axis 0, the reduction axis (C / in-features) is axis 1 for conv and
-    # axis 1 == -1 for linear; both use axis 1.
-    spec = QuantSpec(
-        bits=config.weight_bits,
-        signed=True,
-        granularity=config.weight_granularity,
-        vector_size=config.vector_size,
-        vector_axis=1,
-        channel_axes=(0,),
-        scale=config.weight_scale,
-        calibration=config.weight_calibration,
-        dynamic=True,
-        decompose_order=config.decompose_order,
-    )
-    return Quantizer(spec)
-
-
-def _input_quantizer(config: PTQConfig, vector_axis: int) -> Quantizer:
-    spec = QuantSpec(
-        bits=config.act_bits,
-        signed=True if config.act_signed is None else config.act_signed,
-        granularity=config.act_granularity,
-        vector_size=config.vector_size,
-        vector_axis=vector_axis,
-        channel_axes=(),
-        scale=config.act_scale,
-        calibration=config.act_calibration,
-        dynamic=config.act_dynamic,
-        decompose_order=config.decompose_order,
-    )
-    return Quantizer(spec)
-
-
-def _swap(module: nn.Module, config: PTQConfig, prefix: str = "") -> None:
-    for name, child in list(module._modules.items()):
-        dotted = f"{prefix}{name}"
-        if dotted in config.skip:
-            continue
-        if isinstance(child, (QuantConv2d, QuantLinear)):
-            continue
-        if isinstance(child, nn.Conv2d):
-            q = QuantConv2d.from_float(
-                child, _weight_quantizer(config), _input_quantizer(config, vector_axis=1)
-            )
-            setattr(module, name, q)
-        elif isinstance(child, nn.Linear):
-            q = QuantLinear.from_float(
-                child, _weight_quantizer(config), _input_quantizer(config, vector_axis=-1)
-            )
-            setattr(module, name, q)
-        else:
-            _swap(child, config, prefix=f"{dotted}.")
-
-
 def quantize_model(
     model: nn.Module,
     config: PTQConfig,
     calib_batches: Sequence[tuple] | None = None,
     forward: Callable[[nn.Module, tuple], object] | None = None,
+    plan: QuantPlan | None = None,
 ) -> nn.Module:
     """Clone + quantize a float model; runs calibration when data is given.
 
@@ -207,13 +171,24 @@ def quantize_model(
     forward:
         Optional ``forward(model, batch_args)`` adapter for models whose
         call signature is not ``model(*batch_args)``.
+    plan:
+        Optional pre-built :class:`QuantPlan` to apply instead of planning
+        from ``config`` — the hook for hand-tuned per-layer schemes.
     """
     qmodel = copy.deepcopy(model)
     qmodel.eval()
-    _swap(qmodel, config)
+    if plan is None:
+        plan = build_plan(qmodel, config)
+    apply_plan(qmodel, plan)
+    # Stash the applied plan so plan_from_model (and thus save_artifact)
+    # can carry the skipped-entry audit trail forward.
+    qmodel._quant_plan = plan
     layers = quant_layers(qmodel)
     if not layers:
-        raise ValueError("model contains no Conv2d/Linear layers to quantize")
+        raise ValueError(
+            "model contains no quantizable layers (per the handler registry); "
+            "nothing to do"
+        )
 
     if calib_batches is not None:
         for _, layer in layers:

@@ -6,6 +6,12 @@ gradients through the quantization nodes, and the underlying full-precision
 weights adapt to the quantization grid. Scale factors are not trained
 (the paper leaves learned scales to future work).
 
+QAT prep is the same plan-driven swap as PTQ — ``quantize_model`` builds
+(or accepts) a :class:`~repro.quant.plan.QuantPlan` and applies it through
+the shared layer-handler registry — so a QAT-finetuned model exports and
+serves through exactly the machinery of :mod:`repro.deploy`; pass
+``plan=`` to finetune under a hand-tuned per-layer scheme.
+
 Activations use dynamic max scaling during QAT for both the per-vector and
 per-channel schemes — static scales would go stale as the activation
 distributions shift over finetuning (the paper's framework recalibrates
@@ -42,10 +48,11 @@ def qat_finetune_image(
     epochs: int = 4,
     lr: float = 5e-4,
     seed: int = 0,
+    plan=None,
 ) -> QATResult:
     """Finetune an image classifier with quantizers in the loop."""
     calib = [(train_images[:128],)]
-    qmodel = quantize_model(model, config, calib_batches=calib)
+    qmodel = quantize_model(model, config, calib_batches=calib, plan=plan)
     train_image_classifier(
         qmodel,
         train_images,
@@ -68,6 +75,7 @@ def qat_finetune_qa(
     epochs: int = 2,
     lr: float = 3e-4,
     seed: int = 0,
+    plan=None,
 ) -> QATResult:
     """Finetune a span-extraction model with quantizers in the loop."""
     tokens, starts, ends, mask = train_data
@@ -76,7 +84,7 @@ def qat_finetune_qa(
     def fwd(m, batch):
         return m(batch[0], mask=batch[1])
 
-    qmodel = quantize_model(model, config, calib_batches=calib, forward=fwd)
+    qmodel = quantize_model(model, config, calib_batches=calib, forward=fwd, plan=plan)
     train_qa_model(
         qmodel,
         tokens,

@@ -1,35 +1,126 @@
-"""Fake-quantized layers: drop-in replacements for Conv2d / Linear.
+"""The single shared quantized-layer implementation.
 
-Each quantized layer owns a weight quantizer and an input quantizer and
-applies both before the underlying GEMM/convolution, exactly mirroring the
-paper's hardware: integer vector MACs consume quantized weight vectors and
-quantized activation vectors (Eq. 5), while bias addition and accumulation
-stay in higher precision.
+One :class:`QuantizedLayer` serves every stage of the stack: it owns a
+:class:`~repro.quant.plan.LayerQuantSpec` (what to quantize), optional
+:class:`~repro.quant.quantizer.Quantizer` objects (fake-quant state), and
+delegates *how* it computes to a pluggable execution backend
+(:mod:`repro.quant.backends`): ``fakequant`` for PTQ/QAT simulation,
+``integer`` / ``integer-prefolded`` for the true integer datapath the
+serving engine runs. The layer kinds (conv2d / linear / embedding) differ
+only in the :class:`~repro.quant.plan.LayerHandler` that plans them and
+the per-kind backend entry point — there is no per-kind class hierarchy
+to extend anymore.
 
-The layers also record the MAC count and tensor shapes of their last
-forward pass, which the hardware model (:mod:`repro.hardware`) uses to
-weight per-layer energy by operation count (as the paper does for Fig. 4-6).
+:class:`QuantConv2d`, :class:`QuantLinear`, and :class:`QuantEmbedding`
+are thin kind-pinned subclasses kept for their constructor ergonomics and
+``isinstance`` compatibility; every behaviour lives in the base class and
+the backends.
+
+The layers record the MAC count and tensor shapes of their last forward
+pass, which the hardware model (:mod:`repro.hardware`) uses to weight
+per-layer energy by operation count (as the paper does for Fig. 4-6).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import nn
+from repro.quant.backends import get_backend
+from repro.quant.integer_exec import QuantizedTensor
+from repro.quant.plan import LayerQuantSpec
 from repro.quant.quantizer import Quantizer
-from repro.tensor import ops
 from repro.tensor.tensor import Tensor
 
+_RUNTIME_KNOBS = ("per_sample_scale", "scale_product_bits", "out_dtype")
 
-class QuantConv2d(nn.Conv2d):
-    """Conv2d with fake-quantized weights and input activations."""
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.weight_quantizer: Quantizer | None = None
-        self.input_quantizer: Quantizer | None = None
+class QuantizedLayer(nn.Module):
+    """A quantized layer of any kind, executed by a pluggable backend.
+
+    State it owns:
+
+    - ``spec`` — the declarative :class:`LayerQuantSpec` (kind, geometry,
+      weight/input quant specs). Geometry entries are mirrored as plain
+      attributes (``in_channels``, ``stride``, ...) for ergonomic access.
+    - ``weight`` / ``bias`` — float parameters (shared with the source
+      module by ``from_float``; absent on artifact-loaded layers).
+    - ``weight_quantizer`` / ``input_quantizer`` — fake-quant state with
+      STE backward (the ``fakequant`` backend's operands).
+    - ``weight_q`` — the two-level integer weight
+      (:class:`QuantizedTensor`), loaded from an artifact or derived from
+      the float weight on first integer ``prepare``.
+    - runtime knobs — ``per_sample_scale`` (batch-invariant serving),
+      ``scale_product_bits`` (Fig. 3 hardware rounding),``out_dtype``
+      (``None`` = strict float64 reference order, ``np.float32`` =
+      fused low-precision serving scaling).
+    """
+
+    def __init__(
+        self,
+        spec: LayerQuantSpec,
+        *,
+        weight: nn.Parameter | None = None,
+        bias=None,
+        weight_quantizer: Quantizer | None = None,
+        input_quantizer: Quantizer | None = None,
+        weight_q: QuantizedTensor | None = None,
+        backend: str = "fakequant",
+        per_sample_scale: bool = False,
+        scale_product_bits: int | None = None,
+        out_dtype: type | None = None,
+    ):
+        super().__init__()
+        self.spec = spec
+        for key, value in spec.geometry.items():
+            setattr(self, key, value)
+        self.weight = weight
+        self.bias = bias
+        self.weight_quantizer = weight_quantizer
+        self.input_quantizer = input_quantizer
+        self.weight_q = weight_q
+        self.per_sample_scale = per_sample_scale
+        self.scale_product_bits = scale_product_bits
+        self.out_dtype = out_dtype
         self.last_macs: int = 0
         self.last_output_shape: tuple[int, ...] | None = None
+        self._bias_data = None
+        self.set_backend(backend)
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend this layer currently runs on."""
+        return self._exec.name
+
+    def set_backend(self, name: str, **runtime) -> "QuantizedLayer":
+        """Select the execution backend (and optionally runtime knobs).
+
+        ``runtime`` may set ``per_sample_scale``, ``scale_product_bits``,
+        and ``out_dtype`` before the backend's ``prepare`` runs. Returns
+        ``self`` so engine code can build-and-configure in one expression.
+        """
+        for key, value in runtime.items():
+            if key not in _RUNTIME_KNOBS:
+                raise TypeError(f"unknown runtime knob {key!r} (expected {_RUNTIME_KNOBS})")
+            setattr(self, key, value)
+        exec_backend = get_backend(name)
+        exec_backend.prepare(self)
+        self._exec = exec_backend
+        return self
+
+    def forward(self, x) -> Tensor:
+        return self._exec.run(self, x)
+
+    def __repr__(self) -> str:
+        geo = ", ".join(f"{k}={v}" for k, v in self.spec.geometry.items())
+        return f"{type(self).__name__}({geo}, backend={self.backend!r})"
+
+
+class QuantConv2d(QuantizedLayer):
+    """Conv2d quantized per the paper's Fig. 1 geometry (vectors along C)."""
 
     @classmethod
     def from_float(
@@ -37,41 +128,34 @@ class QuantConv2d(nn.Conv2d):
         conv: nn.Conv2d,
         weight_quantizer: Quantizer | None,
         input_quantizer: Quantizer | None,
+        **runtime,
     ) -> "QuantConv2d":
-        q = cls(
-            conv.in_channels,
-            conv.out_channels,
-            conv.kernel_size,
-            stride=conv.stride,
-            padding=conv.padding,
-            bias=conv.bias is not None,
+        spec = LayerQuantSpec(
+            name="",
+            kind="conv2d",
+            geometry={
+                "in_channels": conv.in_channels,
+                "out_channels": conv.out_channels,
+                "kernel_size": conv.kernel_size,
+                "stride": conv.stride,
+                "padding": conv.padding,
+                "bias": conv.bias is not None,
+            },
+            weight=weight_quantizer.spec if weight_quantizer else None,
+            inputs=input_quantizer.spec if input_quantizer else None,
         )
-        q.weight = conv.weight
-        if conv.bias is not None:
-            q.bias = conv.bias
-        q.weight_quantizer = weight_quantizer
-        q.input_quantizer = input_quantizer
-        return q
-
-    def forward(self, x: Tensor) -> Tensor:
-        xq = self.input_quantizer(x) if self.input_quantizer else x
-        wq = self.weight_quantizer(self.weight) if self.weight_quantizer else self.weight
-        out = ops.conv2d(xq, wq, self.bias, stride=self.stride, padding=self.padding)
-        B, K, P, Q = out.shape
-        self.last_macs = B * K * P * Q * self.in_channels * self.kernel_size**2
-        self.last_output_shape = out.shape
-        return out
+        return cls(
+            spec,
+            weight=conv.weight,
+            bias=conv.bias,
+            weight_quantizer=weight_quantizer,
+            input_quantizer=input_quantizer,
+            **runtime,
+        )
 
 
-class QuantLinear(nn.Linear):
-    """Linear with fake-quantized weights and input activations."""
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.weight_quantizer: Quantizer | None = None
-        self.input_quantizer: Quantizer | None = None
-        self.last_macs: int = 0
-        self.last_output_shape: tuple[int, ...] | None = None
+class QuantLinear(QuantizedLayer):
+    """Linear quantized along the in-features reduction axis."""
 
     @classmethod
     def from_float(
@@ -79,33 +163,121 @@ class QuantLinear(nn.Linear):
         linear: nn.Linear,
         weight_quantizer: Quantizer | None,
         input_quantizer: Quantizer | None,
+        **runtime,
     ) -> "QuantLinear":
-        q = cls(linear.in_features, linear.out_features, bias=linear.bias is not None)
-        q.weight = linear.weight
-        if linear.bias is not None:
-            q.bias = linear.bias
-        q.weight_quantizer = weight_quantizer
-        q.input_quantizer = input_quantizer
-        return q
+        spec = LayerQuantSpec(
+            name="",
+            kind="linear",
+            geometry={
+                "in_features": linear.in_features,
+                "out_features": linear.out_features,
+                "bias": linear.bias is not None,
+            },
+            weight=weight_quantizer.spec if weight_quantizer else None,
+            inputs=input_quantizer.spec if input_quantizer else None,
+        )
+        return cls(
+            spec,
+            weight=linear.weight,
+            bias=linear.bias,
+            weight_quantizer=weight_quantizer,
+            input_quantizer=input_quantizer,
+            **runtime,
+        )
 
-    def forward(self, x: Tensor) -> Tensor:
-        xq = self.input_quantizer(x) if self.input_quantizer else x
-        wq = self.weight_quantizer(self.weight) if self.weight_quantizer else self.weight
-        out = xq @ wq.T
-        if self.bias is not None:
-            out = out + self.bias
-        rows = int(np.prod(out.shape[:-1]))
-        self.last_macs = rows * self.in_features * self.out_features
-        self.last_output_shape = out.shape
-        return out
+
+class QuantEmbedding(QuantizedLayer):
+    """Embedding table with a per-vector quantized weight (weight-only).
+
+    Inputs are integer ids, so there is no input quantizer; the lookup
+    result is exactly the dequantized table row, identical under the
+    fakequant and integer backends (same Eq. 7c codes either way).
+    """
+
+    @classmethod
+    def from_float(
+        cls,
+        emb: nn.Embedding,
+        weight_quantizer: Quantizer | None,
+        **runtime,
+    ) -> "QuantEmbedding":
+        spec = LayerQuantSpec(
+            name="",
+            kind="embedding",
+            geometry={
+                "num_embeddings": emb.num_embeddings,
+                "embedding_dim": emb.embedding_dim,
+                "bias": False,
+            },
+            weight=weight_quantizer.spec if weight_quantizer else None,
+        )
+        return cls(spec, weight=emb.weight, weight_quantizer=weight_quantizer, **runtime)
 
 
-def quant_layers(model: nn.Module) -> list[tuple[str, QuantConv2d | QuantLinear]]:
+class QuantMultiHeadAttention(nn.MultiHeadAttention):
+    """Attention with quantized score/context matmul operands.
+
+    The q/k/v/out projections are separate :class:`QuantLinear` children
+    (swapped by their own plan entries); this wrapper additionally
+    fake-quantizes the operands of the two weight-less batched matmuls —
+    ``q @ k^T`` (both along d_head) and ``softmax(scores) @ v`` (probs
+    along keys, v along its sequence axis) — so a transformer block's
+    MACs are fully covered, per the paper's BERT evaluation. Quantizing
+    these operands is arithmetic the integer datapath reproduces exactly
+    (dynamic two-level quantization of both sides), so the same module
+    serves the fakequant and integer execution modes.
+
+    The attention math itself is inherited: the float base class exposes
+    an ``_operand`` hook over the four matmul operands, and this class
+    only overrides that hook — one copy of the forward to keep in sync.
+    """
+
+    def __init__(self, d_model: int, num_heads: int):
+        super().__init__(d_model, num_heads)
+        self.spec: LayerQuantSpec = LayerQuantSpec(name="", kind="attention")
+        self.operand_quantizers: dict[str, Quantizer] = {}
+
+    @classmethod
+    def from_float(
+        cls,
+        mha: nn.MultiHeadAttention,
+        spec: LayerQuantSpec,
+        quantizers: dict[str, Quantizer],
+    ) -> "QuantMultiHeadAttention":
+        # Skip __init__: it would allocate four throwaway projections that
+        # the shared float ones immediately replace.
+        m = cls.__new__(cls)
+        nn.Module.__init__(m)
+        m.d_model = mha.d_model
+        m.num_heads = mha.num_heads
+        m.d_head = mha.d_head
+        m.q_proj = mha.q_proj
+        m.k_proj = mha.k_proj
+        m.v_proj = mha.v_proj
+        m.out_proj = mha.out_proj
+        m.attn_dropout = mha.attn_dropout
+        m.spec = spec
+        m.operand_quantizers = quantizers
+        return m
+
+    def _operand(self, name: str, value: Tensor) -> Tensor:
+        quantizer = self.operand_quantizers.get(name)
+        return quantizer(value) if quantizer is not None else value
+
+
+def quant_layers(model: nn.Module) -> list[tuple[str, QuantizedLayer]]:
     """All quantized layers in a model, with their dotted names."""
+    return [
+        (name, m) for name, m in model.named_modules() if isinstance(m, QuantizedLayer)
+    ]
+
+
+def attention_layers(model: nn.Module) -> list[tuple[str, QuantMultiHeadAttention]]:
+    """All quantized-attention wrappers in a model, with dotted names."""
     return [
         (name, m)
         for name, m in model.named_modules()
-        if isinstance(m, (QuantConv2d, QuantLinear))
+        if isinstance(m, QuantMultiHeadAttention)
     ]
 
 

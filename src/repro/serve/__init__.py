@@ -14,7 +14,7 @@ See ``docs/serving.md`` for the design.
 """
 
 from repro.serve.bench import format_comparison, throughput_comparison
-from repro.serve.runners import model_batch_fn, serve_model
+from repro.serve.runners import model_batch_fn, serve_artifact, serve_model
 from repro.serve.server import (
     InferenceServer,
     PendingResponse,
@@ -30,6 +30,7 @@ __all__ = [
     "ServerOverloaded",
     "ServeStats",
     "model_batch_fn",
+    "serve_artifact",
     "serve_model",
     "format_comparison",
     "throughput_comparison",

@@ -56,3 +56,27 @@ def model_batch_fn(model, forward=None):
 def serve_model(model, *, forward=None, **server_kwargs) -> InferenceServer:
     """Convenience: wrap a model/engine in an (unstarted) InferenceServer."""
     return InferenceServer(model_batch_fn(model, forward=forward), **server_kwargs)
+
+
+def serve_artifact(
+    path,
+    *,
+    per_sample_scale: bool = True,
+    precision: str = "float32",
+    forward=None,
+    **server_kwargs,
+) -> InferenceServer:
+    """Load a deployment artifact into the integer engine and wrap it.
+
+    One call from an artifact directory to an (unstarted)
+    :class:`InferenceServer` — builder-registered and structural
+    (builder-less) artifacts alike. Defaults are the serving-friendly
+    knobs: per-sample activation scales (batch-invariant replies under
+    dynamic batching) and float32 glue precision.
+    """
+    from repro.deploy import IntegerEngine
+
+    engine = IntegerEngine.load(
+        path, per_sample_scale=per_sample_scale, precision=precision
+    )
+    return serve_model(engine.model, forward=forward, **server_kwargs)

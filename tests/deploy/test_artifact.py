@@ -8,6 +8,7 @@ import pytest
 from repro import nn
 from repro.deploy import (
     ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
     ArtifactError,
     load_artifact,
     register_builder,
@@ -36,11 +37,14 @@ class TestSave:
     def test_manifest_structure(self, tiny_resnet_artifact):
         qmodel, out, manifest = tiny_resnet_artifact
         assert manifest["format"] == ARTIFACT_FORMAT
-        assert manifest["format_version"] == 1
+        assert manifest["format_version"] == ARTIFACT_VERSION
         assert manifest["model"]["builder"] == "miniresnet"
         assert manifest["model"]["arch"] == {"num_classes": 4, "width": 1, "depth": 1}
         assert manifest["quant"]["label"] == "4/8/4/6"
         assert len(manifest["layers"]) == len(quant_layers(qmodel))
+        # v2: the plan and the structural module tree ride in the manifest.
+        assert len(manifest["plan"]) == len(quant_layers(qmodel))
+        assert manifest["model"]["structure"]["class"].endswith("MiniResNet")
         assert (out / MANIFEST_NAME).exists() and (out / PAYLOAD_NAME).exists()
         assert manifest["payload"]["bytes"] == (out / PAYLOAD_NAME).stat().st_size
 
@@ -65,13 +69,18 @@ class TestSave:
         with pytest.raises(ArtifactError, match="no quantized layers"):
             save_artifact(model, tmp_path / "bad")
 
-    def test_unregistered_topology_needs_builder(self, rng, tmp_path):
+    def test_unregistered_topology_saves_structurally(self, rng, tmp_path):
         model = nn.Sequential(nn.Linear(32, 8, rng=rng))
         model.eval()
         config = PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")
         qmodel = quantize_model(model, config, calib_batches=[(rng.standard_normal((4, 32)),)])
+        # v2: no registered builder -> the structural manifest carries it.
+        manifest = save_artifact(qmodel, tmp_path / "structural")
+        assert manifest["model"]["builder"] is None
+        assert manifest["model"]["structure"]["class"].endswith("Sequential")
+        # An explicitly *unknown* builder still fails fast.
         with pytest.raises(ArtifactError, match="builder"):
-            save_artifact(qmodel, tmp_path / "bad")
+            save_artifact(qmodel, tmp_path / "bad", builder="not-registered", arch={})
         register_builder("test-seq-mlp", lambda arch: nn.Sequential(nn.Linear(32, 8)))
         manifest = save_artifact(qmodel, tmp_path / "ok", builder="test-seq-mlp", arch={})
         assert manifest["model"]["builder"] == "test-seq-mlp"
@@ -131,6 +140,54 @@ class TestLoadRoundTrip:
         by_name = {layer.name: layer for layer in artifact.layers}
         for dotted, layer in quant_layers(qmodel):
             assert by_name[dotted].act.signed == layer.input_quantizer.spec.signed
+
+
+class TestManifestPlan:
+    def test_skipped_layers_recorded_in_manifest_plan(self, rng, tmp_path):
+        import dataclasses
+
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        model.eval()
+        cfg = dataclasses.replace(
+            PTQConfig.vs_quant(4, 8, weight_scale="4", act_scale="6"),
+            skip=("head",),
+        )
+        q = quantize_model(model, cfg, calib_batches=[(rng.standard_normal((4, 3, 16, 16)),)])
+        manifest = save_artifact(q, tmp_path / "skip", task="image")
+        entries = {e["name"]: e for e in manifest["plan"]}
+        assert entries["head"]["skipped"]
+        assert not any(e["name"] == "head" for e in manifest["layers"])
+
+    def test_v1_spec_synthesis_tolerates_weight_only_entries(self):
+        from repro.deploy.artifact import _v1_layer_spec
+
+        entry = {
+            "name": "emb",
+            "kind": "embedding",
+            "geometry": {"num_embeddings": 8, "embedding_dim": 16},
+            "weight": {
+                "elem_bits": 4, "elem_signed": True, "scale_bits": 4,
+                "vector_size": 16, "axis": 1,
+            },
+            "act": None,
+        }
+        spec = _v1_layer_spec(entry)
+        assert spec.inputs is None and spec.weight.bits == 4
+
+    def test_inspect_artifact_skips_payload_unpacking(self, tiny_resnet_artifact):
+        from repro.deploy import inspect_artifact
+
+        _, out, saved = tiny_resnet_artifact
+        manifest, plan = inspect_artifact(out)
+        assert manifest["payload"]["sha256"] == saved["payload"]["sha256"]
+        assert len(plan) == len(saved["plan"])
+        # corruption still caught by the whole-blob hash
+        blob = bytearray((out / PAYLOAD_NAME).read_bytes())
+        blob[0] ^= 0xFF
+        (out / PAYLOAD_NAME).write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError, match="checksum"):
+            inspect_artifact(out)
+        inspect_artifact(out, verify=False)  # explicit opt-out still reads
 
 
 class TestIntegrity:

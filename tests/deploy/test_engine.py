@@ -135,6 +135,29 @@ class TestResNetEngine:
         with pytest.raises(ValueError, match="precision"):
             IntegerEngine.load(out, precision="float16")
 
+    @pytest.mark.parametrize(
+        ("precision", "expected"), [("float32", np.float32), ("float64", np.float64)]
+    )
+    def test_raw_input_coercion_honors_precision(self, rng, resnet_pair, precision, expected):
+        """Regression: non-Tensor payloads were forced to float64 regardless
+        of the engine's serving precision — a float32 engine round-tripped
+        every request through a float64 copy. The coercion must land
+        directly on the configured dtype."""
+        from repro.quant.backends import get_backend
+
+        _, out = resnet_pair
+        engine = IntegerEngine.load(out, precision=precision)
+        layer = next(
+            m for _, m in engine.model.named_modules() if isinstance(m, IntegerConv2d)
+        )
+        backend = get_backend(layer.backend)
+        for payload in (
+            rng.standard_normal((2, 3, 16, 16)),  # float64 ndarray
+            rng.standard_normal((2, 3, 16, 16)).astype(np.float32),
+            rng.standard_normal((2, 3, 16, 16)).tolist(),  # plain lists
+        ):
+            assert backend._input_array(layer, payload).dtype == expected
+
 
 class TestBERTEngine:
     def test_matches_fake_quant_simulation(self, rng, tmp_path):

@@ -45,6 +45,21 @@ def test_padded_channel_tail(rng):
     np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
 
 
+def test_non_square_kernel_fast_path(rng):
+    """Regression: the folded fast path once rebuilt im2col from a single
+    square kernel_size, crashing on (R, S) = (3, 1) weights that the
+    rounding path handled fine. Both paths must agree bitwise."""
+    x = rng.standard_normal((1, 16, 6, 8))
+    w = rng.standard_normal((2, 16, 3, 1))
+    xq = quantize_tensor(x, VectorLayout(1, 8), S4, U6)
+    wq = quantize_tensor(w, VectorLayout(1, 8), S4, U6, channel_axes=(0,))
+    fast = integer_conv2d(xq, wq)  # scale_product_bits=None -> folded GEMM
+    # product_bits >= full width makes the rounding path an exact identity
+    slow = integer_conv2d(xq, wq, scale_product_bits=16)
+    np.testing.assert_array_equal(fast, slow)
+    assert fast.shape == (1, 2, 4, 8)
+
+
 def test_geometry_checks(rng):
     x = rng.standard_normal((1, 16, 5, 5))
     w = rng.standard_normal((3, 16, 3, 3))

@@ -56,6 +56,29 @@ class TestExportCommand:
                   "--out", str(tmp_path / "bad")])
 
 
+class TestInspectCommand:
+    def test_prints_manifest_and_plan(self, artifact_dir, capsys):
+        assert main(["inspect", str(artifact_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.deploy/quantized-model v2" in out
+        assert "checksums ok" in out
+        assert "conv2d" in out and "linear" in out
+        assert "s4/S4" in out  # weight format column
+
+    def test_missing_artifact_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot inspect"):
+            main(["inspect", str(tmp_path / "nope")])
+
+    def test_corrupt_payload_detected(self, artifact_dir):
+        blob = bytearray((artifact_dir / "weights.bin").read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        (artifact_dir / "weights.bin").write_bytes(bytes(blob))
+        with pytest.raises(SystemExit, match="cannot inspect"):
+            main(["inspect", str(artifact_dir)])
+        # --no-verify skips the checksum pass and prints anyway
+        assert main(["inspect", str(artifact_dir), "--no-verify"]) == 0
+
+
 class TestServeCommand:
     def test_serves_synthetic_requests(self, artifact_dir, capsys):
         assert main(["serve", "--artifact", str(artifact_dir), "--requests", "5",
