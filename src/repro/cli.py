@@ -26,6 +26,11 @@ serve
 bench-serve
     Sequential vs dynamically-batched serving throughput on an artifact;
     optionally writes the metrics as a BENCH JSON.
+gateway
+    Multi-model HTTP serving gateway: load one or more artifacts into
+    per-model replica pools behind the JSON API (``/v1/models``,
+    ``/v1/models/<name>/predict``, ``/healthz``, ``/stats``), with
+    admission control and an optional response cache.
 """
 
 from __future__ import annotations
@@ -284,22 +289,39 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _synthetic_payloads(engine, count: int, seed: int = 0) -> list:
-    """Synthesize single-request payloads matching the artifact's task."""
+def synthetic_payloads(
+    task: str | None, arch: dict, input_shape, count: int, seed: int = 0
+) -> list:
+    """Synthesize single-request payloads for a task/arch description.
+
+    Shared by ``repro serve`` (payloads straight into the server), the
+    ``repro gateway`` self-traffic mode, and the gateway scaling bench
+    (payloads JSON-encoded over HTTP).
+    """
     import numpy as np
 
     from repro.utils.rng import seeded_rng
 
     rng = seeded_rng("serve-payloads", seed)
-    model_meta = engine.manifest["model"]
-    if model_meta.get("task") == "qa":
-        arch = model_meta["arch"]
+    if task == "qa":
         T, vocab = int(arch["max_seq_len"]), int(arch["vocab_size"])
         return [
             (rng.integers(0, vocab, T), np.ones(T, dtype=bool)) for _ in range(count)
         ]
-    shape = tuple(model_meta.get("input_shape") or (3, 32, 32))
+    shape = tuple(input_shape or (3, 32, 32))
     return [rng.standard_normal(shape).astype(np.float32) for _ in range(count)]
+
+
+def _synthetic_payloads(engine, count: int, seed: int = 0) -> list:
+    """Synthesize single-request payloads matching the artifact's task."""
+    model_meta = engine.manifest["model"]
+    return synthetic_payloads(
+        model_meta.get("task"),
+        model_meta.get("arch") or {},
+        model_meta.get("input_shape"),
+        count,
+        seed,
+    )
 
 
 def _load_engine(args: argparse.Namespace):
@@ -361,6 +383,79 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.deploy import ArtifactError
+    from repro.serve import GatewayClient, GatewayOverloaded, serve_gateway
+
+    models: dict[str, str] = {}
+    for spec in args.model:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(f"--model must be name=artifact_dir, got {spec!r}")
+        if name in models:
+            raise SystemExit(f"duplicate model name {name!r}")
+        models[name] = path
+
+    try:
+        gateway = serve_gateway(
+            models,
+            replicas=args.replicas,
+            routing=args.routing,
+            host=args.host,
+            port=args.port,
+            cache_entries=args.cache_entries,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            precision=args.precision,
+        )
+    except ArtifactError as exc:
+        raise SystemExit(f"cannot start gateway: {exc}") from exc
+
+    with gateway:
+        names = ", ".join(
+            f"{e.name}@{e.version} ({e.pool.num_replicas} replicas)"
+            for e in gateway.registry.models()
+        )
+        print(f"gateway listening on {gateway.url}")
+        print(f"serving: {names}  routing={args.routing}  cache={args.cache_entries}")
+
+        if args.requests is None:
+            try:  # serve until interrupted
+                import threading
+
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                print("\nshutting down (draining queues)")
+            return 0
+
+        # Self-traffic smoke: drive every model over real HTTP, print /stats.
+        client = GatewayClient(gateway.url)
+        rejected = 0
+        for entry in gateway.registry.models():
+            payloads = synthetic_payloads(
+                entry.task, entry.arch, entry.input_shape, args.requests
+            )
+            for p in payloads:
+                try:
+                    client.predict(entry.name, p)
+                except GatewayOverloaded:
+                    rejected += 1
+        stats = client.stats()
+        for name, s in stats["models"].items():
+            print(
+                f"{name}: {s['completed']} ok, {s['errors']} errored, "
+                f"{s['rejected']} rejected  p50 {s['latency_ms_p50']:.2f} ms  "
+                f"p99 {s['latency_ms_p99']:.2f} ms  {s['requests_per_s']:.1f} req/s"
+            )
+        if "cache" in stats:
+            c = stats["cache"]
+            print(f"cache: {c['hits']} hits / {c['misses']} misses, {c['entries']} entries")
+        if rejected:
+            print(f"client saw {rejected} 429s")
     return 0
 
 
@@ -434,6 +529,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sequential vs dynamic-batching serve throughput")
     p.add_argument("--json", default=None, help="also write metrics to this BENCH JSON path")
     p.set_defaults(fn=_cmd_bench_serve)
+
+    p = sub.add_parser("gateway", help="multi-model HTTP serving gateway")
+    p.add_argument("--model", action="append", required=True, metavar="NAME=ARTIFACT_DIR",
+                   help="serve this artifact under NAME (repeatable)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (default 0 = ephemeral, printed at startup)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replica servers per model (shared read-only weights)")
+    p.add_argument("--routing", choices=("round_robin", "least_loaded"),
+                   default="least_loaded")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="per-replica dynamic-batching max batch size")
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="per-replica queue bound (admission control: 429 when all full)")
+    p.add_argument("--cache-entries", type=int, default=0,
+                   help="response-cache LRU capacity (0 = disabled)")
+    p.add_argument("--precision", choices=("float32", "float64"), default="float32")
+    p.add_argument("--requests", type=int, default=None,
+                   help="self-traffic mode: send N requests per model over HTTP, "
+                        "print /stats, exit (default: serve until Ctrl-C)")
+    p.set_defaults(fn=_cmd_gateway)
     return parser
 
 

@@ -1,8 +1,19 @@
-"""Threaded inference serving with dynamic batching.
+"""Threaded inference serving: dynamic batching, replicas, HTTP gateway.
 
 - :mod:`repro.serve.server` — :class:`InferenceServer`: a bounded request
   queue (backpressure), a worker pool whose workers coalesce requests into
-  batches (max-batch-size + max-wait-ms), and latency/throughput stats.
+  batches (max-batch-size + max-wait-ms), and latency/throughput stats
+  (including the ``queue_depth``/``in_flight`` load signals).
+- :mod:`repro.serve.replica` — :class:`ReplicaPool`: N servers sharing
+  read-only weights behind round-robin or least-loaded routing with
+  overload failover.
+- :mod:`repro.serve.registry` — :class:`ModelRegistry`: hot-load/unload
+  models (artifacts or raw ``batch_fn``\\ s) by name+version.
+- :mod:`repro.serve.gateway` — :class:`Gateway`: the stdlib HTTP/JSON
+  front-end (``/v1/models``, ``/v1/models/<name>/predict``, ``/healthz``,
+  ``/stats``), admission control (429), and the optional response cache.
+- :mod:`repro.serve.client` — :class:`GatewayClient`: stdlib client used
+  by the CLI, benchmarks, and tests.
 - :mod:`repro.serve.runners` — adapters that turn a model (or
   :class:`repro.deploy.IntegerEngine`) into the server's ``batch_fn``:
   stack single-sample payloads, run one forward, split the outputs.
@@ -14,6 +25,10 @@ See ``docs/serving.md`` for the design.
 """
 
 from repro.serve.bench import format_comparison, throughput_comparison
+from repro.serve.client import GatewayClient, GatewayHTTPError, GatewayOverloaded
+from repro.serve.gateway import Gateway, GatewayError, ResponseCache, serve_gateway
+from repro.serve.registry import ModelEntry, ModelRegistry, ModelUnavailable
+from repro.serve.replica import ReplicaPool
 from repro.serve.runners import model_batch_fn, serve_artifact, serve_model
 from repro.serve.server import (
     InferenceServer,
@@ -29,6 +44,17 @@ __all__ = [
     "ServerClosed",
     "ServerOverloaded",
     "ServeStats",
+    "ReplicaPool",
+    "ModelEntry",
+    "ModelRegistry",
+    "ModelUnavailable",
+    "Gateway",
+    "GatewayError",
+    "ResponseCache",
+    "serve_gateway",
+    "GatewayClient",
+    "GatewayHTTPError",
+    "GatewayOverloaded",
     "model_batch_fn",
     "serve_artifact",
     "serve_model",

@@ -1,0 +1,97 @@
+"""Minimal stdlib HTTP client for the serving gateway.
+
+Used by the CLI self-traffic mode, the scaling benchmark, and the test
+suite — anything that wants to speak the gateway's JSON protocol without
+hand-rolling ``urllib`` calls. Arrays are sent as nested JSON lists
+(``tolist()``); tuple payloads (QA: ``(tokens, mask)``) are sent as a
+two-element list.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+
+class GatewayHTTPError(RuntimeError):
+    """Non-2xx gateway response, carrying the status and decoded body."""
+
+    def __init__(self, status: int, body: dict):
+        self.status = status
+        self.body = body
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+
+
+class GatewayOverloaded(GatewayHTTPError):
+    """429: every replica queue of the target model was full."""
+
+
+def encode_inputs(payload) -> list:
+    """Server payload (array or tuple of arrays) -> JSON-able nested lists."""
+    if isinstance(payload, tuple):
+        return [np.asarray(f).tolist() for f in payload]
+    return np.asarray(payload).tolist()
+
+
+class GatewayClient:
+    """Tiny synchronous client; one instance per base URL, thread-safe."""
+
+    def __init__(self, url: str, timeout_s: float = 60.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except (json.JSONDecodeError, OSError):
+                payload = {"error": str(exc)}
+            cls = GatewayOverloaded if exc.code == 429 else GatewayHTTPError
+            raise cls(exc.code, payload) from None
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def models(self) -> list[dict]:
+        return self._request("GET", "/v1/models")["models"]
+
+    def model(self, name: str) -> dict:
+        return self._request("GET", f"/v1/models/{name}")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def predict(self, name: str, inputs, *, raw: bool = False):
+        """POST one prediction; returns the outputs array.
+
+        ``inputs`` may be a numpy array, a tuple of arrays (QA), or
+        already-JSON-able nested lists. ``raw=True`` returns the whole
+        response dict (model, version, outputs, cached) instead.
+        """
+        if isinstance(inputs, (np.ndarray, tuple)):
+            inputs = encode_inputs(inputs)
+        body = self._request("POST", f"/v1/models/{name}/predict", {"inputs": inputs})
+        return body if raw else np.asarray(body["outputs"])
+
+    def load(self, name: str, artifact: str, **options) -> dict:
+        return self._request(
+            "POST", f"/v1/models/{name}/load", {"artifact": str(artifact), **options}
+        )
+
+    def unload(self, name: str) -> dict:
+        return self._request("POST", f"/v1/models/{name}/unload", {})

@@ -1,0 +1,445 @@
+"""HTTP/JSON multi-model serving gateway.
+
+A stdlib-only (:mod:`http.server`) front-end over a
+:class:`~repro.serve.registry.ModelRegistry`: every request handler
+thread decodes JSON, routes to the model's replica pool, and blocks on
+the per-request future while the pool's dynamic batchers do the work.
+
+API surface (all JSON):
+
+====================================  =======================================
+``GET  /healthz``                     liveness: ``{"status": "ok"}``
+``GET  /v1/models``                   model table (name, version, task, replicas)
+``GET  /v1/models/<name>``            one model's description + live stats
+``POST /v1/models/<name>/predict``    ``{"inputs": ...}`` -> ``{"outputs": ...}``
+``POST /v1/models/<name>/load``       ``{"artifact": dir, "replicas": n}``
+``POST /v1/models/<name>/unload``     drain + remove the model
+``GET  /stats``                       per-model p50/p99/req-s + cache counters
+====================================  =======================================
+
+Error semantics — the admission-control contract:
+
+- **404** unknown model (including one being unloaded: the registry
+  entry disappears before its pool drains).
+- **400** malformed JSON, missing/undecodable ``inputs``.
+- **429** every replica queue of the model is full. The response carries
+  ``Retry-After: 1`` and in-flight requests are unaffected — the request
+  is rejected *before* it touches any queue.
+- **503** the model was unloaded after this request was accepted but
+  before a worker ran it (drain-less shutdown only).
+- **500** the model's ``batch_fn`` raised; the message is forwarded.
+
+Response cache: an optional process-wide LRU keyed by
+``sha256(name, version, raw input bytes + shapes + dtypes)`` — the
+*decoded* arrays are hashed, so textual JSON differences ("1.0" vs "1")
+of the same tensor share an entry, and a reloaded model under a new
+version never serves stale bytes. Only successful predictions are
+cached; per-sample-scale serving makes them batch-invariant and thus
+cacheable at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.registry import ModelEntry, ModelRegistry, ModelUnavailable
+from repro.serve.server import ServerClosed, ServerOverloaded
+from repro.utils.log import get_logger
+
+logger = get_logger("gateway")
+
+
+class GatewayError(RuntimeError):
+    """Gateway-side configuration/lifecycle error."""
+
+
+# ----------------------------------------------------------------------
+# response cache
+# ----------------------------------------------------------------------
+class ResponseCache:
+    """Thread-safe LRU for rendered prediction responses."""
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(entry: ModelEntry, payload) -> str:
+        """Cache key over model identity + decoded tensor content."""
+        h = hashlib.sha256()
+        h.update(f"{entry.name}@{entry.version}".encode())
+        fields = payload if isinstance(payload, tuple) else (payload,)
+        for arr in fields:
+            arr = np.ascontiguousarray(arr)
+            h.update(f"|{arr.dtype}{arr.shape}|".encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    def get(self, key: str) -> dict | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: dict) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+class _JSONResponse(Exception):
+    """Control-flow carrier: any handler step can finalize the response."""
+
+    def __init__(self, status: int, body: dict, headers: dict | None = None):
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "_GatewayHTTPServer"
+
+    # silence the default per-request stderr lines
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        logger.debug("http %s", format % args)
+
+    def _send(self, status: int, body: dict, headers: dict | None = None) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, method: str) -> None:
+        gateway = self.server.gateway
+        try:
+            # Drain the body before any response (404 included): leaving
+            # unread bytes in rfile desynchronizes HTTP/1.1 keep-alive —
+            # the next request on the connection would parse them as its
+            # request line.
+            body = None
+            if method == "POST":
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b""
+            route = gateway._route(method, self.path.rstrip("/") or "/")
+            if route is None:
+                raise _JSONResponse(404, {"error": f"no route {method} {self.path}"})
+            if method == "POST" and raw:
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise _JSONResponse(400, {"error": f"malformed JSON body: {exc}"})
+            route(body)
+            raise AssertionError("route returned without a response")  # pragma: no cover
+        except _JSONResponse as resp:
+            self._send(resp.status, resp.body, resp.headers)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            logger.exception("unhandled gateway error")
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    gateway: "Gateway"
+
+
+# ----------------------------------------------------------------------
+# the gateway
+# ----------------------------------------------------------------------
+class Gateway:
+    """Networked multi-model serving front-end.
+
+    Parameters
+    ----------
+    registry:
+        The model table; a fresh empty one by default.
+    host / port:
+        Bind address. ``port=0`` picks an ephemeral port (tests/benches);
+        read it back from :attr:`port` / :attr:`url` after ``start()``.
+    cache_entries:
+        LRU response-cache capacity; 0 disables caching.
+    predict_timeout_s:
+        Upper bound one HTTP request waits on its inference future.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_entries: int = 0,
+        predict_timeout_s: float = 60.0,
+    ):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.cache = ResponseCache(cache_entries) if cache_entries else None
+        self.predict_timeout_s = predict_timeout_s
+        self._host = host
+        self._requested_port = port
+        self._httpd: _GatewayHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Gateway":
+        if self._httpd is not None:
+            return self
+        httpd = _GatewayHTTPServer((self._host, self._requested_port), _Handler)
+        httpd.gateway = self
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="gateway-http", daemon=True
+        )
+        self._thread.start()
+        logger.info("gateway listening on %s", self.url)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting HTTP, then stop every model pool (draining)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._thread.join()
+            self._httpd = None
+            self._thread = None
+        self.registry.stop_all(drain=drain)
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise GatewayError("gateway is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # routing table
+    # ------------------------------------------------------------------
+    def _route(self, method: str, path: str):
+        if method == "GET":
+            if path == "/healthz":
+                return self._get_healthz
+            if path == "/stats":
+                return self._get_stats
+            if path == "/v1/models":
+                return self._get_models
+            if path.startswith("/v1/models/") and path.count("/") == 3:
+                name = path.rsplit("/", 1)[1]
+                return lambda body: self._get_model(name)
+        elif method == "POST" and path.startswith("/v1/models/"):
+            parts = path.split("/")  # ['', 'v1', 'models', name, action]
+            if len(parts) == 5:
+                name, action = parts[3], parts[4]
+                handler = {
+                    "predict": self._post_predict,
+                    "load": self._post_load,
+                    "unload": self._post_unload,
+                }.get(action)
+                if handler is not None:
+                    return lambda body: handler(name, body)
+        return None
+
+    # ------------------------------------------------------------------
+    # endpoints (each terminates by raising _JSONResponse)
+    # ------------------------------------------------------------------
+    def _get_healthz(self, body=None):
+        raise _JSONResponse(200, {"status": "ok", "models": len(self.registry)})
+
+    def _get_models(self, body=None):
+        raise _JSONResponse(
+            200, {"models": [entry.describe() for entry in self.registry.models()]}
+        )
+
+    def _entry_or_404(self, name: str) -> ModelEntry:
+        try:
+            return self.registry.get(name)
+        except ModelUnavailable as exc:
+            raise _JSONResponse(404, {"error": str(exc)})
+
+    def _get_model(self, name: str):
+        entry = self._entry_or_404(name)
+        info = entry.describe()
+        info["stats"] = _stats_dict(entry)
+        raise _JSONResponse(200, info)
+
+    def _get_stats(self, body=None):
+        models = {entry.name: _stats_dict(entry) for entry in self.registry.models()}
+        payload = {"models": models}
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        raise _JSONResponse(200, payload)
+
+    def _post_predict(self, name: str, body):
+        entry = self._entry_or_404(name)
+        if not isinstance(body, dict) or "inputs" not in body:
+            raise _JSONResponse(400, {"error": 'predict body must be {"inputs": ...}'})
+        try:
+            payload = entry.decode(body["inputs"])
+        except (ValueError, TypeError) as exc:
+            raise _JSONResponse(400, {"error": f"cannot decode inputs: {exc}"})
+
+        key = None
+        if self.cache is not None:
+            key = ResponseCache.key(entry, payload)
+            cached = self.cache.get(key)
+            if cached is not None:
+                raise _JSONResponse(200, {**cached, "cached": True})
+
+        try:
+            handle = entry.pool.submit(payload, block=False)
+        except ServerOverloaded as exc:
+            raise _JSONResponse(
+                429,
+                {"error": f"model {name!r} overloaded: {exc}"},
+                headers={"Retry-After": "1"},
+            )
+        except ServerClosed:
+            raise _JSONResponse(404, {"error": f"model {name!r} was unloaded"})
+        try:
+            result = handle.wait(self.predict_timeout_s)
+        except ServerClosed:
+            raise _JSONResponse(
+                503, {"error": f"model {name!r} unloaded before the request ran"}
+            )
+        except TimeoutError:
+            raise _JSONResponse(
+                504, {"error": f"inference exceeded {self.predict_timeout_s}s"}
+            )
+        except Exception as exc:  # noqa: BLE001 - worker error -> client
+            raise _JSONResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        response = {
+            "model": entry.name,
+            "version": entry.version,
+            "outputs": np.asarray(result).tolist(),
+        }
+        if self.cache is not None:
+            self.cache.put(key, response)
+        raise _JSONResponse(200, {**response, "cached": False})
+
+    def _post_load(self, name: str, body):
+        if not isinstance(body, dict) or "artifact" not in body:
+            raise _JSONResponse(400, {"error": 'load body must be {"artifact": dir, ...}'})
+        from repro.deploy import ArtifactError
+
+        try:
+            entry = self.registry.load_artifact(
+                name,
+                body["artifact"],
+                version=body.get("version"),
+                replicas=int(body.get("replicas", 1)),
+                routing=body.get("routing", "least_loaded"),
+                max_batch_size=int(body.get("max_batch_size", 8)),
+                max_wait_ms=float(body.get("max_wait_ms", 2.0)),
+                max_queue=int(body.get("max_queue", 64)),
+            )
+        except (ArtifactError, OSError) as exc:
+            raise _JSONResponse(400, {"error": f"cannot load artifact: {exc}"})
+        except ValueError as exc:  # already serving / bad knobs
+            raise _JSONResponse(409, {"error": str(exc)})
+        raise _JSONResponse(200, entry.describe())
+
+    def _post_unload(self, name: str, body):
+        try:
+            entry = self.registry.unload(name, drain=True)
+        except ModelUnavailable as exc:
+            raise _JSONResponse(404, {"error": str(exc)})
+        raise _JSONResponse(200, {"unloaded": entry.name, "version": entry.version})
+
+
+def _stats_dict(entry: ModelEntry) -> dict:
+    """JSON-ready per-model serving stats for ``/stats``."""
+    s = entry.stats()
+    return {
+        "version": entry.version,
+        "replicas": entry.pool.num_replicas,
+        "completed": s.completed,
+        "errors": s.errors,
+        "rejected": s.rejected,
+        "requests_per_s": s.requests_per_s,
+        "latency_ms_p50": s.latency_ms_p50,
+        "latency_ms_p99": s.latency_ms_p99,
+        "mean_batch_size": s.mean_batch_size,
+        "queue_depth": s.queue_depth,
+        "in_flight": s.in_flight,
+    }
+
+
+def serve_gateway(
+    models: dict[str, str | Path],
+    *,
+    replicas: int = 1,
+    routing: str = "least_loaded",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_entries: int = 0,
+    **server_kwargs,
+) -> Gateway:
+    """One call from artifact directories to a started gateway.
+
+    ``models`` maps serving names to artifact directories; every model
+    gets ``replicas`` replicas. Returns the started :class:`Gateway`
+    (stop it with ``.stop()`` or use as a context manager).
+    """
+    gateway = Gateway(port=port, host=host, cache_entries=cache_entries)
+    try:
+        for name, path in models.items():
+            gateway.registry.load_artifact(
+                name, path, replicas=replicas, routing=routing, **server_kwargs
+            )
+    except Exception:
+        gateway.registry.stop_all()
+        raise
+    return gateway.start()

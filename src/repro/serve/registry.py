@@ -1,0 +1,236 @@
+"""Multi-model registry: hot-load, serve, and unload models by name.
+
+The registry is the gateway's model table. Each entry owns a
+:class:`~repro.serve.replica.ReplicaPool` plus the metadata the HTTP
+layer needs: the version string (derived from the artifact payload hash
+unless given), the task type (which fixes the request codec), and the
+input shape for synthetic traffic.
+
+Lifecycle contract:
+
+- ``load_artifact(name, path)`` loads the artifact **once** into an
+  :class:`~repro.deploy.IntegerEngine` and fans it out to ``replicas``
+  servers sharing the read-only weights. Loading a name that already
+  exists raises; unload first (hot *swap* = load under a new version
+  name, flip clients, unload the old one).
+- ``unload(name)`` immediately removes the entry — new lookups raise
+  :class:`ModelUnavailable` — then stops the pool with ``drain=True`` so
+  every in-flight and queued request still completes with a valid
+  response. Mid-flight unload therefore never corrupts responses; it
+  only 404s *new* traffic.
+- ``get(name)`` raises :class:`ModelUnavailable` (with the live model
+  list in the message) for unknown or unloading names.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.serve.replica import ReplicaPool
+from repro.serve.runners import model_batch_fn
+from repro.serve.server import ServeStats
+
+
+class ModelUnavailable(KeyError):
+    """No such model in the registry (never loaded, or unloaded)."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep it readable
+        return self.args[0] if self.args else ""
+
+
+def _decode_image(inputs) -> np.ndarray:
+    return np.asarray(inputs, dtype=np.float32)
+
+
+def _decode_qa(inputs) -> tuple:
+    if not isinstance(inputs, (list, tuple)) or len(inputs) != 2:
+        raise ValueError("qa payload must be [tokens, mask]")
+    tokens, mask = inputs
+    return (np.asarray(tokens, dtype=np.int64), np.asarray(mask, dtype=bool))
+
+
+#: task name -> JSON ``inputs`` decoder producing a server payload.
+PAYLOAD_CODECS: dict[str, Callable] = {"image": _decode_image, "qa": _decode_qa}
+
+
+@dataclass
+class ModelEntry:
+    """One served model: its replica pool plus routing/codec metadata."""
+
+    name: str
+    version: str
+    task: str | None
+    pool: ReplicaPool
+    decode: Callable
+    input_shape: tuple[int, ...] | None = None
+    arch: dict = field(default_factory=dict)
+    loaded_unix: float = field(default_factory=time.time)
+
+    def describe(self) -> dict:
+        """JSON-ready summary for ``GET /v1/models``."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "task": self.task,
+            "replicas": self.pool.num_replicas,
+            "routing": self.pool.routing,
+            "input_shape": list(self.input_shape) if self.input_shape else None,
+            "loaded_unix": self.loaded_unix,
+        }
+
+    def stats(self) -> ServeStats:
+        return self.pool.stats()
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`ModelEntry` table."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, ModelEntry] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        batch_fn,
+        *,
+        version: str = "0",
+        task: str | None = None,
+        decode: Callable | None = None,
+        input_shape: tuple[int, ...] | None = None,
+        arch: dict | None = None,
+        replicas: int = 1,
+        routing: str = "least_loaded",
+        start: bool = True,
+        **server_kwargs,
+    ) -> ModelEntry:
+        """Serve an arbitrary ``batch_fn`` under ``name``.
+
+        The escape hatch under :meth:`load_artifact`: tests and custom
+        deployments register any callable obeying the server's
+        ``batch_fn(payloads) -> results`` contract.
+        """
+        pool = ReplicaPool(batch_fn, replicas=replicas, routing=routing, **server_kwargs)
+        entry = ModelEntry(
+            name=name,
+            version=version,
+            task=task,
+            pool=pool,
+            decode=decode or PAYLOAD_CODECS.get(task or "", _decode_image),
+            input_shape=tuple(input_shape) if input_shape else None,
+            arch=dict(arch or {}),
+        )
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(
+                    f"model {name!r} is already serving (version "
+                    f"{self._entries[name].version}); unload it first"
+                )
+            self._entries[name] = entry
+        if start:
+            pool.start()
+        return entry
+
+    def load_artifact(
+        self,
+        name: str,
+        path: str | Path,
+        *,
+        version: str | None = None,
+        replicas: int = 1,
+        routing: str = "least_loaded",
+        per_sample_scale: bool = True,
+        precision: str = "float32",
+        start: bool = True,
+        **server_kwargs,
+    ) -> ModelEntry:
+        """Hot-load a deployment artifact and serve it under ``name``.
+
+        The artifact is loaded once (checksums verified) and shared
+        read-only by every replica. Defaults are the serving knobs:
+        per-sample activation scales (batch-invariant replies) and
+        float32 glue precision. ``version`` defaults to the first 12 hex
+        chars of the payload SHA-256, so distinct weights always get
+        distinct versions.
+        """
+        from repro.deploy import IntegerEngine
+
+        with self._lock:  # fail fast before the (expensive) artifact load;
+            if name in self._entries:  # register() still re-checks under lock
+                raise ValueError(
+                    f"model {name!r} is already serving (version "
+                    f"{self._entries[name].version}); unload it first"
+                )
+        engine = IntegerEngine.load(
+            path, per_sample_scale=per_sample_scale, precision=precision
+        )
+        manifest_model = engine.manifest["model"]
+        input_shape = manifest_model.get("input_shape")
+        return self.register(
+            name,
+            model_batch_fn(engine.model),
+            version=version or engine.manifest["payload"]["sha256"][:12],
+            task=engine.task,
+            input_shape=tuple(input_shape) if input_shape else None,
+            arch=dict(manifest_model.get("arch") or {}),
+            replicas=replicas,
+            routing=routing,
+            start=start,
+            **server_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ModelEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+            serving = sorted(self._entries) if entry is None else None
+        if entry is None:
+            raise ModelUnavailable(f"no model {name!r} (serving: {serving or 'none'})")
+        return entry
+
+    def models(self) -> list[ModelEntry]:
+        with self._lock:
+            return [self._entries[k] for k in sorted(self._entries)]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # unload / shutdown
+    # ------------------------------------------------------------------
+    def unload(self, name: str, drain: bool = True) -> ModelEntry:
+        """Remove ``name`` and stop its pool.
+
+        The entry disappears from the table first (new requests 404),
+        then the pool stops with ``drain=True`` so accepted requests
+        still complete — the mid-flight-unload contract.
+        """
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise ModelUnavailable(f"no model {name!r} to unload")
+        entry.pool.stop(drain=drain)
+        return entry
+
+    def stop_all(self, drain: bool = True) -> None:
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.pool.stop(drain=drain)

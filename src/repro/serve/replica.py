@@ -1,0 +1,231 @@
+"""Per-model replica pools: N inference servers sharing read-only weights.
+
+A :class:`ReplicaPool` owns ``replicas`` independent
+:class:`~repro.serve.server.InferenceServer` instances, all executing the
+same ``batch_fn`` (and therefore the same model weights — sharing is
+sound because the quantizer weight cache is lock-protected and grad mode
+is thread-local, see PR 2). Each replica keeps its **own** bounded queue
+and dynamic-batching workers, so the pool multiplies both queue capacity
+(admission headroom) and concurrently forming batches; on a multi-core
+host the GIL-releasing integer GEMMs let replicas execute in parallel.
+
+Routing policies:
+
+``round_robin``
+    Strict rotation over replicas — fair, stateless, oblivious to load.
+``least_loaded``
+    Route to the replica with the smallest instantaneous
+    ``queued + in_flight`` count (the ``InferenceServer.load`` signal),
+    so a replica stuck on a slow batch stops receiving new work.
+
+Either way, a non-blocking submit **fails over**: if the routed replica's
+queue is full, the other replicas are tried in routing order before
+:class:`~repro.serve.server.ServerOverloaded` propagates — the pool is
+saturated only when every queue is full, which is the gateway's 429
+signal.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.serve.server import (
+    InferenceServer,
+    PendingResponse,
+    ServerClosed,
+    ServerOverloaded,
+    ServeStats,
+)
+
+ROUTING_POLICIES = ("round_robin", "least_loaded")
+
+
+class ReplicaPool:
+    """N dynamic-batching servers over one shared ``batch_fn``.
+
+    Parameters mirror :class:`InferenceServer` (each replica gets its own
+    queue/workers with these settings) plus:
+
+    replicas:
+        Number of servers in the pool.
+    routing:
+        ``"round_robin"`` or ``"least_loaded"``.
+    """
+
+    def __init__(
+        self,
+        batch_fn,
+        *,
+        replicas: int = 1,
+        routing: str = "least_loaded",
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 1,
+        max_queue: int = 64,
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(f"routing must be one of {ROUTING_POLICIES}, got {routing!r}")
+        self.batch_fn = batch_fn
+        self.routing = routing
+        self._server_kwargs = dict(
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            num_workers=num_workers,
+            max_queue=max_queue,
+        )
+        self._lock = threading.Lock()  # guards replica list + rr counter
+        self._replicas = [self._new_server() for _ in range(replicas)]
+        self._rr = 0
+        self._running = False
+
+    def _new_server(self) -> InferenceServer:
+        return InferenceServer(self.batch_fn, **self._server_kwargs)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReplicaPool":
+        with self._lock:
+            for server in self._replicas:
+                server.start()
+            self._running = True
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        with self._lock:
+            replicas = list(self._replicas)
+            self._running = False
+        for server in replicas:
+            server.stop(drain=drain)
+
+    def drain(self) -> None:
+        """Block until every replica's queue is empty (pool keeps serving)."""
+        for server in self._snapshot():
+            server.drain()
+
+    def __enter__(self) -> "ReplicaPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # elastic sizing
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self._snapshot())
+
+    def add_replica(self) -> None:
+        """Grow the pool by one replica (started if the pool is running)."""
+        server = self._new_server()
+        with self._lock:
+            if self._running:
+                server.start()
+            self._replicas.append(server)
+
+    def remove_replica(self, drain: bool = True) -> None:
+        """Shrink the pool by one; the removed replica drains its queue."""
+        with self._lock:
+            if len(self._replicas) <= 1:
+                raise ValueError("cannot remove the last replica")
+            server = self._replicas.pop()
+        server.stop(drain=drain)
+
+    def _snapshot(self) -> list[InferenceServer]:
+        with self._lock:
+            return list(self._replicas)
+
+    # ------------------------------------------------------------------
+    # routing + client API
+    # ------------------------------------------------------------------
+    def _route(self, replicas: list[InferenceServer]) -> list[InferenceServer]:
+        """Replicas in preference order under the configured policy."""
+        n = len(replicas)
+        if self.routing == "least_loaded":
+            return sorted(replicas, key=lambda s: s.load)
+        with self._lock:
+            first = self._rr % n
+            self._rr += 1
+        return replicas[first:] + replicas[:first]
+
+    def submit(
+        self, payload, *, block: bool = False, timeout: float | None = None
+    ) -> PendingResponse:
+        """Route one request to a replica.
+
+        Tries the routed replica without blocking, then fails over to the
+        rest; :class:`ServerOverloaded` means every replica's queue was
+        full (with ``block=True`` the preferred replica is then waited on
+        for up to ``timeout``). Unlike ``InferenceServer.submit`` the
+        default is non-blocking — pools exist to shed load explicitly.
+        """
+        if not self._running:
+            raise ServerClosed("replica pool is not running (call start())")
+        ordered = self._route(self._snapshot())
+        for server in ordered:
+            try:
+                return server.submit(payload, block=False)
+            except ServerOverloaded:
+                continue
+            except ServerClosed:
+                continue  # replica being removed; try the rest
+        if block:
+            return ordered[0].submit(payload, block=True, timeout=timeout)
+        raise ServerOverloaded(
+            f"all {len(ordered)} replica queues are full; retry later"
+        )
+
+    def infer(self, payload, timeout: float | None = None):
+        """Synchronous convenience: submit (blocking) + wait."""
+        return self.submit(payload, block=True, timeout=timeout).wait(timeout)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Total queued + in-flight requests across replicas."""
+        return sum(s.load for s in self._snapshot())
+
+    def replica_stats(self) -> list[ServeStats]:
+        """Per-replica snapshots, in pool order."""
+        return [s.stats() for s in self._snapshot()]
+
+    def stats(self) -> ServeStats:
+        """Pool-wide snapshot with *true* latency percentiles.
+
+        Counters are summed across replicas; percentiles are recomputed
+        from the pooled raw latencies (summing or averaging per-replica
+        percentiles would be statistically wrong).
+        """
+        replicas = self._snapshot()
+        per = [s.stats() for s in replicas]
+        lat = np.concatenate([s.latencies_ms() for s in replicas]) if replicas else np.array([])
+        elapsed = max((s.elapsed_s for s in per), default=1e-9)
+        pct = (lambda q: float(np.percentile(lat, q))) if lat.size else (lambda q: 0.0)
+        total_batches = sum(s.batches for s in per)
+        return ServeStats(
+            completed=sum(s.completed for s in per),
+            errors=sum(s.errors for s in per),
+            rejected=sum(s.rejected for s in per),
+            elapsed_s=elapsed,
+            requests_per_s=lat.size / elapsed,
+            latency_ms_mean=float(lat.mean()) if lat.size else 0.0,
+            latency_ms_p50=pct(50),
+            latency_ms_p90=pct(90),
+            latency_ms_p99=pct(99),
+            batches=total_batches,
+            mean_batch_size=float(lat.size / total_batches) if total_batches else 0.0,
+            max_batch_size_seen=max((s.max_batch_size_seen for s in per), default=0),
+            queue_depth=sum(s.queue_depth for s in per),
+            in_flight=sum(s.in_flight for s in per),
+        )

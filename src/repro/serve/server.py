@@ -63,7 +63,13 @@ class ServerClosed(RuntimeError):
 
 @dataclass
 class ServeStats:
-    """Aggregate serving statistics since server start."""
+    """Aggregate serving statistics since server start.
+
+    ``queue_depth`` (submitted, not yet picked up) and ``in_flight``
+    (picked up, not yet resolved) are instantaneous load signals — the
+    inputs a least-loaded router needs — while every other field is a
+    cumulative counter over the serving interval.
+    """
 
     completed: int
     errors: int
@@ -77,6 +83,8 @@ class ServeStats:
     batches: int
     mean_batch_size: float
     max_batch_size_seen: int
+    queue_depth: int = 0
+    in_flight: int = 0
 
     def format(self) -> str:
         return (
@@ -86,7 +94,8 @@ class ServeStats:
             f"latency ms: mean {self.latency_ms_mean:.2f}  p50 {self.latency_ms_p50:.2f}  "
             f"p90 {self.latency_ms_p90:.2f}  p99 {self.latency_ms_p99:.2f}\n"
             f"batching: {self.batches} batches, mean size {self.mean_batch_size:.2f}, "
-            f"max {self.max_batch_size_seen}"
+            f"max {self.max_batch_size_seen}\n"
+            f"load: {self.queue_depth} queued, {self.in_flight} in flight"
         )
 
 
@@ -122,11 +131,22 @@ class PendingResponse:
 
 @dataclass
 class _StatsAccumulator:
+    """One serving interval's counters, including its own clock.
+
+    The interval timestamps live *here* (not on the server) so a
+    ``stats()`` snapshot can never pair one interval's counters with
+    another's clock across a concurrent restart — the accumulator
+    reference is read once and everything hangs off it.
+    """
+
     lock: threading.Lock = field(default_factory=threading.Lock)
     latencies_ms: list[float] = field(default_factory=list)
     batch_sizes: list[int] = field(default_factory=list)
     errors: int = 0
     rejected: int = 0
+    in_flight: int = 0
+    t_start: float | None = None
+    t_stop: float | None = None
 
 
 class InferenceServer:
@@ -175,7 +195,6 @@ class InferenceServer:
         self._drain = True  # whether workers finish the backlog after stop
         self._running = False
         self._stats = _StatsAccumulator()
-        self._t_start = 0.0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -187,8 +206,7 @@ class InferenceServer:
         self._fail_queued()  # a submit/stop race can strand a request
         self._stop.clear()
         self._drain = True
-        self._stats = _StatsAccumulator()
-        self._t_start = time.perf_counter()
+        self._stats = _StatsAccumulator(t_start=time.perf_counter())
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}", daemon=True)
             for i in range(self.num_workers)
@@ -201,7 +219,12 @@ class InferenceServer:
     def stop(self, drain: bool = True) -> None:
         """Stop the pool. ``drain=True`` serves queued requests first;
         otherwise workers exit after their current batch and the backlog
-        fails with :class:`ServerClosed`."""
+        fails with :class:`ServerClosed`.
+
+        ``stats()`` remains safe to call from any thread at any point in
+        the lifecycle — before ``start``, concurrently with ``drain()``
+        or ``stop()``, and after shutdown (the elapsed clock freezes at
+        stop so throughput numbers stop decaying)."""
         if not self._running:
             return
         self._running = False  # reject new submissions immediately
@@ -212,9 +235,19 @@ class InferenceServer:
         for t in self._workers:
             t.join()
         self._workers = []
+        acc = self._stats
+        with acc.lock:
+            acc.t_stop = time.perf_counter()
         # Fail the backlog (drain=False) and any request that slipped past
         # the _running check in submit() while we were shutting down.
         self._fail_queued()
+
+    def drain(self) -> None:
+        """Block until every currently queued request has been served.
+
+        Unlike ``stop(drain=True)`` the server keeps running; new
+        submissions are still accepted (and may extend the wait)."""
+        self._queue.join()
 
     def _fail_queued(self) -> None:
         while True:
@@ -290,6 +323,8 @@ class InferenceServer:
             batch = self._collect_batch()
             if batch is None:
                 continue
+            with self._stats.lock:
+                self._stats.in_flight += len(batch)
             try:
                 results = self.batch_fn([r.payload for r in batch])
                 if len(results) != len(batch):
@@ -306,6 +341,7 @@ class InferenceServer:
                 for req in batch:
                     self._stats.latencies_ms.append(1e3 * (t_done - req.t_submit))
                 self._stats.errors += sum(e is not None for e in errors)
+                self._stats.in_flight -= len(batch)
             for req, result, error in zip(batch, results, errors):
                 req.result = result
                 req.error = error
@@ -315,14 +351,45 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Instantaneous request load: queued plus in-flight.
+
+        The cheap signal a least-loaded router polls per submission —
+        no percentile math, just two counter reads.
+        """
+        acc = self._stats
+        with acc.lock:
+            in_flight = acc.in_flight
+        return self._queue.qsize() + in_flight
+
+    def latencies_ms(self) -> np.ndarray:
+        """Copy of the raw per-request latencies (for pool-level percentiles)."""
+        acc = self._stats
+        with acc.lock:
+            return np.asarray(acc.latencies_ms, dtype=np.float64)
+
     def stats(self) -> ServeStats:
-        """Snapshot of latency/throughput/batching counters."""
-        with self._stats.lock:
-            lat = np.asarray(self._stats.latencies_ms, dtype=np.float64)
-            sizes = np.asarray(self._stats.batch_sizes, dtype=np.float64)
-            errors = self._stats.errors
-            rejected = self._stats.rejected
-        elapsed = max(time.perf_counter() - self._t_start, 1e-9)
+        """Snapshot of latency/throughput/batching counters.
+
+        Safe to call concurrently with ``submit``/``drain``/``stop`` and
+        from any thread: the accumulator reference is read once (so a
+        concurrent restart cannot mix two serving intervals), mutable
+        state is copied under the accumulator lock, and the elapsed
+        clock freezes at ``stop()``.
+        """
+        acc = self._stats  # one ref: a concurrent start() swaps atomically
+        with acc.lock:
+            lat = np.asarray(acc.latencies_ms, dtype=np.float64)
+            sizes = np.asarray(acc.batch_sizes, dtype=np.float64)
+            errors = acc.errors
+            rejected = acc.rejected
+            in_flight = acc.in_flight
+            t_start, t_stop = acc.t_start, acc.t_stop
+        if t_start is None:
+            elapsed = 1e-9  # never started: all rates are zero
+        else:
+            elapsed = max((t_stop if t_stop is not None else time.perf_counter()) - t_start, 1e-9)
         completed = int(lat.size) - errors
         pct = (lambda q: float(np.percentile(lat, q))) if lat.size else (lambda q: 0.0)
         return ServeStats(
@@ -338,4 +405,6 @@ class InferenceServer:
             batches=int(sizes.size),
             mean_batch_size=float(sizes.mean()) if sizes.size else 0.0,
             max_batch_size_seen=int(sizes.max()) if sizes.size else 0,
+            queue_depth=self._queue.qsize(),
+            in_flight=in_flight,
         )

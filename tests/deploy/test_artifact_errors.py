@@ -1,0 +1,178 @@
+"""Failure paths of the deploy stack raise the documented errors.
+
+Every corruption/mismatch mode an operator can hit — corrupt or
+truncated payloads, manifest tampering, plan/topology drift — must
+surface as :class:`ArtifactError` with an actionable message, never as a
+silent wrong answer or a random KeyError deep in the engine.
+(Gateway-level failure paths — 429 under saturation, mid-flight unload —
+live in ``tests/serve/test_gateway.py``.)
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.deploy import ArtifactError, IntegerEngine, load_artifact, save_artifact
+from repro.deploy.artifact import MANIFEST_NAME, PAYLOAD_NAME
+from repro.deploy.engine import build_integer_model
+from repro.quant import PTQConfig, quantize_model
+
+
+@pytest.fixture
+def artifact_dir(rng, tmp_path):
+    """A small valid two-layer artifact to corrupt."""
+    model = nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),  # float params + running-stat buffers
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(4, 3, rng=rng),
+    )
+    model.eval()
+    config = PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")
+    qmodel = quantize_model(
+        model, config, calib_batches=[(rng.standard_normal((2, 2, 8, 8)),)]
+    )
+    out = tmp_path / "artifact"
+    save_artifact(qmodel, out)
+    return out
+
+
+def _edit_manifest(root, mutate):
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    mutate(manifest)
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+    return manifest
+
+
+def _refresh_payload_hash(manifest, root):
+    """Recompute the whole-payload hash so deeper checks are reachable."""
+    import hashlib
+
+    blob = (root / PAYLOAD_NAME).read_bytes()
+    manifest["payload"]["bytes"] = len(blob)
+    manifest["payload"]["sha256"] = hashlib.sha256(blob).hexdigest()
+
+
+class TestPayloadCorruption:
+    def test_flipped_byte_fails_whole_payload_checksum(self, artifact_dir):
+        blob = bytearray((artifact_dir / PAYLOAD_NAME).read_bytes())
+        blob[3] ^= 0x40
+        (artifact_dir / PAYLOAD_NAME).write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            load_artifact(artifact_dir)
+
+    def test_truncated_payload_reports_byte_counts(self, artifact_dir):
+        blob = (artifact_dir / PAYLOAD_NAME).read_bytes()
+        (artifact_dir / PAYLOAD_NAME).write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ArtifactError, match=r"payload is \d+ bytes, manifest says"):
+            load_artifact(artifact_dir)
+
+    def test_missing_payload_file(self, artifact_dir):
+        (artifact_dir / PAYLOAD_NAME).unlink()
+        with pytest.raises(ArtifactError, match="cannot read payload"):
+            load_artifact(artifact_dir)
+
+    def test_segment_checksum_caught_even_when_whole_payload_matches(self, artifact_dir):
+        """Tampered per-segment hash: the whole-blob hash is refreshed so
+        only the per-segment verification can catch it."""
+
+        def mutate(manifest):
+            seg = manifest["layers"][0]["weight"]["codes"]
+            seg["sha256"] = "0" * 64
+            _refresh_payload_hash(manifest, artifact_dir)
+
+        _edit_manifest(artifact_dir, mutate)
+        with pytest.raises(ArtifactError, match="checksum mismatch for segment"):
+            load_artifact(artifact_dir)
+
+    def test_segment_range_outside_payload(self, artifact_dir):
+        def mutate(manifest):
+            manifest["layers"][0]["weight"]["codes"]["offset"] = 10**9
+            _refresh_payload_hash(manifest, artifact_dir)
+
+        _edit_manifest(artifact_dir, mutate)
+        with pytest.raises(ArtifactError, match="outside payload"):
+            load_artifact(artifact_dir)
+
+    def test_verify_false_skips_hashing_but_not_bounds(self, artifact_dir):
+        blob = bytearray((artifact_dir / PAYLOAD_NAME).read_bytes())
+        blob[-1] ^= 0x01  # trailing float param corrupt: hashing would catch it
+        (artifact_dir / PAYLOAD_NAME).write_bytes(bytes(blob))
+        load_artifact(artifact_dir, verify=False)  # explicit trust opt-out
+        with pytest.raises(ArtifactError):
+            load_artifact(artifact_dir, verify=True)
+
+
+class TestManifestTampering:
+    def test_unknown_format_version(self, artifact_dir):
+        _edit_manifest(artifact_dir, lambda m: m.update(format_version=99))
+        with pytest.raises(ArtifactError, match="version 99 unsupported"):
+            load_artifact(artifact_dir)
+
+    def test_wrong_format_string(self, artifact_dir):
+        _edit_manifest(artifact_dir, lambda m: m.update(format="tar.gz"))
+        with pytest.raises(ArtifactError, match="not a quantized-model artifact"):
+            load_artifact(artifact_dir)
+
+    def test_unknown_layer_kind_rejected_by_engine(self, artifact_dir):
+        def mutate(manifest):
+            manifest["layers"][0]["kind"] = "hologram"
+            for entry in manifest["plan"]:
+                if entry["name"] == manifest["layers"][0]["name"]:
+                    entry["kind"] = "hologram"
+
+        _edit_manifest(artifact_dir, mutate)
+        with pytest.raises(ArtifactError, match="unknown layer kind 'hologram'"):
+            build_integer_model(load_artifact(artifact_dir))
+
+
+class TestTopologyDrift:
+    def test_plan_name_not_in_module_tree(self, artifact_dir):
+        """A layer name that matches nothing in the rebuilt topology must
+        fail loudly (hand-edited manifest / refactored model class)."""
+
+        def mutate(manifest):
+            old = manifest["layers"][0]["name"]
+            manifest["layers"][0]["name"] = "ghost.layer"
+            for entry in manifest["plan"]:
+                if entry["name"] == old:
+                    entry["name"] = "ghost.layer"
+
+        _edit_manifest(artifact_dir, mutate)
+        with pytest.raises(ArtifactError, match="'ghost.layer' not found in rebuilt topology"):
+            build_integer_model(load_artifact(artifact_dir))
+
+    def test_float_param_not_in_topology(self, artifact_dir):
+        def mutate(manifest):
+            for entry in manifest["floats"]:
+                if not entry["key"].startswith("buffer."):
+                    entry["key"] = "phantom.weight"
+                    break
+
+        _edit_manifest(artifact_dir, mutate)
+        with pytest.raises(ArtifactError, match="'phantom.weight' not in rebuilt topology"):
+            build_integer_model(load_artifact(artifact_dir))
+
+    def test_float_param_shape_drift(self, artifact_dir):
+        """Arch drift: a float tensor whose stored shape no longer matches
+        the rebuilt skeleton."""
+
+        def mutate(manifest):
+            for entry in manifest["floats"]:
+                if entry["key"].endswith(".bias") and not entry["key"].startswith("buffer."):
+                    # halve the advertised length; bytes stay consistent
+                    entry["shape"] = [max(1, entry["shape"][0] - 1)]
+                    entry["bytes"] = entry["shape"][0] * np.dtype(entry["dtype"]).itemsize
+                    break
+
+        _edit_manifest(artifact_dir, mutate)
+        with pytest.raises(ArtifactError):
+            build_integer_model(load_artifact(artifact_dir, verify=False))
+
+    def test_engine_load_propagates_artifact_errors(self, artifact_dir):
+        (artifact_dir / MANIFEST_NAME).write_text("{} ")
+        with pytest.raises(ArtifactError):
+            IntegerEngine.load(artifact_dir)

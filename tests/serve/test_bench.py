@@ -1,0 +1,36 @@
+"""throughput_comparison: metric contract on a trivial batch_fn."""
+
+import numpy as np
+import pytest
+
+from repro.serve import format_comparison, throughput_comparison
+
+
+def test_metrics_contract():
+    calls = []
+
+    def batch_fn(payloads):
+        calls.append(len(payloads))
+        return [2 * p for p in payloads]
+
+    payloads = [np.float64(i) for i in range(12)]
+    metrics = throughput_comparison(
+        batch_fn, payloads, max_batch_size=4, max_wait_ms=5.0, num_workers=1
+    )
+    assert metrics["requests"] == 12.0
+    # warmup (2 calls of batch 1) + three measured runs each serving all 12
+    assert sum(calls) == 2 + 3 * 12
+    for key in ("single_stream_rps", "dynamic_rps", "unbatched_concurrent_rps",
+                "speedup", "speedup_vs_unbatched", "dynamic_latency_ms_p50",
+                "dynamic_latency_ms_p99"):
+        assert metrics[key] > 0, key
+    assert metrics["sequential_rps"] == metrics["single_stream_rps"]
+    assert 1.0 <= metrics["dynamic_mean_batch"] <= 4.0
+
+    report = format_comparison(metrics)
+    assert "req/s" in report and "speedup" in report
+
+
+def test_empty_payloads_rejected():
+    with pytest.raises(ValueError, match="at least one payload"):
+        throughput_comparison(lambda p: p, [])

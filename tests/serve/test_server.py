@@ -188,6 +188,79 @@ class TestLifecycle:
 
 
 class TestStats:
+    def test_stats_before_start_all_zero(self):
+        stats = InferenceServer(doubler).stats()
+        assert stats.completed == 0 and stats.requests_per_s == 0.0
+        assert stats.queue_depth == 0 and stats.in_flight == 0
+
+    def test_queue_depth_and_in_flight_signals(self):
+        release = threading.Event()
+
+        def slow(payloads):
+            release.wait(5.0)
+            return payloads
+
+        server = InferenceServer(slow, max_batch_size=1, max_queue=8)
+        with server:
+            first = server.submit(0)
+            deadline = time.time() + 5.0
+            while server.stats().in_flight < 1 and time.time() < deadline:
+                time.sleep(0.005)
+            server.submit(1)
+            stats = server.stats()
+            assert stats.in_flight == 1, "worker pickup never showed up in stats"
+            assert stats.queue_depth >= 1
+            assert server.load == stats.queue_depth + stats.in_flight
+            release.set()
+            first.wait(timeout=5.0)
+        final = server.stats()
+        assert final.queue_depth == 0 and final.in_flight == 0
+
+    def test_stats_concurrent_with_stop_and_drain(self):
+        """The lifecycle contract: stats() never races drain()/stop()."""
+        errors = []
+        stop_polling = threading.Event()
+
+        def poll(server):
+            while not stop_polling.is_set():
+                try:
+                    s = server.stats()
+                    assert s.completed >= 0 and s.elapsed_s > 0
+                except Exception as exc:  # noqa: BLE001 - collected for the assert
+                    errors.append(exc)
+
+        for _ in range(3):  # several lifecycle rounds under constant polling
+            server = InferenceServer(doubler, max_batch_size=4, max_wait_ms=1.0)
+            stop_polling.clear()
+            poller = threading.Thread(target=poll, args=(server,))
+            poller.start()
+            server.start()
+            handles = [server.submit(i) for i in range(20)]
+            server.drain()  # queue empties while the poller hammers stats()
+            server.stop()
+            stop_polling.set()
+            poller.join()
+            assert [h.wait(0.1) for h in handles] == [2 * i for i in range(20)]
+        assert not errors, f"stats() raced lifecycle: {errors[0]}"
+
+    def test_elapsed_freezes_at_stop(self):
+        server = InferenceServer(doubler, max_batch_size=1)
+        with server:
+            server.infer(1)
+        frozen = server.stats()
+        time.sleep(0.05)
+        later = server.stats()
+        assert later.elapsed_s == frozen.elapsed_s
+        assert later.requests_per_s == frozen.requests_per_s
+
+    def test_drain_without_stop_keeps_serving(self):
+        with InferenceServer(doubler, max_batch_size=2, max_wait_ms=1.0) as server:
+            for i in range(8):
+                server.submit(i)
+            server.drain()
+            assert server.stats().queue_depth == 0
+            assert server.infer(21) == 42  # still accepting work
+
     def test_latency_and_throughput_counters(self):
         with InferenceServer(doubler, max_batch_size=4, max_wait_ms=5.0) as server:
             for h in [server.submit(i) for i in range(9)]:
