@@ -1,0 +1,359 @@
+"""Rollout + autoscaling benchmark: requests in flight during a hot swap.
+
+Two scenarios, both end-to-end over the real HTTP path:
+
+**Rollout** — one model serving under closed-loop load from concurrent
+HTTP clients; halfway through the tape the driver issues
+``POST /v1/models/<name>/swap`` to a second artifact (same architecture,
+different quantization -> different payload SHA, i.e. a genuinely new
+version). Every response records the version that served it. The
+contract being measured:
+
+- **zero failed requests** across the whole rollout (429s are retried;
+  anything else is a failure);
+- the version histogram shows traffic served by *both* versions (the
+  drain means old- and new-version completions legitimately interleave
+  around the flip instant, so ordering itself is not asserted);
+- post-swap predictions are **bitwise-identical** to a direct
+  :class:`~repro.deploy.IntegerEngine` call on the new artifact.
+
+**Autoscale** — the same model behind a 1-replica pool with a
+queue-depth autoscaler (min 1, max 4, aggressive watermarks). A load
+step (burst of concurrent closed-loop clients) must ramp the pool to
+>= 2 replicas; after the load stops and the cooldown passes, the pool
+must return to the floor. Scale events come from ``/stats``.
+
+Run:    PYTHONPATH=src python benchmarks/bench_rollout.py
+Smoke:  PYTHONPATH=src python benchmarks/bench_rollout.py --smoke
+        (untrained tiny model; same assertions — the contracts here are
+        correctness contracts, not machine-dependent perf floors.)
+
+Emits ``benchmarks/results/BENCH_rollout.json`` (``BENCH_rollout_smoke``
+for ``--smoke``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.deploy import IntegerEngine, save_artifact
+from repro.quant import PTQConfig, quantize_model
+from repro.serve import GatewayClient, GatewayOverloaded, serve_gateway
+from repro.serve.runners import synthetic_payloads
+
+#: v1 -> v2 differ in quantization config: same topology, different
+#: packed weights, therefore different payload SHA = different version.
+QUANT_V1 = dict(weight_bits=4, act_bits=4, weight_scale="4", act_scale="4")
+QUANT_V2 = dict(weight_bits=8, act_bits=8, weight_scale="6", act_scale="10")
+
+CLIENTS, REQUESTS_PER_CLIENT = 8, 24
+SMOKE_CLIENTS, SMOKE_REQUESTS = 4, 8
+
+AUTOSCALE_MAX = 4
+
+
+def _build_model(smoke: bool):
+    if smoke:
+        from repro.models.resnet import MiniResNet
+
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        hw = 16
+    else:
+        from repro.models import pretrained
+
+        model = pretrained("miniresnet").model
+        hw = 32
+    model.eval()
+    return model, hw
+
+
+def _export(model, quant: dict, out_dir: str, hw: int) -> str:
+    from repro.utils.rng import seeded_rng
+
+    config = PTQConfig.vs_quant(
+        quant["weight_bits"], quant["act_bits"],
+        weight_scale=quant["weight_scale"], act_scale=quant["act_scale"],
+    )
+    calib = seeded_rng("rollout-bench").standard_normal((8, 3, hw, hw))
+    qmodel = quantize_model(model, config, calib_batches=[(calib,)])
+    save_artifact(qmodel, out_dir, task="image", quant_label=config.label,
+                  input_shape=(3, hw, hw))
+    return out_dir
+
+
+def _drive_rollout(
+    url: str, name: str, payloads: list, clients: int, swap_fn
+) -> dict:
+    """Closed-loop clients over one tape; ``swap_fn`` fires mid-tape.
+
+    Returns per-request (sequence index, version) observations plus
+    failure counts. 429s retry (admission control is not a failure);
+    any other error counts as a failed request.
+    """
+    slices = [payloads[i::clients] for i in range(clients)]
+    lock = threading.Lock()
+    observed: list[tuple[float, str]] = []
+    failures: list[str] = []
+    retries = [0] * clients
+    halfway = threading.Event()
+    done_before_swap = max(1, len(payloads) // 2)
+    completed = [0]
+
+    def run_client(idx: int) -> None:
+        client = GatewayClient(url)
+        for p in slices[idx]:
+            while True:
+                try:
+                    body = client.predict(name, p, raw=True)
+                    with lock:
+                        observed.append((time.perf_counter(), body["version"]))
+                        completed[0] += 1
+                        if completed[0] >= done_before_swap:
+                            halfway.set()
+                    break
+                except GatewayOverloaded:
+                    retries[idx] += 1
+                    time.sleep(0.002)
+                except Exception as exc:  # noqa: BLE001 - a rollout failure
+                    with lock:
+                        failures.append(f"{type(exc).__name__}: {exc}")
+                        halfway.set()  # never deadlock the swap trigger
+                    break
+
+    threads = [threading.Thread(target=run_client, args=(i,)) for i in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    halfway.wait(timeout=120.0)
+    swap_report = swap_fn()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+
+    versions: dict[str, int] = {}
+    for _ts, version in observed:
+        versions[version] = versions.get(version, 0) + 1
+    return {
+        "requests": len(payloads),
+        "completed": len(observed),
+        "failed_requests": len(failures),
+        "failure_samples": failures[:5],
+        "overload_retries": sum(retries),
+        "elapsed_s": elapsed,
+        "swap_duration_s": swap_report["duration_s"],
+        "old_version": swap_report["old_version"],
+        "new_version": swap_report["new_version"],
+        "versions": versions,
+    }
+
+
+def _run_rollout(artifact_v1: str, artifact_v2: str, clients: int, per_client: int) -> dict:
+    gateway = serve_gateway(
+        {"model": artifact_v1}, replicas=2, routing="least_loaded",
+        max_batch_size=8, max_wait_ms=2.0, max_queue=max(16, clients * 2),
+    )
+    with gateway:
+        entry = gateway.registry.get("model")
+        payloads = synthetic_payloads(
+            entry.task, entry.arch, entry.input_shape, clients * per_client
+        )
+        control = GatewayClient(gateway.url)
+        control.predict("model", payloads[0])  # warm kernels off the clock
+
+        metrics = _drive_rollout(
+            gateway.url, "model", payloads, clients,
+            swap_fn=lambda: control.swap("model", artifact_v2),
+        )
+
+        # Post-swap parity: HTTP reply vs direct engine on the new artifact.
+        engine_v2 = IntegerEngine.load(
+            artifact_v2, per_sample_scale=True, precision="float32"
+        )
+        probe = payloads[0]
+        via_http = np.asarray(control.predict("model", probe), dtype=np.float32)
+        direct = engine_v2(np.asarray(probe)[None])[0].astype(np.float32)
+        metrics["parity_ok"] = bool(np.array_equal(via_http, direct))
+        metrics["served_both_versions"] = (
+            metrics["versions"].get(metrics["old_version"], 0) > 0
+            and metrics["versions"].get(metrics["new_version"], 0) > 0
+        )
+    return metrics
+
+
+def _run_autoscale(artifact: str, clients: int, per_client: int) -> dict:
+    """Load step against a 1-replica pool with an aggressive autoscaler."""
+    policy = dict(
+        min_replicas=1, max_replicas=AUTOSCALE_MAX,
+        high_watermark=1.5, low_watermark=0.25,
+        cooldown_s=0.05, interval_s=0.01,
+    )
+    gateway = serve_gateway(
+        {"model": artifact}, replicas=1, autoscale=policy,
+        max_batch_size=4, max_wait_ms=2.0, max_queue=max(16, clients * 4),
+    )
+    with gateway:
+        entry = gateway.registry.get("model")
+        client = GatewayClient(gateway.url)
+        payloads = synthetic_payloads(
+            entry.task, entry.arch, entry.input_shape, clients * per_client
+        )
+        client.predict("model", payloads[0])  # warm
+
+        timeline: list[tuple[float, int]] = []
+        stop_sampling = threading.Event()
+
+        def sample() -> None:
+            t0 = time.perf_counter()
+            while not stop_sampling.wait(0.01):
+                timeline.append((time.perf_counter() - t0, entry.pool.num_replicas))
+
+        sampler = threading.Thread(target=sample)
+        sampler.start()
+
+        slices = [payloads[i::clients] for i in range(clients)]
+        retries = [0] * clients
+        errors = [0] * clients
+
+        def run_client(idx: int) -> None:
+            c = GatewayClient(gateway.url)
+            for p in slices[idx]:
+                while True:
+                    try:
+                        c.predict("model", p)
+                        break
+                    except GatewayOverloaded:
+                        retries[idx] += 1
+                        time.sleep(0.002)
+                    except Exception:  # noqa: BLE001 - count, keep driving
+                        errors[idx] += 1
+                        break
+
+        threads = [threading.Thread(target=run_client, args=(i,)) for i in range(clients)]
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        load_s = time.perf_counter() - t_start
+
+        # Load gone: wait for the scale-down leg back to the floor.
+        deadline = time.perf_counter() + 30.0
+        while entry.pool.num_replicas > policy["min_replicas"]:
+            if time.perf_counter() > deadline:
+                break
+            time.sleep(0.02)
+        stop_sampling.set()
+        sampler.join()
+
+        # The replica count drops before the autoscaler finishes draining
+        # the removed replica (and recording the event); give the event a
+        # beat to land so the stats snapshot reflects the full story.
+        time.sleep(0.25)
+        scaler_stats = entry.autoscaler.stats(tail=50)
+        final_replicas = entry.pool.num_replicas
+    max_replicas = max((n for _, n in timeline), default=1)
+    return {
+        "policy": policy,
+        "requests": len(payloads),
+        "client_errors": sum(errors),
+        "overload_retries": sum(retries),
+        "load_step_s": load_s,
+        "max_replicas_reached": max_replicas,
+        "final_replicas": final_replicas,
+        "scale_ups": scaler_stats["scale_ups"],
+        "scale_downs": scaler_stats["scale_downs"],
+        "events": scaler_stats["events"],
+        "replica_timeline": [[round(t, 4), n] for t, n in timeline[:500]],
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    clients = SMOKE_CLIENTS if smoke else CLIENTS
+    per_client = SMOKE_REQUESTS if smoke else REQUESTS_PER_CLIENT
+    model, hw = _build_model(smoke)
+    with tempfile.TemporaryDirectory(prefix="repro-rollout-bench-") as tmpdir:
+        v1 = _export(model, QUANT_V1, os.path.join(tmpdir, "v1"), hw)
+        v2 = _export(model, QUANT_V2, os.path.join(tmpdir, "v2"), hw)
+        rollout = _run_rollout(v1, v2, clients, per_client)
+        autoscale = _run_autoscale(v1, clients, per_client)
+    return {"clients": clients, "rollout": rollout, "autoscale": autoscale}
+
+
+def format_report(m: dict) -> str:
+    r, a = m["rollout"], m["autoscale"]
+    lines = [
+        f"zero-downtime rollout ({m['clients']} closed-loop HTTP clients):",
+        f"  {r['completed']}/{r['requests']} ok, {r['failed_requests']} failed, "
+        f"{r['overload_retries']} overload retries",
+        f"  swap {r['old_version']} -> {r['new_version']} in {r['swap_duration_s']:.3f}s",
+        f"  versions served: {r['versions']}",
+        f"  post-swap parity vs direct IntegerEngine: "
+        f"{'bitwise-identical' if r['parity_ok'] else 'MISMATCH'}",
+        "queue-depth autoscale (load step on a 1-replica pool):",
+        f"  ramp 1 -> {a['max_replicas_reached']} replicas "
+        f"(max {a['policy']['max_replicas']}), back to {a['final_replicas']} "
+        f"after cooldown",
+        f"  {a['scale_ups']} scale-ups / {a['scale_downs']} scale-downs, "
+        f"{a['client_errors']} client errors",
+    ]
+    return "\n".join(lines)
+
+
+def check(m: dict) -> list[str]:
+    """The acceptance contracts; empty list = pass."""
+    r, a = m["rollout"], m["autoscale"]
+    problems = []
+    if r["failed_requests"]:
+        problems.append(
+            f"{r['failed_requests']} failed requests during rollout: "
+            f"{r['failure_samples']}"
+        )
+    if r["completed"] != r["requests"]:
+        problems.append(f"only {r['completed']}/{r['requests']} completed")
+    if not r["served_both_versions"]:
+        problems.append(f"expected both versions in histogram, got {r['versions']}")
+    if not r["parity_ok"]:
+        problems.append("post-swap HTTP prediction differs from direct engine")
+    if a["max_replicas_reached"] < 2:
+        problems.append("autoscaler never scaled past 1 replica under the load step")
+    if a["final_replicas"] != a["policy"]["min_replicas"]:
+        problems.append(
+            f"autoscaler did not return to the floor: {a['final_replicas']} "
+            f"!= {a['policy']['min_replicas']}"
+        )
+    if a["client_errors"]:
+        problems.append(f"{a['client_errors']} client errors during autoscale run")
+    return problems
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import save_bench_json, save_result
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny untrained model (CI); same contracts")
+    args = parser.parse_args()
+
+    metrics = run(smoke=args.smoke)
+    report = format_report(metrics)
+    print(report)
+    problems = check(metrics)
+    metrics["ok"] = not problems
+    if args.smoke:
+        save_bench_json("rollout_smoke", metrics)
+    else:
+        save_result("rollout", report)
+        save_bench_json("rollout", metrics)
+    if problems:
+        raise SystemExit("FAIL: " + "; ".join(problems))
+    print("rollout contracts OK")

@@ -1,0 +1,210 @@
+"""Perf-trajectory regression gate: fresh BENCH_*.json vs committed baselines.
+
+The benchmarks under ``benchmarks/`` emit machine-readable metrics as
+``benchmarks/results/BENCH_<name>.json``. Historically CI only *printed*
+them; this script turns the trajectory into a gate. Committed baseline
+files under ``benchmarks/baselines/`` declare, per bench, which metrics
+are load-bearing and what band they must stay inside; CI fails the job
+when a fresh run leaves its band.
+
+Baseline file format (``benchmarks/baselines/<name>.json``)::
+
+    {
+      "bench": "kernel_throughput",
+      "result": "BENCH_kernel_throughput.json",
+      "checks": {
+        "metrics.speedup": {"baseline": 8.7, "rel_tol": 0.65,
+                            "direction": "higher"},
+        "metrics.cache_misses": {"max": 8},
+        "metrics.rollout.parity_ok": {"equals": true}
+      }
+    }
+
+Check operators (one per metric):
+
+``{"baseline": x, "rel_tol": t, "direction": "higher"}``
+    Tolerance band around a recorded value. ``higher`` means bigger is
+    better: fail when ``fresh < x * (1 - t)``. ``lower`` means smaller
+    is better: fail when ``fresh > x * (1 + t)``.
+``{"min": x}`` / ``{"max": x}``
+    Absolute floor/ceiling (machine-independent contracts: error counts,
+    ratios with hard floors).
+``{"equals": v}``
+    Exact match (booleans, counts that must not drift).
+
+Keys in ``checks`` are dotted paths into the result JSON (list indices
+are numeric path parts). A baseline whose result file is absent is
+*skipped* by default — PR CI runs the smoke benches only, the nightly
+job runs the full set — unless ``--require-all`` is given. A metric
+path missing from a present result file is always a failure: silently
+dropping a gated metric is itself a regression.
+
+Refreshing baselines after an intentional perf change: run the bench,
+copy the new value into the baseline file, and say why in the commit
+message (see ``docs/ci.md``).
+
+Stdlib-only on purpose: the gate must not import ``repro``, so a broken
+package can never take its own regression gate down with it.
+
+Run:  python benchmarks/check_trajectory.py
+      python benchmarks/check_trajectory.py --results DIR --baselines DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+HERE = Path(__file__).parent
+DEFAULT_RESULTS = HERE / "results"
+DEFAULT_BASELINES = HERE / "baselines"
+
+
+@dataclass
+class CheckResult:
+    bench: str
+    metric: str
+    ok: bool
+    detail: str
+
+    def format(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        return f"  [{status}] {self.bench}: {self.metric} — {self.detail}"
+
+
+def resolve(data, dotted: str):
+    """Walk ``a.b.0.c`` through nested dicts/lists; KeyError when absent."""
+    node = data
+    for part in dotted.split("."):
+        if isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError) as exc:
+                raise KeyError(f"{dotted!r}: no list element {part!r}") from exc
+        elif isinstance(node, dict):
+            if part not in node:
+                raise KeyError(f"{dotted!r}: no key {part!r}")
+            node = node[part]
+        else:
+            raise KeyError(f"{dotted!r}: hit a leaf at {part!r}")
+    return node
+
+
+def check_metric(value, spec: dict) -> tuple[bool, str]:
+    """Apply one check spec; returns (ok, human detail)."""
+    if "equals" in spec:
+        want = spec["equals"]
+        return value == want, f"value {value!r}, required == {want!r}"
+    if "min" in spec:
+        ok = isinstance(value, (int, float)) and value >= spec["min"]
+        return ok, f"value {value!r}, floor {spec['min']!r}"
+    if "max" in spec:
+        ok = isinstance(value, (int, float)) and value <= spec["max"]
+        return ok, f"value {value!r}, ceiling {spec['max']!r}"
+    if "baseline" in spec:
+        base = spec["baseline"]
+        tol = spec.get("rel_tol", 0.2)
+        direction = spec.get("direction", "higher")
+        if direction not in ("higher", "lower"):
+            return False, f"bad direction {direction!r} in baseline spec"
+        if not isinstance(value, (int, float)):
+            return False, f"non-numeric value {value!r} for baseline check"
+        if direction == "higher":
+            bound = base * (1 - tol)
+            return value >= bound, (
+                f"value {value:.4g}, baseline {base:.4g} "
+                f"(allowed >= {bound:.4g}, higher is better)"
+            )
+        bound = base * (1 + tol)
+        return value <= bound, (
+            f"value {value:.4g}, baseline {base:.4g} "
+            f"(allowed <= {bound:.4g}, lower is better)"
+        )
+    return False, f"baseline spec has no operator: {spec!r}"
+
+
+def compare_file(baseline: dict, fresh: dict) -> list[CheckResult]:
+    bench = baseline.get("bench", "?")
+    results = []
+    checks = baseline.get("checks", {})
+    if not checks:
+        results.append(CheckResult(bench, "-", False, "baseline file declares no checks"))
+    for metric, spec in checks.items():
+        try:
+            value = resolve(fresh, metric)
+        except KeyError as exc:
+            results.append(
+                CheckResult(bench, metric, False, f"metric missing from result: {exc}")
+            )
+            continue
+        ok, detail = check_metric(value, spec)
+        results.append(CheckResult(bench, metric, ok, detail))
+    return results
+
+
+def run(
+    results_dir: Path, baselines_dir: Path, *, require_all: bool = False
+) -> tuple[list[CheckResult], list[str]]:
+    """Compare every baseline against its fresh result.
+
+    Returns (check results, skipped-bench messages). Raises
+    ``FileNotFoundError`` when the baselines directory is missing —
+    a silently toothless gate is worse than a loud one.
+    """
+    if not baselines_dir.is_dir():
+        raise FileNotFoundError(f"no baselines directory at {baselines_dir}")
+    baseline_files = sorted(baselines_dir.glob("*.json"))
+    if not baseline_files:
+        raise FileNotFoundError(f"no baseline files in {baselines_dir}")
+    all_results: list[CheckResult] = []
+    skipped: list[str] = []
+    for path in baseline_files:
+        baseline = json.loads(path.read_text())
+        bench = baseline.get("bench", path.stem)
+        result_name = baseline.get("result", f"BENCH_{bench}.json")
+        fresh_path = results_dir / result_name
+        if not fresh_path.is_file():
+            if require_all:
+                all_results.append(
+                    CheckResult(bench, "-", False, f"missing result file {result_name}")
+                )
+            else:
+                skipped.append(f"  [skip] {bench}: no {result_name} in this run")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        all_results.extend(compare_file(baseline, fresh))
+    return all_results, skipped
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES)
+    parser.add_argument(
+        "--require-all", action="store_true",
+        help="fail on baselines whose result file was not produced "
+             "(nightly: the full bench set must have run)",
+    )
+    args = parser.parse_args(argv)
+
+    results, skipped = run(args.results, args.baselines, require_all=args.require_all)
+    print(f"perf-trajectory gate: {args.baselines} vs {args.results}")
+    for line in skipped:
+        print(line)
+    for r in results:
+        print(r.format())
+    failures = [r for r in results if not r.ok]
+    checked = len(results) - len(failures)
+    print(f"{checked} checks ok, {len(failures)} failed, {len(skipped)} benches skipped")
+    if failures:
+        print("perf trajectory REGRESSED — see docs/ci.md for how to read "
+              "this gate and when refreshing a baseline is legitimate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

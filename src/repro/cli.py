@@ -30,7 +30,9 @@ gateway
     Multi-model HTTP serving gateway: load one or more artifacts into
     per-model replica pools behind the JSON API (``/v1/models``,
     ``/v1/models/<name>/predict``, ``/healthz``, ``/stats``), with
-    admission control and an optional response cache.
+    admission control and an optional response cache. ``--autoscale``
+    attaches a queue-depth autoscaler per model; ``--swap`` (with
+    ``--requests``) scripts a zero-downtime rollout mid-traffic.
 """
 
 from __future__ import annotations
@@ -265,7 +267,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"quant: {manifest['quant'].get('label') or '-'}")
     payload = manifest["payload"]
     checks = "skipped" if args.no_verify else "ok"
-    print(f"payload: {payload['bytes']} bytes  sha256={payload['sha256'][:16]}…  checksums {checks}")
+    print(
+        f"payload: {payload['bytes']} bytes  sha256={payload['sha256'][:16]}…  "
+        f"checksums {checks}"
+    )
     s = manifest["summary"]
     print(
         f"{s['num_quantized_layers']} quantized layers, {s['num_float_params']} float "
@@ -292,24 +297,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 def synthetic_payloads(
     task: str | None, arch: dict, input_shape, count: int, seed: int = 0
 ) -> list:
-    """Synthesize single-request payloads for a task/arch description.
+    """Back-compat alias: the implementation lives in
+    :func:`repro.serve.runners.synthetic_payloads` (the registry's swap
+    warm-up probe needs it without importing the CLI)."""
+    from repro.serve.runners import synthetic_payloads as impl
 
-    Shared by ``repro serve`` (payloads straight into the server), the
-    ``repro gateway`` self-traffic mode, and the gateway scaling bench
-    (payloads JSON-encoded over HTTP).
-    """
-    import numpy as np
-
-    from repro.utils.rng import seeded_rng
-
-    rng = seeded_rng("serve-payloads", seed)
-    if task == "qa":
-        T, vocab = int(arch["max_seq_len"]), int(arch["vocab_size"])
-        return [
-            (rng.integers(0, vocab, T), np.ones(T, dtype=bool)) for _ in range(count)
-        ]
-    shape = tuple(input_shape or (3, 32, 32))
-    return [rng.standard_normal(shape).astype(np.float32) for _ in range(count)]
+    return impl(task, arch, input_shape, count, seed)
 
 
 def _synthetic_payloads(engine, count: int, seed: int = 0) -> list:
@@ -386,18 +379,48 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_gateway(args: argparse.Namespace) -> int:
-    from repro.deploy import ArtifactError
-    from repro.serve import GatewayClient, GatewayOverloaded, serve_gateway
-
+def _parse_model_specs(specs, flag: str = "--model") -> dict[str, str]:
     models: dict[str, str] = {}
-    for spec in args.model:
+    for spec in specs:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
-            raise SystemExit(f"--model must be name=artifact_dir, got {spec!r}")
+            raise SystemExit(f"{flag} must be name=artifact_dir, got {spec!r}")
         if name in models:
             raise SystemExit(f"duplicate model name {name!r}")
         models[name] = path
+    return models
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.deploy import ArtifactError
+    from repro.serve import (
+        AutoscalePolicy,
+        GatewayClient,
+        GatewayHTTPError,
+        GatewayOverloaded,
+        serve_gateway,
+    )
+
+    models = _parse_model_specs(args.model)
+    swaps = _parse_model_specs(args.swap or [], flag="--swap")
+    for name in swaps:
+        if name not in models:
+            raise SystemExit(f"--swap target {name!r} is not in --model")
+    if swaps and args.requests is None:
+        raise SystemExit("--swap drives a scripted rollout; it requires --requests")
+
+    autoscale = None
+    if args.autoscale:
+        try:
+            autoscale = AutoscalePolicy(
+                min_replicas=args.min_replicas,
+                max_replicas=args.max_replicas,
+                high_watermark=args.scale_up_load,
+                low_watermark=args.scale_down_load,
+                cooldown_s=args.cooldown_s,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad autoscale policy: {exc}") from exc
 
     try:
         gateway = serve_gateway(
@@ -407,6 +430,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             cache_entries=args.cache_entries,
+            autoscale=autoscale,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
@@ -421,7 +445,10 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             for e in gateway.registry.models()
         )
         print(f"gateway listening on {gateway.url}")
-        print(f"serving: {names}  routing={args.routing}  cache={args.cache_entries}")
+        line = f"serving: {names}  routing={args.routing}  cache={args.cache_entries}"
+        if autoscale:
+            line += f"  autoscale={args.min_replicas}..{args.max_replicas}"
+        print(line)
 
         if args.requests is None:
             try:  # serve until interrupted
@@ -432,16 +459,31 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                 print("\nshutting down (draining queues)")
             return 0
 
-        # Self-traffic smoke: drive every model over real HTTP, print /stats.
+        # Self-traffic smoke: drive every model over real HTTP; with
+        # --swap this becomes a scripted rollout — half the traffic on
+        # the old version, a hot swap, the rest on the new one.
         client = GatewayClient(gateway.url)
         rejected = 0
+        versions: dict[str, dict[str, int]] = {}
         for entry in gateway.registry.models():
             payloads = synthetic_payloads(
                 entry.task, entry.arch, entry.input_shape, args.requests
             )
-            for p in payloads:
+            swap_at = len(payloads) // 2 if entry.name in swaps else None
+            for i, p in enumerate(payloads):
+                if swap_at is not None and i == swap_at:
+                    try:
+                        report = client.swap(entry.name, swaps[entry.name])
+                    except GatewayHTTPError as exc:
+                        raise SystemExit(f"rollout failed: {exc}") from exc
+                    print(
+                        f"rollout: {entry.name} {report['old_version']} -> "
+                        f"{report['new_version']} in {report['duration_s']:.3f}s"
+                    )
                 try:
-                    client.predict(entry.name, p)
+                    body = client.predict(entry.name, p, raw=True)
+                    hist = versions.setdefault(entry.name, {})
+                    hist[body["version"]] = hist.get(body["version"], 0) + 1
                 except GatewayOverloaded:
                     rejected += 1
         stats = client.stats()
@@ -451,6 +493,14 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                 f"{s['rejected']} rejected  p50 {s['latency_ms_p50']:.2f} ms  "
                 f"p99 {s['latency_ms_p99']:.2f} ms  {s['requests_per_s']:.1f} req/s"
             )
+            if name in swaps:
+                print(f"  versions served: {versions.get(name, {})}")
+            scaler = s.get("autoscaler")
+            if scaler:
+                print(
+                    f"  autoscaler: {s['replicas']} replicas, "
+                    f"{scaler['scale_ups']} ups / {scaler['scale_downs']} downs"
+                )
         if "cache" in stats:
             c = stats["cache"]
             print(f"cache: {c['hits']} hits / {c['misses']} misses, {c['entries']} entries")
@@ -468,7 +518,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("models", help="list the model zoo").set_defaults(fn=_cmd_models)
 
     p = sub.add_parser("ptq", help="quantize a model and report accuracy")
-    p.add_argument("--model", required=True, choices=("miniresnet", "minibert-base", "minibert-large"))
+    p.add_argument("--model", required=True,
+                   choices=("miniresnet", "minibert-base", "minibert-large"))
     p.add_argument("--config", required=True, help="W/A/ws/as, e.g. 4/8/6/10 or 4/4/-/-")
     p.add_argument("--eval-limit", type=int, default=400)
     p.set_defaults(fn=_cmd_ptq)
@@ -482,7 +533,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_dse)
 
     p = sub.add_parser("sweep", help="PTQ accuracy sweep (parallelizable)")
-    p.add_argument("--model", required=True, choices=("miniresnet", "minibert-base", "minibert-large"))
+    p.add_argument("--model", required=True,
+                   choices=("miniresnet", "minibert-base", "minibert-large"))
     p.add_argument("--grid", choices=("bits", "dse"), default="bits",
                    help="'bits': per-channel vs VS-Quant per bitwidth; "
                         "'dse': the Figs. 4-6 design-space grid")
@@ -495,7 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("export", help="save a bit-packed deployment artifact")
-    p.add_argument("--model", required=True, choices=("miniresnet", "minibert-base", "minibert-large"))
+    p.add_argument("--model", required=True,
+                   choices=("miniresnet", "minibert-base", "minibert-large"))
     p.add_argument("--config", required=True,
                    help="two-level W/A/ws/as config, e.g. 4/8/4/6 (integer scales required)")
     p.add_argument("--out", required=True, help="artifact directory to create")
@@ -513,7 +566,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_inspect)
 
     serve_common = argparse.ArgumentParser(add_help=False)
-    serve_common.add_argument("--artifact", required=True, help="artifact directory from `repro export`")
+    serve_common.add_argument("--artifact", required=True,
+                              help="artifact directory from `repro export`")
     serve_common.add_argument("--requests", type=int, default=64)
     serve_common.add_argument("--batch-size", type=int, default=16)
     serve_common.add_argument("--max-wait-ms", type=float, default=10.0)
@@ -551,6 +605,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=None,
                    help="self-traffic mode: send N requests per model over HTTP, "
                         "print /stats, exit (default: serve until Ctrl-C)")
+    p.add_argument("--swap", action="append", metavar="NAME=ARTIFACT_DIR",
+                   help="scripted rollout (requires --requests): hot-swap NAME to "
+                        "this artifact halfway through its self-traffic (repeatable)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="attach a queue-depth autoscaler to every model")
+    p.add_argument("--min-replicas", type=int, default=1)
+    p.add_argument("--max-replicas", type=int, default=4)
+    p.add_argument("--scale-up-load", type=float, default=4.0,
+                   help="load per replica (queued+in-flight) to add a replica")
+    p.add_argument("--scale-down-load", type=float, default=0.5,
+                   help="load per replica to remove a replica")
+    p.add_argument("--cooldown-s", type=float, default=2.0,
+                   help="min seconds between autoscale actions")
     p.set_defaults(fn=_cmd_gateway)
     return parser
 

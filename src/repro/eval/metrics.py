@@ -38,7 +38,9 @@ def span_f1(
     return 100.0 * float(f1.mean())
 
 
-def evaluate_image_classifier(model, images: np.ndarray, labels: np.ndarray, batch_size: int = 128) -> float:
+def evaluate_image_classifier(
+    model, images: np.ndarray, labels: np.ndarray, batch_size: int = 128
+) -> float:
     """Run ``model`` in eval mode over the dataset; returns top-1 %."""
     model.eval()
     correct = 0

@@ -209,7 +209,8 @@ def grid_configs(
                 out.append(
                     (
                         ScalingScheme.PVWO,
-                        PTQConfig.vs_quant(wb, ab, weight_scale=ws, weights=True, activations=False),
+                        PTQConfig.vs_quant(wb, ab, weight_scale=ws,
+                                           weights=True, activations=False),
                         AcceleratorConfig(wb, ab, wscale_bits=int(ws)),
                     )
                 )

@@ -93,7 +93,9 @@ class AcceleratorModel:
     def perf_per_area(self) -> float:
         return self._pe.perf_per_area(self.tech)
 
-    def network_energy(self, layer_macs: list[int], gated_fractions: list[float] | None = None) -> float:
+    def network_energy(
+        self, layer_macs: list[int], gated_fractions: list[float] | None = None
+    ) -> float:
         """Ops-weighted total energy over a network profile (paper Fig. 4-6
         average energies over layers weighted by operation count)."""
         if gated_fractions is None:

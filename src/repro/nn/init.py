@@ -7,7 +7,9 @@ import math
 import numpy as np
 
 
-def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None) -> np.ndarray:
+def kaiming_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None
+) -> np.ndarray:
     """He-normal init for ReLU networks: std = sqrt(2 / fan_in)."""
     if fan_in is None:
         fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]

@@ -52,7 +52,9 @@ class TwoLevelScales:
         return self.sq * self.gamma
 
 
-def _coarse_axes(per_vector_shape: tuple[int, ...], channel_axes: tuple[int, ...]) -> tuple[int, ...]:
+def _coarse_axes(
+    per_vector_shape: tuple[int, ...], channel_axes: tuple[int, ...]
+) -> tuple[int, ...]:
     """Axes of the per-vector scale array reduced by the coarse max (Eq. 7e).
 
     ``channel_axes`` are the axes that KEEP distinct gamma values; all other

@@ -8,7 +8,13 @@
   read-only weights behind round-robin or least-loaded routing with
   overload failover.
 - :mod:`repro.serve.registry` — :class:`ModelRegistry`: hot-load/unload
-  models (artifacts or raw ``batch_fn``\\ s) by name+version.
+  models (artifacts or raw ``batch_fn``\\ s) by name+version, plus
+  ``swap()``: the zero-downtime rollout primitive (load new version,
+  warm with a parity probe, atomic routing flip, drain the old pool).
+- :mod:`repro.serve.autoscale` — :class:`Autoscaler` +
+  :class:`AutoscalePolicy`: a per-model control loop growing/shrinking
+  the replica pool off the ``queue_depth``/``in_flight`` load signal
+  (high/low watermarks, min/max replicas, cooldown).
 - :mod:`repro.serve.gateway` — :class:`Gateway`: the stdlib HTTP/JSON
   front-end (``/v1/models``, ``/v1/models/<name>/predict``, ``/healthz``,
   ``/stats``), admission control (429), and the optional response cache.
@@ -24,10 +30,17 @@
 See ``docs/serving.md`` for the design.
 """
 
+from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.bench import format_comparison, throughput_comparison
 from repro.serve.client import GatewayClient, GatewayHTTPError, GatewayOverloaded
 from repro.serve.gateway import Gateway, GatewayError, ResponseCache, serve_gateway
-from repro.serve.registry import ModelEntry, ModelRegistry, ModelUnavailable
+from repro.serve.registry import (
+    ModelEntry,
+    ModelRegistry,
+    ModelUnavailable,
+    SwapError,
+    SwapReport,
+)
 from repro.serve.replica import ReplicaPool
 from repro.serve.runners import model_batch_fn, serve_artifact, serve_model
 from repro.serve.server import (
@@ -45,9 +58,13 @@ __all__ = [
     "ServerOverloaded",
     "ServeStats",
     "ReplicaPool",
+    "Autoscaler",
+    "AutoscalePolicy",
     "ModelEntry",
     "ModelRegistry",
     "ModelUnavailable",
+    "SwapError",
+    "SwapReport",
     "Gateway",
     "GatewayError",
     "ResponseCache",

@@ -1,0 +1,264 @@
+"""Queue-depth autoscaling: a control loop over ``ReplicaPool`` sizing.
+
+Each served model can attach one :class:`Autoscaler` — a background
+thread that periodically reads the pool's instantaneous load signal
+(``queued + in_flight``, the same signal the least-loaded router uses)
+and grows or shrinks the replica count between configured bounds.
+
+Watermark semantics (all in units of *load per replica*):
+
+- ``load / num_replicas >= high_watermark`` -> add one replica (the
+  queues are backing up faster than the current replicas drain them).
+- ``load / num_replicas <= low_watermark`` -> remove one replica (the
+  pool is mostly idle; the removed replica drains its queue first, so
+  scale-down never drops accepted requests).
+- One scaling action per ``cooldown_s``: dynamic batching makes load
+  bursty at millisecond scale, and the cooldown keeps the loop from
+  thrashing on a single batch forming.
+
+Invariants:
+
+- The replica count never leaves ``[min_replicas, max_replicas]``; if
+  the pool is somehow *below* the floor (e.g. it was created smaller
+  than ``min_replicas``), the loop restores the floor immediately,
+  bypassing the cooldown.
+- Scale-down removes exactly one replica per tick and the pool keeps
+  ``num_replicas - 1 >= min_replicas`` live replicas serving while the
+  removed one drains — mid-drain capacity never dips below the floor.
+- The pool is re-read through ``pool_fn`` on every tick, so a hot weight
+  swap that flips the entry to a fresh pool is picked up transparently;
+  a tick that races the flip and touches the retired pool gets
+  :class:`~repro.serve.server.ServerClosed`, which is swallowed and
+  retried against the new pool on the next tick.
+
+The loop itself is deliberately dumb — no rate prediction, no PID — so
+its decisions are explainable from ``/stats``: every action is recorded
+as an event (action, from -> to, observed load, wall-clock time).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+from repro.serve.server import ServerClosed
+from repro.utils.log import get_logger
+
+logger = get_logger("autoscale")
+
+#: Keep at most this many events in memory; ``stats()`` returns the tail.
+MAX_EVENTS = 256
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and thresholds for one model's autoscaler.
+
+    Parameters
+    ----------
+    min_replicas / max_replicas:
+        Inclusive replica-count bounds.
+    high_watermark:
+        Load per replica (queued + in flight) at or above which the pool
+        grows. With dynamic batching a replica comfortably holds about
+        one forming batch; the default scales up once roughly half a
+        batch is waiting per replica.
+    low_watermark:
+        Load per replica at or below which the pool shrinks.
+    cooldown_s:
+        Minimum seconds between two scaling actions.
+    interval_s:
+        Control-loop tick period.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    high_watermark: float = 4.0
+    low_watermark: float = 0.5
+    cooldown_s: float = 2.0
+    interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if self.low_watermark < 0:
+            raise ValueError(f"low_watermark must be >= 0, got {self.low_watermark}")
+        if self.high_watermark <= self.low_watermark:
+            raise ValueError(
+                f"high_watermark ({self.high_watermark}) must be > "
+                f"low_watermark ({self.low_watermark})"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+
+
+class Autoscaler:
+    """Background sizing loop for one model's replica pool.
+
+    Parameters
+    ----------
+    pool_fn:
+        Zero-argument callable returning the *current* pool (or ``None``
+        if the model is mid-teardown). Passing a callable instead of the
+        pool itself is what makes the loop swap-transparent.
+    policy:
+        The :class:`AutoscalePolicy` bounds/thresholds.
+    name:
+        Model name, for thread naming and logs.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        pool_fn,
+        policy: AutoscalePolicy,
+        *,
+        name: str = "",
+        clock=time.monotonic,
+    ):
+        self.pool_fn = pool_fn
+        self.policy = policy
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()  # guards events/counters/last_error
+        self._stop_evt = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._events: list[dict] = []
+        self._last_scale_ts: float | None = None
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.ticks = 0
+        self.last_error: str | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            return self
+        self._stop_evt.clear()
+        self._thread = threading.Thread(
+            target=self._run, name=f"autoscaler-{self.name or 'pool'}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Signal the loop to exit and join it (a mid-drain scale-down can
+        hold the thread briefly; the timeout bounds teardown)."""
+        self._stop_evt.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop_evt.wait(self.policy.interval_s):
+            try:
+                self.tick()
+            except ServerClosed:
+                # Raced a hot swap/unload: the pool we read was retired
+                # between the snapshot and the action. Benign — the next
+                # tick re-reads pool_fn and sees the replacement (or the
+                # registry stops us if the model is truly gone).
+                continue
+            except Exception as exc:  # noqa: BLE001 - loop must survive
+                with self._lock:
+                    self.last_error = f"{type(exc).__name__}: {exc}"
+                logger.warning("autoscaler %s tick failed: %s", self.name, exc)
+
+    # ------------------------------------------------------------------
+    # the control step (public so tests can drive it deterministically)
+    # ------------------------------------------------------------------
+    def tick(self) -> str | None:
+        """One control decision; returns the action taken (or ``None``)."""
+        pool = self.pool_fn()
+        with self._lock:
+            self.ticks += 1
+        if pool is None or not pool.running:
+            return None
+        policy = self.policy
+        replicas = pool.num_replicas
+        load = pool.load
+
+        # Floor restoration ignores the cooldown: running below
+        # min_replicas is a contract violation, not a tuning decision.
+        if replicas < policy.min_replicas:
+            pool.add_replica()
+            self._record("enforce_min", replicas, replicas + 1, load)
+            return "enforce_min"
+
+        now = self._clock()
+        if (
+            self._last_scale_ts is not None
+            and now - self._last_scale_ts < policy.cooldown_s
+        ):
+            return None
+
+        per_replica = load / replicas
+        if per_replica >= policy.high_watermark and replicas < policy.max_replicas:
+            pool.add_replica()
+            self._last_scale_ts = now
+            self._record("scale_up", replicas, replicas + 1, load)
+            return "scale_up"
+        if per_replica <= policy.low_watermark and replicas > policy.min_replicas:
+            # Removes the last replica and drains it; the remaining
+            # replicas - 1 >= min_replicas keep serving throughout.
+            pool.remove_replica(drain=True)
+            self._last_scale_ts = now
+            self._record("scale_down", replicas, replicas - 1, load)
+            return "scale_down"
+        return None
+
+    def _record(self, action: str, old: int, new: int, load: int) -> None:
+        event = {
+            "action": action,
+            "from": old,
+            "to": new,
+            "load": int(load),
+            "unix": time.time(),
+        }
+        with self._lock:
+            self._events.append(event)
+            del self._events[:-MAX_EVENTS]
+            if new > old:
+                self.scale_ups += 1
+            else:
+                self.scale_downs += 1
+        logger.info(
+            "autoscaler %s: %s %d -> %d (load %d)", self.name, action, old, new, load
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def stats(self, *, tail: int = 20) -> dict:
+        """JSON-ready snapshot for ``/stats``."""
+        with self._lock:
+            return {
+                "running": self.running,
+                "policy": asdict(self.policy),
+                "ticks": self.ticks,
+                "scale_ups": self.scale_ups,
+                "scale_downs": self.scale_downs,
+                # tail=0 means "no events" ([-0:] would be the full list)
+                "events": list(self._events[-tail:]) if tail > 0 else [],
+                "last_error": self.last_error,
+            }

@@ -93,5 +93,15 @@ class GatewayClient:
             "POST", f"/v1/models/{name}/load", {"artifact": str(artifact), **options}
         )
 
+    def swap(self, name: str, artifact: str, **options) -> dict:
+        """Zero-downtime rollout: flip ``name`` to a new artifact version.
+
+        Returns the swap report (old/new version, replica count). A 4xx
+        raise means the previous version never stopped serving.
+        """
+        return self._request(
+            "POST", f"/v1/models/{name}/swap", {"artifact": str(artifact), **options}
+        )
+
     def unload(self, name: str) -> dict:
         return self._request("POST", f"/v1/models/{name}/unload", {})

@@ -13,9 +13,17 @@ API surface (all JSON):
 ``GET  /v1/models/<name>``            one model's description + live stats
 ``POST /v1/models/<name>/predict``    ``{"inputs": ...}`` -> ``{"outputs": ...}``
 ``POST /v1/models/<name>/load``       ``{"artifact": dir, "replicas": n}``
+``POST /v1/models/<name>/swap``       zero-downtime rollout to a new artifact
 ``POST /v1/models/<name>/unload``     drain + remove the model
 ``GET  /stats``                       per-model p50/p99/req-s + cache counters
 ====================================  =======================================
+
+Rollout safety: ``/swap`` never 404s/503s concurrent predictions. The
+handler snapshots the entry's (pool, version) pair atomically; if the
+snapshot loses the race with a flip (the old pool is already retired by
+the time ``submit`` runs), the submit raises ``ServerClosed`` and the
+handler re-snapshots and retries against the new pool. The ``version``
+in every predict response is the version that actually served it.
 
 Error semantics — the admission-control contract:
 
@@ -49,7 +57,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.serve.registry import ModelEntry, ModelRegistry, ModelUnavailable
+from repro.serve.autoscale import AutoscalePolicy
+from repro.serve.registry import ModelEntry, ModelRegistry, ModelUnavailable, SwapError
 from repro.serve.server import ServerClosed, ServerOverloaded
 from repro.utils.log import get_logger
 
@@ -77,10 +86,15 @@ class ResponseCache:
         self.evictions = 0
 
     @staticmethod
-    def key(entry: ModelEntry, payload) -> str:
-        """Cache key over model identity + decoded tensor content."""
+    def key(entry: ModelEntry, payload, version: str | None = None) -> str:
+        """Cache key over model identity + decoded tensor content.
+
+        ``version`` pins the key to a routing snapshot taken before
+        submit, so a response is never cached under a version that a
+        concurrent hot swap flipped in mid-request.
+        """
         h = hashlib.sha256()
-        h.update(f"{entry.name}@{entry.version}".encode())
+        h.update(f"{entry.name}@{version if version is not None else entry.version}".encode())
         fields = payload if isinstance(payload, tuple) else (payload,)
         for arr in fields:
             arr = np.ascontiguousarray(arr)
@@ -285,6 +299,7 @@ class Gateway:
                 handler = {
                     "predict": self._post_predict,
                     "load": self._post_load,
+                    "swap": self._post_swap,
                     "unload": self._post_unload,
                 }.get(action)
                 if handler is not None:
@@ -330,22 +345,33 @@ class Gateway:
         except (ValueError, TypeError) as exc:
             raise _JSONResponse(400, {"error": f"cannot decode inputs: {exc}"})
 
+        # Route against an atomic (pool, version) snapshot. A hot swap
+        # can retire the snapshotted pool between snapshot() and
+        # submit(); that ServerClosed is NOT a 404 — the name is still
+        # serving, just on a new pool — so re-snapshot and retry (cache
+        # key included: it is pinned to the version that will actually
+        # serve). Only a name truly gone from the registry 404s.
         key = None
-        if self.cache is not None:
-            key = ResponseCache.key(entry, payload)
-            cached = self.cache.get(key)
-            if cached is not None:
-                raise _JSONResponse(200, {**cached, "cached": True})
-
-        try:
-            handle = entry.pool.submit(payload, block=False)
-        except ServerOverloaded as exc:
-            raise _JSONResponse(
-                429,
-                {"error": f"model {name!r} overloaded: {exc}"},
-                headers={"Retry-After": "1"},
-            )
-        except ServerClosed:
+        for _ in range(4):  # a retry per racing swap; >1 mid-request is absurd
+            entry = self._entry_or_404(name)
+            pool, version = entry.snapshot()
+            if self.cache is not None:
+                key = ResponseCache.key(entry, payload, version=version)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    raise _JSONResponse(200, {**cached, "cached": True})
+            try:
+                handle = pool.submit(payload, block=False)
+                break
+            except ServerOverloaded as exc:
+                raise _JSONResponse(
+                    429,
+                    {"error": f"model {name!r} overloaded: {exc}"},
+                    headers={"Retry-After": "1"},
+                )
+            except ServerClosed:
+                continue
+        else:
             raise _JSONResponse(404, {"error": f"model {name!r} was unloaded"})
         try:
             result = handle.wait(self.predict_timeout_s)
@@ -362,7 +388,7 @@ class Gateway:
 
         response = {
             "model": entry.name,
-            "version": entry.version,
+            "version": version,
             "outputs": np.asarray(result).tolist(),
         }
         if self.cache is not None:
@@ -374,6 +400,20 @@ class Gateway:
             raise _JSONResponse(400, {"error": 'load body must be {"artifact": dir, ...}'})
         from repro.deploy import ArtifactError
 
+        autoscale = body.get("autoscale")
+        if autoscale is not None and not isinstance(autoscale, dict):
+            raise _JSONResponse(
+                400, {"error": 'autoscale must be a policy object, e.g. '
+                               '{"min_replicas": 1, "max_replicas": 4}'}
+            )
+        if autoscale is not None:
+            # Validated outside the load try-block: a malformed policy is
+            # a 400 (bad request body), never the 409 meant for name
+            # conflicts below.
+            try:
+                autoscale = AutoscalePolicy(**autoscale)
+            except (TypeError, ValueError) as exc:
+                raise _JSONResponse(400, {"error": f"bad autoscale policy: {exc}"})
         try:
             entry = self.registry.load_artifact(
                 name,
@@ -381,6 +421,7 @@ class Gateway:
                 version=body.get("version"),
                 replicas=int(body.get("replicas", 1)),
                 routing=body.get("routing", "least_loaded"),
+                autoscale=autoscale,
                 max_batch_size=int(body.get("max_batch_size", 8)),
                 max_wait_ms=float(body.get("max_wait_ms", 2.0)),
                 max_queue=int(body.get("max_queue", 64)),
@@ -391,6 +432,32 @@ class Gateway:
             raise _JSONResponse(409, {"error": str(exc)})
         raise _JSONResponse(200, entry.describe())
 
+    def _post_swap(self, name: str, body):
+        """Zero-downtime rollout: flip ``name`` to a new artifact.
+
+        Failure semantics mirror the registry contract: any 4xx here
+        means the old version never stopped serving.
+        """
+        if not isinstance(body, dict) or "artifact" not in body:
+            raise _JSONResponse(400, {"error": 'swap body must be {"artifact": dir, ...}'})
+        from repro.deploy import ArtifactError
+
+        try:
+            report = self.registry.swap(
+                name,
+                body["artifact"],
+                version=body.get("version"),
+                precision=body.get("precision", "float32"),
+            )
+        except ModelUnavailable as exc:
+            raise _JSONResponse(404, {"error": str(exc)})
+        except (ArtifactError, OSError, SwapError) as exc:
+            raise _JSONResponse(
+                400,
+                {"error": f"swap aborted, previous version still serving: {exc}"},
+            )
+        raise _JSONResponse(200, report.as_dict())
+
     def _post_unload(self, name: str, body):
         try:
             entry = self.registry.unload(name, drain=True)
@@ -400,11 +467,17 @@ class Gateway:
 
 
 def _stats_dict(entry: ModelEntry) -> dict:
-    """JSON-ready per-model serving stats for ``/stats``."""
-    s = entry.stats()
-    return {
-        "version": entry.version,
-        "replicas": entry.pool.num_replicas,
+    """JSON-ready per-model serving stats for ``/stats``.
+
+    Note the counters reset at a hot swap: stats come from the serving
+    pool, and a swap flips in a fresh one. The ``swaps`` history (and
+    autoscale events) carry the cross-rollout story instead.
+    """
+    pool, version = entry.snapshot()
+    s = pool.stats()
+    payload = {
+        "version": version,
+        "replicas": pool.num_replicas,
         "completed": s.completed,
         "errors": s.errors,
         "rejected": s.rejected,
@@ -414,7 +487,11 @@ def _stats_dict(entry: ModelEntry) -> dict:
         "mean_batch_size": s.mean_batch_size,
         "queue_depth": s.queue_depth,
         "in_flight": s.in_flight,
+        "swaps": list(entry.history),
     }
+    if entry.autoscaler is not None:
+        payload["autoscaler"] = entry.autoscaler.stats()
+    return payload
 
 
 def serve_gateway(
@@ -425,19 +502,23 @@ def serve_gateway(
     host: str = "127.0.0.1",
     port: int = 0,
     cache_entries: int = 0,
+    autoscale: AutoscalePolicy | dict | None = None,
     **server_kwargs,
 ) -> Gateway:
     """One call from artifact directories to a started gateway.
 
     ``models`` maps serving names to artifact directories; every model
-    gets ``replicas`` replicas. Returns the started :class:`Gateway`
-    (stop it with ``.stop()`` or use as a context manager).
+    gets ``replicas`` replicas (and, if ``autoscale`` is given, its own
+    queue-depth autoscaler under that policy). Returns the started
+    :class:`Gateway` (stop it with ``.stop()`` or use as a context
+    manager).
     """
     gateway = Gateway(port=port, host=host, cache_entries=cache_entries)
     try:
         for name, path in models.items():
             gateway.registry.load_artifact(
-                name, path, replicas=replicas, routing=routing, **server_kwargs
+                name, path, replicas=replicas, routing=routing,
+                autoscale=autoscale, **server_kwargs
             )
     except Exception:
         gateway.registry.stop_all()

@@ -11,8 +11,8 @@ Lifecycle contract:
 - ``load_artifact(name, path)`` loads the artifact **once** into an
   :class:`~repro.deploy.IntegerEngine` and fans it out to ``replicas``
   servers sharing the read-only weights. Loading a name that already
-  exists raises; unload first (hot *swap* = load under a new version
-  name, flip clients, unload the old one).
+  exists raises; replacing a serving version is ``swap(name, path)``,
+  not load/unload.
 - ``unload(name)`` immediately removes the entry — new lookups raise
   :class:`ModelUnavailable` — then stops the pool with ``drain=True`` so
   every in-flight and queued request still completes with a valid
@@ -20,6 +20,14 @@ Lifecycle contract:
   only 404s *new* traffic.
 - ``get(name)`` raises :class:`ModelUnavailable` (with the live model
   list in the message) for unknown or unloading names.
+- ``swap(name, path)`` is the zero-downtime rollout primitive: it loads
+  the new artifact into a *fresh* pool, warms it with a parity probe
+  request, atomically flips the entry's routing to the new pool, then
+  drains and retires the old pool. In-flight and queued requests finish
+  on the old version; requests routed after the flip run on the new one;
+  at no point does the name disappear from the table, so rollout traffic
+  never sees a 404/503. Any failure before the flip (corrupt artifact,
+  probe error) leaves the old version serving untouched.
 """
 
 from __future__ import annotations
@@ -32,9 +40,13 @@ from typing import Callable
 
 import numpy as np
 
+from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.replica import ReplicaPool
-from repro.serve.runners import model_batch_fn
+from repro.serve.runners import model_batch_fn, synthetic_payloads
 from repro.serve.server import ServeStats
+from repro.utils.log import get_logger
+
+logger = get_logger("registry")
 
 
 class ModelUnavailable(KeyError):
@@ -42,6 +54,10 @@ class ModelUnavailable(KeyError):
 
     def __str__(self) -> str:  # KeyError quotes its args; keep it readable
         return self.args[0] if self.args else ""
+
+
+class SwapError(RuntimeError):
+    """A hot swap aborted before the flip; the old version keeps serving."""
 
 
 def _decode_image(inputs) -> np.ndarray:
@@ -60,8 +76,36 @@ PAYLOAD_CODECS: dict[str, Callable] = {"image": _decode_image, "qa": _decode_qa}
 
 
 @dataclass
+class SwapReport:
+    """What a completed hot swap did, for callers/logs/HTTP responses."""
+
+    name: str
+    old_version: str
+    new_version: str
+    replicas: int
+    duration_s: float
+    probe_checked: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.name,
+            "old_version": self.old_version,
+            "new_version": self.new_version,
+            "replicas": self.replicas,
+            "duration_s": self.duration_s,
+            "probe_checked": self.probe_checked,
+        }
+
+
+@dataclass
 class ModelEntry:
-    """One served model: its replica pool plus routing/codec metadata."""
+    """One served model: its replica pool plus routing/codec metadata.
+
+    The routing fields (``pool``, ``version``, codec metadata) are
+    mutable — a hot swap replaces them together under ``lock`` — so
+    readers that need a consistent (pool, version) pair must go through
+    :meth:`snapshot` rather than reading the attributes twice.
+    """
 
     name: str
     version: str
@@ -71,17 +115,37 @@ class ModelEntry:
     input_shape: tuple[int, ...] | None = None
     arch: dict = field(default_factory=dict)
     loaded_unix: float = field(default_factory=time.time)
+    autoscaler: Autoscaler | None = None
+    #: guards the routing fields; held only for field reads/writes, never
+    #: across pool operations (the flip is a pointer swap, not a drain).
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: serializes swaps on this entry (a swap is seconds-long; holding
+    #: ``lock`` that long would stall every predict).
+    swap_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    history: list = field(default_factory=list)
+
+    def snapshot(self) -> tuple[ReplicaPool, str]:
+        """The current (pool, version) routing pair, read atomically."""
+        with self.lock:
+            return self.pool, self.version
 
     def describe(self) -> dict:
         """JSON-ready summary for ``GET /v1/models``."""
+        with self.lock:
+            pool, version, task = self.pool, self.version, self.task
+            input_shape, loaded_unix = self.input_shape, self.loaded_unix
         return {
             "name": self.name,
-            "version": self.version,
-            "task": self.task,
-            "replicas": self.pool.num_replicas,
-            "routing": self.pool.routing,
-            "input_shape": list(self.input_shape) if self.input_shape else None,
-            "loaded_unix": self.loaded_unix,
+            "version": version,
+            "task": task,
+            "replicas": pool.num_replicas,
+            "routing": pool.routing,
+            "input_shape": list(input_shape) if input_shape else None,
+            "loaded_unix": loaded_unix,
+            "swaps": len(self.history),
+            "autoscale": (
+                self.autoscaler.stats(tail=0)["policy"] if self.autoscaler else None
+            ),
         }
 
     def stats(self) -> ServeStats:
@@ -111,15 +175,21 @@ class ModelRegistry:
         replicas: int = 1,
         routing: str = "least_loaded",
         start: bool = True,
+        autoscale: AutoscalePolicy | dict | None = None,
         **server_kwargs,
     ) -> ModelEntry:
         """Serve an arbitrary ``batch_fn`` under ``name``.
 
         The escape hatch under :meth:`load_artifact`: tests and custom
         deployments register any callable obeying the server's
-        ``batch_fn(payloads) -> results`` contract.
+        ``batch_fn(payloads) -> results`` contract. ``autoscale`` (an
+        :class:`~repro.serve.autoscale.AutoscalePolicy` or its kwargs as
+        a dict) attaches a queue-depth autoscaler to the entry; the
+        policy follows the entry across hot swaps.
         """
         pool = ReplicaPool(batch_fn, replicas=replicas, routing=routing, **server_kwargs)
+        if isinstance(autoscale, dict):
+            autoscale = AutoscalePolicy(**autoscale)
         entry = ModelEntry(
             name=name,
             version=version,
@@ -129,6 +199,12 @@ class ModelRegistry:
             input_shape=tuple(input_shape) if input_shape else None,
             arch=dict(arch or {}),
         )
+        if autoscale is not None:
+            # pool_fn re-reads entry.pool so the loop targets whatever
+            # pool a hot swap has most recently flipped in.
+            entry.autoscaler = Autoscaler(
+                lambda: entry.snapshot()[0], autoscale, name=name
+            )
         with self._lock:
             if name in self._entries:
                 raise ValueError(
@@ -138,6 +214,8 @@ class ModelRegistry:
             self._entries[name] = entry
         if start:
             pool.start()
+            if entry.autoscaler is not None:
+                entry.autoscaler.start()
         return entry
 
     def load_artifact(
@@ -151,6 +229,7 @@ class ModelRegistry:
         per_sample_scale: bool = True,
         precision: str = "float32",
         start: bool = True,
+        autoscale: AutoscalePolicy | dict | None = None,
         **server_kwargs,
     ) -> ModelEntry:
         """Hot-load a deployment artifact and serve it under ``name``.
@@ -185,8 +264,168 @@ class ModelRegistry:
             replicas=replicas,
             routing=routing,
             start=start,
+            autoscale=autoscale,
             **server_kwargs,
         )
+
+    # ------------------------------------------------------------------
+    # hot swap (zero-downtime rollout)
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        name: str,
+        path: str | Path,
+        *,
+        version: str | None = None,
+        per_sample_scale: bool = True,
+        precision: str = "float32",
+        probe: object | None = None,
+        probe_timeout_s: float = 60.0,
+    ) -> SwapReport:
+        """Replace ``name``'s serving version with the artifact at ``path``.
+
+        The swap state machine (see ``docs/serving.md``):
+
+        1. **load** — the new artifact is checksum-verified and loaded
+           into a fresh :class:`~repro.deploy.IntegerEngine`; failure
+           (missing/corrupt artifact) raises before anything changes.
+        2. **warm** — a fresh :class:`ReplicaPool` is built with the old
+           pool's replica count/routing/server knobs and started, and a
+           synthetic probe request (or the caller's ``probe`` payload)
+           runs through the *full* pool path. The pool's reply must be
+           bitwise-equal to a direct engine call and finite; any
+           mismatch or error raises :class:`SwapError` and retires the
+           new pool — the old version never stopped serving. The probe
+           also pre-faults the engine's kernels so the first real
+           request after the flip pays no cold-start.
+        3. **flip** — the entry's (pool, version, codec) routing fields
+           are replaced atomically under the entry lock. New requests
+           route to the new pool from this instant.
+        4. **drain** — the old pool stops with ``drain=True``: everything
+           it accepted completes on the old version, then its workers
+           exit. The name never leaves the table, so no request sees a
+           404/503 because of a rollout.
+
+        Swaps on one entry are serialized by the entry's swap lock;
+        predicts are never blocked by it.
+        """
+        from repro.deploy import IntegerEngine
+
+        entry = self.get(name)
+        with entry.swap_lock:
+            if name not in self:  # unloaded while waiting on the lock
+                raise ModelUnavailable(f"no model {name!r} to swap")
+            t0 = time.perf_counter()
+            engine = IntegerEngine.load(
+                path, per_sample_scale=per_sample_scale, precision=precision
+            )
+            old_pool, old_version = entry.snapshot()
+            new_version = version or engine.manifest["payload"]["sha256"][:12]
+            manifest_model = engine.manifest["model"]
+            task = engine.task
+            batch_fn = model_batch_fn(engine.model)
+            new_pool = ReplicaPool(
+                batch_fn,
+                replicas=old_pool.num_replicas,
+                routing=old_pool.routing,
+                **old_pool.server_kwargs,
+            )
+            new_pool.start()
+            input_shape = manifest_model.get("input_shape")
+            arch = dict(manifest_model.get("arch") or {})
+            try:
+                probe_checked = self._warm_probe(
+                    new_pool,
+                    batch_fn,
+                    task,
+                    arch,
+                    input_shape,
+                    probe=probe,
+                    timeout_s=probe_timeout_s,
+                )
+            except BaseException:
+                new_pool.stop(drain=False)  # nothing real was routed here
+                raise
+            with entry.lock:
+                entry.pool = new_pool
+                entry.version = new_version
+                entry.task = task
+                entry.decode = PAYLOAD_CODECS.get(task or "", _decode_image)
+                entry.input_shape = tuple(input_shape) if input_shape else None
+                entry.arch = arch
+                entry.loaded_unix = time.time()
+            # In-flight and queued requests complete on the old version;
+            # handlers that raced the flip and hit the retired pool see
+            # ServerClosed and re-route via a fresh entry snapshot.
+            old_pool.stop(drain=True)
+            report = SwapReport(
+                name=name,
+                old_version=old_version,
+                new_version=new_version,
+                replicas=new_pool.num_replicas,
+                duration_s=time.perf_counter() - t0,
+                probe_checked=probe_checked,
+            )
+            with entry.lock:
+                entry.history.append(
+                    {
+                        "event": "swap",
+                        "from": old_version,
+                        "to": new_version,
+                        "unix": time.time(),
+                        "duration_s": report.duration_s,
+                    }
+                )
+            logger.info(
+                "swapped %s: %s -> %s in %.3fs (%d replicas)",
+                name, old_version, new_version, report.duration_s, report.replicas,
+            )
+            return report
+
+    @staticmethod
+    def _warm_probe(
+        pool: ReplicaPool,
+        batch_fn,
+        task: str | None,
+        arch: dict,
+        input_shape,
+        *,
+        probe,
+        timeout_s: float,
+    ) -> bool:
+        """Run one request through the new pool and check parity.
+
+        Returns ``True`` when a probe actually ran. When no probe was
+        given and the artifact lacks the metadata to synthesize one
+        (no input shape / QA arch), the probe is skipped with a warning
+        rather than failing a swap that would likely have been fine.
+        """
+        if probe is None:
+            if (task or "image") != "qa" and not input_shape:
+                # synthetic_payloads would guess a (3, 32, 32) image and a
+                # wrong guess must not veto a valid rollout
+                logger.warning("swap warm-up probe skipped (artifact lacks input_shape)")
+                return False
+            try:
+                probe = synthetic_payloads(task, arch, input_shape, 1)[0]
+            except (KeyError, TypeError, ValueError) as exc:
+                logger.warning("swap warm-up probe skipped (cannot synthesize: %s)", exc)
+                return False
+        try:
+            served = np.asarray(pool.infer(probe, timeout=timeout_s))
+            direct = np.asarray(batch_fn([probe])[0])
+        except SwapError:
+            raise
+        except BaseException as exc:
+            raise SwapError(f"warm-up probe failed: {type(exc).__name__}: {exc}") from exc
+        if served.shape != direct.shape or not np.array_equal(served, direct):
+            raise SwapError(
+                "warm-up probe parity mismatch: pool reply differs from a "
+                "direct engine call on the new artifact"
+            )
+        if served.dtype.kind == "f" and not np.all(np.isfinite(served)):
+            raise SwapError("warm-up probe produced non-finite outputs")
+        return True
 
     # ------------------------------------------------------------------
     # lookup
@@ -225,7 +464,15 @@ class ModelRegistry:
             entry = self._entries.pop(name, None)
         if entry is None:
             raise ModelUnavailable(f"no model {name!r} to unload")
-        entry.pool.stop(drain=drain)
+        # The autoscaler stops before the pool drains: a live loop could
+        # otherwise fight the drain (growing a pool that is going away).
+        if entry.autoscaler is not None:
+            entry.autoscaler.stop()
+        # Serialize with swaps: a swap that already passed its liveness
+        # check must finish its flip before we stop the (final) pool.
+        with entry.swap_lock:
+            pool, _ = entry.snapshot()
+            pool.stop(drain=drain)
         return entry
 
     def stop_all(self, drain: bool = True) -> None:
@@ -233,4 +480,8 @@ class ModelRegistry:
             entries = list(self._entries.values())
             self._entries.clear()
         for entry in entries:
-            entry.pool.stop(drain=drain)
+            if entry.autoscaler is not None:
+                entry.autoscaler.stop()
+            with entry.swap_lock:
+                pool, _ = entry.snapshot()
+                pool.stop(drain=drain)

@@ -81,6 +81,7 @@ class ReplicaPool:
         self._replicas = [self._new_server() for _ in range(replicas)]
         self._rr = 0
         self._running = False
+        self._closed = False
 
     def _new_server(self) -> InferenceServer:
         return InferenceServer(self.batch_fn, **self._server_kwargs)
@@ -93,12 +94,14 @@ class ReplicaPool:
             for server in self._replicas:
                 server.start()
             self._running = True
+            self._closed = False
         return self
 
     def stop(self, drain: bool = True) -> None:
         with self._lock:
             replicas = list(self._replicas)
             self._running = False
+            self._closed = True
         for server in replicas:
             server.stop(drain=drain)
 
@@ -124,10 +127,23 @@ class ReplicaPool:
     def num_replicas(self) -> int:
         return len(self._snapshot())
 
+    @property
+    def server_kwargs(self) -> dict:
+        """Per-replica server settings — lets a swap clone the pool config."""
+        return dict(self._server_kwargs)
+
     def add_replica(self) -> None:
-        """Grow the pool by one replica (started if the pool is running)."""
+        """Grow the pool by one replica (started if the pool is running).
+
+        A stopped pool is *retired*: growing it again would leak replicas
+        that nothing will ever stop, so it raises :class:`ServerClosed`
+        (the autoscaler hits this window during a hot swap and simply
+        retries against the flipped-in pool on its next tick).
+        """
         server = self._new_server()
         with self._lock:
+            if self._closed:
+                raise ServerClosed("replica pool is stopped; cannot add replicas")
             if self._running:
                 server.start()
             self._replicas.append(server)

@@ -29,6 +29,28 @@ def _stack_payloads(payloads: list) -> tuple:
     return (np.stack([np.asarray(p) for p in payloads]),)
 
 
+def synthetic_payloads(
+    task: str | None, arch: dict, input_shape, count: int, seed: int = 0
+) -> list:
+    """Synthesize single-request payloads for a task/arch description.
+
+    Shared by ``repro serve`` (payloads straight into the server), the
+    ``repro gateway`` self-traffic mode, the gateway scaling/rollout
+    benches (payloads JSON-encoded over HTTP), and the registry's hot-swap
+    warm-up probe.
+    """
+    from repro.utils.rng import seeded_rng
+
+    rng = seeded_rng("serve-payloads", seed)
+    if task == "qa":
+        T, vocab = int(arch["max_seq_len"]), int(arch["vocab_size"])
+        return [
+            (rng.integers(0, vocab, T), np.ones(T, dtype=bool)) for _ in range(count)
+        ]
+    shape = tuple(input_shape or (3, 32, 32))
+    return [rng.standard_normal(shape).astype(np.float32) for _ in range(count)]
+
+
 def model_batch_fn(model, forward=None):
     """Build a ``batch_fn`` around a module (or an IntegerEngine's model).
 

@@ -268,7 +268,9 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
-    def submit(self, payload, *, block: bool = True, timeout: float | None = None) -> PendingResponse:
+    def submit(
+        self, payload, *, block: bool = True, timeout: float | None = None
+    ) -> PendingResponse:
         """Enqueue one request; returns a handle to ``wait()`` on.
 
         When the queue is full: ``block=True`` waits (up to ``timeout``),

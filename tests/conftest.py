@@ -1,9 +1,36 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures + hypothesis profiles for the test suite.
+
+Two hypothesis profiles are registered here:
+
+``ci`` (default)
+    Deterministic: a fixed, still-varied example corpus
+    (``derandomize=True``) with a modest example budget, so tier-1 —
+    which is a merge gate — never flakes on hypothesis's RNG. No
+    deadline: CI containers stall unpredictably.
+``nightly``
+    The exploration profile the scheduled CI job selects with
+    ``--hypothesis-profile=nightly``: ~8x the examples, fresh random
+    seeds each run, and ``print_blob`` so a failure prints the
+    ``@reproduce_failure`` blob to pin locally.
+
+Tests that pass explicit ``settings(...)`` arguments override these
+per-field; the artifact fuzz suite deliberately leaves
+``max_examples``/``derandomize`` unset so the nightly profile widens it.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
+
+settings.register_profile("ci", max_examples=20, derandomize=True, deadline=None)
+settings.register_profile(
+    "nightly", max_examples=150, derandomize=False, deadline=None, print_blob=True
+)
+# The pytest plugin's --hypothesis-profile flag (used by the nightly CI
+# job) loads *after* this module imports, so it overrides this default.
+settings.load_profile("ci")
 
 
 @pytest.fixture

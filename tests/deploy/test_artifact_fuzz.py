@@ -28,13 +28,12 @@ from repro.quant.integer_exec import quantize_tensor
 from repro.quant.qlayers import quant_layers
 from repro.tensor.tensor import no_grad
 
+# max_examples/derandomize come from the active profile (tests/conftest.py):
+# the default "ci" profile explores a fixed (still varied) example set every
+# run so the tier-1 gate never gambles on hypothesis's RNG; the nightly CI
+# job runs `--hypothesis-profile=nightly` for a bigger randomized sweep.
 FUZZ = settings(
-    max_examples=20,
     deadline=None,
-    # tier-1 is a gate: explore a fixed (still varied) example set every
-    # run instead of gambling the gate on hypothesis's RNG. Bump
-    # max_examples locally / drop this flag to explore more.
-    derandomize=True,
     suppress_health_check=[
         HealthCheck.too_slow,
         HealthCheck.data_too_large,

@@ -1,0 +1,300 @@
+"""Queue-depth autoscaler: policy validation, control law, pool integration."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import Autoscaler, AutoscalePolicy, ModelRegistry, ReplicaPool
+from repro.serve.server import ServerClosed
+
+
+def doubler(payloads):
+    return [2 * np.asarray(p) for p in payloads]
+
+
+# ----------------------------------------------------------------------
+# policy validation
+# ----------------------------------------------------------------------
+class TestAutoscalePolicy:
+    def test_defaults_are_valid(self):
+        policy = AutoscalePolicy()
+        assert policy.min_replicas == 1 and policy.max_replicas >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(min_replicas=0), "min_replicas"),
+            (dict(min_replicas=3, max_replicas=2), "max_replicas"),
+            (dict(low_watermark=-1.0), "low_watermark"),
+            (dict(high_watermark=0.5, low_watermark=0.5), "high_watermark"),
+            (dict(cooldown_s=-0.1), "cooldown_s"),
+            (dict(interval_s=0.0), "interval_s"),
+        ],
+    )
+    def test_bad_policies_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AutoscalePolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# control law, driven deterministically via tick()
+# ----------------------------------------------------------------------
+class FakePool:
+    """Duck-typed pool: load and replica count are plain attributes."""
+
+    def __init__(self, replicas=1, load=0):
+        self.replicas = replicas
+        self.load = load
+        self.running = True
+        self.actions = []
+
+    @property
+    def num_replicas(self):
+        return self.replicas
+
+    def add_replica(self):
+        self.replicas += 1
+        self.actions.append("add")
+
+    def remove_replica(self, drain=True):
+        self.replicas -= 1
+        self.actions.append("remove")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_scaler(pool, clock=None, **policy_kwargs):
+    policy_kwargs.setdefault("min_replicas", 1)
+    policy_kwargs.setdefault("max_replicas", 4)
+    policy_kwargs.setdefault("high_watermark", 4.0)
+    policy_kwargs.setdefault("low_watermark", 0.5)
+    policy_kwargs.setdefault("cooldown_s", 10.0)
+    policy_kwargs.setdefault("interval_s", 0.01)
+    return Autoscaler(
+        lambda: pool, AutoscalePolicy(**policy_kwargs),
+        name="t", clock=clock or FakeClock(),
+    )
+
+
+class TestControlLaw:
+    def test_scale_up_at_high_watermark(self):
+        pool = FakePool(replicas=1, load=4)
+        scaler = make_scaler(pool)
+        assert scaler.tick() == "scale_up"
+        assert pool.replicas == 2
+
+    def test_no_action_between_watermarks(self):
+        pool = FakePool(replicas=2, load=3)  # 1.5 per replica: in band
+        scaler = make_scaler(pool)
+        assert scaler.tick() is None
+        assert pool.actions == []
+
+    def test_scale_up_respects_max(self):
+        pool = FakePool(replicas=4, load=100)
+        scaler = make_scaler(pool)
+        assert scaler.tick() is None
+        assert pool.replicas == 4
+
+    def test_scale_down_at_low_watermark_respects_min(self):
+        clock = FakeClock()
+        pool = FakePool(replicas=3, load=0)
+        scaler = make_scaler(pool, clock=clock, min_replicas=2, cooldown_s=0.0)
+        assert scaler.tick() == "scale_down"
+        assert pool.replicas == 2
+        clock.now += 1.0
+        assert scaler.tick() is None  # at the floor: never below min
+        assert pool.replicas == 2
+
+    def test_cooldown_gates_consecutive_actions(self):
+        clock = FakeClock()
+        pool = FakePool(replicas=1, load=100)
+        scaler = make_scaler(pool, clock=clock, cooldown_s=5.0)
+        assert scaler.tick() == "scale_up"
+        clock.now = 4.9
+        assert scaler.tick() is None  # still cooling down
+        clock.now = 5.1
+        assert scaler.tick() == "scale_up"
+        assert pool.replicas == 3
+
+    def test_enforce_min_bypasses_cooldown(self):
+        clock = FakeClock()
+        pool = FakePool(replicas=3, load=100)
+        scaler = make_scaler(pool, clock=clock, min_replicas=3, cooldown_s=1e9)
+        assert scaler.tick() == "scale_up"  # normal scale-up starts cooldown
+        pool.replicas = 1  # someone shrank the pool under the floor
+        assert scaler.tick() == "enforce_min"  # restored despite the cooldown
+        assert pool.replicas == 2
+
+    def test_not_running_pool_is_left_alone(self):
+        pool = FakePool(replicas=1, load=100)
+        pool.running = False
+        scaler = make_scaler(pool)
+        assert scaler.tick() is None
+        assert pool.actions == []
+
+    def test_events_and_stats(self):
+        clock = FakeClock()
+        pool = FakePool(replicas=1, load=100)
+        scaler = make_scaler(pool, clock=clock, cooldown_s=0.0)
+        scaler.tick()
+        pool.load = 0
+        scaler.tick()
+        stats = scaler.stats()
+        assert stats["scale_ups"] == 1 and stats["scale_downs"] == 1
+        actions = [e["action"] for e in stats["events"]]
+        assert actions == ["scale_up", "scale_down"]
+        assert stats["events"][0]["from"] == 1 and stats["events"][0]["to"] == 2
+        assert stats["last_error"] is None
+
+    def test_tick_error_recorded_not_raised_by_loop(self):
+        class BrokenPool(FakePool):
+            def add_replica(self):
+                raise RuntimeError("boom")
+
+        pool = BrokenPool(replicas=1, load=100)
+        scaler = make_scaler(pool)
+        scaler.start()
+        deadline = time.time() + 5.0
+        while scaler.stats()["last_error"] is None and time.time() < deadline:
+            time.sleep(0.01)
+        scaler.stop()
+        assert "boom" in scaler.stats()["last_error"]
+
+
+# ----------------------------------------------------------------------
+# against a real ReplicaPool
+# ----------------------------------------------------------------------
+class TestWithReplicaPool:
+    def test_ramp_up_under_load_and_down_when_idle(self):
+        release = threading.Event()
+
+        def gated(payloads):
+            release.wait(10.0)
+            return payloads
+
+        with ReplicaPool(gated, replicas=1, max_batch_size=1, max_queue=64) as pool:
+            scaler = Autoscaler(
+                lambda: pool,
+                AutoscalePolicy(
+                    min_replicas=1, max_replicas=3,
+                    high_watermark=1.5, low_watermark=0.25,
+                    cooldown_s=0.02, interval_s=0.01,
+                ),
+                name="ramp",
+            ).start()
+            try:
+                handles = [pool.submit(i, block=True) for i in range(12)]
+                deadline = time.time() + 10.0
+                while pool.num_replicas < 3 and time.time() < deadline:
+                    time.sleep(0.01)
+                assert pool.num_replicas == 3, "never ramped to max under load"
+                release.set()
+                for h in handles:
+                    h.wait(timeout=10.0)
+                while pool.num_replicas > 1 and time.time() < deadline:
+                    time.sleep(0.01)
+                assert pool.num_replicas == 1, "never scaled back down when idle"
+            finally:
+                release.set()
+                scaler.stop()
+
+    def test_scale_down_drains_removed_replica(self):
+        """Requests queued on the removed replica complete; live capacity
+        never dips below the floor mid-drain."""
+        release = threading.Event()
+        floor = 2
+
+        def gated(payloads):
+            release.wait(10.0)
+            return [2 * np.asarray(p) for p in payloads]
+
+        with ReplicaPool(gated, replicas=3, routing="round_robin",
+                         max_batch_size=1, max_queue=8) as pool:
+            # park one request on each replica so the to-be-removed one
+            # has work to drain
+            handles = [pool.submit(float(i), block=True) for i in range(3)]
+            time.sleep(0.05)
+            scaler = make_scaler(pool, min_replicas=floor, cooldown_s=0.0,
+                                 low_watermark=2.0, high_watermark=100.0)
+
+            observed = []
+
+            def watch():
+                while not release.is_set():
+                    observed.append(pool.num_replicas)
+                    time.sleep(0.002)
+
+            watcher = threading.Thread(target=watch)
+            watcher.start()
+            remover = threading.Thread(target=scaler.tick)  # blocks in drain
+            remover.start()
+            time.sleep(0.1)
+            release.set()
+            remover.join(timeout=10.0)
+            watcher.join(timeout=10.0)
+            for h in handles:
+                assert h.wait(timeout=10.0) is not None
+            assert pool.num_replicas == floor
+            assert min(observed) >= floor, "replica count dipped below the floor"
+            assert scaler.stats()["scale_downs"] == 1
+
+    def test_add_replica_on_retired_pool_raises_server_closed(self):
+        pool = ReplicaPool(doubler, replicas=1)
+        pool.start()
+        pool.stop()
+        with pytest.raises(ServerClosed):
+            pool.add_replica()
+
+
+# ----------------------------------------------------------------------
+# registry integration
+# ----------------------------------------------------------------------
+class TestRegistryIntegration:
+    def test_register_with_policy_dict_starts_and_stops_autoscaler(self):
+        reg = ModelRegistry()
+        entry = reg.register(
+            "m", doubler, autoscale=dict(min_replicas=1, max_replicas=2)
+        )
+        try:
+            assert entry.autoscaler is not None and entry.autoscaler.running
+            assert entry.describe()["autoscale"]["max_replicas"] == 2
+        finally:
+            reg.unload("m")
+        assert not entry.autoscaler.running
+
+    def test_autoscaler_stopped_before_drain_on_unload(self):
+        """Unload must not race a live autoscaler growing the dying pool."""
+        release = threading.Event()
+
+        def gated(payloads):
+            release.wait(5.0)
+            return payloads
+
+        reg = ModelRegistry()
+        entry = reg.register(
+            "m", gated, max_batch_size=1, max_queue=16,
+            autoscale=dict(min_replicas=1, max_replicas=4, high_watermark=1.0,
+                           low_watermark=0.1, cooldown_s=0.0, interval_s=0.005),
+        )
+        handles = [entry.pool.submit(i, block=True) for i in range(4)]
+        time.sleep(0.05)
+        release.set()
+        reg.unload("m", drain=True)
+        assert not entry.autoscaler.running
+        for h in handles:
+            h.wait(timeout=5.0)
+        assert entry.autoscaler.stats()["last_error"] is None
+
+    def test_unstarted_register_does_not_start_autoscaler(self):
+        reg = ModelRegistry()
+        entry = reg.register("m", doubler, start=False, autoscale=AutoscalePolicy())
+        assert entry.autoscaler is not None and not entry.autoscaler.running
+        reg.stop_all()

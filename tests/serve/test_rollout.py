@@ -1,0 +1,307 @@
+"""Hot weight swap: state machine, failure paths, concurrent-traffic safety."""
+
+import shutil
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    Gateway,
+    GatewayClient,
+    GatewayHTTPError,
+    GatewayOverloaded,
+    ModelRegistry,
+    ModelUnavailable,
+    SwapError,
+)
+
+
+@pytest.fixture(scope="module")
+def artifact_pair(tmp_path_factory):
+    """Two artifacts of the same model at different quantizations: a real
+    v1 -> v2 rollout pair (distinct payload SHAs, distinct predictions),
+    plus their serving-mode engines."""
+    from repro.deploy import IntegerEngine, save_artifact
+    from repro.models.resnet import MiniResNet
+    from repro.quant import PTQConfig, quantize_model
+    from repro.utils.rng import seeded_rng
+
+    rng = seeded_rng("rollout-tests")
+    base = tmp_path_factory.mktemp("artifacts")
+    calib = rng.standard_normal((4, 3, 16, 16))
+    out = {}
+    for tag, config in [
+        ("v1", PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")),
+        ("v2", PTQConfig.vs_quant(8, 8, weight_scale="6", act_scale="10")),
+    ]:
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        model.eval()
+        qmodel = quantize_model(model, config, calib_batches=[(calib,)])
+        path = base / tag
+        save_artifact(qmodel, path, task="image", input_shape=(3, 16, 16))
+        engine = IntegerEngine.load(path, per_sample_scale=True, precision="float32")
+        out[tag] = (path, engine)
+    return out
+
+
+@pytest.fixture
+def probe_x():
+    return np.linspace(-1, 1, 3 * 16 * 16, dtype=np.float32).reshape(3, 16, 16)
+
+
+class TestRegistrySwap:
+    def test_swap_flips_version_codec_and_serves_new_weights(
+        self, artifact_pair, probe_x
+    ):
+        path_v1, engine_v1 = artifact_pair["v1"]
+        path_v2, engine_v2 = artifact_pair["v2"]
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", path_v1, replicas=2)
+            old_pool = entry.pool
+            v1 = entry.version
+            np.testing.assert_array_equal(
+                entry.pool.infer(probe_x, timeout=10.0), engine_v1(probe_x[None])[0]
+            )
+            report = reg.swap("m", path_v2)
+            assert report.old_version == v1
+            assert report.new_version == entry.version != v1
+            assert report.probe_checked and report.duration_s > 0
+            assert entry.pool is not old_pool and not old_pool.running
+            assert entry.pool.num_replicas == 2  # replica count carried over
+            np.testing.assert_array_equal(
+                entry.pool.infer(probe_x, timeout=10.0), engine_v2(probe_x[None])[0]
+            )
+            assert entry.history[-1]["event"] == "swap"
+            assert entry.describe()["swaps"] == 1
+        finally:
+            reg.stop_all()
+
+    def test_swap_unknown_model_raises(self, artifact_pair):
+        path_v2, _ = artifact_pair["v2"]
+        with pytest.raises(ModelUnavailable):
+            ModelRegistry().swap("ghost", path_v2)
+
+    def test_swap_to_corrupt_artifact_leaves_old_serving(
+        self, artifact_pair, probe_x, tmp_path
+    ):
+        """The load step fails on the tampered payload; nothing flips."""
+        path_v1, engine_v1 = artifact_pair["v1"]
+        path_v2, _ = artifact_pair["v2"]
+        from repro.deploy import ArtifactError
+        from repro.deploy.artifact import PAYLOAD_NAME
+
+        corrupt = tmp_path / "corrupt"
+        shutil.copytree(path_v2, corrupt)
+        payload = corrupt / PAYLOAD_NAME
+        raw = bytearray(payload.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        payload.write_bytes(bytes(raw))
+
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", path_v1)
+            v1, pool_before = entry.version, entry.pool
+            with pytest.raises(ArtifactError):
+                reg.swap("m", corrupt)
+            assert entry.version == v1 and entry.pool is pool_before
+            assert entry.pool.running
+            np.testing.assert_array_equal(
+                entry.pool.infer(probe_x, timeout=10.0), engine_v1(probe_x[None])[0]
+            )
+            assert entry.history == []
+        finally:
+            reg.stop_all()
+
+    def test_swap_missing_artifact_leaves_old_serving(self, artifact_pair, tmp_path):
+        path_v1, _ = artifact_pair["v1"]
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", path_v1)
+            v1 = entry.version
+            with pytest.raises(Exception):
+                reg.swap("m", tmp_path / "nope")
+            assert entry.version == v1 and entry.pool.running
+        finally:
+            reg.stop_all()
+
+    def test_probe_failure_aborts_before_flip(self, artifact_pair, probe_x, monkeypatch):
+        """An engine that loads but cannot serve must never be flipped in."""
+        path_v1, engine_v1 = artifact_pair["v1"]
+        path_v2, _ = artifact_pair["v2"]
+
+        class BrokenModel:
+            def __call__(self, *args, **kwargs):
+                raise RuntimeError("forward exploded")
+
+        class BrokenEngine:
+            manifest = {
+                "payload": {"sha256": "feedface" * 8},
+                "model": {"input_shape": [3, 16, 16], "arch": {}},
+            }
+            task = "image"
+            model = BrokenModel()
+
+        import repro.deploy
+
+        monkeypatch.setattr(
+            repro.deploy.IntegerEngine, "load", classmethod(lambda cls, *a, **k: BrokenEngine())
+        )
+        reg = ModelRegistry()
+        try:
+            entry = reg.register(
+                "m", lambda ps: [2 * np.asarray(p) for p in ps],
+                version="v1", task="image", input_shape=(3, 16, 16),
+            )
+            with pytest.raises(SwapError, match="probe"):
+                reg.swap("m", path_v2)
+            assert entry.version == "v1" and entry.pool.running
+            assert entry.pool.infer(np.float32(3.0), timeout=5.0) == 6.0
+        finally:
+            reg.stop_all()
+
+    def test_swap_preserves_autoscaler_target(self, artifact_pair):
+        """The autoscaler follows the entry across the flip: its pool_fn
+        resolves to the new pool, and the policy keeps applying."""
+        path_v1, _ = artifact_pair["v1"]
+        path_v2, _ = artifact_pair["v2"]
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact(
+                "m", path_v1,
+                autoscale=dict(min_replicas=2, max_replicas=3,
+                               high_watermark=50.0, low_watermark=0.0,
+                               cooldown_s=0.0, interval_s=0.005),
+            )
+            deadline = time.time() + 10.0
+            while entry.pool.num_replicas < 2 and time.time() < deadline:
+                time.sleep(0.01)  # enforce_min grows 1 -> 2
+            reg.swap("m", path_v2)
+            new_pool = entry.pool
+            assert new_pool.num_replicas == 2  # size carried into the new pool
+            # shrink the new pool below the floor; the autoscaler must
+            # restore it — proof it now targets the swapped-in pool
+            new_pool.remove_replica()
+            while new_pool.num_replicas < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert new_pool.num_replicas == 2
+        finally:
+            reg.stop_all()
+
+
+class TestGatewaySwapHTTP:
+    @pytest.fixture
+    def gateway(self, artifact_pair):
+        path_v1, _ = artifact_pair["v1"]
+        reg = ModelRegistry()
+        reg.load_artifact("m", path_v1, replicas=2, max_queue=128)
+        gw = Gateway(reg, predict_timeout_s=30.0).start()
+        yield gw
+        gw.stop()
+
+    @pytest.fixture
+    def client(self, gateway):
+        return GatewayClient(gateway.url, timeout_s=30.0)
+
+    def test_http_swap_flips_version_and_matches_direct_engine(
+        self, gateway, client, artifact_pair, probe_x
+    ):
+        path_v2, engine_v2 = artifact_pair["v2"]
+        old = client.model("m")["version"]
+        report = client.swap("m", str(path_v2))
+        assert report["old_version"] == old
+        assert report["new_version"] != old
+        assert report["probe_checked"] is True
+        body = client.predict("m", probe_x, raw=True)
+        assert body["version"] == report["new_version"]
+        np.testing.assert_array_equal(
+            np.asarray(body["outputs"], dtype=np.float32),
+            engine_v2(probe_x[None])[0].astype(np.float32),
+        )
+        stats = client.stats()["models"]["m"]
+        assert [s["event"] for s in stats["swaps"]] == ["swap"]
+
+    def test_http_swap_failure_is_400_and_old_keeps_serving(
+        self, gateway, client, artifact_pair, probe_x, tmp_path
+    ):
+        _, engine_v1 = artifact_pair["v1"]
+        old = client.model("m")["version"]
+        with pytest.raises(GatewayHTTPError) as exc:
+            client.swap("m", str(tmp_path / "missing"))
+        assert exc.value.status == 400
+        assert "still serving" in exc.value.body["error"]
+        assert client.model("m")["version"] == old
+        np.testing.assert_array_equal(
+            np.asarray(client.predict("m", probe_x), dtype=np.float32),
+            engine_v1(probe_x[None])[0].astype(np.float32),
+        )
+
+    def test_http_swap_unknown_model_404(self, client, artifact_pair):
+        path_v2, _ = artifact_pair["v2"]
+        with pytest.raises(GatewayHTTPError) as exc:
+            client.swap("ghost", str(path_v2))
+        assert exc.value.status == 404
+
+    def test_swap_missing_artifact_field_400(self, client):
+        with pytest.raises(GatewayHTTPError) as exc:
+            client._request("POST", "/v1/models/m/swap", {"wrong": 1})
+        assert exc.value.status == 400
+
+    def test_load_with_bad_autoscale_policy_400_not_409(
+        self, client, artifact_pair
+    ):
+        """A malformed policy is a bad request, not a name conflict."""
+        path_v1, _ = artifact_pair["v1"]
+        for policy in [{"min_replicas": 0}, {"min_replica": 1}, "not-a-dict"]:
+            with pytest.raises(GatewayHTTPError) as exc:
+                client.load("fresh-name", str(path_v1), autoscale=policy)
+            assert exc.value.status == 400
+            assert "autoscale" in exc.value.body["error"]
+
+    def test_concurrent_swap_and_predict_storm_sees_zero_errors(
+        self, gateway, client, artifact_pair, probe_x
+    ):
+        """The acceptance contract: repeated swaps under a predict storm
+        produce zero failed requests — every reply is a valid prediction
+        from one of the two versions, never a 404/503/500."""
+        path_v1, engine_v1 = artifact_pair["v1"]
+        path_v2, engine_v2 = artifact_pair["v2"]
+        expected = {
+            tuple(np.asarray(engine_v1(probe_x[None])[0], dtype=np.float32)),
+            tuple(np.asarray(engine_v2(probe_x[None])[0], dtype=np.float32)),
+        }
+        stop = threading.Event()
+        failures, replies = [], []
+        lock = threading.Lock()
+
+        def storm():
+            c = GatewayClient(gateway.url, timeout_s=30.0)
+            while not stop.is_set():
+                try:
+                    out = np.asarray(c.predict("m", probe_x), dtype=np.float32)
+                    with lock:
+                        replies.append(tuple(out))
+                except GatewayOverloaded:
+                    time.sleep(0.002)  # admission control, not a failure
+                except Exception as exc:  # noqa: BLE001 - this IS the assertion
+                    with lock:
+                        failures.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=storm) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for target in [path_v2, path_v1, path_v2]:
+                report = client.swap("m", str(target))
+                assert report["new_version"] != report["old_version"]
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30.0)
+        assert failures == []
+        assert len(replies) > 0
+        assert set(replies) <= expected, "a reply matched neither version"
+        # both versions actually served during the storm
+        assert len(set(replies)) == 2

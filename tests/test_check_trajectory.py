@@ -1,0 +1,155 @@
+"""The CI perf-trajectory gate: operators, dotted paths, skip semantics."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_trajectory.py"
+spec = importlib.util.spec_from_file_location("check_trajectory", SCRIPT)
+ct = importlib.util.module_from_spec(spec)
+# registered before exec: dataclass field-type resolution looks the
+# module up in sys.modules
+sys.modules["check_trajectory"] = ct
+spec.loader.exec_module(ct)
+
+
+# ----------------------------------------------------------------------
+# dotted-path resolution
+# ----------------------------------------------------------------------
+class TestResolve:
+    def test_dicts_lists_and_leaves(self):
+        data = {"metrics": {"runs": [{"rps": 10.0}, {"rps": 20.0}]}}
+        assert ct.resolve(data, "metrics.runs.1.rps") == 20.0
+        with pytest.raises(KeyError, match="no key"):
+            ct.resolve(data, "metrics.nope")
+        with pytest.raises(KeyError, match="no list element"):
+            ct.resolve(data, "metrics.runs.7.rps")
+        with pytest.raises(KeyError, match="leaf"):
+            ct.resolve(data, "metrics.runs.0.rps.deeper")
+
+
+# ----------------------------------------------------------------------
+# operators
+# ----------------------------------------------------------------------
+class TestCheckMetric:
+    @pytest.mark.parametrize(
+        "value, spec, ok",
+        [
+            (3.0, {"min": 3.0}, True),
+            (2.9, {"min": 3.0}, False),
+            (0, {"max": 0}, True),
+            (1, {"max": 0}, False),
+            (True, {"equals": True}, True),
+            (False, {"equals": True}, False),
+            ("abc", {"equals": "abc"}, True),
+            # higher-is-better band: baseline 10, tol 0.2 -> floor 8
+            (8.0, {"baseline": 10.0, "rel_tol": 0.2, "direction": "higher"}, True),
+            (7.9, {"baseline": 10.0, "rel_tol": 0.2, "direction": "higher"}, False),
+            # lower-is-better band: baseline 10, tol 0.2 -> ceiling 12
+            (12.0, {"baseline": 10.0, "rel_tol": 0.2, "direction": "lower"}, True),
+            (12.1, {"baseline": 10.0, "rel_tol": 0.2, "direction": "lower"}, False),
+            # non-numeric value against numeric ops is a failure, not a crash
+            ("oops", {"min": 1.0}, False),
+            ("oops", {"baseline": 1.0}, False),
+            # malformed specs fail loudly rather than silently passing
+            (1.0, {}, False),
+            (1.0, {"baseline": 1.0, "direction": "sideways"}, False),
+        ],
+    )
+    def test_operators(self, value, spec, ok):
+        got, detail = ct.check_metric(value, spec)
+        assert got is ok, detail
+
+
+# ----------------------------------------------------------------------
+# end-to-end over directories
+# ----------------------------------------------------------------------
+def write(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    baselines.mkdir()
+    results.mkdir()
+    return baselines, results
+
+
+class TestRun:
+    def test_pass_fail_and_missing_metric(self, dirs):
+        baselines, results = dirs
+        write(baselines / "b.json", {
+            "bench": "b",
+            "result": "BENCH_b.json",
+            "checks": {
+                "metrics.speedup": {"min": 2.0},
+                "metrics.errors": {"max": 0},
+                "metrics.gone": {"min": 0},
+            },
+        })
+        write(results / "BENCH_b.json", {"metrics": {"speedup": 5.0, "errors": 3}})
+        checks, skipped = ct.run(results, baselines)
+        assert skipped == []
+        by_metric = {c.metric: c.ok for c in checks}
+        assert by_metric == {
+            "metrics.speedup": True,
+            "metrics.errors": False,
+            "metrics.gone": False,  # gated metric vanished = regression
+        }
+
+    def test_missing_result_skips_unless_required(self, dirs):
+        baselines, results = dirs
+        write(baselines / "b.json", {
+            "bench": "b", "checks": {"metrics.x": {"min": 0}},
+        })  # default result name: BENCH_b.json, absent
+        checks, skipped = ct.run(results, baselines)
+        assert checks == [] and len(skipped) == 1
+        checks, skipped = ct.run(results, baselines, require_all=True)
+        assert skipped == [] and len(checks) == 1 and not checks[0].ok
+
+    def test_checkless_baseline_is_a_failure(self, dirs):
+        baselines, results = dirs
+        write(baselines / "b.json", {"bench": "b", "result": "BENCH_b.json"})
+        write(results / "BENCH_b.json", {"metrics": {}})
+        checks, _ = ct.run(results, baselines)
+        assert len(checks) == 1 and not checks[0].ok
+
+    def test_empty_or_missing_baseline_dir_raises(self, dirs, tmp_path):
+        baselines, results = dirs
+        with pytest.raises(FileNotFoundError, match="no baseline files"):
+            ct.run(results, baselines)
+        with pytest.raises(FileNotFoundError, match="no baselines directory"):
+            ct.run(results, tmp_path / "nowhere")
+
+    def test_main_exit_codes(self, dirs, capsys):
+        baselines, results = dirs
+        write(baselines / "b.json", {
+            "bench": "b", "result": "BENCH_b.json",
+            "checks": {"metrics.speedup": {"min": 2.0}},
+        })
+        write(results / "BENCH_b.json", {"metrics": {"speedup": 5.0}})
+        argv = ["--results", str(results), "--baselines", str(baselines)]
+        assert ct.main(argv) == 0
+        write(results / "BENCH_b.json", {"metrics": {"speedup": 1.0}})
+        assert ct.main(argv) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_repo_baselines_are_well_formed(self):
+        """Every committed baseline parses and uses known operators."""
+        baselines = SCRIPT.parent / "baselines"
+        files = sorted(baselines.glob("*.json"))
+        assert files, "no committed baselines"
+        for path in files:
+            data = json.loads(path.read_text())
+            assert data.get("bench"), f"{path.name}: missing bench name"
+            assert data.get("checks"), f"{path.name}: no checks"
+            for metric, spec in data["checks"].items():
+                assert isinstance(spec, dict) and (
+                    {"min", "max", "equals", "baseline"} & spec.keys()
+                ), f"{path.name}: {metric} has no operator"
