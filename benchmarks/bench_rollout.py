@@ -23,13 +23,23 @@ step (burst of concurrent closed-loop clients) must ramp the pool to
 >= 2 replicas; after the load stops and the cooldown passes, the pool
 must return to the floor. Scale events come from ``/stats``.
 
+A third scenario, **chaos** (``--chaos-smoke``), is the PR 6 resilience
+contract: the same closed-loop HTTP load while a seeded
+:class:`~repro.serve.faults.FaultPlan` crashes a replica mid-tape (the
+supervisor must restart it back into routing) and a deliberately bad
+canary artifact ships mid-tape (the canary monitor must auto-roll-back,
+leaving the old version serving bitwise-identical outputs). Clients
+retry 429/500/503 with backoff; the contract is **zero failed client
+requests** through all of it.
+
 Run:    PYTHONPATH=src python benchmarks/bench_rollout.py
 Smoke:  PYTHONPATH=src python benchmarks/bench_rollout.py --smoke
         (untrained tiny model; same assertions — the contracts here are
         correctness contracts, not machine-dependent perf floors.)
+Chaos:  PYTHONPATH=src python benchmarks/bench_rollout.py --chaos-smoke
 
 Emits ``benchmarks/results/BENCH_rollout.json`` (``BENCH_rollout_smoke``
-for ``--smoke``).
+for ``--smoke``, ``BENCH_rollout_chaos_smoke`` for ``--chaos-smoke``).
 """
 
 from __future__ import annotations
@@ -43,7 +53,14 @@ import numpy as np
 
 from repro.deploy import IntegerEngine, save_artifact
 from repro.quant import PTQConfig, quantize_model
-from repro.serve import GatewayClient, GatewayOverloaded, serve_gateway
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    GatewayClient,
+    GatewayOverloaded,
+    RetryPolicy,
+    serve_gateway,
+)
 from repro.serve.runners import synthetic_payloads
 
 #: v1 -> v2 differ in quantization config: same topology, different
@@ -272,6 +289,239 @@ def _run_autoscale(artifact: str, clients: int, per_client: int) -> dict:
     }
 
 
+CHAOS_CLIENTS, CHAOS_REQUESTS = 6, 12
+
+
+def _run_chaos(artifact_v1: str, artifact_v2: str) -> dict:
+    """Crash a replica + ship a bad canary under closed-loop load.
+
+    Seeded fault plans make the run reproducible: the stable pool's
+    replica 0 crashes once a quarter of the way through the tape
+    (supervisor restarts it); the canary pool corrupts every output
+    after its warm probe (the drift detector's non-finite check
+    condemns it, the swap auto-rolls-back). Clients retry 429/500/503;
+    the contract is zero failed requests end to end.
+    """
+    clients, per_client = CHAOS_CLIENTS, CHAOS_REQUESTS
+    total = clients * per_client
+    crash_plan = FaultPlan(
+        [FaultSpec(kind="crash", replica=0, after_requests=total // 4, count=1)],
+        seed=7,
+    )
+    canary_plan = FaultPlan(
+        [FaultSpec(kind="corrupt", replica=None, after_requests=1, count=None)],
+        seed=7,
+    )
+    health = dict(
+        interval_s=0.02, probe_timeout_s=10.0, fail_threshold=2,
+        max_restarts=5, backoff_base_s=0.01, backoff_max_s=0.2,
+    )
+    canary_policy = {
+        "fraction": 0.25, "min_requests": 6, "window_s": 20.0,
+        "interval_s": 0.01, "drift_probes": 4, "seed": 7,
+    }
+    gateway = serve_gateway(
+        {"model": artifact_v1}, replicas=2, routing="least_loaded",
+        health=health, fault_plan=crash_plan,
+        max_batch_size=4, max_wait_ms=1.0, max_queue=max(16, clients * 4),
+    )
+    with gateway:
+        entry = gateway.registry.get("model")
+        payloads = synthetic_payloads(
+            entry.task, entry.arch, entry.input_shape, total
+        )
+        control = GatewayClient(gateway.url)
+        old_version = entry.version
+        # Golden pins: pre-chaos outputs the old version must still serve
+        # bitwise-identically after the canary rolls back.
+        pins = payloads[:3]
+        golden = [np.asarray(control.predict("model", p)) for p in pins]
+
+        retry = RetryPolicy(
+            max_attempts=8, backoff_base_s=0.01, backoff_max_s=0.25,
+            retry_statuses=(429, 500, 503), seed=7,
+        )
+        slices = [payloads[i::clients] for i in range(clients)]
+        lock = threading.Lock()
+        observed: dict[str, int] = {}
+        failures: list[str] = []
+        completed = [0]
+        window_requests = [0]
+        halfway = threading.Event()
+        swap_done = threading.Event()
+        swap_result: dict = {}
+
+        def send_one(client: GatewayClient, p) -> bool:
+            """One closed-loop request; True once it resolves (or fails)."""
+            while True:
+                try:
+                    body = client.predict("model", p, raw=True)
+                    with lock:
+                        observed[body["version"]] = (
+                            observed.get(body["version"], 0) + 1
+                        )
+                    return True
+                except GatewayOverloaded:
+                    time.sleep(0.002)  # retries exhausted on 429s only
+                except Exception as exc:  # noqa: BLE001 - a chaos failure
+                    with lock:
+                        failures.append(f"{type(exc).__name__}: {exc}")
+                        halfway.set()  # never deadlock the swap trigger
+                    return False
+
+        def run_client(idx: int) -> None:
+            client = GatewayClient(gateway.url, retry=retry)
+            for p in slices[idx]:
+                ok = send_one(client, p)
+                with lock:
+                    completed[0] += ok
+                    if completed[0] >= total // 2:
+                        halfway.set()
+            # Tape done: keep offering traffic while the canary window is
+            # open, so the canary arm actually serves a live slice (the
+            # judged error/latency/drift comparison sees real requests).
+            k = 0
+            while not swap_done.wait(0.002):
+                with lock:
+                    window_requests[0] += 1
+                send_one(client, slices[idx][k % len(slices[idx])])
+                k += 1
+
+        def run_swap() -> None:
+            # Blocks through the canary window while client traffic flows.
+            try:
+                swap_result.update(control.swap(
+                    "model", artifact_v2,
+                    canary=canary_policy, fault_plan=canary_plan.as_dict(),
+                ))
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted on
+                swap_result["error"] = f"{type(exc).__name__}: {exc}"
+            finally:
+                swap_done.set()
+
+        threads = [
+            threading.Thread(target=run_client, args=(i,)) for i in range(clients)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        halfway.wait(timeout=120.0)
+        swap_thread = threading.Thread(target=run_swap, name="chaos-canary")
+        swap_thread.start()
+        swap_thread.join()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+
+        # The supervisor must put the crashed replica's replacement back
+        # into routing: poll /stats until the pool reports full health.
+        deadline = time.perf_counter() + 20.0
+        health_block: dict = {}
+        while time.perf_counter() < deadline:
+            health_block = control.stats()["models"]["model"]["health"]
+            if (
+                health_block["replacements"] >= 1
+                and health_block["healthy_replicas"] == 2
+                and health_block["state"] == "ready"
+            ):
+                break
+            time.sleep(0.05)
+
+        # Golden-pin check: the rolled-back model serves the pre-chaos
+        # outputs bitwise-identically.
+        pin_ok = True
+        for p, want in zip(pins, golden):
+            got = np.asarray(control.predict("model", p))
+            pin_ok = pin_ok and bool(np.array_equal(got, want))
+        final_version = control.model("model")["version"]
+
+    canary_version = swap_result.get("new_version", "")
+    return {
+        "requests": total,
+        "completed": completed[0],
+        "window_requests": window_requests[0],
+        "failed_requests": len(failures),
+        "failure_samples": failures[:5],
+        "elapsed_s": elapsed,
+        "versions": observed,
+        "old_version": old_version,
+        "canary_version": canary_version,
+        "canary_served": observed.get(canary_version, 0),
+        "swap_outcome": swap_result.get("outcome", swap_result.get("error", "missing")),
+        "rollback_reasons": (swap_result.get("canary") or {}).get("reasons", []),
+        "canary_requests": (swap_result.get("canary") or {}).get("requests", 0),
+        "crashes_fired": crash_plan.stats()["fired"]["crash"],
+        "corruptions_fired": canary_plan.stats()["fired"]["corrupt"],
+        "supervisor_replacements": health_block.get("replacements", 0),
+        "healthy_replicas": health_block.get("healthy_replicas", 0),
+        "pool_state": health_block.get("state", "unknown"),
+        "golden_pin_ok": pin_ok,
+        "final_version": final_version,
+    }
+
+
+def check_chaos(m: dict) -> list[str]:
+    """The chaos-smoke acceptance contracts; empty list = pass."""
+    c = m["chaos"]
+    problems = []
+    if c["failed_requests"]:
+        problems.append(
+            f"{c['failed_requests']} failed client requests under chaos: "
+            f"{c['failure_samples']}"
+        )
+    if c["completed"] != c["requests"]:
+        problems.append(f"only {c['completed']}/{c['requests']} completed")
+    if c["crashes_fired"] < 1:
+        problems.append("the crash fault never fired; the run proved nothing")
+    if c["supervisor_replacements"] < 1:
+        problems.append("supervisor never restarted the crashed replica")
+    if c["healthy_replicas"] != 2 or c["pool_state"] != "ready":
+        problems.append(
+            f"pool did not recover: {c['healthy_replicas']}/2 healthy, "
+            f"state {c['pool_state']}"
+        )
+    if c["swap_outcome"] != "rolled_back":
+        problems.append(f"bad canary was not rolled back: {c['swap_outcome']}")
+    if not c["rollback_reasons"]:
+        problems.append("rollback happened without a recorded reason")
+    if c["canary_served"] < 1:
+        problems.append("the canary arm never served a live request")
+    if c["final_version"] != c["old_version"]:
+        problems.append(
+            f"serving version after rollback is {c['final_version']}, "
+            f"expected {c['old_version']}"
+        )
+    if not c["golden_pin_ok"]:
+        problems.append("old version's outputs changed across the rollback")
+    return problems
+
+
+def run_chaos() -> dict:
+    model, hw = _build_model(smoke=True)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-bench-") as tmpdir:
+        v1 = _export(model, QUANT_V1, os.path.join(tmpdir, "v1"), hw)
+        v2 = _export(model, QUANT_V2, os.path.join(tmpdir, "v2"), hw)
+        chaos = _run_chaos(v1, v2)
+    return {"clients": CHAOS_CLIENTS, "chaos": chaos}
+
+
+def format_chaos_report(m: dict) -> str:
+    c = m["chaos"]
+    return "\n".join([
+        f"chaos smoke ({m['clients']} closed-loop HTTP clients, seeded faults):",
+        f"  {c['completed']}/{c['requests']} ok, {c['failed_requests']} failed",
+        f"  crash faults fired: {c['crashes_fired']}, supervisor replacements: "
+        f"{c['supervisor_replacements']}, pool {c['pool_state']} "
+        f"({c['healthy_replicas']}/2 healthy)",
+        f"  canary outcome: {c['swap_outcome']} "
+        f"({c['canary_served']} live requests on the canary arm; "
+        f"{'; '.join(c['rollback_reasons']) or 'no reasons'})",
+        f"  golden pin: {'bitwise-identical' if c['golden_pin_ok'] else 'MISMATCH'} "
+        f"on {c['final_version']}",
+        f"  versions served: {c['versions']}",
+    ])
+
+
 def run(smoke: bool = False) -> dict:
     clients = SMOKE_CLIENTS if smoke else CLIENTS
     per_client = SMOKE_REQUESTS if smoke else REQUESTS_PER_CLIENT
@@ -342,7 +592,21 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser()
     parser.add_argument("--smoke", action="store_true",
                         help="tiny untrained model (CI); same contracts")
+    parser.add_argument("--chaos-smoke", action="store_true",
+                        help="seeded fault injection: replica crash + bad "
+                             "canary under load (CI resilience contract)")
     args = parser.parse_args()
+
+    if args.chaos_smoke:
+        metrics = run_chaos()
+        print(format_chaos_report(metrics))
+        problems = check_chaos(metrics)
+        metrics["ok"] = not problems
+        save_bench_json("rollout_chaos_smoke", metrics)
+        if problems:
+            raise SystemExit("FAIL: " + "; ".join(problems))
+        print("chaos contracts OK")
+        raise SystemExit(0)
 
     metrics = run(smoke=args.smoke)
     report = format_report(metrics)

@@ -31,8 +31,11 @@ gateway
     per-model replica pools behind the JSON API (``/v1/models``,
     ``/v1/models/<name>/predict``, ``/healthz``, ``/stats``), with
     admission control and an optional response cache. ``--autoscale``
-    attaches a queue-depth autoscaler per model; ``--swap`` (with
-    ``--requests``) scripts a zero-downtime rollout mid-traffic.
+    attaches a queue-depth autoscaler per model; ``--health`` a replica
+    supervisor (probe/quarantine/restart); ``--swap`` (with
+    ``--requests``) scripts a zero-downtime rollout mid-traffic —
+    optionally staged behind a ``--canary`` with auto-rollback, with
+    ``--fault-plan`` injecting seeded chaos into the new pool.
 """
 
 from __future__ import annotations
@@ -392,12 +395,18 @@ def _parse_model_specs(specs, flag: str = "--model") -> dict[str, str]:
 
 
 def _cmd_gateway(args: argparse.Namespace) -> int:
+    import json as _json
+    import threading
+    from pathlib import Path
+
     from repro.deploy import ArtifactError
     from repro.serve import (
         AutoscalePolicy,
         GatewayClient,
         GatewayHTTPError,
         GatewayOverloaded,
+        HealthPolicy,
+        RetryPolicy,
         serve_gateway,
     )
 
@@ -408,6 +417,10 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             raise SystemExit(f"--swap target {name!r} is not in --model")
     if swaps and args.requests is None:
         raise SystemExit("--swap drives a scripted rollout; it requires --requests")
+    if args.canary is not None and not swaps:
+        raise SystemExit("--canary stages a --swap rollout; add --swap")
+    if args.fault_plan and not swaps:
+        raise SystemExit("--fault-plan poisons the --swap pool; add --swap")
 
     autoscale = None
     if args.autoscale:
@@ -421,6 +434,28 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(f"bad autoscale policy: {exc}") from exc
+    health = None
+    if args.health:
+        try:
+            health = HealthPolicy(
+                probe_timeout_s=args.probe_timeout_s,
+                max_restarts=args.max_restarts,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad health policy: {exc}") from exc
+    canary = None
+    if args.canary is not None:
+        canary = {
+            "fraction": args.canary,
+            "min_requests": args.canary_min_requests,
+            "window_s": args.canary_window_s,
+        }
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = _json.loads(Path(args.fault_plan).read_text())
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read --fault-plan: {exc}") from exc
 
     try:
         gateway = serve_gateway(
@@ -431,6 +466,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             port=args.port,
             cache_entries=args.cache_entries,
             autoscale=autoscale,
+            health=health,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
@@ -448,12 +484,12 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         line = f"serving: {names}  routing={args.routing}  cache={args.cache_entries}"
         if autoscale:
             line += f"  autoscale={args.min_replicas}..{args.max_replicas}"
+        if health:
+            line += "  health=supervised"
         print(line)
 
         if args.requests is None:
             try:  # serve until interrupted
-                import threading
-
                 threading.Event().wait()
             except KeyboardInterrupt:
                 print("\nshutting down (draining queues)")
@@ -461,10 +497,28 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
 
         # Self-traffic smoke: drive every model over real HTTP; with
         # --swap this becomes a scripted rollout — half the traffic on
-        # the old version, a hot swap, the rest on the new one.
-        client = GatewayClient(gateway.url)
+        # the old version, a hot swap, the rest on the new one. A
+        # --canary swap blocks through its observation window, so it
+        # runs on a side thread while the traffic it observes flows.
+        retry = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
+        client = GatewayClient(gateway.url, retry=retry)
         rejected = 0
+        dropped = 0
         versions: dict[str, dict[str, int]] = {}
+        swap_threads: list[threading.Thread] = []
+        swap_results: dict[str, dict] = {}
+
+        def _do_swap(name: str, target: str) -> None:
+            body = {}
+            if canary is not None:
+                body["canary"] = canary
+            if fault_plan is not None:
+                body["fault_plan"] = fault_plan
+            try:
+                swap_results[name] = client.swap(name, target, **body)
+            except GatewayHTTPError as exc:
+                swap_results[name] = {"error": str(exc)}
+
         for entry in gateway.registry.models():
             payloads = synthetic_payloads(
                 entry.task, entry.arch, entry.input_shape, args.requests
@@ -472,20 +526,52 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             swap_at = len(payloads) // 2 if entry.name in swaps else None
             for i, p in enumerate(payloads):
                 if swap_at is not None and i == swap_at:
-                    try:
-                        report = client.swap(entry.name, swaps[entry.name])
-                    except GatewayHTTPError as exc:
-                        raise SystemExit(f"rollout failed: {exc}") from exc
-                    print(
-                        f"rollout: {entry.name} {report['old_version']} -> "
-                        f"{report['new_version']} in {report['duration_s']:.3f}s"
-                    )
+                    if canary is not None:
+                        t = threading.Thread(
+                            target=_do_swap, args=(entry.name, swaps[entry.name]),
+                            name=f"rollout-{entry.name}",
+                        )
+                        t.start()
+                        swap_threads.append(t)
+                    else:
+                        _do_swap(entry.name, swaps[entry.name])
+                        report = swap_results[entry.name]
+                        if "error" in report:
+                            raise SystemExit(f"rollout failed: {report['error']}")
+                        print(
+                            f"rollout: {entry.name} {report['old_version']} -> "
+                            f"{report['new_version']} in {report['duration_s']:.3f}s"
+                        )
                 try:
                     body = client.predict(entry.name, p, raw=True)
                     hist = versions.setdefault(entry.name, {})
                     hist[body["version"]] = hist.get(body["version"], 0) + 1
                 except GatewayOverloaded:
                     rejected += 1
+                except GatewayHTTPError as exc:
+                    # 503 = a crash casualty or a downed pool mid-recovery;
+                    # retryable by contract, so a chaos drive without
+                    # --retries counts it rather than dying on it.
+                    if exc.status != 503:
+                        raise
+                    dropped += 1
+        for t in swap_threads:
+            t.join()
+        for name, report in swap_results.items():
+            if "error" in report:
+                raise SystemExit(f"rollout failed: {report['error']}")
+            if report.get("outcome") == "rolled_back":
+                reasons = "; ".join((report.get("canary") or {}).get("reasons", []))
+                print(
+                    f"rollout: {name} canary {report['new_version']} rolled back, "
+                    f"{report['old_version']} keeps serving ({reasons})"
+                )
+            elif canary is not None:
+                print(
+                    f"rollout: {name} {report['old_version']} -> "
+                    f"{report['new_version']} (canary promoted) in "
+                    f"{report['duration_s']:.3f}s"
+                )
         stats = client.stats()
         for name, s in stats["models"].items():
             print(
@@ -506,6 +592,8 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             print(f"cache: {c['hits']} hits / {c['misses']} misses, {c['entries']} entries")
         if rejected:
             print(f"client saw {rejected} 429s")
+        if dropped:
+            print(f"client saw {dropped} retryable 503s (use --retries N to absorb)")
     return 0
 
 
@@ -608,6 +696,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--swap", action="append", metavar="NAME=ARTIFACT_DIR",
                    help="scripted rollout (requires --requests): hot-swap NAME to "
                         "this artifact halfway through its self-traffic (repeatable)")
+    p.add_argument("--canary", type=float, default=None, metavar="FRACTION",
+                   help="stage --swap rollouts behind a canary taking this traffic "
+                        "fraction; a failing canary auto-rolls-back")
+    p.add_argument("--canary-min-requests", type=int, default=16,
+                   help="canary requests observed before the promote/rollback verdict")
+    p.add_argument("--canary-window-s", type=float, default=10.0,
+                   help="max seconds a canary waits for its min requests")
+    p.add_argument("--fault-plan", default=None, metavar="PLAN_JSON",
+                   help='chaos hook: JSON file ({"seed": n, "faults": [...]}) '
+                        "injected into the --swap pool's replicas")
+    p.add_argument("--health", action="store_true",
+                   help="attach a replica supervisor (probe + restart) to every model")
+    p.add_argument("--probe-timeout-s", type=float, default=5.0,
+                   help="supervisor probe deadline; slower replicas earn strikes")
+    p.add_argument("--max-restarts", type=int, default=5,
+                   help="supervisor restart-storm cap per pool")
+    p.add_argument("--retries", type=int, default=0,
+                   help="client retries per predict in self-traffic mode "
+                        "(429/503, exponential backoff)")
     p.add_argument("--autoscale", action="store_true",
                    help="attach a queue-depth autoscaler to every model")
     p.add_argument("--min-replicas", type=int, default=1)

@@ -15,11 +15,19 @@
   :class:`AutoscalePolicy`: a per-model control loop growing/shrinking
   the replica pool off the ``queue_depth``/``in_flight`` load signal
   (high/low watermarks, min/max replicas, cooldown).
+- :mod:`repro.serve.health` — :class:`Supervisor` + :class:`HealthPolicy`:
+  per-model replica supervision (liveness, deadline probes, quarantine,
+  bounded restarts with exponential backoff).
+- :mod:`repro.serve.faults` — :class:`FaultPlan` + :class:`FaultSpec`:
+  seeded, replica-targeted fault injection (crash/latency/error/corrupt)
+  for chaos tests and the ``--chaos-smoke`` benchmark.
 - :mod:`repro.serve.gateway` — :class:`Gateway`: the stdlib HTTP/JSON
   front-end (``/v1/models``, ``/v1/models/<name>/predict``, ``/healthz``,
-  ``/stats``), admission control (429), and the optional response cache.
+  ``/stats``), admission control (429/413), and the optional response
+  cache.
 - :mod:`repro.serve.client` — :class:`GatewayClient`: stdlib client used
-  by the CLI, benchmarks, and tests.
+  by the CLI, benchmarks, and tests; opt-in :class:`RetryPolicy`
+  (backoff + jitter), :class:`CircuitBreaker`, and per-call deadlines.
 - :mod:`repro.serve.runners` — adapters that turn a model (or
   :class:`repro.deploy.IntegerEngine`) into the server's ``batch_fn``:
   stack single-sample payloads, run one forward, split the outputs.
@@ -32,16 +40,27 @@ See ``docs/serving.md`` for the design.
 
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.bench import format_comparison, throughput_comparison
-from repro.serve.client import GatewayClient, GatewayHTTPError, GatewayOverloaded
+from repro.serve.client import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    GatewayClient,
+    GatewayHTTPError,
+    GatewayOverloaded,
+    RetryPolicy,
+)
+from repro.serve.faults import FaultInjected, FaultPlan, FaultSpec
 from repro.serve.gateway import Gateway, GatewayError, ResponseCache, serve_gateway
+from repro.serve.health import HealthPolicy, Supervisor, pool_health
 from repro.serve.registry import (
+    CanaryPolicy,
     ModelEntry,
     ModelRegistry,
     ModelUnavailable,
     SwapError,
     SwapReport,
 )
-from repro.serve.replica import ReplicaPool
+from repro.serve.replica import NoHealthyReplicas, ReplicaPool
 from repro.serve.runners import model_batch_fn, serve_artifact, serve_model
 from repro.serve.server import (
     InferenceServer,
@@ -49,6 +68,7 @@ from repro.serve.server import (
     ServerClosed,
     ServerOverloaded,
     ServeStats,
+    WorkerCrash,
 )
 
 __all__ = [
@@ -57,9 +77,18 @@ __all__ = [
     "ServerClosed",
     "ServerOverloaded",
     "ServeStats",
+    "WorkerCrash",
     "ReplicaPool",
+    "NoHealthyReplicas",
     "Autoscaler",
     "AutoscalePolicy",
+    "HealthPolicy",
+    "Supervisor",
+    "pool_health",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjected",
+    "CanaryPolicy",
     "ModelEntry",
     "ModelRegistry",
     "ModelUnavailable",
@@ -72,6 +101,10 @@ __all__ = [
     "GatewayClient",
     "GatewayHTTPError",
     "GatewayOverloaded",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DeadlineExceeded",
     "model_batch_fn",
     "serve_artifact",
     "serve_model",

@@ -1,0 +1,248 @@
+"""Deterministic fault injection for the serving stack.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultSpec`\\ s that a
+:class:`~repro.serve.replica.ReplicaPool` (or a bare
+:class:`~repro.serve.server.InferenceServer`) wraps around its
+``batch_fn``. Every fault the plan fires is recorded, so a chaos test
+can assert both *that* the failure happened and *that* the system healed
+from it — the plan is the harness that proves the supervisor, the
+client retries, and the canary auto-rollback actually work.
+
+Fault kinds:
+
+``crash``
+    Raise :class:`~repro.serve.server.WorkerCrash` out of ``batch_fn``.
+    The worker thread resolves the in-flight batch with
+    ``ServerClosed`` (clients see a retryable 503, never a hang) and
+    then **dies** — exactly what a segfaulting kernel or an OOM-killed
+    thread looks like from the routing layer's perspective.
+``latency``
+    Sleep ``latency_ms`` before running the batch (a wedged or
+    thermally-throttled replica).
+``error``
+    Raise :class:`FaultInjected` — the batch fails, the worker
+    survives (a bad weight blob, a poisoned input).
+``corrupt``
+    Run the batch, then overwrite the outputs with non-finite garbage
+    (silent data corruption — the canary drift detector's quarry).
+
+Replica targeting uses the pool's monotonically increasing *slot
+sequence number*: replica 0 is the first server the pool ever built, a
+replica restarted by the supervisor gets a fresh number. A spec with
+``replica=None`` matches every replica. ``after_requests`` counts the
+requests a matching replica has served; the fault fires on the requests
+that cross the threshold, at most ``count`` times (``None`` =
+unlimited).
+
+Determinism: with the default ``probability=1.0`` a plan is exactly
+reproducible from its specs alone. Probabilistic faults draw from one
+seeded generator under the plan lock, so a single-threaded run is
+reproducible too; under concurrency the draw *sequence* stays fixed
+even though its interleaving across replicas does not.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.server import WorkerCrash
+
+FAULT_KINDS = ("crash", "latency", "error", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """An injected (non-fatal) batch failure from a :class:`FaultPlan`."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what to inject, into which replica, and when.
+
+    Parameters
+    ----------
+    kind:
+        ``crash`` | ``latency`` | ``error`` | ``corrupt``.
+    replica:
+        Pool slot sequence number to target; ``None`` targets every
+        replica (including supervisor-restarted ones).
+    after_requests:
+        Requests the replica serves before the fault arms.
+    count:
+        Times the fault fires once armed (``None`` = every request).
+    latency_ms:
+        Added latency (``latency`` kind only).
+    probability:
+        Per-request fire probability once armed (seeded; 1.0 = always).
+    """
+
+    kind: str
+    replica: int | None = None
+    after_requests: int = 0
+    count: int | None = 1
+    latency_ms: float = 0.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.after_requests < 0:
+            raise ValueError(f"after_requests must be >= 0, got {self.after_requests}")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"count must be >= 1 or None, got {self.count}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {self.probability}")
+        if self.kind == "latency" and self.latency_ms <= 0:
+            raise ValueError("latency faults need latency_ms > 0")
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "replica": self.replica,
+            "after_requests": self.after_requests,
+            "count": self.count,
+            "latency_ms": self.latency_ms,
+            "probability": self.probability,
+        }
+
+
+@dataclass
+class _SpecState:
+    """Mutable fire bookkeeping for one spec (under the plan lock)."""
+
+    spec: FaultSpec
+    fired: int = 0
+
+    def exhausted(self) -> bool:
+        return self.spec.count is not None and self.fired >= self.spec.count
+
+
+class FaultPlan:
+    """A seeded set of faults, wrappable around any ``batch_fn``.
+
+    Thread-safe: per-replica request counters and the event log live
+    under one lock; the wrapped ``batch_fn`` decides which faults fire
+    under the lock, then executes them outside it (a latency fault must
+    not stall every other replica's bookkeeping).
+    """
+
+    def __init__(self, specs: list[FaultSpec] | None = None, *, seed: int = 0):
+        self.specs = list(specs or [])
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+        self._states = [_SpecState(s) for s in self.specs]
+        self._served: dict[int, int] = {}  # replica slot -> requests seen
+        self._events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # construction from JSON (the CLI hook)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        specs = [FaultSpec(**spec) for spec in data.get("faults", [])]
+        return cls(specs, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "faults": [s.as_dict() for s in self.specs]}
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def wrap(self, batch_fn, replica: int):
+        """Wrap ``batch_fn`` for pool slot ``replica``.
+
+        The wrapper is what the replica's workers actually call; a plan
+        with no spec matching ``replica`` costs one lock round-trip per
+        batch and nothing else.
+        """
+
+        def faulted_batch_fn(payloads: list):
+            to_fire = self._arm(replica, len(payloads))
+            corrupt = False
+            for state in to_fire:
+                spec = state.spec
+                if spec.kind == "crash":
+                    raise WorkerCrash(
+                        f"injected crash on replica {replica} "
+                        f"(after {spec.after_requests} requests)"
+                    )
+                if spec.kind == "error":
+                    raise FaultInjected(
+                        f"injected error on replica {replica}"
+                    )
+                if spec.kind == "latency":
+                    time.sleep(spec.latency_ms / 1e3)
+                elif spec.kind == "corrupt":
+                    corrupt = True
+            results = batch_fn(payloads)
+            if corrupt:
+                results = [
+                    np.full_like(np.asarray(r, dtype=np.float64), np.nan)
+                    for r in results
+                ]
+            return results
+
+        return faulted_batch_fn
+
+    def _arm(self, replica: int, n_requests: int) -> list[_SpecState]:
+        """Advance counters by one batch; return the specs that fire."""
+        with self._lock:
+            seen = self._served.get(replica, 0)
+            self._served[replica] = seen + n_requests
+            fire: list[_SpecState] = []
+            for state in self._states:
+                spec = state.spec
+                if spec.replica is not None and spec.replica != replica:
+                    continue
+                if state.exhausted():
+                    continue
+                # the batch whose requests cross the threshold trips it
+                if seen + n_requests <= spec.after_requests:
+                    continue
+                if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                    continue
+                state.fired += 1
+                fire.append(state)
+                self._events.append(
+                    {
+                        "kind": spec.kind,
+                        "replica": replica,
+                        "request_index": seen,
+                        "fired": state.fired,
+                        "unix": time.time(),
+                    }
+                )
+            return fire
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def stats(self) -> dict:
+        """JSON-ready summary (for benches and ``/stats`` debugging)."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "specs": [s.as_dict() for s in self.specs],
+                "fired": {
+                    kind: sum(
+                        st.fired for st in self._states if st.spec.kind == kind
+                    )
+                    for kind in FAULT_KINDS
+                },
+                "requests_seen": dict(self._served),
+                "events": list(self._events),
+            }

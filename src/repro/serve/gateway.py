@@ -8,14 +8,18 @@ the per-request future while the pool's dynamic batchers do the work.
 API surface (all JSON):
 
 ====================================  =======================================
-``GET  /healthz``                     liveness: ``{"status": "ok"}``
+``GET  /healthz``                     liveness + per-model ready/degraded/
+                                      unhealthy (``status`` is ``"ok"`` only
+                                      while every model is fully routable)
 ``GET  /v1/models``                   model table (name, version, task, replicas)
 ``GET  /v1/models/<name>``            one model's description + live stats
 ``POST /v1/models/<name>/predict``    ``{"inputs": ...}`` -> ``{"outputs": ...}``
 ``POST /v1/models/<name>/load``       ``{"artifact": dir, "replicas": n}``
 ``POST /v1/models/<name>/swap``       zero-downtime rollout to a new artifact
+                                      (optional ``canary`` policy with
+                                      auto-rollback)
 ``POST /v1/models/<name>/unload``     drain + remove the model
-``GET  /stats``                       per-model p50/p99/req-s + cache counters
+``GET  /stats``                       per-model p50/p99/req-s + health + cache
 ====================================  =======================================
 
 Rollout safety: ``/swap`` never 404s/503s concurrent predictions. The
@@ -29,12 +33,18 @@ Error semantics — the admission-control contract:
 
 - **404** unknown model (including one being unloaded: the registry
   entry disappears before its pool drains).
-- **400** malformed JSON, missing/undecodable ``inputs``.
+- **400** malformed JSON, missing/undecodable ``inputs``, or a POST
+  without a valid ``Content-Length`` (the gateway never reads an
+  unbounded body).
+- **413** declared body larger than ``max_body_bytes``; refused before
+  a single body byte is read.
 - **429** every replica queue of the model is full. The response carries
   ``Retry-After: 1`` and in-flight requests are unaffected — the request
   is rejected *before* it touches any queue.
-- **503** the model was unloaded after this request was accepted but
-  before a worker ran it (drain-less shutdown only).
+- **503** the model exists but cannot serve right now: unloaded after
+  this request was accepted (drain-less shutdown), or every replica is
+  dead/quarantined awaiting supervisor recovery (``Retry-After: 1`` —
+  saturation is 429, a downed pool is 503).
 - **500** the model's ``batch_fn`` raised; the message is forwarded.
 
 Response cache: an optional process-wide LRU keyed by
@@ -58,11 +68,24 @@ from pathlib import Path
 import numpy as np
 
 from repro.serve.autoscale import AutoscalePolicy
-from repro.serve.registry import ModelEntry, ModelRegistry, ModelUnavailable, SwapError
+from repro.serve.faults import FaultPlan
+from repro.serve.health import HealthPolicy, pool_health
+from repro.serve.registry import (
+    CanaryPolicy,
+    ModelEntry,
+    ModelRegistry,
+    ModelUnavailable,
+    SwapError,
+)
+from repro.serve.replica import NoHealthyReplicas
 from repro.serve.server import ServerClosed, ServerOverloaded
 from repro.utils.log import get_logger
 
 logger = get_logger("gateway")
+
+#: Default request-body ceiling (bytes): fits a generous batch of image
+#: tensors as JSON while keeping one client from buffering the process out.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 class GatewayError(RuntimeError):
@@ -167,10 +190,40 @@ class _Handler(BaseHTTPRequestHandler):
             # Drain the body before any response (404 included): leaving
             # unread bytes in rfile desynchronizes HTTP/1.1 keep-alive —
             # the next request on the connection would parse them as its
-            # request line.
+            # request line. A request we refuse to read (no/bad length,
+            # oversized) closes the connection instead: its body is still
+            # sitting in the socket and would desync the next request.
             body = None
             if method == "POST":
-                length = int(self.headers.get("Content-Length") or 0)
+                declared = self.headers.get("Content-Length")
+                try:
+                    length = int(declared)
+                except (TypeError, ValueError):
+                    self.close_connection = True
+                    raise _JSONResponse(
+                        400,
+                        {"error": "POST requires a valid Content-Length header"},
+                        headers={"Connection": "close"},
+                    )
+                if length < 0:
+                    self.close_connection = True
+                    raise _JSONResponse(
+                        400,
+                        {"error": f"invalid Content-Length: {length}"},
+                        headers={"Connection": "close"},
+                    )
+                if length > gateway.max_body_bytes:
+                    self.close_connection = True
+                    raise _JSONResponse(
+                        413,
+                        {
+                            "error": (
+                                f"request body of {length} bytes exceeds the "
+                                f"{gateway.max_body_bytes}-byte limit"
+                            )
+                        },
+                        headers={"Connection": "close"},
+                    )
                 raw = self.rfile.read(length) if length else b""
             route = gateway._route(method, self.path.rstrip("/") or "/")
             if route is None:
@@ -217,6 +270,9 @@ class Gateway:
         LRU response-cache capacity; 0 disables caching.
     predict_timeout_s:
         Upper bound one HTTP request waits on its inference future.
+    max_body_bytes:
+        Request-body ceiling; a POST declaring more gets a 413 without
+        the gateway reading (or buffering) a single body byte.
     """
 
     def __init__(
@@ -227,10 +283,14 @@ class Gateway:
         port: int = 0,
         cache_entries: int = 0,
         predict_timeout_s: float = 60.0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ):
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
         self.registry = registry if registry is not None else ModelRegistry()
         self.cache = ResponseCache(cache_entries) if cache_entries else None
         self.predict_timeout_s = predict_timeout_s
+        self.max_body_bytes = max_body_bytes
         self._host = host
         self._requested_port = port
         self._httpd: _GatewayHTTPServer | None = None
@@ -310,7 +370,29 @@ class Gateway:
     # endpoints (each terminates by raising _JSONResponse)
     # ------------------------------------------------------------------
     def _get_healthz(self, body=None):
-        raise _JSONResponse(200, {"status": "ok", "models": len(self.registry)})
+        """Liveness plus per-model readiness.
+
+        ``status`` stays ``"ok"`` while every model is fully routable
+        (the pre-PR-6 contract); any degraded/unhealthy pool turns it
+        ``"degraded"`` — the HTTP code stays 200 (the *gateway* is
+        alive; a load balancer reads the body for model readiness).
+        """
+        model_health = {}
+        status = "ok"
+        for entry in self.registry.models():
+            pool, _ = entry.snapshot()
+            info = pool_health(pool, entry.supervisor)
+            model_health[entry.name] = info
+            if info["state"] != "ready":
+                status = "degraded"
+        raise _JSONResponse(
+            200,
+            {
+                "status": status,
+                "models": len(self.registry),
+                "model_health": model_health,
+            },
+        )
 
     def _get_models(self, body=None):
         raise _JSONResponse(
@@ -345,16 +427,22 @@ class Gateway:
         except (ValueError, TypeError) as exc:
             raise _JSONResponse(400, {"error": f"cannot decode inputs: {exc}"})
 
-        # Route against an atomic (pool, version) snapshot. A hot swap
-        # can retire the snapshotted pool between snapshot() and
-        # submit(); that ServerClosed is NOT a 404 — the name is still
-        # serving, just on a new pool — so re-snapshot and retry (cache
-        # key included: it is pinned to the version that will actually
-        # serve). Only a name truly gone from the registry 404s.
+        # Route against an atomic (pool, version) pair from entry.route()
+        # (canary-aware: during a canary window a deterministic slice of
+        # these calls gets the canary pool). A hot swap can retire the
+        # routed pool between route() and submit(); that ServerClosed is
+        # NOT a 404 — the name is still serving, just on a new pool — so
+        # re-route and retry (cache key included: it is pinned to the
+        # version that will actually serve). NoHealthyReplicas re-routes
+        # too — a dead canary arm must not fail a request the stable
+        # pool can serve — and only turns into a 503 (with Retry-After:
+        # supervisor recovery is in flight) when every attempt landed on
+        # a downed pool. Only a name truly gone from the registry 404s.
         key = None
+        unavailable = None
         for _ in range(4):  # a retry per racing swap; >1 mid-request is absurd
             entry = self._entry_or_404(name)
-            pool, version = entry.snapshot()
+            pool, version = entry.route()
             if self.cache is not None:
                 key = ResponseCache.key(entry, payload, version=version)
                 cached = self.cache.get(key)
@@ -369,15 +457,29 @@ class Gateway:
                     {"error": f"model {name!r} overloaded: {exc}"},
                     headers={"Retry-After": "1"},
                 )
+            except NoHealthyReplicas as exc:
+                unavailable = exc
+                continue
             except ServerClosed:
                 continue
         else:
+            if unavailable is not None:
+                raise _JSONResponse(
+                    503,
+                    {"error": f"model {name!r} has no healthy replicas: {unavailable}"},
+                    headers={"Retry-After": "1"},
+                )
             raise _JSONResponse(404, {"error": f"model {name!r} was unloaded"})
         try:
             result = handle.wait(self.predict_timeout_s)
-        except ServerClosed:
+        except ServerClosed as exc:
+            # A retired pool or a replica crash resolved the in-flight
+            # request; either way the model is still registered and a
+            # retry lands on a live replica (or a restarted one).
             raise _JSONResponse(
-                503, {"error": f"model {name!r} unloaded before the request ran"}
+                503,
+                {"error": f"model {name!r} dropped the request: {exc}"},
+                headers={"Retry-After": "1"},
             )
         except TimeoutError:
             raise _JSONResponse(
@@ -414,6 +516,17 @@ class Gateway:
                 autoscale = AutoscalePolicy(**autoscale)
             except (TypeError, ValueError) as exc:
                 raise _JSONResponse(400, {"error": f"bad autoscale policy: {exc}"})
+        health = body.get("health")
+        if health is not None:
+            if not isinstance(health, dict):
+                raise _JSONResponse(
+                    400, {"error": 'health must be a policy object, e.g. '
+                                   '{"interval_s": 0.05, "max_restarts": 5}'}
+                )
+            try:
+                health = HealthPolicy(**health)
+            except (TypeError, ValueError) as exc:
+                raise _JSONResponse(400, {"error": f"bad health policy: {exc}"})
         try:
             entry = self.registry.load_artifact(
                 name,
@@ -422,6 +535,7 @@ class Gateway:
                 replicas=int(body.get("replicas", 1)),
                 routing=body.get("routing", "least_loaded"),
                 autoscale=autoscale,
+                health=health,
                 max_batch_size=int(body.get("max_batch_size", 8)),
                 max_wait_ms=float(body.get("max_wait_ms", 2.0)),
                 max_queue=int(body.get("max_queue", 64)),
@@ -435,19 +549,47 @@ class Gateway:
     def _post_swap(self, name: str, body):
         """Zero-downtime rollout: flip ``name`` to a new artifact.
 
-        Failure semantics mirror the registry contract: any 4xx here
-        means the old version never stopped serving.
+        An optional ``canary`` policy object stages the flip behind a
+        live-traffic comparison window; a failing canary answers 200
+        with ``outcome="rolled_back"`` (the rollout *worked* — it
+        correctly refused a bad version). ``fault_plan`` poisons the new
+        pool with a seeded fault plan — the chaos-test hook. Failure
+        semantics mirror the registry contract: any 4xx here means the
+        old version never stopped serving.
         """
         if not isinstance(body, dict) or "artifact" not in body:
             raise _JSONResponse(400, {"error": 'swap body must be {"artifact": dir, ...}'})
         from repro.deploy import ArtifactError
 
+        canary = body.get("canary")
+        if canary is not None:
+            if not isinstance(canary, dict):
+                raise _JSONResponse(
+                    400, {"error": 'canary must be a policy object, e.g. '
+                                   '{"fraction": 0.25, "min_requests": 16}'}
+                )
+            try:
+                canary = CanaryPolicy(**canary)
+            except (TypeError, ValueError) as exc:
+                raise _JSONResponse(400, {"error": f"bad canary policy: {exc}"})
+        fault_plan = body.get("fault_plan")
+        if fault_plan is not None:
+            if not isinstance(fault_plan, dict):
+                raise _JSONResponse(
+                    400, {"error": 'fault_plan must be {"seed": n, "faults": [...]}'}
+                )
+            try:
+                fault_plan = FaultPlan.from_dict(fault_plan)
+            except (TypeError, ValueError) as exc:
+                raise _JSONResponse(400, {"error": f"bad fault plan: {exc}"})
         try:
             report = self.registry.swap(
                 name,
                 body["artifact"],
                 version=body.get("version"),
                 precision=body.get("precision", "float32"),
+                canary=canary,
+                fault_plan=fault_plan,
             )
         except ModelUnavailable as exc:
             raise _JSONResponse(404, {"error": str(exc)})
@@ -481,6 +623,7 @@ def _stats_dict(entry: ModelEntry) -> dict:
         "completed": s.completed,
         "errors": s.errors,
         "rejected": s.rejected,
+        "crashes": s.crashes,
         "requests_per_s": s.requests_per_s,
         "latency_ms_p50": s.latency_ms_p50,
         "latency_ms_p99": s.latency_ms_p99,
@@ -488,9 +631,12 @@ def _stats_dict(entry: ModelEntry) -> dict:
         "queue_depth": s.queue_depth,
         "in_flight": s.in_flight,
         "swaps": list(entry.history),
+        "health": pool_health(pool, entry.supervisor),
     }
     if entry.autoscaler is not None:
         payload["autoscaler"] = entry.autoscaler.stats()
+    if entry.supervisor is not None:
+        payload["supervisor"] = entry.supervisor.stats()
     return payload
 
 
@@ -503,22 +649,27 @@ def serve_gateway(
     port: int = 0,
     cache_entries: int = 0,
     autoscale: AutoscalePolicy | dict | None = None,
+    health: HealthPolicy | dict | None = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     **server_kwargs,
 ) -> Gateway:
     """One call from artifact directories to a started gateway.
 
     ``models`` maps serving names to artifact directories; every model
-    gets ``replicas`` replicas (and, if ``autoscale`` is given, its own
-    queue-depth autoscaler under that policy). Returns the started
-    :class:`Gateway` (stop it with ``.stop()`` or use as a context
-    manager).
+    gets ``replicas`` replicas (and, if ``autoscale`` / ``health`` is
+    given, its own queue-depth autoscaler / replica supervisor under
+    that policy). Returns the started :class:`Gateway` (stop it with
+    ``.stop()`` or use as a context manager).
     """
-    gateway = Gateway(port=port, host=host, cache_entries=cache_entries)
+    gateway = Gateway(
+        port=port, host=host, cache_entries=cache_entries,
+        max_body_bytes=max_body_bytes,
+    )
     try:
         for name, path in models.items():
             gateway.registry.load_artifact(
                 name, path, replicas=replicas, routing=routing,
-                autoscale=autoscale, **server_kwargs
+                autoscale=autoscale, health=health, **server_kwargs
             )
     except Exception:
         gateway.registry.stop_all()

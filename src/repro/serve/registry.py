@@ -28,6 +28,16 @@ Lifecycle contract:
   at no point does the name disappear from the table, so rollout traffic
   never sees a 404/503. Any failure before the flip (corrupt artifact,
   probe error) leaves the old version serving untouched.
+- ``swap(name, path, canary=CanaryPolicy(...))`` adds a canary stage
+  before the flip: a deterministic slice of live traffic runs on the new
+  pool, its error rate / latency / output drift are compared against the
+  stable pool over a bounded window, and a failing canary auto-rolls
+  back (report ``outcome="rolled_back"``) without the old version ever
+  having stopped serving.
+
+Entries may also carry a :class:`~repro.serve.health.Supervisor`
+(``health=HealthPolicy(...)``) that probes replicas and restarts
+crashed/wedged ones — see ``repro.serve.health``.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ from typing import Callable
 import numpy as np
 
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
+from repro.serve.health import HealthPolicy, Supervisor, pool_health
 from repro.serve.replica import ReplicaPool
 from repro.serve.runners import model_batch_fn, synthetic_payloads
 from repro.serve.server import ServeStats
@@ -75,6 +86,78 @@ def _decode_qa(inputs) -> tuple:
 PAYLOAD_CODECS: dict[str, Callable] = {"image": _decode_image, "qa": _decode_qa}
 
 
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """Knobs for a canary rollout (``swap(..., canary=...)``).
+
+    A canary swap routes roughly ``fraction`` of the model's live
+    traffic to the new pool (deterministically: every
+    ``round(1/fraction)``-th routed request, so retries after a canary
+    hiccup land on the stable version) until ``min_requests`` canary
+    requests resolved or ``window_s`` elapsed, then judges:
+
+    - canary error rate more than ``max_error_rate`` above the stable
+      pool's error rate over the same window -> rollback;
+    - canary p50 latency more than ``max_latency_ratio`` times the
+      stable pool's -> rollback;
+    - ``drift_probes`` seeded synthetic inputs run through both pools:
+      any non-finite canary output -> rollback; if ``max_drift`` is set,
+      an argmax-flip fraction above it -> rollback. ``None`` disables
+      the argmax comparison (distinct quantization configs legitimately
+      flip borderline argmaxes; non-finite outputs are never legitimate).
+
+    Rollback retires the canary pool after draining it — accepted canary
+    requests still resolve — and leaves the old version's pool untouched
+    (bitwise-identical outputs before and after, the golden-pin
+    guarantee).
+    """
+
+    fraction: float = 0.25
+    min_requests: int = 16
+    window_s: float = 30.0
+    interval_s: float = 0.02
+    max_error_rate: float = 0.02
+    max_latency_ratio: float = 4.0
+    drift_probes: int = 4
+    max_drift: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if self.min_requests < 1:
+            raise ValueError(f"min_requests must be >= 1, got {self.min_requests}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+        if self.max_error_rate < 0:
+            raise ValueError(f"max_error_rate must be >= 0, got {self.max_error_rate}")
+        if self.max_latency_ratio <= 0:
+            raise ValueError(
+                f"max_latency_ratio must be > 0, got {self.max_latency_ratio}"
+            )
+        if self.drift_probes < 0:
+            raise ValueError(f"drift_probes must be >= 0, got {self.drift_probes}")
+        if self.max_drift is not None and not 0.0 <= self.max_drift <= 1.0:
+            raise ValueError(f"max_drift must be in [0, 1] or None, got {self.max_drift}")
+
+    @property
+    def cycle(self) -> int:
+        """Send every ``cycle``-th routed request to the canary pool."""
+        return max(int(round(1.0 / self.fraction)), 1)
+
+
+@dataclass
+class _CanaryState:
+    """Live canary routing state, installed on the entry under its lock."""
+
+    pool: ReplicaPool
+    version: str
+    policy: CanaryPolicy
+    counter: int = 0
+
+
 @dataclass
 class SwapReport:
     """What a completed hot swap did, for callers/logs/HTTP responses."""
@@ -85,6 +168,8 @@ class SwapReport:
     replicas: int
     duration_s: float
     probe_checked: bool
+    outcome: str = "promoted"  # "promoted" | "rolled_back"
+    canary: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -94,6 +179,8 @@ class SwapReport:
             "replicas": self.replicas,
             "duration_s": self.duration_s,
             "probe_checked": self.probe_checked,
+            "outcome": self.outcome,
+            "canary": self.canary,
         }
 
 
@@ -116,6 +203,9 @@ class ModelEntry:
     arch: dict = field(default_factory=dict)
     loaded_unix: float = field(default_factory=time.time)
     autoscaler: Autoscaler | None = None
+    supervisor: Supervisor | None = None
+    #: live canary split (set by ``swap(..., canary=...)`` for its window)
+    canary: _CanaryState | None = None
     #: guards the routing fields; held only for field reads/writes, never
     #: across pool operations (the flip is a pointer swap, not a drain).
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -125,8 +215,30 @@ class ModelEntry:
     history: list = field(default_factory=list)
 
     def snapshot(self) -> tuple[ReplicaPool, str]:
-        """The current (pool, version) routing pair, read atomically."""
+        """The current *stable* (pool, version) pair, read atomically.
+
+        Canary-oblivious on purpose: the autoscaler, the supervisor, and
+        ``/stats`` act on the stable pool; only request routing
+        (:meth:`route`) participates in a canary split.
+        """
         with self.lock:
+            return self.pool, self.version
+
+    def route(self) -> tuple[ReplicaPool, str]:
+        """The (pool, version) this request should run on.
+
+        Identical to :meth:`snapshot` except during a canary window,
+        when every ``policy.cycle``-th call gets the canary pool. The
+        deterministic counter (rather than a coin flip) means a request
+        retried after a canary-side failure re-routes to the stable
+        pool with certainty, not probability.
+        """
+        with self.lock:
+            canary = self.canary
+            if canary is not None and canary.pool.running:
+                canary.counter += 1
+                if canary.counter % canary.policy.cycle == 0:
+                    return canary.pool, canary.version
             return self.pool, self.version
 
     def describe(self) -> dict:
@@ -134,6 +246,7 @@ class ModelEntry:
         with self.lock:
             pool, version, task = self.pool, self.version, self.task
             input_shape, loaded_unix = self.input_shape, self.loaded_unix
+            canary = self.canary
         return {
             "name": self.name,
             "version": version,
@@ -143,6 +256,13 @@ class ModelEntry:
             "input_shape": list(input_shape) if input_shape else None,
             "loaded_unix": loaded_unix,
             "swaps": len(self.history),
+            "health": pool.health_state(),
+            "supervised": self.supervisor is not None and self.supervisor.running,
+            "canary": (
+                {"version": canary.version, "fraction": canary.policy.fraction}
+                if canary is not None
+                else None
+            ),
             "autoscale": (
                 self.autoscaler.stats(tail=0)["policy"] if self.autoscaler else None
             ),
@@ -150,6 +270,19 @@ class ModelEntry:
 
     def stats(self) -> ServeStats:
         return self.pool.stats()
+
+
+def _make_probe_fn(task: str | None, arch: dict, input_shape) -> Callable | None:
+    """A supervisor probe-payload factory, or ``None`` when the model's
+    metadata cannot synthesize one (liveness-only supervision then)."""
+    if (task or "image") != "qa" and not input_shape:
+        return None
+    try:
+        payload = synthetic_payloads(task, arch, input_shape, 1)[0]
+    except (KeyError, TypeError, ValueError) as exc:
+        logger.warning("health probes disabled (cannot synthesize payload: %s)", exc)
+        return None
+    return lambda: payload
 
 
 class ModelRegistry:
@@ -176,6 +309,8 @@ class ModelRegistry:
         routing: str = "least_loaded",
         start: bool = True,
         autoscale: AutoscalePolicy | dict | None = None,
+        health: HealthPolicy | dict | None = None,
+        fault_plan=None,
         **server_kwargs,
     ) -> ModelEntry:
         """Serve an arbitrary ``batch_fn`` under ``name``.
@@ -184,12 +319,24 @@ class ModelRegistry:
         deployments register any callable obeying the server's
         ``batch_fn(payloads) -> results`` contract. ``autoscale`` (an
         :class:`~repro.serve.autoscale.AutoscalePolicy` or its kwargs as
-        a dict) attaches a queue-depth autoscaler to the entry; the
-        policy follows the entry across hot swaps.
+        a dict) attaches a queue-depth autoscaler to the entry;
+        ``health`` (a :class:`~repro.serve.health.HealthPolicy` or its
+        kwargs) attaches a replica supervisor. Both follow the entry
+        across hot swaps. ``fault_plan`` wraps every replica's
+        ``batch_fn`` with a :class:`~repro.serve.faults.FaultPlan` — the
+        chaos-testing hook.
         """
-        pool = ReplicaPool(batch_fn, replicas=replicas, routing=routing, **server_kwargs)
+        pool = ReplicaPool(
+            batch_fn,
+            replicas=replicas,
+            routing=routing,
+            fault_plan=fault_plan,
+            **server_kwargs,
+        )
         if isinstance(autoscale, dict):
             autoscale = AutoscalePolicy(**autoscale)
+        if isinstance(health, dict):
+            health = HealthPolicy(**health)
         entry = ModelEntry(
             name=name,
             version=version,
@@ -205,6 +352,13 @@ class ModelRegistry:
             entry.autoscaler = Autoscaler(
                 lambda: entry.snapshot()[0], autoscale, name=name
             )
+        if health is not None:
+            entry.supervisor = Supervisor(
+                lambda: entry.snapshot()[0],
+                health,
+                probe_fn=_make_probe_fn(task, dict(arch or {}), entry.input_shape),
+                name=name,
+            )
         with self._lock:
             if name in self._entries:
                 raise ValueError(
@@ -216,6 +370,8 @@ class ModelRegistry:
             pool.start()
             if entry.autoscaler is not None:
                 entry.autoscaler.start()
+            if entry.supervisor is not None:
+                entry.supervisor.start()
         return entry
 
     def load_artifact(
@@ -230,6 +386,8 @@ class ModelRegistry:
         precision: str = "float32",
         start: bool = True,
         autoscale: AutoscalePolicy | dict | None = None,
+        health: HealthPolicy | dict | None = None,
+        fault_plan=None,
         **server_kwargs,
     ) -> ModelEntry:
         """Hot-load a deployment artifact and serve it under ``name``.
@@ -265,6 +423,8 @@ class ModelRegistry:
             routing=routing,
             start=start,
             autoscale=autoscale,
+            health=health,
+            fault_plan=fault_plan,
             **server_kwargs,
         )
 
@@ -281,6 +441,8 @@ class ModelRegistry:
         precision: str = "float32",
         probe: object | None = None,
         probe_timeout_s: float = 60.0,
+        canary: CanaryPolicy | dict | None = None,
+        fault_plan=None,
     ) -> SwapReport:
         """Replace ``name``'s serving version with the artifact at ``path``.
 
@@ -306,11 +468,29 @@ class ModelRegistry:
            exit. The name never leaves the table, so no request sees a
            404/503 because of a rollout.
 
+        With ``canary`` (a :class:`CanaryPolicy` or its kwargs as a
+        dict), a **canary** stage runs between warm and flip: the new
+        pool takes ``fraction`` of live traffic until the policy's
+        window closes, then the registry compares error rate, latency,
+        and output drift against the stable pool. A failing canary
+        **auto-rolls-back** — the new pool drains and retires, the old
+        version never stopped serving, and the returned report says
+        ``outcome="rolled_back"`` instead of raising. The canary stays
+        inside the swap lock, so swaps remain serialized while predicts
+        flow freely through :meth:`ModelEntry.route`.
+
+        ``fault_plan`` wraps the *new* pool's replicas with a
+        :class:`~repro.serve.faults.FaultPlan` — the hook chaos tests
+        use to ship a deliberately bad canary (arm faults with
+        ``after_requests >= 1`` so the warm probe still passes).
+
         Swaps on one entry are serialized by the entry's swap lock;
         predicts are never blocked by it.
         """
         from repro.deploy import IntegerEngine
 
+        if isinstance(canary, dict):
+            canary = CanaryPolicy(**canary)
         entry = self.get(name)
         with entry.swap_lock:
             if name not in self:  # unloaded while waiting on the lock
@@ -328,6 +508,7 @@ class ModelRegistry:
                 batch_fn,
                 replicas=old_pool.num_replicas,
                 routing=old_pool.routing,
+                fault_plan=fault_plan,
                 **old_pool.server_kwargs,
             )
             new_pool.start()
@@ -343,9 +524,57 @@ class ModelRegistry:
                     probe=probe,
                     timeout_s=probe_timeout_s,
                 )
+                if canary is not None and task != entry.task:
+                    raise SwapError(
+                        f"canary rollout requires the new artifact to serve the "
+                        f"same task (old {entry.task!r}, new {task!r}) — the "
+                        "canary split decodes requests with one codec"
+                    )
             except BaseException:
                 new_pool.stop(drain=False)  # nothing real was routed here
                 raise
+            canary_metrics = None
+            if canary is not None:
+                canary_metrics = self._run_canary(
+                    entry,
+                    old_pool,
+                    new_pool,
+                    canary,
+                    new_version=new_version,
+                    task=task,
+                    arch=arch,
+                    input_shape=tuple(input_shape) if input_shape else None,
+                )
+                if canary_metrics["reasons"]:
+                    replicas_n = new_pool.num_replicas
+                    # accepted canary requests resolve before teardown
+                    new_pool.stop(drain=True)
+                    report = SwapReport(
+                        name=name,
+                        old_version=old_version,
+                        new_version=new_version,
+                        replicas=replicas_n,
+                        duration_s=time.perf_counter() - t0,
+                        probe_checked=probe_checked,
+                        outcome="rolled_back",
+                        canary=canary_metrics,
+                    )
+                    with entry.lock:
+                        entry.history.append(
+                            {
+                                "event": "canary_rollback",
+                                "from": old_version,
+                                "to": new_version,
+                                "unix": time.time(),
+                                "reasons": list(canary_metrics["reasons"]),
+                            }
+                        )
+                    logger.warning(
+                        "canary rollback on %s: %s keeps serving, %s rejected (%s)",
+                        name, old_version, new_version,
+                        "; ".join(canary_metrics["reasons"]),
+                    )
+                    return report
             with entry.lock:
                 entry.pool = new_pool
                 entry.version = new_version
@@ -354,6 +583,10 @@ class ModelRegistry:
                 entry.input_shape = tuple(input_shape) if input_shape else None
                 entry.arch = arch
                 entry.loaded_unix = time.time()
+            # The supervisor follows the new pool via pool_fn; its probe
+            # payload must follow the new artifact's input metadata too.
+            if entry.supervisor is not None and entry.supervisor.policy.probe:
+                entry.supervisor.probe_fn = _make_probe_fn(task, arch, input_shape)
             # In-flight and queued requests complete on the old version;
             # handlers that raced the flip and hit the retired pool see
             # ServerClosed and re-route via a fresh entry snapshot.
@@ -365,6 +598,7 @@ class ModelRegistry:
                 replicas=new_pool.num_replicas,
                 duration_s=time.perf_counter() - t0,
                 probe_checked=probe_checked,
+                canary=canary_metrics,
             )
             with entry.lock:
                 entry.history.append(
@@ -374,6 +608,7 @@ class ModelRegistry:
                         "to": new_version,
                         "unix": time.time(),
                         "duration_s": report.duration_s,
+                        "canary": canary_metrics is not None,
                     }
                 )
             logger.info(
@@ -427,6 +662,148 @@ class ModelRegistry:
             raise SwapError("warm-up probe produced non-finite outputs")
         return True
 
+    def _run_canary(
+        self,
+        entry: ModelEntry,
+        old_pool: ReplicaPool,
+        new_pool: ReplicaPool,
+        policy: CanaryPolicy,
+        *,
+        new_version: str,
+        task: str | None,
+        arch: dict,
+        input_shape,
+    ) -> dict:
+        """Route a traffic slice to ``new_pool``, watch it, and judge it.
+
+        Returns the canary metrics dict; a non-empty ``reasons`` list is
+        the rollback verdict. Routing is withdrawn (``entry.canary``
+        cleared) *before* judging, so no new traffic lands on a pool
+        about to be condemned.
+        """
+        base = old_pool.stats()
+        with entry.lock:
+            entry.canary = _CanaryState(
+                pool=new_pool, version=new_version, policy=policy
+            )
+        reasons: list[str] = []
+        t0 = time.monotonic()
+        try:
+            while True:
+                time.sleep(policy.interval_s)
+                cstats = new_pool.stats()
+                if new_pool.healthy_replicas == 0:
+                    reasons.append("canary pool lost all replicas")
+                    break
+                if cstats.completed + cstats.errors >= policy.min_requests:
+                    break
+                if time.monotonic() - t0 >= policy.window_s:
+                    break
+        finally:
+            with entry.lock:
+                entry.canary = None
+        cstats = new_pool.stats()
+        ostats = old_pool.stats()
+        served = cstats.completed + cstats.errors
+        canary_err = cstats.errors / max(served, 1)
+        base_total = (ostats.completed + ostats.errors) - (base.completed + base.errors)
+        base_err = max(ostats.errors - base.errors, 0) / max(base_total, 1)
+        if canary_err > base_err + policy.max_error_rate:
+            reasons.append(
+                f"canary error rate {canary_err:.3f} exceeds stable "
+                f"{base_err:.3f} + {policy.max_error_rate}"
+            )
+        if (
+            cstats.latency_ms_p50 > 0
+            and ostats.latency_ms_p50 > 0
+            and cstats.latency_ms_p50 > policy.max_latency_ratio * ostats.latency_ms_p50
+        ):
+            reasons.append(
+                f"canary p50 latency {cstats.latency_ms_p50:.2f}ms is more than "
+                f"{policy.max_latency_ratio}x stable ({ostats.latency_ms_p50:.2f}ms)"
+            )
+        drift = self._canary_drift(
+            old_pool, new_pool, policy,
+            task=task, arch=arch, input_shape=input_shape, reasons=reasons,
+        )
+        return {
+            "requests": served,
+            "errors": cstats.errors,
+            "error_rate": canary_err,
+            "stable_error_rate": base_err,
+            "latency_ms_p50": cstats.latency_ms_p50,
+            "stable_latency_ms_p50": ostats.latency_ms_p50,
+            "window_s": round(time.monotonic() - t0, 3),
+            "fraction": policy.fraction,
+            "drift": drift,
+            "reasons": reasons,
+        }
+
+    @staticmethod
+    def _canary_drift(
+        old_pool: ReplicaPool,
+        new_pool: ReplicaPool,
+        policy: CanaryPolicy,
+        *,
+        task: str | None,
+        arch: dict,
+        input_shape,
+        reasons: list[str],
+    ) -> dict:
+        """Seeded synthetic inputs through both pools: non-finite canary
+        outputs always condemn; argmax flips condemn past ``max_drift``.
+
+        Old-pool hiccups (or un-synthesizable payloads) skip the
+        comparison instead of condemning the canary — the stable
+        version's problems are not the canary's fault.
+        """
+        if policy.drift_probes <= 0:
+            return {"checked": False}
+        if (task or "image") != "qa" and not input_shape:
+            return {"checked": False}
+        try:
+            probes = synthetic_payloads(
+                task, arch, input_shape, policy.drift_probes, seed=policy.seed
+            )
+        except (KeyError, TypeError, ValueError):
+            return {"checked": False}
+        flips = nonfinite = compared = 0
+        for payload in probes:
+            try:
+                new_out = np.asarray(new_pool.infer(payload, timeout=30.0))
+            except BaseException as exc:  # noqa: BLE001 - verdict, not crash
+                reasons.append(
+                    f"canary failed a drift probe: {type(exc).__name__}: {exc}"
+                )
+                return {"checked": True, "probes": len(probes), "probe_error": str(exc)}
+            if new_out.dtype.kind == "f" and not np.all(np.isfinite(new_out)):
+                nonfinite += 1
+                continue
+            try:
+                old_out = np.asarray(old_pool.infer(payload, timeout=30.0))
+            except BaseException:  # noqa: BLE001 - see docstring
+                continue
+            compared += 1
+            if new_out.ravel().argmax() != old_out.ravel().argmax():
+                flips += 1
+        if nonfinite:
+            reasons.append(
+                f"{nonfinite}/{len(probes)} drift probes returned non-finite outputs"
+            )
+        drift_fraction = flips / compared if compared else 0.0
+        if policy.max_drift is not None and compared and drift_fraction > policy.max_drift:
+            reasons.append(
+                f"output drift {drift_fraction:.2f} exceeds max_drift {policy.max_drift}"
+            )
+        return {
+            "checked": True,
+            "probes": len(probes),
+            "compared": compared,
+            "argmax_flips": flips,
+            "nonfinite": nonfinite,
+            "drift_fraction": drift_fraction,
+        }
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -464,10 +841,13 @@ class ModelRegistry:
             entry = self._entries.pop(name, None)
         if entry is None:
             raise ModelUnavailable(f"no model {name!r} to unload")
-        # The autoscaler stops before the pool drains: a live loop could
-        # otherwise fight the drain (growing a pool that is going away).
+        # The autoscaler and supervisor stop before the pool drains: a
+        # live loop could otherwise fight the drain (growing a pool that
+        # is going away, or "restarting" replicas mid-teardown).
         if entry.autoscaler is not None:
             entry.autoscaler.stop()
+        if entry.supervisor is not None:
+            entry.supervisor.stop()
         # Serialize with swaps: a swap that already passed its liveness
         # check must finish its flip before we stop the (final) pool.
         with entry.swap_lock:
@@ -482,6 +862,8 @@ class ModelRegistry:
         for entry in entries:
             if entry.autoscaler is not None:
                 entry.autoscaler.stop()
+            if entry.supervisor is not None:
+                entry.supervisor.stop()
             with entry.swap_lock:
                 pool, _ = entry.snapshot()
                 pool.stop(drain=drain)

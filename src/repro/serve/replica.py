@@ -42,6 +42,15 @@ from repro.serve.server import (
 ROUTING_POLICIES = ("round_robin", "least_loaded")
 
 
+class NoHealthyReplicas(RuntimeError):
+    """Every replica is dead or quarantined — distinct from overload.
+
+    Overload (:class:`ServerOverloaded`) means the pool is serving but
+    saturated (HTTP 429: back off and retry); this means the pool is
+    *down* until the supervisor heals it (HTTP 503 with a Retry-After).
+    """
+
+
 class ReplicaPool:
     """N dynamic-batching servers over one shared ``batch_fn``.
 
@@ -52,6 +61,11 @@ class ReplicaPool:
         Number of servers in the pool.
     routing:
         ``"round_robin"`` or ``"least_loaded"``.
+    fault_plan:
+        Optional :class:`~repro.serve.faults.FaultPlan`; each replica's
+        ``batch_fn`` is wrapped with its pool *slot sequence number*
+        (monotonic — a restarted replica gets a fresh one), so faults
+        can target individual replicas deterministically.
     """
 
     def __init__(
@@ -64,6 +78,7 @@ class ReplicaPool:
         max_wait_ms: float = 2.0,
         num_workers: int = 1,
         max_queue: int = 64,
+        fault_plan=None,
     ):
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -71,6 +86,7 @@ class ReplicaPool:
             raise ValueError(f"routing must be one of {ROUTING_POLICIES}, got {routing!r}")
         self.batch_fn = batch_fn
         self.routing = routing
+        self.fault_plan = fault_plan
         self._server_kwargs = dict(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
@@ -78,13 +94,23 @@ class ReplicaPool:
             max_queue=max_queue,
         )
         self._lock = threading.Lock()  # guards replica list + rr counter
+        self._replica_seq = 0
         self._replicas = [self._new_server() for _ in range(replicas)]
         self._rr = 0
         self._running = False
         self._closed = False
+        self.replacements = 0  # replicas swapped out by replace_replica
 
     def _new_server(self) -> InferenceServer:
-        return InferenceServer(self.batch_fn, **self._server_kwargs)
+        with self._lock:
+            slot = self._replica_seq
+            self._replica_seq += 1
+        batch_fn = self.batch_fn
+        if self.fault_plan is not None:
+            batch_fn = self.fault_plan.wrap(batch_fn, slot)
+        server = InferenceServer(batch_fn, **self._server_kwargs)
+        server.slot = slot
+        return server
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -156,6 +182,39 @@ class ReplicaPool:
             server = self._replicas.pop()
         server.stop(drain=drain)
 
+    def replace_replica(self, old: InferenceServer) -> InferenceServer | None:
+        """Swap ``old`` for a fresh replica in the same pool position.
+
+        The restart primitive the supervisor uses on crashed/wedged
+        replicas. The replacement starts serving (and re-enters routing)
+        *before* the old replica is torn down, so pool capacity never
+        dips; the old one is stopped without drain on a background
+        thread — joining a wedged worker could block the supervisor loop
+        indefinitely, and a *dead* worker cannot drain its backlog
+        anyway (those requests fail with ``ServerClosed``, the client's
+        cue to retry). Returns ``None`` (a no-op) when ``old`` already
+        left the pool — a concurrent scale-down or a second supervisor
+        tick racing this one.
+        """
+        new = self._new_server()
+        with self._lock:
+            if self._closed or old not in self._replicas:
+                return None
+            if self._running:
+                new.start()
+            self._replicas[self._replicas.index(old)] = new
+            self.replacements += 1
+        threading.Thread(
+            target=old.stop, kwargs={"drain": False},
+            name="replica-teardown", daemon=True,
+        ).start()
+        return new
+
+    @property
+    def healthy_replicas(self) -> int:
+        """Replicas currently routable (alive and not quarantined)."""
+        return sum(1 for s in self._snapshot() if s.healthy and s.alive)
+
     def _snapshot(self) -> list[InferenceServer]:
         with self._lock:
             return list(self._replicas)
@@ -164,14 +223,23 @@ class ReplicaPool:
     # routing + client API
     # ------------------------------------------------------------------
     def _route(self, replicas: list[InferenceServer]) -> list[InferenceServer]:
-        """Replicas in preference order under the configured policy."""
-        n = len(replicas)
+        """Routable replicas in preference order under the policy.
+
+        Dead replicas (worker thread gone — a crash the supervisor has
+        not yet healed) and quarantined ones (``healthy=False``, set by
+        the supervisor) are excluded *here*, at submit time, so a crash
+        between probe ticks never burns a request. Empty result means
+        the pool is down (:class:`NoHealthyReplicas` from ``submit``).
+        """
+        live = [s for s in replicas if s.healthy and s.alive]
+        if not live:
+            return []
         if self.routing == "least_loaded":
-            return sorted(replicas, key=lambda s: s.load)
+            return sorted(live, key=lambda s: s.load)
         with self._lock:
-            first = self._rr % n
+            first = self._rr % len(live)
             self._rr += 1
-        return replicas[first:] + replicas[:first]
+        return live[first:] + live[:first]
 
     def submit(
         self, payload, *, block: bool = False, timeout: float | None = None
@@ -181,12 +249,20 @@ class ReplicaPool:
         Tries the routed replica without blocking, then fails over to the
         rest; :class:`ServerOverloaded` means every replica's queue was
         full (with ``block=True`` the preferred replica is then waited on
-        for up to ``timeout``). Unlike ``InferenceServer.submit`` the
-        default is non-blocking — pools exist to shed load explicitly.
+        for up to ``timeout``); :class:`NoHealthyReplicas` means no
+        replica was routable at all. Unlike ``InferenceServer.submit``
+        the default is non-blocking — pools exist to shed load
+        explicitly.
         """
         if not self._running:
             raise ServerClosed("replica pool is not running (call start())")
-        ordered = self._route(self._snapshot())
+        replicas = self._snapshot()
+        ordered = self._route(replicas)
+        if not ordered:
+            raise NoHealthyReplicas(
+                f"all {len(replicas)} replicas are dead or quarantined; "
+                "awaiting supervisor recovery"
+            )
         for server in ordered:
             try:
                 return server.submit(payload, block=False)
@@ -244,4 +320,17 @@ class ReplicaPool:
             max_batch_size_seen=max((s.max_batch_size_seen for s in per), default=0),
             queue_depth=sum(s.queue_depth for s in per),
             in_flight=sum(s.in_flight for s in per),
+            crashes=sum(s.crashes for s in per),
         )
+
+    def health_state(self) -> str:
+        """``ready`` (all routable) / ``degraded`` (some) / ``unhealthy``.
+
+        Derived purely from per-replica liveness + quarantine flags, so
+        ``/healthz`` can report it even when no supervisor is attached.
+        """
+        replicas = self._snapshot()
+        routable = sum(1 for s in replicas if s.healthy and s.alive)
+        if routable == len(replicas) and replicas:
+            return "ready"
+        return "degraded" if routable else "unhealthy"

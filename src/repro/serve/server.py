@@ -61,6 +61,19 @@ class ServerClosed(RuntimeError):
     """The server is not accepting requests (not started, or stopped)."""
 
 
+class WorkerCrash(BaseException):
+    """A fatal replica failure: the worker thread must die.
+
+    Raised out of a ``batch_fn`` (by fault injection, or by a wrapper
+    that classifies real errors as fatal) to simulate what a crashed
+    process looks like from the routing layer: the worker resolves its
+    in-flight batch with :class:`ServerClosed` (so no client ever hangs
+    on a dead future) and exits. Derives from ``BaseException`` so
+    ordinary ``except Exception`` wrappers between the fault and the
+    worker loop cannot accidentally swallow the crash.
+    """
+
+
 @dataclass
 class ServeStats:
     """Aggregate serving statistics since server start.
@@ -85,6 +98,7 @@ class ServeStats:
     max_batch_size_seen: int
     queue_depth: int = 0
     in_flight: int = 0
+    crashes: int = 0
 
     def format(self) -> str:
         return (
@@ -195,6 +209,15 @@ class InferenceServer:
         self._drain = True  # whether workers finish the backlog after stop
         self._running = False
         self._stats = _StatsAccumulator()
+        #: routing-visible health flag, owned by a supervisor (see
+        #: :mod:`repro.serve.health`); ``ReplicaPool._route`` skips
+        #: replicas with ``healthy=False``. A bare bool write/read is
+        #: atomic under the GIL, so no lock is needed.
+        self.healthy = True
+        #: cumulative worker crashes (WorkerCrash) since construction.
+        self.crashes = 0
+        #: pool slot sequence number, stamped by ReplicaPool._new_server.
+        self.slot: int | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -211,9 +234,11 @@ class InferenceServer:
             threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}", daemon=True)
             for i in range(self.num_workers)
         ]
-        self._running = True
+        # Threads start before _running flips so `alive` can never report
+        # a running server whose workers have not begun to exist.
         for t in self._workers:
             t.start()
+        self._running = True
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -230,7 +255,7 @@ class InferenceServer:
         self._running = False  # reject new submissions immediately
         self._drain = drain
         if drain:
-            self._queue.join()
+            self._drain_backlog()
         self._stop.set()
         for t in self._workers:
             t.join()
@@ -247,7 +272,23 @@ class InferenceServer:
 
         Unlike ``stop(drain=True)`` the server keeps running; new
         submissions are still accepted (and may extend the wait)."""
-        self._queue.join()
+        self._drain_backlog()
+
+    def _drain_backlog(self) -> None:
+        """``Queue.join()`` that gives up when every worker has died.
+
+        A crashed replica's orphaned backlog would otherwise hang
+        shutdown forever — ``stop()`` fails those requests with
+        :class:`ServerClosed` right after this returns.
+        """
+        q = self._queue
+        while True:
+            with q.all_tasks_done:
+                if q.unfinished_tasks == 0:
+                    return
+            if not any(t.is_alive() for t in self._workers):
+                return
+            time.sleep(0.005)
 
     def _fail_queued(self) -> None:
         while True:
@@ -327,6 +368,7 @@ class InferenceServer:
                 continue
             with self._stats.lock:
                 self._stats.in_flight += len(batch)
+            crashed = False
             try:
                 results = self.batch_fn([r.payload for r in batch])
                 if len(results) != len(batch):
@@ -334,6 +376,14 @@ class InferenceServer:
                         f"batch_fn returned {len(results)} results for {len(batch)} requests"
                     )
                 errors: list[BaseException | None] = [None] * len(batch)
+            except WorkerCrash as exc:
+                # Fatal: resolve the in-flight batch (clients get the
+                # retryable ServerClosed, never a hung future), then this
+                # thread dies — the dead-thread router check and the
+                # supervisor take it from here.
+                crashed = True
+                results = [None] * len(batch)
+                errors = [ServerClosed(f"replica crashed mid-request: {exc}")] * len(batch)
             except BaseException as exc:  # noqa: BLE001 - forwarded to clients
                 results = [None] * len(batch)
                 errors = [exc] * len(batch)
@@ -349,10 +399,26 @@ class InferenceServer:
                 req.error = error
                 req.done.set()
                 self._queue.task_done()
+            if crashed:
+                self.crashes += 1  # GIL-atomic int bump; read by stats()
+                return
 
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Running with every worker thread still breathing.
+
+        The cheap liveness signal: a replica whose worker crashed (or
+        that was stopped) is not alive and must be skipped by routing —
+        queueing onto a dead replica burns the request until the
+        supervisor's next probe tick.
+        """
+        return self._running and bool(self._workers) and all(
+            t.is_alive() for t in self._workers
+        )
+
     @property
     def load(self) -> int:
         """Instantaneous request load: queued plus in-flight.
@@ -409,4 +475,5 @@ class InferenceServer:
             max_batch_size_seen=int(sizes.max()) if sizes.size else 0,
             queue_depth=self._queue.qsize(),
             in_flight=in_flight,
+            crashes=self.crashes,
         )

@@ -1,0 +1,252 @@
+"""Canary rollouts: policy validation, deterministic traffic split,
+auto-promotion, auto-rollback with the golden-pin guarantee, and the
+HTTP surface."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    CanaryPolicy,
+    FaultPlan,
+    FaultSpec,
+    Gateway,
+    GatewayClient,
+    GatewayHTTPError,
+    ModelRegistry,
+    ReplicaPool,
+)
+from repro.serve.registry import _CanaryState
+
+
+@pytest.fixture(scope="module")
+def artifact_pair(tmp_path_factory):
+    """v1/v2 artifacts of one model at different quantizations (the same
+    rollout pair the swap tests use), plus their serving-mode engines."""
+    from repro.deploy import IntegerEngine, save_artifact
+    from repro.models.resnet import MiniResNet
+    from repro.quant import PTQConfig, quantize_model
+    from repro.utils.rng import seeded_rng
+
+    rng = seeded_rng("canary-tests")
+    base = tmp_path_factory.mktemp("artifacts")
+    calib = rng.standard_normal((4, 3, 16, 16))
+    out = {}
+    for tag, config in [
+        ("v1", PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")),
+        ("v2", PTQConfig.vs_quant(8, 8, weight_scale="6", act_scale="10")),
+    ]:
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        model.eval()
+        qmodel = quantize_model(model, config, calib_batches=[(calib,)])
+        path = base / tag
+        save_artifact(qmodel, path, task="image", input_shape=(3, 16, 16))
+        engine = IntegerEngine.load(path, per_sample_scale=True, precision="float32")
+        out[tag] = (path, engine)
+    return out
+
+
+@pytest.fixture
+def probe_x():
+    return np.linspace(-1, 1, 3 * 16 * 16, dtype=np.float32).reshape(3, 16, 16)
+
+
+#: Fast canary window for tests: the warm probe's one completed request
+#: already satisfies min_requests, so the monitor loop exits on its
+#: first check instead of waiting out a traffic window.
+FAST_CANARY = dict(
+    fraction=0.5, min_requests=1, window_s=5.0, interval_s=0.01, drift_probes=2
+)
+
+#: Corrupt every canary replica from request 2 on: the warm probe
+#: (request 1) passes, the drift probes then see non-finite outputs.
+CORRUPT_PLAN = [FaultSpec(kind="corrupt", after_requests=1, count=None)]
+
+
+class TestCanaryPolicy:
+    def test_cycle_from_fraction(self):
+        assert CanaryPolicy(fraction=1.0).cycle == 1
+        assert CanaryPolicy(fraction=0.5).cycle == 2
+        assert CanaryPolicy(fraction=0.25).cycle == 4
+        assert CanaryPolicy(fraction=0.1).cycle == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fraction": 0.0},
+            {"fraction": 1.5},
+            {"min_requests": 0},
+            {"window_s": 0.0},
+            {"interval_s": 0.0},
+            {"max_error_rate": -0.1},
+            {"max_latency_ratio": 0.0},
+            {"drift_probes": -1},
+            {"max_drift": 1.5},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            CanaryPolicy(**kwargs)
+
+
+class TestRouteSplit:
+    def test_deterministic_counter_split(self):
+        """fraction=0.25 -> exactly every 4th route() call hits the canary
+        pool; no RNG, so a retry lands on the stable pool with certainty."""
+        reg = ModelRegistry()
+        double = lambda ps: [2.0 * np.asarray(p) for p in ps]  # noqa: E731
+        entry = reg.register("m", double, task="image", input_shape=(2,))
+        canary_pool = ReplicaPool(double).start()
+        try:
+            entry.canary = _CanaryState(
+                pool=canary_pool, version="canary",
+                policy=CanaryPolicy(fraction=0.25, min_requests=1),
+            )
+            picks = [entry.route()[1] for _ in range(8)]
+            assert picks == ["0", "0", "0", "canary", "0", "0", "0", "canary"]
+            # a stopped canary pool drops out of routing entirely
+            canary_pool.stop(drain=False)
+            assert all(entry.route()[1] == "0" for _ in range(8))
+            entry.canary = None
+        finally:
+            reg.stop_all()
+
+
+class TestRegistryCanary:
+    def test_healthy_canary_promotes(self, artifact_pair, probe_x):
+        path_v1, _ = artifact_pair["v1"]
+        path_v2, engine_v2 = artifact_pair["v2"]
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", path_v1, replicas=1)
+            v1 = entry.version
+            report = reg.swap("m", path_v2, canary=dict(FAST_CANARY))
+            assert report.outcome == "promoted"
+            assert report.old_version == v1 and entry.version != v1
+            assert report.canary is not None
+            assert report.canary["reasons"] == []
+            assert report.canary["requests"] >= 1
+            assert report.canary["drift"]["checked"] is True
+            assert report.canary["drift"]["nonfinite"] == 0
+            assert entry.history[-1]["event"] == "swap"
+            assert entry.history[-1]["canary"] is True
+            assert entry.canary is None  # split withdrawn after the window
+            np.testing.assert_array_equal(
+                entry.pool.infer(probe_x, timeout=10.0), engine_v2(probe_x[None])[0]
+            )
+        finally:
+            reg.stop_all()
+
+    def test_corrupt_canary_rolls_back_golden_pin(self, artifact_pair, probe_x):
+        """A canary producing non-finite outputs is auto-rejected, and the
+        old version's pool keeps serving bitwise-identical outputs (the
+        golden-pin contract)."""
+        path_v1, _ = artifact_pair["v1"]
+        path_v2, _ = artifact_pair["v2"]
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", path_v1, replicas=1)
+            old_pool, v1 = entry.snapshot()
+            pin = np.asarray(old_pool.infer(probe_x, timeout=10.0))
+            report = reg.swap(
+                "m", path_v2,
+                canary=dict(FAST_CANARY),
+                fault_plan=FaultPlan(list(CORRUPT_PLAN), seed=7),
+            )
+            assert report.outcome == "rolled_back"
+            assert any("non-finite" in r for r in report.canary["reasons"])
+            assert entry.version == v1
+            assert entry.pool is old_pool and old_pool.running
+            assert entry.canary is None
+            assert entry.history[-1]["event"] == "canary_rollback"
+            np.testing.assert_array_equal(
+                np.asarray(old_pool.infer(probe_x, timeout=10.0)), pin
+            )
+        finally:
+            reg.stop_all()
+
+    def test_crashing_canary_rolls_back(self, artifact_pair):
+        """A canary whose replicas die mid-probe is condemned, not hung."""
+        path_v1, _ = artifact_pair["v1"]
+        path_v2, _ = artifact_pair["v2"]
+        crash_plan = FaultPlan(
+            [FaultSpec(kind="crash", after_requests=1, count=None)], seed=7
+        )
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", path_v1, replicas=1)
+            v1 = entry.version
+            report = reg.swap(
+                "m", path_v2, canary=dict(FAST_CANARY), fault_plan=crash_plan
+            )
+            assert report.outcome == "rolled_back"
+            assert report.canary["reasons"]
+            assert entry.version == v1 and entry.pool.running
+        finally:
+            reg.stop_all()
+
+
+class TestGatewayCanaryHTTP:
+    @pytest.fixture
+    def gateway(self, artifact_pair):
+        path_v1, _ = artifact_pair["v1"]
+        reg = ModelRegistry()
+        reg.load_artifact("m", path_v1, replicas=1, max_queue=128)
+        gw = Gateway(reg, predict_timeout_s=30.0).start()
+        yield gw
+        gw.stop()
+
+    @pytest.fixture
+    def client(self, gateway):
+        return GatewayClient(gateway.url, timeout_s=30.0)
+
+    def test_http_canary_promote(self, client, artifact_pair, probe_x):
+        path_v2, engine_v2 = artifact_pair["v2"]
+        old = client.model("m")["version"]
+        report = client.swap("m", str(path_v2), canary=dict(FAST_CANARY))
+        assert report["outcome"] == "promoted"
+        assert report["old_version"] == old
+        assert report["canary"]["reasons"] == []
+        body = client.predict("m", probe_x, raw=True)
+        assert body["version"] == report["new_version"]
+        np.testing.assert_array_equal(
+            np.asarray(body["outputs"], dtype=np.float32),
+            engine_v2(probe_x[None])[0].astype(np.float32),
+        )
+
+    def test_http_canary_rollback_is_200_and_golden_pin(
+        self, client, artifact_pair, probe_x
+    ):
+        """Rollback is the feature working, not an error: HTTP 200 with
+        outcome=rolled_back, and the old version's outputs are unchanged."""
+        path_v2, _ = artifact_pair["v2"]
+        old = client.model("m")["version"]
+        pin = np.asarray(client.predict("m", probe_x), dtype=np.float32)
+        report = client.swap(
+            "m", str(path_v2),
+            canary=dict(FAST_CANARY),
+            fault_plan={"seed": 7, "faults": [s.as_dict() for s in CORRUPT_PLAN]},
+        )
+        assert report["outcome"] == "rolled_back"
+        assert any("non-finite" in r for r in report["canary"]["reasons"])
+        assert client.model("m")["version"] == old
+        np.testing.assert_array_equal(
+            np.asarray(client.predict("m", probe_x), dtype=np.float32), pin
+        )
+        swaps = client.stats()["models"]["m"]["swaps"]
+        assert swaps[-1]["event"] == "canary_rollback"
+
+    def test_http_bad_canary_policy_400(self, client, artifact_pair):
+        path_v2, _ = artifact_pair["v2"]
+        for canary in [{"fraction": 2.0}, {"fractoin": 0.5}, "half"]:
+            with pytest.raises(GatewayHTTPError) as exc:
+                client.swap("m", str(path_v2), canary=canary)
+            assert exc.value.status == 400
+            assert "canary" in exc.value.body["error"]
+
+    def test_http_bad_fault_plan_400(self, client, artifact_pair):
+        path_v2, _ = artifact_pair["v2"]
+        for plan in [{"faults": [{"kind": "bogus"}]}, "crashy"]:
+            with pytest.raises(GatewayHTTPError) as exc:
+                client.swap("m", str(path_v2), fault_plan=plan)
+            assert exc.value.status == 400
+            assert "fault" in exc.value.body["error"]

@@ -1,0 +1,253 @@
+"""Fault injection: spec validation, arming semantics, every fault kind,
+and the routing layer's reaction (dead-thread skip, mid-request crash
+failover, all-replicas-down)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    InferenceServer,
+    NoHealthyReplicas,
+    ReplicaPool,
+    ServerClosed,
+    WorkerCrash,
+)
+
+
+def double_batch(payloads):
+    return [2.0 * np.asarray(p) for p in payloads]
+
+
+class TestFaultSpec:
+    def test_valid_kinds_only(self):
+        for kind in ("crash", "latency", "error", "corrupt"):
+            kwargs = {"latency_ms": 5.0} if kind == "latency" else {}
+            assert FaultSpec(kind=kind, **kwargs).kind == kind
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="segfault")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "error", "after_requests": -1},
+            {"kind": "error", "count": 0},
+            {"kind": "error", "probability": 0.0},
+            {"kind": "error", "probability": 1.5},
+            {"kind": "latency"},  # latency needs latency_ms > 0
+            {"kind": "latency", "latency_ms": 0.0},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec(kind="crash", replica=3, after_requests=7, count=2)
+        plan = FaultPlan([spec], seed=11)
+        rebuilt = FaultPlan.from_dict(plan.as_dict())
+        assert rebuilt.seed == 11
+        assert rebuilt.specs == [spec]
+
+    def test_from_json_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 5, "faults": [{"kind": "latency", "latency_ms": 2.0}]}
+        ))
+        plan = FaultPlan.from_json(path)
+        assert plan.seed == 5
+        assert plan.specs[0].kind == "latency"
+
+
+class TestArming:
+    """`wrap()` called directly (no server): pure counter semantics."""
+
+    def test_after_requests_threshold(self):
+        plan = FaultPlan([FaultSpec(kind="error", after_requests=2, count=1)])
+        fn = plan.wrap(double_batch, replica=0)
+        fn([1.0])  # request 1: 0+1 <= 2, no fire
+        fn([1.0])  # request 2: 1+1 <= 2, no fire
+        with pytest.raises(FaultInjected):
+            fn([1.0])  # request 3 crosses the threshold
+        assert plan.stats()["fired"]["error"] == 1
+
+    def test_count_bounds_fires(self):
+        plan = FaultPlan([FaultSpec(kind="error", count=2)])
+        fn = plan.wrap(double_batch, replica=0)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                fn([1.0])
+        fn([1.0])  # exhausted: runs clean
+        assert plan.stats()["fired"]["error"] == 2
+
+    def test_replica_targeting(self):
+        plan = FaultPlan([FaultSpec(kind="error", replica=1, count=None)])
+        on_target = plan.wrap(double_batch, replica=1)
+        off_target = plan.wrap(double_batch, replica=0)
+        off_target([1.0])  # replica 0 never matches
+        with pytest.raises(FaultInjected):
+            on_target([1.0])
+
+    def test_batch_crossing_threshold_fires_once(self):
+        # a 4-request batch crosses after_requests=2 in one call
+        plan = FaultPlan([FaultSpec(kind="error", after_requests=2, count=1)])
+        fn = plan.wrap(double_batch, replica=0)
+        with pytest.raises(FaultInjected):
+            fn([1.0, 1.0, 1.0, 1.0])
+        assert plan.stats()["requests_seen"] == {0: 4}
+
+    def test_latency_fault_sleeps(self):
+        plan = FaultPlan([FaultSpec(kind="latency", latency_ms=40.0, count=1)])
+        fn = plan.wrap(double_batch, replica=0)
+        t0 = time.perf_counter()
+        fn([1.0])
+        assert time.perf_counter() - t0 >= 0.03
+        t0 = time.perf_counter()
+        fn([1.0])  # exhausted: fast again
+        assert time.perf_counter() - t0 < 0.03
+
+    def test_corrupt_fault_yields_nonfinite(self):
+        plan = FaultPlan([FaultSpec(kind="corrupt", count=1)])
+        fn = plan.wrap(double_batch, replica=0)
+        out = fn([np.ones(3, dtype=np.float32)])
+        assert not np.any(np.isfinite(np.asarray(out[0])))
+        clean = fn([np.ones(3, dtype=np.float32)])
+        np.testing.assert_array_equal(np.asarray(clean[0]), 2.0 * np.ones(3))
+
+    def test_crash_fault_raises_worker_crash(self):
+        plan = FaultPlan([FaultSpec(kind="crash")])
+        fn = plan.wrap(double_batch, replica=0)
+        with pytest.raises(WorkerCrash):
+            fn([1.0])
+
+    def test_probabilistic_fires_are_seed_deterministic(self):
+        def pattern(seed):
+            plan = FaultPlan(
+                [FaultSpec(kind="error", probability=0.5, count=None)], seed=seed
+            )
+            fn = plan.wrap(double_batch, replica=0)
+            fired = []
+            for _ in range(32):
+                try:
+                    fn([1.0])
+                    fired.append(False)
+                except FaultInjected:
+                    fired.append(True)
+            return fired
+
+        assert pattern(3) == pattern(3)
+        assert any(pattern(3)) and not all(pattern(3))
+
+    def test_events_record_what_fired(self):
+        plan = FaultPlan([FaultSpec(kind="error", count=1)])
+        fn = plan.wrap(double_batch, replica=7)
+        with pytest.raises(FaultInjected):
+            fn([1.0])
+        (event,) = plan.events()
+        assert event["kind"] == "error" and event["replica"] == 7
+
+
+class TestServerCrash:
+    def test_crash_kills_worker_and_resolves_inflight(self):
+        plan = FaultPlan([FaultSpec(kind="crash")])
+        server = InferenceServer(
+            plan.wrap(double_batch, replica=0), max_batch_size=1, max_wait_ms=0.5
+        )
+        server.start()
+        try:
+            handle = server.submit(np.float32(1.0))
+            # the worker resolves the batch with ServerClosed, then dies
+            with pytest.raises(ServerClosed, match="crashed mid-request"):
+                handle.wait(5.0)
+            deadline = time.time() + 5.0
+            while server.alive and time.time() < deadline:
+                time.sleep(0.005)
+            assert not server.alive
+            assert server.crashes == 1
+            assert server.stats().crashes == 1
+        finally:
+            server.stop(drain=False)
+
+
+class TestPoolFailover:
+    def test_mid_request_crash_fails_over_to_live_replica(self):
+        """The in-flight request on the crashing replica fails retryably;
+        every later request routes around the dead thread."""
+        plan = FaultPlan([FaultSpec(kind="crash", replica=0, count=1)])
+        pool = ReplicaPool(
+            double_batch, replicas=2, fault_plan=plan,
+            max_batch_size=1, max_wait_ms=0.5,
+        )
+        pool.start()
+        try:
+            crashed = 0
+            for i in range(10):
+                try:
+                    out = pool.infer(np.float32(i), timeout=10.0)
+                    np.testing.assert_array_equal(np.asarray(out), 2.0 * i)
+                except ServerClosed:
+                    crashed += 1  # the one mid-request casualty, retryable
+            assert crashed == 1
+            assert plan.stats()["fired"]["crash"] == 1
+            assert pool.stats().crashes == 1
+            assert pool.healthy_replicas == 1
+            assert pool.health_state() == "degraded"
+            # dead-thread check: the crashed replica is excluded at submit
+            # time, so the pool keeps serving without a supervisor
+            out = pool.infer(np.float32(21.0), timeout=10.0)
+            np.testing.assert_array_equal(np.asarray(out), 42.0)
+        finally:
+            pool.stop(drain=False)
+
+    def test_all_replicas_dead_raises_no_healthy_replicas(self):
+        plan = FaultPlan([FaultSpec(kind="crash", count=None)])
+        pool = ReplicaPool(
+            double_batch, replicas=2, fault_plan=plan,
+            max_batch_size=1, max_wait_ms=0.5,
+        )
+        pool.start()
+        try:
+            deaths = 0
+            deadline = time.time() + 10.0
+            while deaths < 2 and time.time() < deadline:
+                try:
+                    pool.infer(np.float32(1.0), timeout=10.0)
+                except ServerClosed:
+                    deaths += 1
+                except NoHealthyReplicas:
+                    break
+            with pytest.raises(NoHealthyReplicas):
+                pool.submit(np.float32(1.0))
+            assert pool.healthy_replicas == 0
+            assert pool.health_state() == "unhealthy"
+        finally:
+            pool.stop(drain=False)
+
+    def test_restarted_replica_gets_fresh_slot(self):
+        """Slot sequence numbers are monotonic: a replacement escapes a
+        replica-targeted fault by design."""
+        plan = FaultPlan([FaultSpec(kind="crash", replica=0, count=None)])
+        pool = ReplicaPool(
+            double_batch, replicas=1, fault_plan=plan,
+            max_batch_size=1, max_wait_ms=0.5,
+        )
+        pool.start()
+        try:
+            (old,) = pool._snapshot()
+            assert old.slot == 0
+            with pytest.raises(ServerClosed):
+                pool.infer(np.float32(1.0), timeout=10.0)
+            new = pool.replace_replica(old)
+            assert new is not None and new.slot == 1
+            assert pool.replacements == 1
+            # slot 1 does not match the replica-0 crash spec
+            out = pool.infer(np.float32(2.0), timeout=10.0)
+            np.testing.assert_array_equal(np.asarray(out), 4.0)
+        finally:
+            pool.stop(drain=False)

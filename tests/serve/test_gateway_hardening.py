@@ -1,0 +1,170 @@
+"""Gateway hardening: request-body caps, Content-Length discipline, and
+the downed-pool (503 + Retry-After) admission path."""
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    Gateway,
+    GatewayClient,
+    GatewayHTTPError,
+    ModelRegistry,
+)
+
+
+def double_batch(payloads):
+    return [2.0 * np.asarray(p) for p in payloads]
+
+
+@pytest.fixture
+def gateway():
+    reg = ModelRegistry()
+    reg.register("m", double_batch, task="image", input_shape=(2,), max_queue=64)
+    gw = Gateway(reg, predict_timeout_s=30.0, max_body_bytes=2048).start()
+    yield gw
+    gw.stop()
+
+
+@pytest.fixture
+def client(gateway):
+    return GatewayClient(gateway.url, timeout_s=30.0)
+
+
+def raw_post(gateway, path, *, content_length=None, body=b""):
+    """POST with full control over the Content-Length header."""
+    conn = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=10)
+    try:
+        conn.putrequest("POST", path)
+        conn.putheader("Content-Type", "application/json")
+        if content_length is not None:
+            conn.putheader("Content-Length", content_length)
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        return resp.status, dict(resp.getheaders()), payload
+    finally:
+        conn.close()
+
+
+class TestBodyCap:
+    def test_small_body_serves(self, client):
+        out = client.predict("m", np.asarray([1.0, 2.0], dtype=np.float32))
+        np.testing.assert_array_equal(np.asarray(out), [2.0, 4.0])
+
+    def test_oversized_body_413_and_connection_close(self, gateway):
+        body = json.dumps({"inputs": [1.0] * 1000}).encode()  # ~5 KB > 2 KB cap
+        conn = http.client.HTTPConnection("127.0.0.1", gateway.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/models/m/predict", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 413
+            assert resp.getheader("Connection") == "close"
+            payload = json.loads(resp.read())
+            assert "exceeds" in payload["error"]
+        finally:
+            conn.close()
+
+    def test_oversized_body_via_client(self, client):
+        with pytest.raises(GatewayHTTPError) as exc:
+            client.predict("m", np.ones(1000, dtype=np.float32))
+        assert exc.value.status == 413
+
+    def test_body_at_exact_limit_is_read(self, gateway, client):
+        # pad the inputs so the serialized body is exactly max_body_bytes
+        probe = {"inputs": [1.0, 2.0], "pad": ""}
+        pad = gateway.max_body_bytes - len(json.dumps(probe).encode())
+        probe["pad"] = "x" * pad
+        body = json.dumps(probe).encode()
+        assert len(body) == gateway.max_body_bytes
+        status, _, payload = raw_post(
+            gateway, "/v1/models/m/predict",
+            content_length=str(len(body)), body=body,
+        )
+        assert status == 200
+        np.testing.assert_array_equal(np.asarray(payload["outputs"]), [2.0, 4.0])
+
+    def test_gateway_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_body_bytes"):
+            Gateway(ModelRegistry(), max_body_bytes=0)
+
+
+class TestContentLengthDiscipline:
+    def test_missing_content_length_400(self, gateway):
+        status, headers, payload = raw_post(gateway, "/v1/models/m/predict")
+        assert status == 400
+        assert headers.get("Connection") == "close"
+        assert "Content-Length" in payload["error"]
+
+    def test_malformed_content_length_400(self, gateway):
+        status, _, payload = raw_post(
+            gateway, "/v1/models/m/predict", content_length="twelve"
+        )
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_negative_content_length_400(self, gateway):
+        status, _, payload = raw_post(
+            gateway, "/v1/models/m/predict", content_length="-3"
+        )
+        assert status == 400
+        assert "invalid Content-Length" in payload["error"]
+
+    def test_get_requests_unaffected(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["model_health"]["m"]["state"] == "ready"
+
+
+class TestDownedPool:
+    def test_all_replicas_down_503_with_retry_after(self, gateway, client):
+        """Crash every replica: in-flight casualties get retryable 503s,
+        and once the pool is empty predicts get 503 + Retry-After (never a
+        404 — the model is down, not gone) while /healthz degrades."""
+        plan = FaultPlan([FaultSpec(kind="crash", count=None)])
+        gateway.registry.register(
+            "dying", double_batch, task="image", input_shape=(2,),
+            replicas=2, fault_plan=plan, max_batch_size=1, max_wait_ms=0.5,
+        )
+        url = f"{gateway.url}/v1/models/dying/predict"
+        body = json.dumps({"inputs": [1.0, 2.0]}).encode()
+        seen = []
+        for _ in range(10):
+            req = urllib.request.Request(
+                url, data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=30):
+                    pytest.fail("predict on a crash-everything pool succeeded")
+            except urllib.error.HTTPError as exc:
+                payload = json.loads(exc.read())
+                seen.append((exc.code, exc.headers.get("Retry-After"), payload))
+                if "no healthy replicas" in payload["error"]:
+                    break
+        status, retry_after, payload = seen[-1]
+        assert status == 503
+        assert retry_after == "1"
+        assert "no healthy replicas" in payload["error"]
+        assert all(code == 503 for code, _, _ in seen)  # never a 404/500
+
+        health = client.healthz()
+        assert health["status"] == "degraded"
+        assert health["model_health"]["dying"]["state"] == "unhealthy"
+        assert health["model_health"]["dying"]["healthy_replicas"] == 0
+        assert health["model_health"]["m"]["state"] == "ready"  # isolated
+
+        stats = client.stats()["models"]["dying"]
+        assert stats["crashes"] == 2
+        assert stats["health"]["supervised"] is False

@@ -1,0 +1,363 @@
+"""Supervisor: liveness restarts, probe quarantine/recovery, backoff,
+restart-storm cap, swap transparency, and registry wiring.
+
+Most tests drive ``Supervisor.tick()`` by hand with an injected fake
+clock — no background thread, no timing races."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    HealthPolicy,
+    ModelRegistry,
+    NoHealthyReplicas,
+    ReplicaPool,
+    ServerClosed,
+    Supervisor,
+    pool_health,
+)
+from repro.serve.health import (
+    STATE_FAILED,
+    STATE_QUARANTINED,
+)
+
+
+def double_batch(payloads):
+    return [2.0 * np.asarray(p) for p in payloads]
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_pool(batch_fn=double_batch, *, replicas=1, fault_plan=None):
+    pool = ReplicaPool(
+        batch_fn, replicas=replicas, fault_plan=fault_plan,
+        max_batch_size=1, max_wait_ms=0.5,
+    )
+    return pool.start()
+
+
+def kill_replica(pool, n=1):
+    """Drive crash-fault traffic until ``n`` replicas have died."""
+    deaths = 0
+    deadline = time.time() + 10.0
+    while deaths < n and time.time() < deadline:
+        try:
+            pool.infer(np.float32(1.0), timeout=10.0)
+        except ServerClosed:
+            deaths += 1
+        except NoHealthyReplicas:
+            break
+    assert deaths == n
+
+
+def wait_until(predicate, timeout=10.0, interval=0.005):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestHealthPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = HealthPolicy(backoff_base_s=0.1, backoff_max_s=0.5)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval_s": 0.0},
+            {"probe_timeout_s": 0.0},
+            {"fail_threshold": 0},
+            {"recovery_threshold": 0},
+            {"max_restarts": 0},
+            {"backoff_base_s": -1.0},
+            {"backoff_base_s": 1.0, "backoff_max_s": 0.5},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthPolicy(**kwargs)
+
+
+class TestLivenessRestart:
+    def test_dead_replica_is_restarted(self):
+        plan = FaultPlan([FaultSpec(kind="crash", replica=0, count=1)])
+        pool = make_pool(fault_plan=plan, replicas=2)
+        try:
+            kill_replica(pool)
+            clock = FakeClock()
+            policy = HealthPolicy(probe=False, backoff_base_s=0.0, backoff_max_s=0.0)
+            sup = Supervisor(lambda: pool, policy, clock=clock)
+            sup.tick()
+            assert sup.stats(tail=0)["restarts"] == 1
+            assert pool.replacements == 1
+            assert {s.slot for s in pool._snapshot()} == {1, 2}
+            assert wait_until(lambda: pool.healthy_replicas == 2)
+            assert pool_health(pool, sup)["state"] == "ready"
+            event = sup.events()[-1]
+            assert event["action"] == "restarted" and event["new_slot"] == 2
+        finally:
+            pool.stop(drain=False)
+
+    def test_storm_ends_only_after_replacement_serves(self):
+        plan = FaultPlan([FaultSpec(kind="crash", replica=0, count=1)])
+        pool = make_pool(fault_plan=plan, replicas=1)
+        try:
+            kill_replica(pool)
+            clock = FakeClock()
+            policy = HealthPolicy(probe=False, backoff_base_s=0.0, backoff_max_s=0.0)
+            sup = Supervisor(lambda: pool, policy, clock=clock)
+            sup.tick()
+            assert sup._storm == 1
+            sup.tick()  # replacement alive but unproven: storm holds
+            assert sup._storm == 1
+            out = pool.infer(np.float32(4.0), timeout=10.0)  # proof
+            np.testing.assert_array_equal(np.asarray(out), 8.0)
+            sup.tick()
+            assert sup._storm == 0
+        finally:
+            pool.stop(drain=False)
+
+    def test_backoff_gates_consecutive_restarts(self):
+        plan = FaultPlan([FaultSpec(kind="crash", count=None)])
+        pool = make_pool(fault_plan=plan, replicas=1)
+        try:
+            kill_replica(pool)
+            clock = FakeClock()
+            policy = HealthPolicy(
+                probe=False, backoff_base_s=100.0, backoff_max_s=100.0,
+                max_restarts=5,
+            )
+            sup = Supervisor(lambda: pool, policy, clock=clock)
+            sup.tick()
+            assert sup.stats(tail=0)["restarts"] == 1
+            kill_replica(pool)  # the replacement crashes too (replica=None)
+            sup.tick()  # inside the 100s backoff window: no restart
+            sup.tick()
+            assert sup.stats(tail=0)["restarts"] == 1
+            clock.advance(101.0)
+            sup.tick()
+            assert sup.stats(tail=0)["restarts"] == 2
+        finally:
+            pool.stop(drain=False)
+
+    def test_restart_storm_cap_gives_up(self):
+        """Crash-on-arrival pool: the supervisor restarts max_restarts
+        times, then parks the slot as failed instead of looping forever."""
+        plan = FaultPlan([FaultSpec(kind="crash", count=None)])
+        pool = make_pool(fault_plan=plan, replicas=1)
+        try:
+            clock = FakeClock()
+            policy = HealthPolicy(
+                probe=False, backoff_base_s=0.0, backoff_max_s=0.0, max_restarts=3,
+            )
+            sup = Supervisor(lambda: pool, policy, clock=clock)
+            deadline = time.time() + 20.0
+            while not sup.stats(tail=0)["gave_up"] and time.time() < deadline:
+                try:
+                    pool.infer(np.float32(1.0), timeout=10.0)
+                except (ServerClosed, NoHealthyReplicas):
+                    pass
+                sup.tick()
+            stats = sup.stats(tail=0)
+            assert stats["gave_up"] is True
+            assert stats["restarts"] == 3  # exactly the cap, then parked
+            assert any(e["action"] == "gave_up" for e in sup.events())
+            assert pool.healthy_replicas == 0
+            health = pool_health(pool, sup)
+            assert health["state"] == "unhealthy" and health["gave_up"] is True
+            # parked for good: further ticks never restart again
+            sup.tick()
+            assert sup.stats(tail=0)["restarts"] == 3
+            (rec,) = sup._records.values()
+            assert rec.state == STATE_FAILED
+        finally:
+            pool.stop(drain=False)
+
+    def test_hot_swap_resets_storm_state(self):
+        plan = FaultPlan([FaultSpec(kind="crash", count=None)])
+        pools = {"current": make_pool(fault_plan=plan, replicas=1)}
+        healthy = make_pool(replicas=1)
+        try:
+            clock = FakeClock()
+            policy = HealthPolicy(
+                probe=False, backoff_base_s=0.0, backoff_max_s=0.0, max_restarts=1,
+            )
+            sup = Supervisor(lambda: pools["current"], policy, clock=clock)
+            deadline = time.time() + 20.0
+            while not sup.stats(tail=0)["gave_up"] and time.time() < deadline:
+                try:
+                    pools["current"].infer(np.float32(1.0), timeout=10.0)
+                except (ServerClosed, NoHealthyReplicas):
+                    pass
+                sup.tick()
+            assert sup.stats(tail=0)["gave_up"] is True
+            pools["current"].stop(drain=False)
+            pools["current"] = healthy  # the swap: fresh pool, fresh chances
+            sup.tick()
+            assert sup.stats(tail=0)["gave_up"] is False
+            assert sup._storm == 0
+        finally:
+            pools["current"].stop(drain=False)
+
+
+class TestProbes:
+    def test_probe_timeout_quarantines_then_restarts(self):
+        import threading
+
+        gate = threading.Event()
+
+        def wedged_batch(payloads):
+            if not gate.is_set():
+                gate.wait(30.0)  # a wedged replica, releasable by the test
+            return double_batch(payloads)
+
+        pool = make_pool(wedged_batch, replicas=1)
+        try:
+            clock = FakeClock()
+            policy = HealthPolicy(
+                probe_timeout_s=1.0, fail_threshold=2,
+                backoff_base_s=0.0, backoff_max_s=0.0,
+            )
+            sup = Supervisor(
+                lambda: pool, policy,
+                probe_fn=lambda: np.float32(1.0), clock=clock,
+            )
+            (wedged,) = pool._snapshot()
+            sup.tick()  # probe 1 submitted
+            assert sup.stats(tail=0)["probes_sent"] == 1
+            clock.advance(2.0)
+            sup.tick()  # probe 1 times out: strike 1 (suspect); probe 2 out
+            assert sup.stats(tail=0)["probe_failures"] == 1
+            assert wedged.healthy  # suspect stays in routing
+            clock.advance(2.0)
+            sup.tick()  # strike 2: quarantine + restart
+            stats = sup.stats(tail=0)
+            assert stats["quarantines"] == 1 and stats["restarts"] == 1
+            actions = [e["action"] for e in sup.events()]
+            assert actions == ["quarantined", "restarted"]
+            gate.set()  # unwedge so teardown does not wait on the batch
+            assert wait_until(lambda: pool.healthy_replicas == 1)
+            out = pool.infer(np.float32(3.0), timeout=10.0)
+            np.testing.assert_array_equal(np.asarray(out), 6.0)
+        finally:
+            gate.set()
+            pool.stop(drain=False)
+
+    def test_probe_recovery_lifts_quarantine_without_restart(self):
+        fail = {"on": True}
+
+        def flaky_batch(payloads):
+            if fail["on"]:
+                raise RuntimeError("injected probe failure")
+            return double_batch(payloads)
+
+        pool = make_pool(flaky_batch, replicas=1)
+        try:
+            clock = FakeClock()
+            policy = HealthPolicy(
+                fail_threshold=1, recovery_threshold=1,
+                backoff_base_s=0.0, backoff_max_s=0.0,
+            )
+            sup = Supervisor(
+                lambda: pool, policy,
+                probe_fn=lambda: np.float32(1.0), clock=clock,
+            )
+            (server,) = pool._snapshot()
+            sup.tick()  # probe 1 out (also adopts the pool, resetting state)
+            sup._next_restart_ts = 1e9  # pin restarts shut: recovery only
+            assert wait_until(lambda: sup._pending[0].handle.ready)
+            sup.tick()  # probe 1 errored: quarantine (restart backed off)
+            assert sup.stats(tail=0)["quarantines"] == 1
+            assert not server.healthy
+            (rec,) = sup._records.values()
+            assert rec.state == STATE_QUARANTINED
+            with pytest.raises(NoHealthyReplicas):
+                pool.submit(np.float32(1.0))
+            fail["on"] = False
+            sup.tick()  # probe 2 out (quarantined replicas keep probing)
+            assert wait_until(lambda: sup._pending[0].handle.ready)
+            sup.tick()  # probe 2 ok: recovered
+            stats = sup.stats(tail=0)
+            assert stats["recoveries"] == 1 and stats["restarts"] == 0
+            assert server.healthy
+            assert pool.healthy_replicas == 1
+            out = pool.infer(np.float32(5.0), timeout=10.0)
+            np.testing.assert_array_equal(np.asarray(out), 10.0)
+        finally:
+            pool.stop(drain=False)
+
+
+class TestPoolHealth:
+    def test_unsupervised_pool_reports_ready(self):
+        pool = make_pool(replicas=2)
+        try:
+            info = pool_health(pool)
+            assert info["state"] == "ready"
+            assert info["replicas"] == info["healthy_replicas"] == 2
+            assert info["supervised"] is False
+            assert "restarts" not in info  # supervisor-only fields absent
+        finally:
+            pool.stop(drain=False)
+
+
+class TestRegistryWiring:
+    def test_register_attaches_and_unload_stops_supervisor(self):
+        reg = ModelRegistry()
+        entry = reg.register(
+            "m", double_batch, task="image", input_shape=(2,),
+            health={"interval_s": 0.01, "probe": False},
+        )
+        try:
+            assert entry.supervisor is not None and entry.supervisor.running
+            assert entry.describe()["supervised"] is True
+        finally:
+            reg.unload("m")
+        assert not entry.supervisor.running
+
+    def test_supervised_pool_heals_end_to_end(self):
+        """Integration: a real supervisor thread restores full capacity
+        after an injected crash, with no manual ticking."""
+        plan = FaultPlan([FaultSpec(kind="crash", replica=0, count=1)])
+        reg = ModelRegistry()
+        entry = reg.register(
+            "m", double_batch, task="image", input_shape=(2,),
+            replicas=2, fault_plan=plan, max_batch_size=1, max_wait_ms=0.5,
+            health={
+                "interval_s": 0.01, "probe": False,
+                "backoff_base_s": 0.01, "backoff_max_s": 0.05,
+            },
+        )
+        try:
+            kill_replica(entry.pool)
+            # the supervisor's own counter is the last thing its restart
+            # bumps, so waiting on it covers replacements/health too
+            assert wait_until(
+                lambda: entry.pool.healthy_replicas == 2
+                and entry.supervisor.stats(tail=0)["restarts"] >= 1
+            )
+            assert entry.pool.replacements >= 1
+            assert entry.pool.health_state() == "ready"
+            out = entry.pool.infer(np.float32(2.0), timeout=10.0)
+            np.testing.assert_array_equal(np.asarray(out), 4.0)
+        finally:
+            reg.stop_all()
