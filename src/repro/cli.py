@@ -36,6 +36,12 @@ gateway
     ``--requests``) scripts a zero-downtime rollout mid-traffic —
     optionally staged behind a ``--canary`` with auto-rollback, with
     ``--fault-plan`` injecting seeded chaos into the new pool.
+    ``--require-metrics`` makes a self-traffic run scrape ``/metrics``
+    afterwards and fail unless the required families are present.
+trace
+    Fetch recorded request traces from a running gateway's
+    ``/v1/traces`` and print their span timelines (slowest first by
+    default) — the CLI face of the ``X-Request-Id`` tracing pipeline.
 """
 
 from __future__ import annotations
@@ -421,6 +427,9 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         raise SystemExit("--canary stages a --swap rollout; add --swap")
     if args.fault_plan and not swaps:
         raise SystemExit("--fault-plan poisons the --swap pool; add --swap")
+    if args.require_metrics and args.requests is None:
+        raise SystemExit("--require-metrics scrapes after self-traffic; "
+                         "it requires --requests")
 
     autoscale = None
     if args.autoscale:
@@ -594,6 +603,62 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             print(f"client saw {rejected} 429s")
         if dropped:
             print(f"client saw {dropped} retryable 503s (use --retries N to absorb)")
+
+        if args.require_metrics:
+            missing = _missing_metric_families(
+                client.metrics_text(), args.require_metrics
+            )
+            if missing:
+                print(f"/metrics MISSING families: {', '.join(missing)}")
+                return 1
+            print("/metrics ok: all required families present")
+    return 0
+
+
+def _missing_metric_families(text: str, spec: str) -> list[str]:
+    """Required families (``'default'`` or a comma list) absent from a
+    ``/metrics`` scrape. Presence = a ``# TYPE`` line, which the registry
+    emits for every declared family even at zero traffic."""
+    from repro.serve import REQUIRED_FAMILIES
+
+    if spec in ("default", "all"):
+        required = list(REQUIRED_FAMILIES)
+    else:
+        required = [f.strip() for f in spec.split(",") if f.strip()]
+    present = {
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE ") and len(line.split()) >= 3
+    }
+    return [f for f in required if f not in present]
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.serve import GatewayClient
+
+    client = GatewayClient(args.url)
+    payload = client.traces(sort=args.sort, limit=args.limit)
+    traces = payload["traces"]
+    if not traces:
+        print("no traces recorded yet (send predicts through the gateway first)")
+        return 0
+    print(
+        f"{len(traces)} of {payload['recorded']} recorded traces, "
+        f"sort={args.sort}"
+    )
+    for tr in traces:
+        meta = " ".join(
+            f"{k}={tr[k]}" for k in ("outcome", "status", "version") if k in tr
+        )
+        print(f"\n{tr['request_id']}  model={tr.get('model') or '-'}  "
+              f"total={tr['total_ms']:.2f}ms  {meta}".rstrip())
+        for span in tr["spans"]:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in span.items()
+                if k not in ("name", "start_ms", "dur_ms")
+            )
+            print(f"  {span['name']:<12} @{span['start_ms']:>8.2f}ms  "
+                  f"+{span['dur_ms']:.2f}ms  {attrs}".rstrip())
     return 0
 
 
@@ -725,7 +790,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="load per replica to remove a replica")
     p.add_argument("--cooldown-s", type=float, default=2.0,
                    help="min seconds between autoscale actions")
+    p.add_argument("--require-metrics", default=None, metavar="FAMILIES",
+                   help="after self-traffic (--requests), scrape /metrics and exit "
+                        "non-zero unless these comma-separated families are present "
+                        "('default' = the documented required set)")
     p.set_defaults(fn=_cmd_gateway)
+
+    p = sub.add_parser("trace", help="print request traces from a running gateway")
+    p.add_argument("--url", required=True,
+                   help="gateway base URL, e.g. http://127.0.0.1:8321")
+    p.add_argument("--sort", choices=("slowest", "recent"), default="slowest")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -1,0 +1,66 @@
+"""repro.obs — the serve stack's shared observability substrate.
+
+Three primitives, one hub:
+
+- :class:`MetricsRegistry` — counters / gauges / fixed-bucket
+  histograms, rendered in Prometheus text format at ``GET /metrics``.
+- :class:`EventBus` — one bounded ordered ring that supervisor,
+  autoscaler, canary/swap, and fault-plan code publish structured
+  events to (``GET /v1/events``).
+- :class:`Trace` / :class:`TraceBuffer` — per-request span timelines
+  (decode → queue_wait → batch_form → execute → encode) queryable at
+  ``GET /v1/traces`` and via ``repro trace``.
+
+:class:`Observability` bundles the three so the registry/gateway can
+thread a single handle through every layer. See docs/observability.md
+for the metric catalog, span semantics, and event schema.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .events import EventBus
+from .metrics import (
+    DEFAULT_BATCH_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Trace, TraceBuffer, new_request_id
+
+
+class Observability:
+    """Bundle of metrics + events + traces shared by a serve stack."""
+
+    def __init__(self, *, metrics: MetricsRegistry | None = None,
+                 events: EventBus | None = None,
+                 traces: TraceBuffer | None = None,
+                 clock=time.perf_counter):
+        self.metrics = metrics if metrics is not None else MetricsRegistry(clock=clock)
+        self.events = events if events is not None else EventBus()
+        self.traces = traces if traces is not None else TraceBuffer()
+
+    def trace(self, request_id: str | None = None, *,
+              model: str | None = None) -> Trace:
+        """New trace bound to this hub's metric clock."""
+        return Trace(request_id, model=model, clock=self.metrics.clock)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BATCH_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Trace",
+    "TraceBuffer",
+    "new_request_id",
+]

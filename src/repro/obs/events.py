@@ -1,0 +1,144 @@
+"""Unified event bus for serve-stack control loops.
+
+The supervisor, autoscaler, canary/swap code, and fault plans each used
+to keep a private bounded list of event dicts. :class:`EventBus` is the
+shared replacement: one bounded ring of structured events with a global
+monotonic sequence number, so "what did the system do, in order?" is a
+single query instead of a three-way merge.
+
+Event shape::
+
+    {"seq": 17, "unix": 1754650000.1, "source": "autoscaler",
+     "model": "resnet", "event": "scale_up", ...component fields...}
+
+``seq`` totally orders events across sources (the wall-clock ``unix``
+field alone cannot — events in the same clock tick would tie). The ring
+is a ``deque(maxlen=capacity)``: old events fall off silently, but
+``dropped`` counts how many, so dashboards can tell a quiet system from
+an overflowing one.
+
+Publishing is one lock acquire plus a dict build. Subscribers (used by
+the metrics bridge to bump event counters) are invoked *outside* the
+lock, on the publishing thread; a subscriber that raises is dropped
+rather than allowed to poison every later publish.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+class EventBus:
+    """Bounded, ordered, thread-safe ring of structured events."""
+
+    def __init__(self, capacity: int = 1024, *, clock=time.time):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: list[dict] = []
+        self._start = 0  # index of the oldest retained event within _ring
+        self._seq = 0
+        self._dropped = 0
+        self._subscribers: list = []
+
+    # ------------------------------------------------------------------
+    def publish(self, source: str, event: str, *, model: str | None = None,
+                **fields) -> dict:
+        """Append an event; returns the stored dict (do not mutate it)."""
+        record = {
+            "seq": 0,  # placed first for readable JSON; filled under lock
+            "unix": self._clock(),
+            "source": source,
+            "model": model,
+            "event": event,
+        }
+        record.update(fields)
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            self._ring.append(record)
+            if len(self._ring) - self._start > self.capacity:
+                self._start += 1
+                self._dropped += 1
+            # compact occasionally so the backing list stays bounded
+            if self._start > self.capacity:
+                self._ring = self._ring[self._start:]
+                self._start = 0
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            try:
+                fn(record)
+            except Exception:
+                with self._lock:
+                    if fn in self._subscribers:
+                        self._subscribers.remove(fn)
+        return record
+
+    # ------------------------------------------------------------------
+    def events(self, *, source: str | None = None, model: str | None = None,
+               event: str | None = None, limit: int | None = None) -> list[dict]:
+        """Retained events, oldest first, optionally filtered.
+
+        ``limit`` keeps the *newest* N after filtering.
+        """
+        with self._lock:
+            snapshot = self._ring[self._start:]
+        if source is not None:
+            snapshot = [e for e in snapshot if e["source"] == source]
+        if model is not None:
+            snapshot = [e for e in snapshot if e["model"] == model]
+        if event is not None:
+            snapshot = [e for e in snapshot if e["event"] == event]
+        if limit is not None and limit >= 0:
+            snapshot = snapshot[len(snapshot) - min(limit, len(snapshot)):]
+        return snapshot
+
+    def tail(self, n: int = 20) -> list[dict]:
+        return self.events(limit=n)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring) - self._start
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring so far."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def total_published(self) -> int:
+        with self._lock:
+            return self._seq
+
+    # ------------------------------------------------------------------
+    def subscribe(self, fn) -> None:
+        """Call ``fn(event_dict)`` after every publish (publisher thread)."""
+        with self._lock:
+            if fn not in self._subscribers:
+                self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        with self._lock:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self) -> str:
+        """Retained events as JSON lines (one event per line)."""
+        return "\n".join(
+            json.dumps(e, sort_keys=True, default=str) for e in self.events()
+        )
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._ring) - self._start,
+                "published": self._seq,
+                "dropped": self._dropped,
+            }

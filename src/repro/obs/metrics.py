@@ -1,0 +1,374 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a thread-safe table of named metric
+*families*, each optionally split by labels into children. The registry
+renders the whole table in the Prometheus text exposition format
+(version 0.0.4), which is what the gateway serves at ``GET /metrics``.
+
+Design constraints (this sits on the serving hot path):
+
+- **Cheap updates.** A counter bump or histogram observation is one
+  small-critical-section lock acquire on the *child* — never a registry-
+  wide lock, never an allocation after the child exists. Rendering (a
+  scrape) walks everything, but scrapes are rare and off the request
+  path.
+- **Standalone children.** :class:`Histogram` (and :class:`Counter` /
+  :class:`Gauge` values) work outside any registry too —
+  :meth:`~repro.serve.server.InferenceServer.stats` uses bare
+  histograms for its queue-wait/batch-size distributions, so the server
+  layer never needs to know about Prometheus.
+- **Injectable clock.** ``registry.clock`` drives the
+  :meth:`Histogram.time` helper, so tests can fake time and get
+  deterministic observations.
+
+Family names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (the Prometheus
+contract); declaring the same name twice returns the existing family
+(get-or-create) but re-declaring it as a different *type* raises.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from contextlib import contextmanager
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (milliseconds): sub-ms to 10s, roughly 1-2-5.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+#: Default batch-size buckets: powers of two up to a generous 256.
+DEFAULT_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _format_value(v: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    if isinstance(v, float) and v != v:  # NaN
+        return "NaN"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _escape_label(v: str) -> str:
+    return str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonically increasing value.
+
+    ``set_total`` exists for scrape-time synchronization with counters
+    accumulated elsewhere (e.g. per-pool completions folded into a
+    registry entry across hot swaps); it still enforces monotonicity.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, value: float) -> None:
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go anywhere (replica counts, queue depths)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics.
+
+    ``buckets`` are the inclusive upper bounds of the finite buckets
+    (strictly increasing); an implicit ``+Inf`` bucket catches the rest.
+    ``observe`` is a bisect plus three increments under one small lock.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+                 *, clock=time.perf_counter):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        bounds = self.bounds
+        # linear scan beats bisect for the short bucket lists used here
+        idx = len(bounds)
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @contextmanager
+    def time(self, scale: float = 1e3):
+        """Observe the duration of a block (default scale: s -> ms)."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.observe((self._clock() - start) * scale)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: per-bound counts (non-cumulative), sum, count."""
+        with self._lock:
+            counts = list(self._counts)
+            total, s = self._count, self._sum
+        return {
+            "bounds": list(self.bounds),
+            "counts": counts,
+            "sum": s,
+            "count": total,
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Used by :meth:`ReplicaPool.stats` to pool per-replica
+        distributions; bounds must match exactly.
+        """
+        if tuple(snapshot["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{tuple(snapshot['bounds'])} vs {self.bounds}"
+            )
+        with self._lock:
+            for i, c in enumerate(snapshot["counts"]):
+                self._counts[i] += c
+            self._sum += snapshot["sum"]
+            self._count += snapshot["count"]
+
+    @staticmethod
+    def merged(snapshots: list[dict]) -> dict | None:
+        """Merge several :meth:`snapshot` dicts (``None`` when empty)."""
+        if not snapshots:
+            return None
+        out = Histogram(tuple(snapshots[0]["bounds"]))
+        for snap in snapshots:
+            out.merge(snap)
+        return out.snapshot()
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric family: help text, type, and labeled children."""
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labels: tuple[str, ...], make_child):
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = labels
+        self._make_child = make_child
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not labels:  # unlabeled family: one implicit child
+            self._children[()] = make_child()
+
+    def labels(self, **kv):
+        """The child for this label set (created on first use)."""
+        if set(kv) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, got {tuple(kv)}"
+            )
+        key = tuple(str(kv[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # unlabeled convenience: family proxies its single child
+    def _solo(self):
+        if self.label_names:
+            raise ValueError(f"{self.name} is labeled; use .labels(...)")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_total(self, value: float) -> None:
+        self._solo().set_total(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def time(self, scale: float = 1e3):
+        return self._solo().time(scale)
+
+    def children(self) -> dict[tuple[str, ...], object]:
+        with self._lock:
+            return dict(self._children)
+
+    # ------------------------------------------------------------------
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        for key in sorted(self.children()):
+            child = self._children[key]
+            if self.kind == "histogram":
+                snap = child.snapshot()
+                cumulative = 0
+                for bound, count in zip(snap["bounds"], snap["counts"]):
+                    cumulative += count
+                    labels = _label_str(
+                        self.label_names, key, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(f"{self.name}_bucket{labels} {cumulative}")
+                cumulative += snap["counts"][-1]
+                labels = _label_str(self.label_names, key, 'le="+Inf"')
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+                plain = _label_str(self.label_names, key)
+                lines.append(f"{self.name}_sum{plain} {_format_value(snap['sum'])}")
+                lines.append(f"{self.name}_count{plain} {snap['count']}")
+            else:
+                labels = _label_str(self.label_names, key)
+                lines.append(f"{self.name}{labels} {_format_value(child.value)}")
+        return lines
+
+
+class MetricsRegistry:
+    """Thread-safe named metric table with a Prometheus text renderer."""
+
+    def __init__(self, *, clock=time.perf_counter):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # declaration (get-or-create)
+    # ------------------------------------------------------------------
+    def _declare(self, name: str, help_text: str, kind: str,
+                 labels: tuple[str, ...], make_child) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already declared as {family.kind}"
+                        f"{family.label_names}; cannot redeclare as "
+                        f"{kind}{tuple(labels)}"
+                    )
+                return family
+            family = _Family(name, help_text, kind, tuple(labels), make_child)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: tuple[str, ...] = ()) -> _Family:
+        return self._declare(name, help_text, "counter", tuple(labels), Counter)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: tuple[str, ...] = ()) -> _Family:
+        return self._declare(name, help_text, "gauge", tuple(labels), Gauge)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS) -> _Family:
+        clock = self.clock
+        return self._declare(
+            name, help_text, "histogram", tuple(labels),
+            lambda: Histogram(buckets, clock=clock),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def render(self) -> str:
+        """The whole table in Prometheus text format (trailing newline)."""
+        with self._lock:
+            families = [self._families[n] for n in sorted(self._families)]
+        lines: list[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+#: Content-Type for the rendered exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"

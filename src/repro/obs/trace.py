@@ -1,0 +1,184 @@
+"""Per-request tracing: span timelines from gateway accept to encode.
+
+A :class:`Trace` follows one request through the serve stack. The
+gateway creates it (honoring an inbound ``X-Request-Id`` or generating
+one), hands it down through ``ModelEntry.route`` → ``ReplicaPool.submit``
+→ ``InferenceServer`` worker, and each layer stamps spans:
+
+====================  ====================================================
+span                  meaning
+====================  ====================================================
+``decode``            payload bytes -> tensors at the gateway
+``queue_wait``        submit until a worker popped the request
+``batch_form``        worker pop until the batch was sealed
+``execute``           the batch function (engine) call
+``encode``            outputs -> JSON response at the gateway
+====================  ====================================================
+
+Spans carry absolute clock readings internally but :meth:`Trace.as_dict`
+reports offsets relative to the trace start (``start_ms``/``dur_ms``),
+so dumps are readable and stable across clock bases. Span stamping is
+append-under-lock only — no blocking beyond a ``threading.Lock`` that is
+uncontended in practice (one request's spans come from at most two
+threads, and never simultaneously).
+
+:class:`TraceBuffer` is the bounded ring the gateway records finished
+traces into; ``GET /v1/traces`` and ``repro trace`` read it back,
+slowest-first if asked.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+
+_REQUEST_COUNTER = itertools.count()
+
+
+def new_request_id() -> str:
+    """Process-unique, time-sortable request id (``req-<hex>-<n>``)."""
+    # os.urandom keeps ids unguessable across processes without needing
+    # uuid; the counter disambiguates within the process.
+    return f"req-{os.urandom(4).hex()}-{next(_REQUEST_COUNTER)}"
+
+
+class Trace:
+    """Span timeline for a single request."""
+
+    __slots__ = ("request_id", "model", "meta", "_clock", "_t0", "_spans", "_lock")
+
+    def __init__(self, request_id: str | None = None, *, model: str | None = None,
+                 clock=time.perf_counter):
+        self.request_id = request_id or new_request_id()
+        self.model = model
+        self.meta: dict = {}
+        self._clock = clock
+        self._t0 = clock()
+        self._spans: list[tuple[str, float, float, dict]] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current reading of this trace's clock (for manual spans)."""
+        return self._clock()
+
+    def add_span(self, name: str, start: float, end: float, **attrs) -> None:
+        """Record a span from absolute clock readings."""
+        with self._lock:
+            self._spans.append((name, start, end, attrs))
+
+    def span(self, name: str, **attrs):
+        """Context manager: time a block as one span."""
+        return _SpanTimer(self, name, attrs)
+
+    def annotate(self, **meta) -> None:
+        """Attach request-level metadata (model, cache hit, status...)."""
+        with self._lock:
+            self.meta.update(meta)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> list[dict]:
+        with self._lock:
+            items = list(self._spans)
+        t0 = self._t0
+        out = []
+        for name, start, end, attrs in items:
+            span = {
+                "name": name,
+                "start_ms": (start - t0) * 1e3,
+                "dur_ms": (end - start) * 1e3,
+            }
+            if attrs:
+                span.update(attrs)
+            out.append(span)
+        out.sort(key=lambda s: s["start_ms"])
+        return out
+
+    def total_ms(self) -> float:
+        """Trace start to the latest span end (0 when no spans)."""
+        with self._lock:
+            if not self._spans:
+                return 0.0
+            return (max(end for _, _, end, _ in self._spans) - self._t0) * 1e3
+
+    def as_dict(self) -> dict:
+        d = {
+            "request_id": self.request_id,
+            "model": self.model,
+            "total_ms": self.total_ms(),
+            "spans": self.spans(),
+        }
+        with self._lock:
+            if self.meta:
+                d.update(self.meta)
+        return d
+
+    def compact(self) -> str:
+        """One-line form for the ``X-Trace`` response header."""
+        parts = [f"id={self.request_id}", f"total={self.total_ms():.2f}ms"]
+        parts.extend(f"{s['name']}={s['dur_ms']:.2f}ms" for s in self.spans())
+        return ";".join(parts)
+
+
+class _SpanTimer:
+    __slots__ = ("_trace", "_name", "_attrs", "_start")
+
+    def __init__(self, trace: Trace, name: str, attrs: dict):
+        self._trace = trace
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self):
+        self._start = self._trace.now()
+        return self
+
+    def __exit__(self, *exc):
+        self._trace.add_span(
+            self._name, self._start, self._trace.now(), **self._attrs
+        )
+        return False
+
+
+class TraceBuffer:
+    """Bounded ring of finished traces, queryable newest- or slowest-first."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, trace: Trace | dict) -> dict:
+        d = trace.as_dict() if isinstance(trace, Trace) else dict(trace)
+        with self._lock:
+            self._ring.append(d)
+            self._recorded += 1
+        return d
+
+    def tail(self, n: int = 20) -> list[dict]:
+        """Newest N traces, oldest first."""
+        with self._lock:
+            items = list(self._ring)
+        return items[max(0, len(items) - n):]
+
+    def slowest(self, n: int = 10) -> list[dict]:
+        """Retained traces sorted by total latency, slowest first."""
+        with self._lock:
+            items = list(self._ring)
+        items.sort(key=lambda d: d.get("total_ms", 0.0), reverse=True)
+        return items[:n]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total traces ever recorded (including evicted ones)."""
+        with self._lock:
+            return self._recorded

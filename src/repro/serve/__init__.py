@@ -34,8 +34,12 @@
 - :mod:`repro.serve.bench` — sequential vs dynamically-batched throughput
   comparison used by ``repro bench-serve`` and
   ``benchmarks/bench_serve_throughput.py``.
+- :mod:`repro.serve.instrument` — :class:`ServeMetrics`: the serve
+  stack's Prometheus metric catalog (declared on the shared
+  :class:`repro.obs.Observability` hub) plus its event-bus and
+  scrape-time wiring; :data:`REQUIRED_FAMILIES` is the CI contract.
 
-See ``docs/serving.md`` for the design.
+See ``docs/serving.md`` and ``docs/observability.md`` for the design.
 """
 
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
@@ -52,6 +56,7 @@ from repro.serve.client import (
 from repro.serve.faults import FaultInjected, FaultPlan, FaultSpec
 from repro.serve.gateway import Gateway, GatewayError, ResponseCache, serve_gateway
 from repro.serve.health import HealthPolicy, Supervisor, pool_health
+from repro.serve.instrument import REQUIRED_FAMILIES, ServeMetrics
 from repro.serve.registry import (
     CanaryPolicy,
     ModelEntry,
@@ -110,4 +115,6 @@ __all__ = [
     "serve_model",
     "format_comparison",
     "throughput_comparison",
+    "ServeMetrics",
+    "REQUIRED_FAMILIES",
 ]

@@ -42,12 +42,13 @@ import threading
 import time
 from dataclasses import asdict, dataclass
 
+from repro.obs.events import EventBus
 from repro.serve.server import ServerClosed
 from repro.utils.log import get_logger
 
 logger = get_logger("autoscale")
 
-#: Keep at most this many events in memory; ``stats()`` returns the tail.
+#: Ring capacity for a standalone autoscaler's private event bus.
 MAX_EVENTS = 256
 
 
@@ -115,6 +116,10 @@ class Autoscaler:
         Model name, for thread naming and logs.
     clock:
         Monotonic clock, injectable for deterministic tests.
+    events:
+        Shared :class:`~repro.obs.EventBus` to publish actions to
+        (``source="autoscaler"``, ``model=name``). A standalone
+        autoscaler gets a private bus so ``events()`` keeps working.
     """
 
     def __init__(
@@ -124,15 +129,16 @@ class Autoscaler:
         *,
         name: str = "",
         clock=time.monotonic,
+        events: EventBus | None = None,
     ):
         self.pool_fn = pool_fn
         self.policy = policy
         self.name = name
         self._clock = clock
-        self._lock = threading.Lock()  # guards events/counters/last_error
+        self._lock = threading.Lock()  # guards counters/last_error
         self._stop_evt = threading.Event()
         self._thread: threading.Thread | None = None
-        self._events: list[dict] = []
+        self._bus = events if events is not None else EventBus(MAX_EVENTS)
         self._last_scale_ts: float | None = None
         self.scale_ups = 0
         self.scale_downs = 0
@@ -224,16 +230,11 @@ class Autoscaler:
         return None
 
     def _record(self, action: str, old: int, new: int, load: int) -> None:
-        event = {
-            "action": action,
-            "from": old,
-            "to": new,
-            "load": int(load),
-            "unix": time.time(),
-        }
+        self._bus.publish(
+            "autoscaler", action, model=self.name or None,
+            action=action, load=int(load), **{"from": old, "to": new},
+        )
         with self._lock:
-            self._events.append(event)
-            del self._events[:-MAX_EVENTS]
             if new > old:
                 self.scale_ups += 1
             else:
@@ -246,11 +247,13 @@ class Autoscaler:
     # introspection
     # ------------------------------------------------------------------
     def events(self) -> list[dict]:
-        with self._lock:
-            return list(self._events)
+        """This autoscaler's actions, oldest first (bus-backed)."""
+        return self._bus.events(source="autoscaler", model=self.name or None)
 
     def stats(self, *, tail: int = 20) -> dict:
         """JSON-ready snapshot for ``/stats``."""
+        # tail=0 means "no events" ([-0:] would be the full list)
+        events = self.events()[-tail:] if tail > 0 else []
         with self._lock:
             return {
                 "running": self.running,
@@ -258,7 +261,6 @@ class Autoscaler:
                 "ticks": self.ticks,
                 "scale_ups": self.scale_ups,
                 "scale_downs": self.scale_downs,
-                # tail=0 means "no events" ([-0:] would be the full list)
-                "events": list(self._events[-tail:]) if tail > 0 else [],
+                "events": events,
                 "last_error": self.last_error,
             }

@@ -22,6 +22,12 @@ exactly as before:
 - ``deadline_s=...`` on :meth:`GatewayClient.predict` bounds the *whole*
   call — attempts, backoffs, and all; a backoff that would overrun the
   deadline raises :class:`DeadlineExceeded` instead of sleeping.
+
+Observability (PR 7): ``predict(request_id=..., trace=True)`` propagates
+``X-Request-Id`` and asks for the span timeline inline;
+:meth:`GatewayClient.metrics_text`, :meth:`GatewayClient.traces`, and
+:meth:`GatewayClient.events` wrap the ``/metrics``, ``/v1/traces``, and
+``/v1/events`` endpoints.
 """
 
 from __future__ import annotations
@@ -235,18 +241,21 @@ class GatewayClient:
     # ------------------------------------------------------------------
     def _request(
         self, method: str, path: str, body: dict | None = None,
-        timeout_s: float | None = None,
-    ) -> dict:
+        timeout_s: float | None = None, headers: dict | None = None,
+        raw: bool = False,
+    ):
         data = json.dumps(body).encode() if body is not None else None
+        hdrs = {"Content-Type": "application/json"} if data else {}
+        if headers:
+            hdrs.update(headers)
         req = urllib.request.Request(
-            f"{self.url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            f"{self.url}{path}", data=data, method=method, headers=hdrs,
         )
         try:
             timeout = self.timeout_s if timeout_s is None else timeout_s
             with urllib.request.urlopen(req, timeout=timeout) as resp:
+                if raw:
+                    return resp.read().decode()
                 return json.loads(resp.read())
         except urllib.error.HTTPError as exc:
             try:
@@ -260,7 +269,10 @@ class GatewayClient:
         with self._rng_lock:  # one shared seeded stream, race-free
             return policy.delay_s(attempt, self._rng)
 
-    def _resilient_post(self, path: str, body: dict, deadline_s: float | None) -> dict:
+    def _resilient_post(
+        self, path: str, body: dict, deadline_s: float | None,
+        headers: dict | None = None,
+    ) -> dict:
         """Predict's retry loop: breaker gate, bounded attempts, deadline."""
         policy = self.retry if self.retry is not None else RetryPolicy(max_attempts=1)
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
@@ -279,7 +291,12 @@ class GatewayClient:
                     )
                 timeout_s = min(self.timeout_s, remaining)
             try:
-                response = self._request("POST", path, body, timeout_s=timeout_s)
+                # headers only when set, so test doubles with the old
+                # _request signature keep working
+                extra = {"headers": headers} if headers else {}
+                response = self._request(
+                    "POST", path, body, timeout_s=timeout_s, **extra
+                )
             except GatewayHTTPError as exc:
                 # 429/5xx are the gateway failing; 4xx is this caller's
                 # bug and must not poison the shared breaker.
@@ -319,8 +336,29 @@ class GatewayClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition text from ``GET /metrics``."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def traces(self, *, sort: str = "recent", limit: int = 20) -> dict:
+        """Recorded request traces (``sort`` is ``recent`` or ``slowest``)."""
+        return self._request("GET", f"/v1/traces?sort={sort}&limit={limit}")
+
+    def events(self, *, source: str | None = None, model: str | None = None,
+               event: str | None = None, limit: int | None = None) -> dict:
+        """Filtered view of the shared event bus (``GET /v1/events``)."""
+        params = [
+            f"{k}={v}"
+            for k, v in (("source", source), ("model", model),
+                         ("event", event), ("limit", limit))
+            if v is not None
+        ]
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/v1/events{query}")
+
     def predict(self, name: str, inputs, *, raw: bool = False,
-                deadline_s: float | None = None):
+                deadline_s: float | None = None, request_id: str | None = None,
+                trace: bool = False):
         """POST one prediction; returns the outputs array.
 
         ``inputs`` may be a numpy array, a tuple of arrays (QA), or
@@ -328,13 +366,21 @@ class GatewayClient:
         response dict (model, version, outputs, cached) instead.
         ``deadline_s`` bounds the entire call — every retry attempt and
         backoff included — raising :class:`DeadlineExceeded` past it.
+        ``request_id`` is sent as ``X-Request-Id`` so the gateway's trace
+        carries the caller's id; ``trace=True`` asks the gateway to embed
+        the span timeline in the response body (implies ``raw``-style
+        access — read ``result["trace"]``).
         """
         if isinstance(inputs, (np.ndarray, tuple)):
             inputs = encode_inputs(inputs)
+        body: dict = {"inputs": inputs}
+        if trace:
+            body["trace"] = True
+        headers = {"X-Request-Id": request_id} if request_id else None
         body = self._resilient_post(
-            f"/v1/models/{name}/predict", {"inputs": inputs}, deadline_s
+            f"/v1/models/{name}/predict", body, deadline_s, headers=headers
         )
-        return body if raw else np.asarray(body["outputs"])
+        return body if raw or trace else np.asarray(body["outputs"])
 
     def load(self, name: str, artifact: str, **options) -> dict:
         return self._request(

@@ -51,9 +51,13 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.events import EventBus
 from repro.serve.server import WorkerCrash
 
 FAULT_KINDS = ("crash", "latency", "error", "corrupt")
+
+#: Ring capacity for an unbound plan's private event bus.
+MAX_EVENTS = 256
 
 
 class FaultInjected(RuntimeError):
@@ -131,14 +135,28 @@ class FaultPlan:
     not stall every other replica's bookkeeping).
     """
 
-    def __init__(self, specs: list[FaultSpec] | None = None, *, seed: int = 0):
+    def __init__(self, specs: list[FaultSpec] | None = None, *, seed: int = 0,
+                 events: EventBus | None = None):
         self.specs = list(specs or [])
         self.seed = seed
         self._lock = threading.Lock()
         self._rng = np.random.default_rng(seed)
         self._states = [_SpecState(s) for s in self.specs]
         self._served: dict[int, int] = {}  # replica slot -> requests seen
-        self._events: list[dict] = []
+        self._bus = events if events is not None else EventBus(MAX_EVENTS)
+        self._model: str | None = None
+
+    def bind(self, events: EventBus, *, model: str | None = None) -> None:
+        """Point fired-fault events at a shared bus (call before serving).
+
+        The registry binds each model's plan to the stack-wide bus so
+        injected faults interleave with supervisor/autoscaler actions in
+        ``/v1/events``; an unbound plan keeps its private bus and
+        ``events()`` works the same either way.
+        """
+        with self._lock:
+            self._bus = events
+            self._model = model
 
     # ------------------------------------------------------------------
     # construction from JSON (the CLI hook)
@@ -213,26 +231,29 @@ class FaultPlan:
                     continue
                 state.fired += 1
                 fire.append(state)
-                self._events.append(
-                    {
-                        "kind": spec.kind,
-                        "replica": replica,
-                        "request_index": seen,
-                        "fired": state.fired,
-                        "unix": time.time(),
-                    }
-                )
-            return fire
+            bus, model = self._bus, self._model
+        # publish outside the plan lock: the bus takes its own lock and
+        # runs subscribers (metric bumps) on this thread
+        for state in fire:
+            bus.publish(
+                "faults", state.spec.kind, model=model,
+                kind=state.spec.kind, replica=replica,
+                request_index=seen, fired=state.fired,
+            )
+        return fire
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def events(self) -> list[dict]:
+        """Faults this plan has fired, oldest first (bus-backed)."""
         with self._lock:
-            return list(self._events)
+            bus, model = self._bus, self._model
+        return bus.events(source="faults", model=model)
 
     def stats(self) -> dict:
         """JSON-ready summary (for benches and ``/stats`` debugging)."""
+        events = self.events()
         with self._lock:
             return {
                 "seed": self.seed,
@@ -244,5 +265,5 @@ class FaultPlan:
                     for kind in FAULT_KINDS
                 },
                 "requests_seen": dict(self._served),
-                "events": list(self._events),
+                "events": events,
             }

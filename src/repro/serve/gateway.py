@@ -20,7 +20,20 @@ API surface (all JSON):
                                       auto-rollback)
 ``POST /v1/models/<name>/unload``     drain + remove the model
 ``GET  /stats``                       per-model p50/p99/req-s + health + cache
+``GET  /metrics``                     Prometheus text exposition (see
+                                      docs/observability.md for the catalog)
+``GET  /v1/traces``                   recorded request span timelines
+                                      (``?sort=slowest&limit=N``)
+``GET  /v1/events``                   the shared control-loop event bus
+                                      (``?source=&model=&event=&limit=``)
 ====================================  =======================================
+
+Observability: every predict gets a request ID (inbound ``X-Request-Id``
+honored, else generated) and a span timeline (decode -> queue_wait ->
+batch_form -> execute -> encode) returned in the ``X-Trace`` header; send
+``{"trace": true}`` in the predict body to get the full timeline in the
+response. Construction of traces and per-request metrics is skipped when
+the gateway is built with ``instrument=False``.
 
 Rollout safety: ``/swap`` never 404s/503s concurrent predictions. The
 handler snapshots the entry's (pool, version) pair atomically; if the
@@ -61,15 +74,19 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs
 
 import numpy as np
 
+from repro.obs import PROMETHEUS_CONTENT_TYPE
 from repro.serve.autoscale import AutoscalePolicy
 from repro.serve.faults import FaultPlan
 from repro.serve.health import HealthPolicy, pool_health
+from repro.serve.instrument import ServeMetrics
 from repro.serve.registry import (
     CanaryPolicy,
     ModelEntry,
@@ -158,12 +175,21 @@ class ResponseCache:
 # HTTP plumbing
 # ----------------------------------------------------------------------
 class _JSONResponse(Exception):
-    """Control-flow carrier: any handler step can finalize the response."""
+    """Control-flow carrier: any handler step can finalize the response.
 
-    def __init__(self, status: int, body: dict, headers: dict | None = None):
+    ``text`` switches the response to a raw (non-JSON) body with
+    ``content_type`` — how ``/metrics`` serves the Prometheus text
+    format through the same plumbing.
+    """
+
+    def __init__(self, status: int, body: dict | None, headers: dict | None = None,
+                 *, text: str | None = None,
+                 content_type: str = "application/json"):
         self.status = status
         self.body = body
         self.headers = headers or {}
+        self.text = text
+        self.content_type = content_type
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -174,10 +200,12 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         logger.debug("http %s", format % args)
 
-    def _send(self, status: int, body: dict, headers: dict | None = None) -> None:
-        data = json.dumps(body).encode()
+    def _send(self, status: int, body: dict, headers: dict | None = None,
+              *, text: str | None = None,
+              content_type: str = "application/json") -> None:
+        data = text.encode() if text is not None else json.dumps(body).encode()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         for key, value in (headers or {}).items():
             self.send_header(key, value)
@@ -186,6 +214,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         gateway = self.server.gateway
+        t0 = time.perf_counter()
+        status = 500
+        route_label = "<none>"
         try:
             # Drain the body before any response (404 included): leaving
             # unread bytes in rfile desynchronizes HTTP/1.1 keep-alive —
@@ -225,9 +256,13 @@ class _Handler(BaseHTTPRequestHandler):
                         headers={"Connection": "close"},
                     )
                 raw = self.rfile.read(length) if length else b""
-            route = gateway._route(method, self.path.rstrip("/") or "/")
-            if route is None:
+            path, _, query = self.path.partition("?")
+            routed = gateway._route(
+                method, path.rstrip("/") or "/", query=query, headers=self.headers
+            )
+            if routed is None:
                 raise _JSONResponse(404, {"error": f"no route {method} {self.path}"})
+            route, route_label = routed
             if method == "POST" and raw:
                 try:
                     body = json.loads(raw)
@@ -236,10 +271,17 @@ class _Handler(BaseHTTPRequestHandler):
             route(body)
             raise AssertionError("route returned without a response")  # pragma: no cover
         except _JSONResponse as resp:
-            self._send(resp.status, resp.body, resp.headers)
+            status = resp.status
+            self._send(resp.status, resp.body, resp.headers,
+                       text=resp.text, content_type=resp.content_type)
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             logger.exception("unhandled gateway error")
             self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            if gateway.instrument:
+                gateway.metrics.observe_http(
+                    method, route_label, status, (time.perf_counter() - t0) * 1e3
+                )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("GET")
@@ -273,6 +315,12 @@ class Gateway:
     max_body_bytes:
         Request-body ceiling; a POST declaring more gets a 413 without
         the gateway reading (or buffering) a single body byte.
+    instrument:
+        ``False`` disables per-request observability work (trace
+        construction, request counters/latency observations) — the
+        control knob the ``--obs-overhead`` bench flips to measure
+        instrumentation cost. The metric catalog, event bus, and
+        endpoints stay up either way.
     """
 
     def __init__(
@@ -284,10 +332,14 @@ class Gateway:
         cache_entries: int = 0,
         predict_timeout_s: float = 60.0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        instrument: bool = True,
     ):
         if max_body_bytes < 1:
             raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
         self.registry = registry if registry is not None else ModelRegistry()
+        self.obs = self.registry.obs
+        self.metrics = ServeMetrics.install(self.obs)
+        self.instrument = instrument
         self.cache = ResponseCache(cache_entries) if cache_entries else None
         self.predict_timeout_s = predict_timeout_s
         self.max_body_bytes = max_body_bytes
@@ -341,29 +393,45 @@ class Gateway:
     # ------------------------------------------------------------------
     # routing table
     # ------------------------------------------------------------------
-    def _route(self, method: str, path: str):
+    def _route(self, method: str, path: str, *, query: str = "", headers=None):
+        """Resolve ``(handler, route_label)`` or ``None``.
+
+        ``route_label`` is the low-cardinality route *template* (model
+        names collapsed to ``{name}``) used as the metrics label — raw
+        paths would mint a counter child per model per typo.
+        """
         if method == "GET":
             if path == "/healthz":
-                return self._get_healthz
+                return self._get_healthz, path
             if path == "/stats":
-                return self._get_stats
+                return self._get_stats, path
+            if path == "/metrics":
+                return self._get_metrics, path
+            if path == "/v1/traces":
+                return (lambda body: self._get_traces(query)), path
+            if path == "/v1/events":
+                return (lambda body: self._get_events(query)), path
             if path == "/v1/models":
-                return self._get_models
+                return self._get_models, path
             if path.startswith("/v1/models/") and path.count("/") == 3:
                 name = path.rsplit("/", 1)[1]
-                return lambda body: self._get_model(name)
+                return (lambda body: self._get_model(name)), "/v1/models/{name}"
         elif method == "POST" and path.startswith("/v1/models/"):
             parts = path.split("/")  # ['', 'v1', 'models', name, action]
             if len(parts) == 5:
                 name, action = parts[3], parts[4]
+                if action == "predict":
+                    request_id = (headers or {}).get("X-Request-Id")
+                    return (
+                        lambda body: self._post_predict(name, body, request_id=request_id)
+                    ), "/v1/models/{name}/predict"
                 handler = {
-                    "predict": self._post_predict,
                     "load": self._post_load,
                     "swap": self._post_swap,
                     "unload": self._post_unload,
                 }.get(action)
                 if handler is not None:
-                    return lambda body: handler(name, body)
+                    return (lambda body: handler(name, body)), f"/v1/models/{{name}}/{action}"
         return None
 
     # ------------------------------------------------------------------
@@ -416,14 +484,87 @@ class Gateway:
         payload = {"models": models}
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
+        payload["events"] = self.obs.events.stats()
         raise _JSONResponse(200, payload)
 
-    def _post_predict(self, name: str, body):
+    def _get_metrics(self, body=None):
+        """Prometheus text exposition of the full serve metric catalog."""
+        self.metrics.sync(self.registry, cache=self.cache)
+        raise _JSONResponse(
+            200, None,
+            text=self.obs.metrics.render(),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def _get_traces(self, query: str = ""):
+        """Recorded request traces. ``?sort=slowest&limit=N`` supported."""
+        params = parse_qs(query)
+        try:
+            limit = int(params.get("limit", ["20"])[0])
+        except ValueError:
+            raise _JSONResponse(400, {"error": "limit must be an integer"})
+        sort = params.get("sort", ["recent"])[0]
+        if sort not in ("recent", "slowest"):
+            raise _JSONResponse(400, {"error": 'sort must be "recent" or "slowest"'})
+        buf = self.obs.traces
+        traces = buf.slowest(limit) if sort == "slowest" else buf.tail(limit)
+        raise _JSONResponse(
+            200,
+            {"traces": traces, "retained": len(buf), "recorded": buf.recorded},
+        )
+
+    def _get_events(self, query: str = ""):
+        """The shared event bus: ``?source=&model=&event=&limit=`` filters."""
+        params = parse_qs(query)
+        try:
+            limit = int(params.get("limit", ["100"])[0])
+        except ValueError:
+            raise _JSONResponse(400, {"error": "limit must be an integer"})
+        events = self.obs.events.events(
+            source=params.get("source", [None])[0],
+            model=params.get("model", [None])[0],
+            event=params.get("event", [None])[0],
+            limit=limit,
+        )
+        raise _JSONResponse(
+            200, {"events": events, "bus": self.obs.events.stats()}
+        )
+
+    def _predict_finish(self, name, trace, want_trace, outcome, t0, status,
+                        resp_body, headers=None):
+        """Record per-request observability, then raise the response.
+
+        Every predict exit path funnels through here so the per-model
+        counters/latency and the trace ring see rejected/failed requests
+        too, not just the happy path.
+        """
+        headers = dict(headers or {})
+        if self.instrument:
+            self.metrics.observe_predict(
+                name, outcome, (time.perf_counter() - t0) * 1e3
+            )
+        if trace is not None:
+            trace.annotate(outcome=outcome, status=status)
+            headers["X-Request-Id"] = trace.request_id
+            headers["X-Trace"] = trace.compact()
+            self.obs.traces.record(trace)
+            if want_trace and isinstance(resp_body, dict):
+                resp_body = {**resp_body, "trace": trace.as_dict()}
+        raise _JSONResponse(status, resp_body, headers)
+
+    def _post_predict(self, name: str, body, request_id: str | None = None):
+        t0 = time.perf_counter()
         entry = self._entry_or_404(name)
         if not isinstance(body, dict) or "inputs" not in body:
             raise _JSONResponse(400, {"error": 'predict body must be {"inputs": ...}'})
+        want_trace = bool(body.get("trace"))
+        trace = self.obs.trace(request_id, model=name) if self.instrument else None
         try:
-            payload = entry.decode(body["inputs"])
+            if trace is not None:
+                with trace.span("decode"):
+                    payload = entry.decode(body["inputs"])
+            else:
+                payload = entry.decode(body["inputs"])
         except (ValueError, TypeError) as exc:
             raise _JSONResponse(400, {"error": f"cannot decode inputs: {exc}"})
 
@@ -447,13 +588,16 @@ class Gateway:
                 key = ResponseCache.key(entry, payload, version=version)
                 cached = self.cache.get(key)
                 if cached is not None:
-                    raise _JSONResponse(200, {**cached, "cached": True})
+                    self._predict_finish(
+                        name, trace, want_trace, "cached", t0, 200,
+                        {**cached, "cached": True},
+                    )
             try:
-                handle = pool.submit(payload, block=False)
+                handle = pool.submit(payload, block=False, trace=trace)
                 break
             except ServerOverloaded as exc:
-                raise _JSONResponse(
-                    429,
+                self._predict_finish(
+                    name, trace, False, "rejected", t0, 429,
                     {"error": f"model {name!r} overloaded: {exc}"},
                     headers={"Retry-After": "1"},
                 )
@@ -464,38 +608,49 @@ class Gateway:
                 continue
         else:
             if unavailable is not None:
-                raise _JSONResponse(
-                    503,
+                self._predict_finish(
+                    name, trace, False, "unavailable", t0, 503,
                     {"error": f"model {name!r} has no healthy replicas: {unavailable}"},
                     headers={"Retry-After": "1"},
                 )
-            raise _JSONResponse(404, {"error": f"model {name!r} was unloaded"})
+            self._predict_finish(
+                name, trace, False, "unloaded", t0, 404,
+                {"error": f"model {name!r} was unloaded"},
+            )
         try:
             result = handle.wait(self.predict_timeout_s)
         except ServerClosed as exc:
             # A retired pool or a replica crash resolved the in-flight
             # request; either way the model is still registered and a
             # retry lands on a live replica (or a restarted one).
-            raise _JSONResponse(
-                503,
+            self._predict_finish(
+                name, trace, False, "dropped", t0, 503,
                 {"error": f"model {name!r} dropped the request: {exc}"},
                 headers={"Retry-After": "1"},
             )
         except TimeoutError:
-            raise _JSONResponse(
-                504, {"error": f"inference exceeded {self.predict_timeout_s}s"}
+            self._predict_finish(
+                name, trace, False, "timeout", t0, 504,
+                {"error": f"inference exceeded {self.predict_timeout_s}s"},
             )
         except Exception as exc:  # noqa: BLE001 - worker error -> client
-            raise _JSONResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._predict_finish(
+                name, trace, False, "error", t0, 500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+            )
 
-        response = {
-            "model": entry.name,
-            "version": version,
-            "outputs": np.asarray(result).tolist(),
-        }
+        if trace is not None:
+            with trace.span("encode"):
+                outputs = np.asarray(result).tolist()
+            trace.annotate(version=version)
+        else:
+            outputs = np.asarray(result).tolist()
+        response = {"model": entry.name, "version": version, "outputs": outputs}
         if self.cache is not None:
             self.cache.put(key, response)
-        raise _JSONResponse(200, {**response, "cached": False})
+        self._predict_finish(
+            name, trace, want_trace, "ok", t0, 200, {**response, "cached": False}
+        )
 
     def _post_load(self, name: str, body):
         if not isinstance(body, dict) or "artifact" not in body:
@@ -611,9 +766,12 @@ class Gateway:
 def _stats_dict(entry: ModelEntry) -> dict:
     """JSON-ready per-model serving stats for ``/stats``.
 
-    Note the counters reset at a hot swap: stats come from the serving
-    pool, and a swap flips in a fresh one. The ``swaps`` history (and
-    autoscale events) carry the cross-rollout story instead.
+    The top-level counters are the *serving interval* view: they come
+    from the current pool, so a hot swap (which flips in a fresh pool)
+    resets them. The ``cumulative`` block is the lifetime view — the
+    registry entry absorbs every retired pool's totals at swap time, so
+    those counters survive rollouts (and match ``model_*_total`` on
+    ``/metrics``).
     """
     pool, version = entry.snapshot()
     s = pool.stats()
@@ -630,6 +788,9 @@ def _stats_dict(entry: ModelEntry) -> dict:
         "mean_batch_size": s.mean_batch_size,
         "queue_depth": s.queue_depth,
         "in_flight": s.in_flight,
+        "queue_wait_hist": s.queue_wait_hist,
+        "batch_size_hist": s.batch_size_hist,
+        "cumulative": entry.cumulative(),
         "swaps": list(entry.history),
         "health": pool_health(pool, entry.supervisor),
     }
@@ -651,6 +812,7 @@ def serve_gateway(
     autoscale: AutoscalePolicy | dict | None = None,
     health: HealthPolicy | dict | None = None,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    instrument: bool = True,
     **server_kwargs,
 ) -> Gateway:
     """One call from artifact directories to a started gateway.
@@ -663,7 +825,7 @@ def serve_gateway(
     """
     gateway = Gateway(
         port=port, host=host, cache_entries=cache_entries,
-        max_body_bytes=max_body_bytes,
+        max_body_bytes=max_body_bytes, instrument=instrument,
     )
     try:
         for name, path in models.items():

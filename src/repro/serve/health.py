@@ -40,13 +40,14 @@ import threading
 import time
 from dataclasses import asdict, dataclass, field
 
+from repro.obs.events import EventBus
 from repro.serve.replica import NoHealthyReplicas, ReplicaPool
 from repro.serve.server import InferenceServer, ServerClosed, ServerOverloaded
 from repro.utils.log import get_logger
 
 logger = get_logger("health")
 
-#: Keep at most this many supervisor events; ``stats()`` returns the tail.
+#: Ring capacity for a standalone supervisor's private event bus.
 MAX_EVENTS = 256
 
 #: Replica states as reported by ``stats()``/``/healthz``.
@@ -155,6 +156,10 @@ class Supervisor:
         Model name for thread naming and logs.
     clock:
         Monotonic clock, injectable for deterministic tests.
+    events:
+        Shared :class:`~repro.obs.EventBus` to publish actions to
+        (``source="supervisor"``, ``model=name``). A standalone
+        supervisor gets a private bus so ``events()`` keeps working.
     """
 
     def __init__(
@@ -165,6 +170,7 @@ class Supervisor:
         probe_fn=None,
         name: str = "",
         clock=time.monotonic,
+        events: EventBus | None = None,
     ):
         self.pool_fn = pool_fn
         self.policy = policy
@@ -190,7 +196,7 @@ class Supervisor:
         self.probe_failures = 0
         self.ticks = 0
         self.last_error: str | None = None
-        self._events: list[dict] = []
+        self._bus = events if events is not None else EventBus(MAX_EVENTS)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -413,15 +419,14 @@ class Supervisor:
     # introspection
     # ------------------------------------------------------------------
     def _record_event(self, action: str, rec: _ReplicaRecord, **extra) -> None:
-        event = {"action": action, "replica": rec.server.slot, "unix": time.time()}
-        event.update(extra)
-        with self._lock:
-            self._events.append(event)
-            del self._events[:-MAX_EVENTS]
+        self._bus.publish(
+            "supervisor", action, model=self.name or None,
+            action=action, replica=rec.server.slot, **extra,
+        )
 
     def events(self) -> list[dict]:
-        with self._lock:
-            return list(self._events)
+        """This supervisor's actions, oldest first (bus-backed)."""
+        return self._bus.events(source="supervisor", model=self.name or None)
 
     def replica_states(self) -> list[dict]:
         """Per-replica health as last judged (supervisor view)."""
@@ -438,6 +443,7 @@ class Supervisor:
 
     def stats(self, *, tail: int = 20) -> dict:
         """JSON-ready snapshot for ``/stats`` and ``/healthz``."""
+        events = self.events()[-tail:] if tail > 0 else []
         with self._lock:
             return {
                 "running": self.running,
@@ -449,7 +455,7 @@ class Supervisor:
                 "probes_sent": self.probes_sent,
                 "probe_failures": self.probe_failures,
                 "gave_up": self._gave_up,
-                "events": list(self._events[-tail:]) if tail > 0 else [],
+                "events": events,
                 "last_error": self.last_error,
             }
 

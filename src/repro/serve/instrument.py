@@ -1,0 +1,251 @@
+"""The serve stack's metric families and their wiring to live objects.
+
+:class:`ServeMetrics` is the bridge between the generic
+:class:`~repro.obs.MetricsRegistry` and the serving code: it declares
+every family the gateway exports (all upfront, so ``/metrics`` shows
+``# HELP``/``# TYPE`` for the full catalog even before traffic),
+subscribes to the shared event bus to turn control-loop events into
+counters, and knows how to sync scrape-time gauges (pool sizes, queue
+depths) and swap-surviving cumulative counters from the registry.
+
+Split of responsibilities:
+
+- **per-request** counters/histograms are bumped inline by the gateway
+  handler (cheap: one child-lock acquire each);
+- **event-derived** counters (autoscale/supervisor/swap/fault actions)
+  are bumped by the bus subscription — event publish rates are control-
+  loop rates, never request rates;
+- **state** gauges and cumulative totals are computed at scrape time in
+  :meth:`sync` — scrapes are rare, so walking the registry there costs
+  the hot path nothing.
+
+The catalog itself is documented in docs/observability.md; the CI
+gateway smoke asserts :data:`REQUIRED_FAMILIES` all appear in a scrape.
+"""
+
+from __future__ import annotations
+
+from repro.obs import DEFAULT_BATCH_BUCKETS, Observability
+
+#: Families the CI smoke requires in every ``/metrics`` scrape.
+REQUIRED_FAMILIES = (
+    "gateway_requests_total",
+    "gateway_request_latency_ms",
+    "model_requests_total",
+    "model_request_latency_ms",
+    "model_completed_total",
+    "model_errors_total",
+    "pool_replicas",
+    "pool_healthy_replicas",
+    "pool_queue_depth",
+    "pool_in_flight",
+    "model_queue_wait_ms",
+    "model_batch_size",
+    "autoscale_actions_total",
+    "supervisor_actions_total",
+    "swaps_total",
+    "faults_injected_total",
+    "events_published_total",
+    "events_dropped_total",
+    "traces_recorded_total",
+    "cache_hits_total",
+    "cache_misses_total",
+)
+
+
+class ServeMetrics:
+    """Declares the serve metric catalog on an :class:`Observability` hub."""
+
+    def __init__(self, obs: Observability):
+        self.obs = obs
+        m = obs.metrics
+        # -- per-request (gateway handler, hot path) --------------------
+        self.http_requests = m.counter(
+            "gateway_requests_total",
+            "HTTP requests handled, by method/route/status.",
+            labels=("method", "route", "status"),
+        )
+        self.http_latency = m.histogram(
+            "gateway_request_latency_ms",
+            "End-to-end HTTP request latency (ms).",
+        )
+        self.model_requests = m.counter(
+            "model_requests_total",
+            "Predict requests per model, by outcome (ok/error/cached/...).",
+            labels=("model", "outcome"),
+        )
+        self.model_latency = m.histogram(
+            "model_request_latency_ms",
+            "Predict latency per model, gateway-observed (ms).",
+            labels=("model",),
+        )
+        # -- event-derived (bus subscription) ---------------------------
+        self.autoscale_actions = m.counter(
+            "autoscale_actions_total",
+            "Autoscaler decisions, by model and action.",
+            labels=("model", "action"),
+        )
+        self.supervisor_actions = m.counter(
+            "supervisor_actions_total",
+            "Supervisor decisions (restarts, quarantines...), by model and action.",
+            labels=("model", "action"),
+        )
+        self.swaps = m.counter(
+            "swaps_total",
+            "Hot swaps, by model and outcome (promoted/rolled_back).",
+            labels=("model", "outcome"),
+        )
+        self.faults = m.counter(
+            "faults_injected_total",
+            "Injected faults fired, by model and kind.",
+            labels=("model", "kind"),
+        )
+        self.events_published = m.counter(
+            "events_published_total",
+            "Events published to the shared bus, by source.",
+            labels=("source",),
+        )
+        # -- scrape-time state (sync) -----------------------------------
+        self.events_dropped = m.counter(
+            "events_dropped_total", "Events evicted from the bounded bus ring."
+        )
+        self.traces_recorded = m.counter(
+            "traces_recorded_total", "Request traces recorded (including evicted)."
+        )
+        self.pool_replicas = m.gauge(
+            "pool_replicas", "Replicas in the serving pool.", labels=("model",)
+        )
+        self.pool_healthy = m.gauge(
+            "pool_healthy_replicas",
+            "Replicas currently routable (alive, not quarantined).",
+            labels=("model",),
+        )
+        self.pool_queue_depth = m.gauge(
+            "pool_queue_depth", "Queued (not yet picked up) requests.", labels=("model",)
+        )
+        self.pool_in_flight = m.gauge(
+            "pool_in_flight", "Requests picked up and executing.", labels=("model",)
+        )
+        self.model_completed = m.counter(
+            "model_completed_total",
+            "Lifetime completed requests per model (survives hot swaps).",
+            labels=("model",),
+        )
+        self.model_errors = m.counter(
+            "model_errors_total",
+            "Lifetime errored requests per model (survives hot swaps).",
+            labels=("model",),
+        )
+        self.model_queue_wait = m.histogram(
+            "model_queue_wait_ms",
+            "Server-side queue wait per request (ms), serving pool interval.",
+            labels=("model",),
+        )
+        self.model_batch_size = m.histogram(
+            "model_batch_size",
+            "Executed batch sizes, serving pool interval.",
+            labels=("model",),
+            buckets=DEFAULT_BATCH_BUCKETS,
+        )
+        self.cache_hits = m.counter(
+            "cache_hits_total", "Response-cache hits."
+        )
+        self.cache_misses = m.counter(
+            "cache_misses_total", "Response-cache misses."
+        )
+        obs.events.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def install(cls, obs: Observability) -> "ServeMetrics":
+        """Get-or-create the bridge for ``obs`` (idempotent: one bus
+        subscription and one family set per hub, however many gateways
+        share it)."""
+        bridge = getattr(obs, "_serve_metrics", None)
+        if bridge is None:
+            bridge = cls(obs)
+            obs._serve_metrics = bridge
+        return bridge
+
+    # ------------------------------------------------------------------
+    # hot-path hooks (gateway handler)
+    # ------------------------------------------------------------------
+    def observe_http(self, method: str, route: str, status: int,
+                     latency_ms: float) -> None:
+        self.http_requests.labels(method=method, route=route, status=status).inc()
+        self.http_latency.observe(latency_ms)
+
+    def observe_predict(self, model: str, outcome: str, latency_ms: float) -> None:
+        self.model_requests.labels(model=model, outcome=outcome).inc()
+        self.model_latency.labels(model=model).observe(latency_ms)
+
+    # ------------------------------------------------------------------
+    # bus subscription
+    # ------------------------------------------------------------------
+    def _on_event(self, event: dict) -> None:
+        source = event["source"]
+        model = event.get("model") or ""
+        self.events_published.labels(source=source).inc()
+        if source == "autoscaler":
+            self.autoscale_actions.labels(model=model, action=event["event"]).inc()
+        elif source == "supervisor":
+            self.supervisor_actions.labels(model=model, action=event["event"]).inc()
+        elif source == "swap":
+            outcome = "rolled_back" if event["event"] == "canary_rollback" else "promoted"
+            self.swaps.labels(model=model, outcome=outcome).inc()
+        elif source == "faults":
+            self.faults.labels(model=model, kind=event.get("kind", event["event"])).inc()
+
+    # ------------------------------------------------------------------
+    # scrape-time sync
+    # ------------------------------------------------------------------
+    def sync(self, registry, cache=None) -> None:
+        """Refresh state gauges and cumulative counters from live objects.
+
+        Called by the gateway right before rendering ``/metrics``.
+        Counters synced here use monotonic ``set_total`` (the underlying
+        totals survive swaps via ``ModelEntry.cumulative``); the
+        queue-wait/batch-size histogram children are rebuilt to mirror
+        the serving pool's interval snapshot (see
+        :meth:`_sync_histogram`).
+        """
+        self.events_dropped.set_total(self.obs.events.dropped)
+        self.traces_recorded.set_total(self.obs.traces.recorded)
+        if cache is not None:
+            cstats = cache.stats()
+            self.cache_hits.set_total(cstats["hits"])
+            self.cache_misses.set_total(cstats["misses"])
+        for entry in registry.models():
+            name = entry.name
+            pool, _ = entry.snapshot()
+            stats = pool.stats()
+            self.pool_replicas.labels(model=name).set(pool.num_replicas)
+            self.pool_healthy.labels(model=name).set(pool.healthy_replicas)
+            self.pool_queue_depth.labels(model=name).set(stats.queue_depth)
+            self.pool_in_flight.labels(model=name).set(stats.in_flight)
+            cum = entry.cumulative()
+            self.model_completed.labels(model=name).set_total(cum["completed"])
+            self.model_errors.labels(model=name).set_total(cum["errors"])
+            self._sync_histogram(
+                self.model_queue_wait.labels(model=name), stats.queue_wait_hist
+            )
+            self._sync_histogram(
+                self.model_batch_size.labels(model=name), stats.batch_size_hist
+            )
+
+    @staticmethod
+    def _sync_histogram(child, snapshot: dict | None) -> None:
+        """Make ``child`` mirror a pool-interval snapshot.
+
+        The pool owns the ground truth (its histograms reset with the
+        serving interval, e.g. at a swap); the registry child is just
+        the exposition copy, so it is rebuilt to match: counts only ever
+        grow within an interval, and a swap legitimately resets them —
+        Prometheus treats a histogram reset like any counter reset.
+        """
+        if snapshot is None:
+            return
+        with child._lock:
+            child._counts = list(snapshot["counts"])
+            child._sum = snapshot["sum"]
+            child._count = snapshot["count"]

@@ -50,6 +50,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import Observability
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.health import HealthPolicy, Supervisor, pool_health
 from repro.serve.replica import ReplicaPool
@@ -213,6 +214,14 @@ class ModelEntry:
     #: ``lock`` that long would stall every predict).
     swap_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     history: list = field(default_factory=list)
+    #: lifetime counters absorbed from retired pools (under ``lock``) —
+    #: what makes per-model totals survive hot swaps. The *serving* pool's
+    #: share is added on read (:meth:`cumulative`), so these fields alone
+    #: only cover pools that have already been drained and retired.
+    cum_completed: int = 0
+    cum_errors: int = 0
+    cum_rejected: int = 0
+    cum_crashes: int = 0
 
     def snapshot(self) -> tuple[ReplicaPool, str]:
         """The current *stable* (pool, version) pair, read atomically.
@@ -271,6 +280,34 @@ class ModelEntry:
     def stats(self) -> ServeStats:
         return self.pool.stats()
 
+    def absorb_pool(self, stats: ServeStats) -> None:
+        """Fold a retired (stopped, drained) pool's counters into the
+        entry's lifetime totals. Called by ``swap`` after the old pool —
+        or a rolled-back canary pool — finishes draining."""
+        with self.lock:
+            self.cum_completed += stats.completed
+            self.cum_errors += stats.errors
+            self.cum_rejected += stats.rejected
+            self.cum_crashes += stats.crashes
+
+    def cumulative(self) -> dict:
+        """Lifetime per-model counters: retired pools + the serving pool.
+
+        This is the swap-surviving view ``/stats`` exposes next to the
+        per-pool (interval) numbers — the fix for the old "counters
+        reset at a hot swap" wart.
+        """
+        pool, _ = self.snapshot()
+        s = pool.stats()
+        with self.lock:
+            return {
+                "completed": self.cum_completed + s.completed,
+                "errors": self.cum_errors + s.errors,
+                "rejected": self.cum_rejected + s.rejected,
+                "crashes": self.cum_crashes + s.crashes,
+                "swaps": sum(1 for h in self.history if h.get("event") == "swap"),
+            }
+
 
 def _make_probe_fn(task: str | None, arch: dict, input_shape) -> Callable | None:
     """A supervisor probe-payload factory, or ``None`` when the model's
@@ -286,11 +323,19 @@ def _make_probe_fn(task: str | None, arch: dict, input_shape) -> Callable | None
 
 
 class ModelRegistry:
-    """Thread-safe name -> :class:`ModelEntry` table."""
+    """Thread-safe name -> :class:`ModelEntry` table.
 
-    def __init__(self) -> None:
+    ``obs`` is the stack's shared :class:`~repro.obs.Observability` hub:
+    every entry's supervisor, autoscaler, and fault plan publishes to
+    ``obs.events``, and swap/canary decisions land there too, so one bus
+    totally orders everything the control loops did. The gateway serves
+    ``obs`` at ``/metrics`` / ``/v1/events`` / ``/v1/traces``.
+    """
+
+    def __init__(self, *, obs: Observability | None = None) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, ModelEntry] = {}
+        self.obs = obs if obs is not None else Observability()
 
     # ------------------------------------------------------------------
     # registration
@@ -346,11 +391,14 @@ class ModelRegistry:
             input_shape=tuple(input_shape) if input_shape else None,
             arch=dict(arch or {}),
         )
+        if fault_plan is not None:
+            fault_plan.bind(self.obs.events, model=name)
         if autoscale is not None:
             # pool_fn re-reads entry.pool so the loop targets whatever
             # pool a hot swap has most recently flipped in.
             entry.autoscaler = Autoscaler(
-                lambda: entry.snapshot()[0], autoscale, name=name
+                lambda: entry.snapshot()[0], autoscale, name=name,
+                events=self.obs.events,
             )
         if health is not None:
             entry.supervisor = Supervisor(
@@ -358,6 +406,7 @@ class ModelRegistry:
                 health,
                 probe_fn=_make_probe_fn(task, dict(arch or {}), entry.input_shape),
                 name=name,
+                events=self.obs.events,
             )
         with self._lock:
             if name in self._entries:
@@ -366,6 +415,9 @@ class ModelRegistry:
                     f"{self._entries[name].version}); unload it first"
                 )
             self._entries[name] = entry
+        self.obs.events.publish(
+            "registry", "load", model=name, version=version, replicas=replicas
+        )
         if start:
             pool.start()
             if entry.autoscaler is not None:
@@ -504,6 +556,8 @@ class ModelRegistry:
             manifest_model = engine.manifest["model"]
             task = engine.task
             batch_fn = model_batch_fn(engine.model)
+            if fault_plan is not None:
+                fault_plan.bind(self.obs.events, model=name)
             new_pool = ReplicaPool(
                 batch_fn,
                 replicas=old_pool.num_replicas,
@@ -549,6 +603,9 @@ class ModelRegistry:
                     replicas_n = new_pool.num_replicas
                     # accepted canary requests resolve before teardown
                     new_pool.stop(drain=True)
+                    # canary requests were real client traffic; they count
+                    # toward the model's lifetime totals
+                    entry.absorb_pool(new_pool.stats())
                     report = SwapReport(
                         name=name,
                         old_version=old_version,
@@ -569,6 +626,11 @@ class ModelRegistry:
                                 "reasons": list(canary_metrics["reasons"]),
                             }
                         )
+                    self.obs.events.publish(
+                        "swap", "canary_rollback", model=name,
+                        reasons=list(canary_metrics["reasons"]),
+                        **{"from": old_version, "to": new_version},
+                    )
                     logger.warning(
                         "canary rollback on %s: %s keeps serving, %s rejected (%s)",
                         name, old_version, new_version,
@@ -591,6 +653,9 @@ class ModelRegistry:
             # handlers that raced the flip and hit the retired pool see
             # ServerClosed and re-route via a fresh entry snapshot.
             old_pool.stop(drain=True)
+            # now frozen: everything the old pool ever served rolls into
+            # the entry's swap-surviving lifetime counters
+            entry.absorb_pool(old_pool.stats())
             report = SwapReport(
                 name=name,
                 old_version=old_version,
@@ -611,6 +676,11 @@ class ModelRegistry:
                         "canary": canary_metrics is not None,
                     }
                 )
+            self.obs.events.publish(
+                "swap", "swap", model=name, duration_s=report.duration_s,
+                canary=canary_metrics is not None,
+                **{"from": old_version, "to": new_version},
+            )
             logger.info(
                 "swapped %s: %s -> %s in %.3fs (%d replicas)",
                 name, old_version, new_version, report.duration_s, report.replicas,
@@ -853,6 +923,7 @@ class ModelRegistry:
         with entry.swap_lock:
             pool, _ = entry.snapshot()
             pool.stop(drain=drain)
+        self.obs.events.publish("registry", "unload", model=name, version=entry.version)
         return entry
 
     def stop_all(self, drain: bool = True) -> None:

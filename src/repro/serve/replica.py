@@ -31,6 +31,7 @@ import threading
 
 import numpy as np
 
+from repro.obs.metrics import Histogram
 from repro.serve.server import (
     InferenceServer,
     PendingResponse,
@@ -242,7 +243,7 @@ class ReplicaPool:
         return live[first:] + live[:first]
 
     def submit(
-        self, payload, *, block: bool = False, timeout: float | None = None
+        self, payload, *, block: bool = False, timeout: float | None = None, trace=None
     ) -> PendingResponse:
         """Route one request to a replica.
 
@@ -252,7 +253,8 @@ class ReplicaPool:
         for up to ``timeout``); :class:`NoHealthyReplicas` means no
         replica was routable at all. Unlike ``InferenceServer.submit``
         the default is non-blocking — pools exist to shed load
-        explicitly.
+        explicitly. ``trace`` is forwarded to the replica that accepts
+        the request (see :meth:`InferenceServer.submit`).
         """
         if not self._running:
             raise ServerClosed("replica pool is not running (call start())")
@@ -265,13 +267,13 @@ class ReplicaPool:
             )
         for server in ordered:
             try:
-                return server.submit(payload, block=False)
+                return server.submit(payload, block=False, trace=trace)
             except ServerOverloaded:
                 continue
             except ServerClosed:
                 continue  # replica being removed; try the rest
         if block:
-            return ordered[0].submit(payload, block=True, timeout=timeout)
+            return ordered[0].submit(payload, block=True, timeout=timeout, trace=trace)
         raise ServerOverloaded(
             f"all {len(ordered)} replica queues are full; retry later"
         )
@@ -321,6 +323,12 @@ class ReplicaPool:
             queue_depth=sum(s.queue_depth for s in per),
             in_flight=sum(s.in_flight for s in per),
             crashes=sum(s.crashes for s in per),
+            queue_wait_hist=Histogram.merged(
+                [s.queue_wait_hist for s in per if s.queue_wait_hist]
+            ),
+            batch_size_hist=Histogram.merged(
+                [s.batch_size_hist for s in per if s.batch_size_hist]
+            ),
         )
 
     def health_state(self) -> str:

@@ -30,6 +30,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import (
+    DEFAULT_BATCH_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+)
+
 _malloc_tuned = False
 
 
@@ -99,6 +105,11 @@ class ServeStats:
     queue_depth: int = 0
     in_flight: int = 0
     crashes: int = 0
+    #: :meth:`repro.obs.Histogram.snapshot` of per-request queue wait
+    #: (submit -> worker pickup, ms); ``None`` before any request.
+    queue_wait_hist: dict | None = None
+    #: :meth:`repro.obs.Histogram.snapshot` of executed batch sizes.
+    batch_size_hist: dict | None = None
 
     def format(self) -> str:
         return (
@@ -114,14 +125,16 @@ class ServeStats:
 
 
 class _Request:
-    __slots__ = ("payload", "done", "result", "error", "t_submit")
+    __slots__ = ("payload", "done", "result", "error", "t_submit", "t_pickup", "trace")
 
-    def __init__(self, payload):
+    def __init__(self, payload, trace=None):
         self.payload = payload
         self.done = threading.Event()
         self.result = None
         self.error: BaseException | None = None
         self.t_submit = time.perf_counter()
+        self.t_pickup: float | None = None  # stamped when a worker pops it
+        self.trace = trace  # optional repro.obs.Trace to stamp spans onto
 
 
 class PendingResponse:
@@ -161,6 +174,16 @@ class _StatsAccumulator:
     in_flight: int = 0
     t_start: float | None = None
     t_stop: float | None = None
+    # Distribution views sourced from the same primitive the metrics
+    # registry uses; they reset with the interval like every field here.
+    # Histograms carry their own lock, so workers observe without
+    # holding ``lock``.
+    queue_wait: Histogram = field(
+        default_factory=lambda: Histogram(DEFAULT_LATENCY_BUCKETS_MS)
+    )
+    batch_size: Histogram = field(
+        default_factory=lambda: Histogram(DEFAULT_BATCH_BUCKETS)
+    )
 
 
 class InferenceServer:
@@ -310,16 +333,20 @@ class InferenceServer:
     # client API
     # ------------------------------------------------------------------
     def submit(
-        self, payload, *, block: bool = True, timeout: float | None = None
+        self, payload, *, block: bool = True, timeout: float | None = None, trace=None
     ) -> PendingResponse:
         """Enqueue one request; returns a handle to ``wait()`` on.
 
         When the queue is full: ``block=True`` waits (up to ``timeout``),
         ``block=False`` raises :class:`ServerOverloaded` immediately.
+
+        ``trace`` (a :class:`repro.obs.Trace`) rides along with the
+        request; the worker stamps ``queue_wait``/``batch_form``/
+        ``execute`` spans onto it. Untraced requests pay nothing.
         """
         if not self._running:
             raise ServerClosed("server is not running (call start() or use as a context manager)")
-        req = _Request(payload)
+        req = _Request(payload, trace)
         try:
             self._queue.put(req, block=block, timeout=timeout)
         except queue.Full:
@@ -348,17 +375,20 @@ class InferenceServer:
             first = self._queue.get(timeout=0.05)
         except queue.Empty:
             return None
+        first.t_pickup = time.perf_counter()
         batch = [first]
-        deadline = time.perf_counter() + self.max_wait_ms / 1e3
+        deadline = first.t_pickup + self.max_wait_ms / 1e3
         while len(batch) < self.max_batch_size:
             remaining = deadline - time.perf_counter()
             try:
                 if remaining <= 0:
-                    batch.append(self._queue.get_nowait())
+                    req = self._queue.get_nowait()
                 else:
-                    batch.append(self._queue.get(timeout=remaining))
+                    req = self._queue.get(timeout=remaining)
             except queue.Empty:
                 break
+            req.t_pickup = time.perf_counter()
+            batch.append(req)
         return batch
 
     def _worker_loop(self) -> None:
@@ -366,8 +396,13 @@ class InferenceServer:
             batch = self._collect_batch()
             if batch is None:
                 continue
-            with self._stats.lock:
-                self._stats.in_flight += len(batch)
+            acc = self._stats
+            t_seal = time.perf_counter()  # batch finalized, about to execute
+            acc.batch_size.observe(len(batch))
+            for req in batch:
+                acc.queue_wait.observe(1e3 * (req.t_pickup - req.t_submit))
+            with acc.lock:
+                acc.in_flight += len(batch)
             crashed = False
             try:
                 results = self.batch_fn([r.payload for r in batch])
@@ -388,13 +423,20 @@ class InferenceServer:
                 results = [None] * len(batch)
                 errors = [exc] * len(batch)
             t_done = time.perf_counter()
-            with self._stats.lock:
-                self._stats.batch_sizes.append(len(batch))
+            with acc.lock:
+                acc.batch_sizes.append(len(batch))
                 for req in batch:
-                    self._stats.latencies_ms.append(1e3 * (t_done - req.t_submit))
-                self._stats.errors += sum(e is not None for e in errors)
-                self._stats.in_flight -= len(batch)
+                    acc.latencies_ms.append(1e3 * (t_done - req.t_submit))
+                acc.errors += sum(e is not None for e in errors)
+                acc.in_flight -= len(batch)
             for req, result, error in zip(batch, results, errors):
+                if req.trace is not None:
+                    req.trace.add_span("queue_wait", req.t_submit, req.t_pickup)
+                    req.trace.add_span("batch_form", req.t_pickup, t_seal)
+                    req.trace.add_span(
+                        "execute", t_seal, t_done,
+                        batch_size=len(batch), replica=self.slot,
+                    )
                 req.result = result
                 req.error = error
                 req.done.set()
@@ -476,4 +518,6 @@ class InferenceServer:
             queue_depth=self._queue.qsize(),
             in_flight=in_flight,
             crashes=self.crashes,
+            queue_wait_hist=acc.queue_wait.snapshot(),
+            batch_size_hist=acc.batch_size.snapshot(),
         )

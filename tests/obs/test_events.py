@@ -1,0 +1,124 @@
+"""Event bus: ordering, filtering, bounded-ring eviction, subscribers."""
+
+import json
+
+import pytest
+
+from repro.obs import EventBus
+
+
+def fill(bus, n, source="s", **kw):
+    return [bus.publish(source, f"e{i}", **kw) for i in range(n)]
+
+
+class TestOrdering:
+    def test_seq_totally_orders_across_sources(self):
+        bus = EventBus(clock=lambda: 123.0)
+        bus.publish("autoscaler", "scale_up", model="m")
+        bus.publish("supervisor", "restart", model="m")
+        bus.publish("autoscaler", "scale_down", model="n")
+        events = bus.events()
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert [e["source"] for e in events] == [
+            "autoscaler", "supervisor", "autoscaler",
+        ]
+        # same clock tick: the wall clock ties, seq does not
+        assert all(e["unix"] == 123.0 for e in events)
+
+    def test_event_shape(self):
+        bus = EventBus(clock=lambda: 5.0)
+        rec = bus.publish("swap", "swap", model="m", **{"from": "v1", "to": "v2"})
+        assert rec == {
+            "seq": 0, "unix": 5.0, "source": "swap", "model": "m",
+            "event": "swap", "from": "v1", "to": "v2",
+        }
+
+
+class TestFiltering:
+    def test_filters_compose(self):
+        bus = EventBus()
+        bus.publish("a", "x", model="m1")
+        bus.publish("a", "y", model="m2")
+        bus.publish("b", "x", model="m1")
+        assert len(bus.events(source="a")) == 2
+        assert len(bus.events(model="m1")) == 2
+        assert len(bus.events(source="a", model="m1")) == 1
+        assert [e["event"] for e in bus.events(event="x")] == ["x", "x"]
+
+    def test_limit_keeps_newest(self):
+        bus = EventBus()
+        fill(bus, 5)
+        assert [e["event"] for e in bus.events(limit=2)] == ["e3", "e4"]
+        assert bus.tail(2) == bus.events(limit=2)
+        assert bus.events(limit=0) == []
+
+
+class TestEviction:
+    def test_ring_bounds_retention_and_counts_drops(self):
+        bus = EventBus(capacity=3)
+        fill(bus, 10)
+        assert len(bus) == 3
+        assert bus.dropped == 7
+        assert bus.total_published == 10
+        # oldest retained first; seq numbers keep counting through drops
+        assert [e["seq"] for e in bus.events()] == [7, 8, 9]
+        assert bus.stats() == {
+            "capacity": 3, "retained": 3, "published": 10, "dropped": 7,
+        }
+
+    def test_backing_list_compacts(self):
+        bus = EventBus(capacity=2)
+        fill(bus, 50)
+        assert len(bus._ring) <= 2 * bus.capacity + 1
+        assert [e["seq"] for e in bus.events()] == [48, 49]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventBus(0)
+
+
+class TestSubscribers:
+    def test_subscriber_sees_every_publish(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("s", "one")
+        bus.publish("s", "two")
+        assert [e["event"] for e in seen] == ["one", "two"]
+        bus.unsubscribe(seen.append)
+        bus.publish("s", "three")
+        assert len(seen) == 2
+
+    def test_raising_subscriber_is_dropped_not_fatal(self):
+        bus = EventBus()
+        calls = []
+
+        def bad(event):
+            calls.append(event)
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.publish("s", "first")  # raises inside, dropped
+        bus.publish("s", "second")  # no longer delivered
+        assert len(calls) == 1
+        assert bus.total_published == 2
+
+    def test_duplicate_subscribe_is_idempotent(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.subscribe(seen.append)
+        bus.publish("s", "e")
+        assert len(seen) == 1
+
+
+class TestExport:
+    def test_jsonl_round_trips(self):
+        bus = EventBus(clock=lambda: 9.0)
+        bus.publish("a", "x", model="m", load=3)
+        bus.publish("b", "y")
+        lines = bus.export_jsonl().splitlines()
+        assert len(lines) == 2
+        decoded = [json.loads(line) for line in lines]
+        assert decoded[0]["load"] == 3
+        assert decoded[1]["model"] is None

@@ -1,0 +1,186 @@
+"""Metrics primitives: counters, gauges, histograms, Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BATCH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_set_total_is_monotonic_max(self):
+        c = Counter()
+        c.set_total(10)
+        c.set_total(4)  # a lower total never winds the counter back
+        assert c.value == 10
+        c.set_total(12)
+        assert c.value == 12
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        c = Counter()
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_observe_buckets_values(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["bounds"] == [1.0, 10.0]
+        # non-cumulative per-bound counts plus the +Inf overflow
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(())
+
+    def test_time_context_manager_uses_injected_clock(self):
+        ticks = iter([1.0, 1.25])
+        h = Histogram((100.0, 1000.0), clock=lambda: next(ticks))
+        with h.time():  # 0.25 s -> 250 ms
+            pass
+        snap = h.snapshot()
+        assert snap["counts"] == [0, 1, 0]
+        assert snap["sum"] == pytest.approx(250.0)
+
+    def test_merge_requires_matching_bounds(self):
+        h = Histogram((1.0, 2.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            h.merge(Histogram((1.0, 3.0)).snapshot())
+
+    def test_merged_pools_snapshots(self):
+        a, b = Histogram((1.0,)), Histogram((1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        merged = Histogram.merged([a.snapshot(), b.snapshot()])
+        assert merged["counts"] == [1, 1]
+        assert merged["count"] == 2
+        assert Histogram.merged([]) is None
+
+
+class TestRegistry:
+    def test_declaration_is_get_or_create(self):
+        m = MetricsRegistry()
+        a = m.counter("requests_total", "help")
+        b = m.counter("requests_total", "different help ignored")
+        assert a is b
+        assert m.names() == ["requests_total"]
+
+    def test_type_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x_total")
+        with pytest.raises(ValueError, match="already declared"):
+            m.gauge("x_total")
+        with pytest.raises(ValueError, match="already declared"):
+            m.counter("x_total", labels=("model",))
+
+    def test_invalid_names_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            m.counter("9starts_with_digit")
+        with pytest.raises(ValueError, match="invalid label name"):
+            m.counter("ok_total", labels=("le-gal",))
+
+    def test_labeled_children_are_cached(self):
+        m = MetricsRegistry()
+        fam = m.counter("hits_total", labels=("model",))
+        fam.labels(model="a").inc()
+        fam.labels(model="a").inc()
+        fam.labels(model="b").inc()
+        assert fam.labels(model="a").value == 2
+        assert fam.labels(model="b").value == 1
+        with pytest.raises(ValueError, match="takes labels"):
+            fam.labels(wrong="a")
+
+    def test_unlabeled_family_proxies_child(self):
+        m = MetricsRegistry()
+        m.counter("c_total").inc(3)
+        m.gauge("g").set(7)
+        assert m.get("c_total")._solo().value == 3
+        with pytest.raises(ValueError, match="is labeled"):
+            m.counter("lab_total", labels=("x",)).inc()
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        m = MetricsRegistry()
+        m.counter("reqs_total", "Requests.", labels=("model",)).labels(
+            model="resnet"
+        ).inc(3)
+        m.gauge("depth", "Queue depth.").set(2.5)
+        text = m.render()
+        assert "# HELP reqs_total Requests.\n# TYPE reqs_total counter\n" in text
+        assert 'reqs_total{model="resnet"} 3\n' in text  # ints render bare
+        assert "# TYPE depth gauge\n" in text
+        assert "depth 2.5\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat_ms", "Latency.", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        text = m.render()
+        assert "# TYPE lat_ms histogram" in text
+        assert 'lat_ms_bucket{le="1"} 1\n' in text
+        assert 'lat_ms_bucket{le="10"} 2\n' in text  # cumulative
+        assert 'lat_ms_bucket{le="+Inf"} 3\n' in text
+        assert "lat_ms_sum 105.5\n" in text
+        assert "lat_ms_count 3\n" in text
+
+    def test_declared_but_untouched_family_still_renders_type(self):
+        """The CI family-presence check relies on HELP/TYPE at zero traffic."""
+        m = MetricsRegistry()
+        m.counter("quiet_total", "Never bumped.", labels=("model",))
+        text = m.render()
+        assert "# TYPE quiet_total counter" in text
+        assert "quiet_total{" not in text  # no children yet, no samples
+
+    def test_label_values_escaped(self):
+        m = MetricsRegistry()
+        m.counter("e_total", labels=("path",)).labels(path='a"b\\c\nd').inc()
+        assert 'e_total{path="a\\"b\\\\c\\nd"} 1' in m.render()
+
+    def test_batch_buckets_constant_is_increasing(self):
+        assert list(DEFAULT_BATCH_BUCKETS) == sorted(DEFAULT_BATCH_BUCKETS)
+        Histogram(DEFAULT_BATCH_BUCKETS)  # constructible

@@ -1,0 +1,120 @@
+"""Request tracing: span math, deterministic clocks, the bounded buffer."""
+
+import re
+
+import pytest
+
+from repro.obs import Trace, TraceBuffer, new_request_id
+
+
+class FakeClock:
+    """Deterministic perf_counter: advances only when told."""
+
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+class TestRequestIds:
+    def test_ids_are_unique_and_well_formed(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(re.fullmatch(r"req-[0-9a-f]{8}-\d+", i) for i in ids)
+
+    def test_caller_id_is_honored(self):
+        assert Trace("req-from-header").request_id == "req-from-header"
+
+
+class TestTrace:
+    def test_spans_report_relative_ms(self):
+        clock = FakeClock()
+        t = Trace("r1", model="m", clock=clock)
+        a = clock.advance(0.010)  # decode starts 10 ms in
+        b = clock.advance(0.005)
+        t.add_span("decode", a, b)
+        t.add_span("execute", b, clock.advance(0.020), batch_size=2)
+        spans = t.spans()
+        assert [s["name"] for s in spans] == ["decode", "execute"]
+        assert spans[0]["start_ms"] == pytest.approx(10.0)
+        assert spans[0]["dur_ms"] == pytest.approx(5.0)
+        assert spans[1]["start_ms"] == pytest.approx(15.0)
+        assert spans[1]["dur_ms"] == pytest.approx(20.0)
+        assert spans[1]["batch_size"] == 2
+        assert t.total_ms() == pytest.approx(35.0)
+
+    def test_spans_sorted_by_start_regardless_of_insertion(self):
+        clock = FakeClock()
+        t = Trace(clock=clock)
+        late_start = clock.advance(0.010)
+        late_end = clock.advance(0.001)
+        t.add_span("late", late_start, late_end)
+        t.add_span("early", 100.001, 100.002)  # stamped after, started first
+        assert [s["name"] for s in t.spans()] == ["early", "late"]
+
+    def test_span_context_manager(self):
+        clock = FakeClock()
+        t = Trace(clock=clock)
+        with t.span("decode", replica=1):
+            clock.advance(0.003)
+        (span,) = t.spans()
+        assert span["name"] == "decode"
+        assert span["dur_ms"] == pytest.approx(3.0)
+        assert span["replica"] == 1
+
+    def test_as_dict_merges_annotations(self):
+        t = Trace("r2", model="m", clock=FakeClock())
+        t.annotate(outcome="ok", status=200)
+        d = t.as_dict()
+        assert d["request_id"] == "r2"
+        assert d["model"] == "m"
+        assert d["outcome"] == "ok"
+        assert d["status"] == 200
+        assert d["spans"] == [] and d["total_ms"] == 0.0
+
+    def test_compact_one_liner(self):
+        clock = FakeClock()
+        t = Trace("rid", clock=clock)
+        with t.span("decode"):
+            clock.advance(0.0025)
+        assert t.compact() == "id=rid;total=2.50ms;decode=2.50ms"
+
+
+class TestTraceBuffer:
+    def make(self, request_id, total_ms):
+        return {"request_id": request_id, "total_ms": total_ms, "spans": []}
+
+    def test_tail_is_newest_oldest_first(self):
+        buf = TraceBuffer(capacity=8)
+        for i in range(5):
+            buf.record(self.make(f"r{i}", float(i)))
+        assert [t["request_id"] for t in buf.tail(3)] == ["r2", "r3", "r4"]
+
+    def test_slowest_sorts_by_total(self):
+        buf = TraceBuffer()
+        for i, ms in enumerate([3.0, 9.0, 1.0, 7.0]):
+            buf.record(self.make(f"r{i}", ms))
+        assert [t["total_ms"] for t in buf.slowest(2)] == [9.0, 7.0]
+
+    def test_ring_evicts_but_counts_everything(self):
+        buf = TraceBuffer(capacity=2)
+        for i in range(5):
+            buf.record(self.make(f"r{i}", 1.0))
+        assert len(buf) == 2
+        assert buf.recorded == 5
+        assert [t["request_id"] for t in buf.tail()] == ["r3", "r4"]
+
+    def test_records_live_trace_objects(self):
+        clock = FakeClock()
+        tr = Trace("live", clock=clock)
+        with tr.span("decode"):
+            clock.advance(0.001)
+        buf = TraceBuffer()
+        stored = buf.record(tr)
+        assert stored["request_id"] == "live"
+        assert stored["spans"][0]["name"] == "decode"

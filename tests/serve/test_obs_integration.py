@@ -1,0 +1,335 @@
+"""Observability through the serve stack: traces over HTTP, /metrics,
+the shared event bus, and swap-surviving cumulative counters."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import Observability
+from repro.serve import (
+    Gateway,
+    GatewayClient,
+    ModelRegistry,
+    REQUIRED_FAMILIES,
+)
+
+
+def doubler(payloads):
+    return [2 * np.asarray(p) for p in payloads]
+
+
+@pytest.fixture
+def gateway():
+    reg = ModelRegistry()
+    reg.register("double", doubler, task="image", version="v1",
+                 max_batch_size=4, max_wait_ms=1.0)
+    gw = Gateway(reg, cache_entries=8, predict_timeout_s=10.0).start()
+    yield gw
+    gw.stop()
+
+
+@pytest.fixture
+def client(gateway):
+    return GatewayClient(gateway.url, timeout_s=10.0)
+
+
+# ----------------------------------------------------------------------
+# request tracing end to end
+# ----------------------------------------------------------------------
+class TestTracePropagation:
+    def test_predict_returns_full_span_timeline(self, gateway, client):
+        body = client.predict("double", [1.0, 2.0], trace=True)
+        trace = body["trace"]
+        assert trace["model"] == "double"
+        assert trace["outcome"] == "ok" and trace["status"] == 200
+        names = [s["name"] for s in trace["spans"]]
+        # the whole pipeline: gateway -> queue -> worker -> gateway
+        assert names == ["decode", "queue_wait", "batch_form", "execute", "encode"]
+        execute = trace["spans"][3]
+        assert execute["batch_size"] >= 1
+        assert "replica" in execute
+        assert trace["total_ms"] > 0
+        # spans are a timeline: non-negative, start-ordered offsets
+        starts = [s["start_ms"] for s in trace["spans"]]
+        assert starts == sorted(starts) and starts[0] >= 0
+        assert all(s["dur_ms"] >= 0 for s in trace["spans"])
+
+    def test_inbound_request_id_is_honored(self, gateway, client):
+        body = client.predict("double", [3.0], trace=True,
+                              request_id="req-caller-chosen")
+        assert body["trace"]["request_id"] == "req-caller-chosen"
+        recorded = [t["request_id"] for t in gateway.obs.traces.tail()]
+        assert "req-caller-chosen" in recorded
+
+    def test_batched_requests_get_distinct_traces(self, gateway, client):
+        """Two requests coalesced into one batch share an execute window
+        but keep their own ids, spans, and queue waits."""
+        gateway.registry.register(
+            "batchy", doubler, task="image",
+            max_batch_size=2, max_wait_ms=250.0,  # wait for a pair
+        )
+        results = {}
+
+        def go(i):
+            results[i] = client.predict(
+                "batchy", [float(i)], trace=True, request_id=f"req-pair-{i}"
+            )
+
+        threads = [threading.Thread(target=go, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        traces = [results[i]["trace"] for i in range(2)]
+        ids = {t["request_id"] for t in traces}
+        assert ids == {"req-pair-0", "req-pair-1"}
+        execs = [
+            next(s for s in t["spans"] if s["name"] == "execute") for t in traces
+        ]
+        # proof they actually shared a batch
+        assert [e["batch_size"] for e in execs] == [2, 2]
+        assert execs[0]["replica"] == execs[1]["replica"]
+
+    def test_error_paths_are_traced_too(self, gateway, client):
+        from repro.serve import GatewayHTTPError
+
+        def explode(payloads):
+            raise RuntimeError("kaboom")
+
+        gateway.registry.register("broken", explode, task="image", max_batch_size=1)
+        with pytest.raises(GatewayHTTPError):
+            client.predict("broken", [1.0])
+        errored = [
+            t for t in gateway.obs.traces.tail() if t.get("outcome") == "error"
+        ]
+        assert errored and errored[-1]["status"] == 500
+
+    def test_traces_endpoint_sorts_and_limits(self, gateway, client):
+        for i in range(5):
+            client.predict("double", [float(i)])
+        payload = client.traces(sort="slowest", limit=3)
+        assert len(payload["traces"]) == 3
+        totals = [t["total_ms"] for t in payload["traces"]]
+        assert totals == sorted(totals, reverse=True)
+        assert payload["recorded"] >= 5
+        recent = client.traces(sort="recent", limit=2)["traces"]
+        assert len(recent) == 2
+
+
+# ----------------------------------------------------------------------
+# /metrics exposition
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_scrape_serves_prometheus_text(self, gateway, client):
+        client.predict("double", [1.0])
+        text = client.metrics_text()
+        present = {
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        }
+        missing = [f for f in REQUIRED_FAMILIES if f not in present]
+        assert not missing, f"missing families: {missing}"
+        # traffic actually landed in the samples
+        assert 'model_requests_total{model="double",outcome="ok"} ' in text
+        assert 'gateway_requests_total{' in text
+        assert 'pool_replicas{model="double"} 1' in text
+        assert "model_request_latency_ms_bucket" in text
+
+    def test_content_type_is_prometheus(self, gateway):
+        import urllib.request
+
+        from repro.obs import PROMETHEUS_CONTENT_TYPE
+
+        with urllib.request.urlopen(f"{gateway.url}/metrics", timeout=10) as resp:
+            assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+
+    def test_queue_and_batch_histograms_flow_from_server_stats(
+        self, gateway, client
+    ):
+        for i in range(4):
+            client.predict("double", [float(i)])
+        stats = client.stats()["models"]["double"]
+        qw, bs = stats["queue_wait_hist"], stats["batch_size_hist"]
+        assert qw["count"] >= 4 and sum(qw["counts"]) == qw["count"]
+        assert bs["count"] >= 1  # one entry per executed batch
+        text = client.metrics_text()
+        assert 'model_queue_wait_ms_count{model="double"} ' in text
+        assert 'model_batch_size_count{model="double"} ' in text
+
+    def test_cache_hit_outcome_and_counters(self, gateway, client):
+        client.predict("double", [9.0])
+        client.predict("double", [9.0])  # identical payload -> cache hit
+        text = client.metrics_text()
+        assert 'model_requests_total{model="double",outcome="cached"} 1' in text
+        assert "cache_hits_total 1" in text
+
+
+# ----------------------------------------------------------------------
+# the unified event bus
+# ----------------------------------------------------------------------
+class TestEventBus:
+    def test_control_loops_share_one_ordered_bus(self):
+        reg = ModelRegistry()
+        try:
+            entry = reg.register(
+                "m", doubler, task="image", max_batch_size=1,
+                autoscale={"min_replicas": 1, "max_replicas": 2,
+                           "cooldown_s": 0.0},
+                start=True,
+            )
+            entry.autoscaler.stop()  # drive ticks by hand below
+            # force a scale-up decision deterministically
+            entry.pool.stop(drain=True)
+        finally:
+            reg.stop_all()
+        events = reg.obs.events.events()
+        assert events[0]["source"] == "registry"
+        assert events[0]["event"] == "load"
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+
+    def test_registry_and_unload_publish(self):
+        reg = ModelRegistry()
+        reg.register("m", doubler, task="image", version="v7", max_batch_size=1)
+        reg.unload("m")
+        kinds = [(e["source"], e["event"]) for e in reg.obs.events.events()]
+        assert ("registry", "load") in kinds
+        assert ("registry", "unload") in kinds
+
+    def test_autoscaler_event_lands_on_shared_bus_with_legacy_shape(self):
+        from repro.serve import Autoscaler, AutoscalePolicy, ReplicaPool
+
+        obs = Observability()
+        with ReplicaPool(doubler, replicas=1, max_batch_size=1) as pool:
+            scaler = Autoscaler(
+                lambda: pool,
+                AutoscalePolicy(min_replicas=2, max_replicas=3),
+                name="m", events=obs.events,
+            )
+            assert scaler.tick() == "enforce_min"
+        (event,) = obs.events.events(source="autoscaler")
+        # superset of the legacy private-list event shape
+        assert event["action"] == "enforce_min"
+        assert event["from"] == 1 and event["to"] == 2
+        assert event["model"] == "m"
+        # the component's own view still works, filtered off the bus
+        assert scaler.events() == [event]
+
+    def test_events_endpoint_filters(self, gateway, client):
+        client.predict("double", [1.0])
+        payload = client.events(source="registry")
+        assert payload["events"]
+        assert all(e["source"] == "registry" for e in payload["events"])
+        assert payload["bus"]["published"] >= len(payload["events"])
+        limited = client.events(limit=1)["events"]
+        assert len(limited) == 1
+
+    def test_events_export_jsonl(self):
+        reg = ModelRegistry()
+        reg.register("m", doubler, task="image", max_batch_size=1, start=False)
+        lines = reg.obs.events.export_jsonl().splitlines()
+        assert lines and '"source": "registry"' in lines[0]
+
+
+# ----------------------------------------------------------------------
+# cumulative counters survive hot swaps
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def artifact_pair(tmp_path_factory):
+    """Two artifacts of one model at different quantizations (v1 -> v2)."""
+    from repro.deploy import save_artifact
+    from repro.models.resnet import MiniResNet
+    from repro.quant import PTQConfig, quantize_model
+    from repro.utils.rng import seeded_rng
+
+    rng = seeded_rng("obs-swap-tests")
+    base = tmp_path_factory.mktemp("artifacts")
+    calib = rng.standard_normal((4, 3, 16, 16))
+    out = {}
+    for tag, config in [
+        ("v1", PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")),
+        ("v2", PTQConfig.vs_quant(8, 8, weight_scale="6", act_scale="10")),
+    ]:
+        model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+        model.eval()
+        qmodel = quantize_model(model, config, calib_batches=[(calib,)])
+        path = base / tag
+        save_artifact(qmodel, path, task="image", input_shape=(3, 16, 16))
+        out[tag] = path
+    return out
+
+
+class TestCumulativeAcrossSwap:
+    def test_completed_counter_survives_hot_swap(self, artifact_pair):
+        probe = np.linspace(-1, 1, 3 * 16 * 16, dtype=np.float32).reshape(3, 16, 16)
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", artifact_pair["v1"], replicas=1)
+            for _ in range(3):
+                entry.pool.infer(probe, timeout=30.0)
+            # the wart this fixes: pool stats reset at the flip...
+            reg.swap("m", artifact_pair["v2"])
+            assert entry.pool.stats().completed <= 1  # fresh pool (probe only)
+            # ...but the entry's lifetime view does not
+            cum = entry.cumulative()
+            assert cum["completed"] >= 3
+            assert cum["swaps"] == 1
+            before = cum["completed"]
+            entry.pool.infer(probe, timeout=30.0)
+            assert entry.cumulative()["completed"] == before + 1
+        finally:
+            reg.stop_all()
+
+    def test_metrics_counter_is_monotonic_across_swap(self, artifact_pair):
+        from repro.serve import ServeMetrics
+
+        reg = ModelRegistry()
+        try:
+            entry = reg.load_artifact("m", artifact_pair["v1"], replicas=1)
+            metrics = ServeMetrics.install(reg.obs)
+            probe = np.linspace(
+                -1, 1, 3 * 16 * 16, dtype=np.float32
+            ).reshape(3, 16, 16)
+            for _ in range(2):
+                entry.pool.infer(probe, timeout=30.0)
+            metrics.sync(reg)
+            child = metrics.model_completed.labels(model="m")
+            before = child.value
+            assert before >= 2
+            reg.swap("m", artifact_pair["v2"])
+            metrics.sync(reg)  # a scrape right after the flip
+            assert child.value >= before  # never winds back
+            swaps = reg.obs.events.events(source="swap", event="swap")
+            assert len(swaps) == 1 and swaps[0]["model"] == "m"
+        finally:
+            reg.stop_all()
+
+
+# ----------------------------------------------------------------------
+# instrumentation cost knob
+# ----------------------------------------------------------------------
+class TestInstrumentKnob:
+    def test_uninstrumented_gateway_skips_per_request_work(self):
+        reg = ModelRegistry()
+        reg.register("double", doubler, task="image", max_batch_size=4,
+                     max_wait_ms=1.0)
+        gw = Gateway(reg, instrument=False, predict_timeout_s=10.0).start()
+        try:
+            client = GatewayClient(gw.url, timeout_s=10.0)
+            np.testing.assert_array_equal(
+                client.predict("double", [1.0, 2.0]), [2.0, 4.0]
+            )
+            assert len(gw.obs.traces) == 0
+            text = client.metrics_text()  # endpoint still up, families declared
+            assert "# TYPE gateway_requests_total counter" in text
+            assert 'model_requests_total{model="double"' not in text
+        finally:
+            gw.stop()
+
+    def test_instrumented_gateway_still_honors_trace_flag_off(self, gateway, client):
+        body = client.predict("double", [5.0], raw=True)
+        assert "trace" not in body  # opt-in body field
+        assert body["outputs"] == [10.0]
