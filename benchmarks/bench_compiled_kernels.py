@@ -1,0 +1,173 @@
+"""Compiled-kernel GEMM-path throughput vs the numpy integer backend.
+
+The compiled backend (``repro.compile``) lowers a layer's whole integer
+inference pipeline — dynamic activation quantization, scale folding, the
+GEMM, and the scale/bias epilogue — to one fused C kernel. This bench
+measures that *end-to-end GEMM path* on a serving-realistic shape: a
+small request batch through a large ``Linear`` under the paper's W4/A4
+S4/S4 format, float32 serving precision, per-sample scales (the gateway
+defaults). The numpy baseline is the ``integer`` backend — the same
+layer object with ``set_backend("integer")``, so both sides pay the
+identical quantize/fold/epilogue work and the comparison is the
+pipeline, not just the matmul.
+
+Outputs:
+
+- ``benchmarks/results/compiled_kernels.txt`` — human-readable report;
+- ``benchmarks/results/BENCH_compiled.json`` — trajectory metrics, gated
+  by ``benchmarks/baselines/compiled_smoke.json`` (smoke floor >=5x; the
+  full local run asserts the >=10x acceptance floor itself).
+
+Every timed run first asserts the compiled output is **bitwise equal**
+to the integer backend's — a fast kernel that drifts is a bug, not a
+win. Without a working C compiler the bench prints a skip notice and
+exits 0 *without* writing the BENCH file (the trajectory gate skips
+missing results on PR runs), mirroring the serving fallback contract.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_compiled_kernels.py``,
+add ``--smoke`` for the CI-sized shape) or via pytest
+(``pytest benchmarks/bench_compiled_kernels.py --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.compile import compiler_probe, kernel_cache_stats
+from repro.quant import PTQConfig, quant_layers, quantize_model
+from repro.tensor.tensor import no_grad
+from repro.utils.rng import seeded_rng
+
+#: Full mode: the acceptance shape. A gateway-sized request batch (8 rows)
+#: against a 4096x4096 layer; the numpy backend re-quantizes activations
+#: and re-applies folds per call, which is exactly the serving cost the
+#: compiled kernel fuses away.
+FULL = {"rows": 8, "features": 4096, "floor": 10.0, "repeats": 7}
+#: Smoke mode: CI-sized (shared runners), conservative floor via the
+#: committed baseline (benchmarks/baselines/compiled_smoke.json).
+SMOKE = {"rows": 8, "features": 1024, "floor": 5.0, "repeats": 5}
+
+
+def _best_time(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _quantized_linear(features: int) -> tuple[nn.Module, np.ndarray]:
+    rng = seeded_rng("compiled-bench-model")
+    model = nn.Sequential(nn.Linear(features, features, rng=rng))
+    model.eval()
+    batch = (
+        seeded_rng("compiled-bench-batch")
+        .standard_normal((8, features))
+        .astype(np.float32)
+    )
+    config = PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4")
+    qmodel = quantize_model(model, config, calib_batches=[(batch,)])
+    return qmodel, batch
+
+
+def _set_backend(qmodel, name: str) -> None:
+    for _, layer in quant_layers(qmodel):
+        layer.set_backend(name, per_sample_scale=True, out_dtype=np.float32)
+
+
+def measure(shape: dict) -> dict[str, float]:
+    rows, features = shape["rows"], shape["features"]
+    qmodel, batch = _quantized_linear(features)
+    x = batch[:rows]
+
+    with no_grad():
+        _set_backend(qmodel, "integer")
+        y_int = qmodel(x).data
+        t_int = _best_time(lambda: qmodel(x), shape["repeats"])
+
+        _set_backend(qmodel, "compiled")
+        y_c = qmodel(x).data  # warmup = compile + parity probe
+        np.testing.assert_array_equal(
+            y_c, y_int, err_msg="compiled output drifted from integer backend"
+        )
+        t_c = _best_time(lambda: qmodel(x), shape["repeats"])
+
+    macs = rows * features * features
+    cache = kernel_cache_stats()
+    return {
+        "rows": float(rows),
+        "features": float(features),
+        "integer_ms": 1e3 * t_int,
+        "compiled_ms": 1e3 * t_c,
+        "speedup": t_int / t_c,
+        "compiled_gmacs": macs / t_c / 1e9,
+        "integer_gmacs": macs / t_int / 1e9,
+        "kernel_compiles": float(cache["compiles"]),
+        "kernel_compile_s": cache["compile_s"],
+    }
+
+
+def build_report(smoke: bool = False) -> tuple[str, dict[str, float]]:
+    shape = SMOKE if smoke else FULL
+    metrics = measure(shape)
+    probe = compiler_probe()
+    lines = [
+        f"compiled backend vs numpy integer backend "
+        f"({shape['rows']}x{shape['features']} @ {shape['features']}x"
+        f"{shape['features']}, W4/A4 S4/S4, f32, per-sample scales):",
+        f"  integer (numpy)   {metrics['integer_ms']:8.2f} ms/call "
+        f"({metrics['integer_gmacs']:6.2f} GMAC/s)",
+        f"  compiled (C)      {metrics['compiled_ms']:8.2f} ms/call "
+        f"({metrics['compiled_gmacs']:6.2f} GMAC/s)",
+        f"  speedup           {metrics['speedup']:8.2f}x",
+        f"  compiler: {probe.get('compiler', '?')} "
+        f"({int(metrics['kernel_compiles'])} kernels, "
+        f"{metrics['kernel_compile_s']:.2f}s compile time)",
+    ]
+    return "\n".join(lines), metrics
+
+
+def test_compiled_kernels(benchmark):
+    import pytest
+
+    if not compiler_probe().get("available", False):
+        pytest.skip("no working C compiler; compiled backend unavailable")
+    from .conftest import save_bench_json, save_result
+
+    text, metrics = benchmark.pedantic(
+        lambda: build_report(smoke=True), rounds=1, iterations=1
+    )
+    save_result("compiled_kernels", text)
+    save_bench_json("compiled", metrics)
+    assert metrics["speedup"] >= SMOKE["floor"], (
+        f"speedup {metrics['speedup']:.2f}x < {SMOKE['floor']}x"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import save_bench_json, save_result
+
+    smoke = "--smoke" in sys.argv
+    probe = compiler_probe()
+    if not probe.get("available", False):
+        # No toolchain: the fallback contract says everything still runs
+        # on the numpy integer backend, so there is nothing to gate here.
+        # Deliberately no BENCH file — the trajectory check skips absent
+        # results (nightly --require-all runs on toolchain-equipped CI).
+        print(f"SKIP: {probe.get('error', 'no working C compiler')}")
+        raise SystemExit(0)
+    report, metrics = build_report(smoke=smoke)
+    print(report)
+    save_result("compiled_kernels", report)
+    save_bench_json("compiled", metrics)
+    floor = (SMOKE if smoke else FULL)["floor"]
+    if metrics["speedup"] < floor:
+        raise SystemExit(f"FAIL: speedup {metrics['speedup']:.2f}x < {floor}x")

@@ -1,4 +1,12 @@
-"""Fake-quant kernel throughput microbenchmark (the perf trajectory).
+"""Fake-quant kernel throughput microbenchmark (the *fake-quant* perf
+trajectory).
+
+This bench covers the simulation/training path only: the fake-quant
+kernels and the weight-quantization cache. The integer **serving** path
+has its own trajectory — ``bench_compiled_kernels.py`` gates the
+compiled C backend against the numpy integer backend — so the two
+speedup floors are never conflated: this file's 3x floor is about the
+weight cache, not about compiled kernels.
 
 Two measurements, recorded to ``benchmarks/results/kernel_throughput.txt``
 so future PRs can compare against a baseline:

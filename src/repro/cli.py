@@ -47,6 +47,7 @@ trace
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -300,7 +301,26 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         extra = ",".join(entry.operands) if entry.operands else ""
         rows.append([entry.name, entry.kind, fmt(entry.weight), fmt(entry.inputs), extra])
     print(format_table(["layer", "kind", "weight", "act", "notes"], rows))
+    _print_backend_report()
     return 0
+
+
+def _print_backend_report() -> None:
+    """Execution-backend availability, so operators can see at a glance
+    why a model fell back to ``integer`` (e.g. no C toolchain)."""
+    from repro.quant.backends import backend_names, backend_probe
+
+    print("execution backends:")
+    for name in backend_names():
+        probe = backend_probe(name)
+        if probe.get("available", False):
+            detail = "available"
+            if probe.get("compiler"):
+                detail += (f" (compiler {probe['compiler']}: {probe.get('version', '?')}; "
+                           f"kernel cache {probe.get('cache_dir', '?')})")
+        else:
+            detail = f"UNAVAILABLE: {probe.get('error', 'unknown reason')}"
+        print(f"  {name}: {detail}")
 
 
 def synthetic_payloads(
@@ -334,6 +354,7 @@ def _load_engine(args: argparse.Namespace):
             args.artifact,
             per_sample_scale=True,
             precision=args.precision,
+            backend=args.backend,
         )
     except ArtifactError as exc:
         raise SystemExit(f"cannot load artifact: {exc}") from exc
@@ -480,6 +501,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
             precision=args.precision,
+            backend=args.backend,
         )
     except ArtifactError as exc:
         raise SystemExit(f"cannot start gateway: {exc}") from exc
@@ -727,6 +749,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_common.add_argument("--workers", type=int, default=1)
     serve_common.add_argument("--precision", choices=("float32", "float64"), default="float32",
                               help="engine glue precision (float32 = serving default)")
+    serve_common.add_argument(
+        "--backend", choices=("auto", "integer", "integer-prefolded", "compiled"),
+        default=os.environ.get("REPRO_BACKEND", "auto"),
+        help="execution backend for quantized layers (default: $REPRO_BACKEND or "
+             "'auto'; unavailable backends fall back to 'integer' with a warning)")
 
     p = sub.add_parser("serve", parents=[serve_common],
                        help="serve synthetic traffic through the integer engine")
@@ -755,6 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-entries", type=int, default=0,
                    help="response-cache LRU capacity (0 = disabled)")
     p.add_argument("--precision", choices=("float32", "float64"), default="float32")
+    p.add_argument(
+        "--backend", choices=("auto", "integer", "integer-prefolded", "compiled"),
+        default=os.environ.get("REPRO_BACKEND", "auto"),
+        help="execution backend for quantized layers (default: $REPRO_BACKEND or "
+             "'auto'; unavailable backends fall back to 'integer' with a warning)")
     p.add_argument("--requests", type=int, default=None,
                    help="self-traffic mode: send N requests per model over HTTP, "
                         "print /stats, exit (default: serve until Ctrl-C)")

@@ -1,0 +1,32 @@
+"""Runtime-compiled kernel backend: lazy op graph -> fused C via cc + ctypes.
+
+See ``docs/compile.md`` for the IR, fusion rules, C ABI, cache layout,
+and the graceful-fallback contract. Importing this package registers the
+``"compiled"`` execution backend in :mod:`repro.quant.backends` (the
+registry also imports it, so either import order works).
+"""
+
+from .backend import CompiledBackend
+from .graph import (
+    CompileGraphError,
+    GraphBuilder,
+    LazyOp,
+    Stage,
+    conv2d_graph,
+    fuse,
+    graph_key,
+    linear_graph,
+)
+from .renderer import KernelSpec, render, source_fingerprint
+from .runtime import (
+    CompileError,
+    KernelCache,
+    compiler_available,
+    compiler_probe,
+    default_cache_dir,
+    find_toolchain,
+    kernel_cache,
+    kernel_cache_stats,
+    reset_compiler_probe,
+    reset_kernel_cache,
+)

@@ -1,0 +1,227 @@
+"""Lazy op graph for the compiled execution backend.
+
+Instead of executing the integer inference pipeline eagerly with numpy,
+the compiled backend *records* the ops a :class:`QuantizedLayer` issues
+as a small DAG of :class:`LazyOp` nodes:
+
+    input -> quantize -> clamp -> fold -> gemm -> scale [-> bias] [-> relu]
+
+``quantize`` is the two-level VS-Quant activation quantizer (per-vector
+absmax scale + coarse gamma, Eq. 5/7 of the paper), ``fold`` multiplies
+the integer codes by the unsigned per-vector scale so the GEMM reduces
+over exact small integers, and everything after ``gemm`` is the
+elementwise epilogue (coarse-scale multiply, bias add, optional relu).
+
+:func:`fuse` partitions the chain into two stages that the C renderer
+lowers as single loop nests:
+
+- **prologue** — ``quantize + clamp + fold`` fused into one pass over the
+  input (one absmax reduction, one rounding/clamping/folding loop);
+- **matmul** — the ``gemm`` with every downstream elementwise op fused
+  into its epilogue, so the accumulator is scaled/biased/relu'd while it
+  is still in a register and the output array is written exactly once.
+
+The graph is deliberately tiny: it describes the fixed pipeline of one
+layer, not arbitrary programs. Its value is that fusion decisions and
+the rendered-kernel cache key are derived from the recorded structure
+(:func:`graph_key`) rather than hand-maintained flags, so adding an op
+to the pipeline (e.g. relu) is a graph edit, not a renderer rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CompileGraphError(RuntimeError):
+    """The recorded graph does not match a shape the renderer can lower."""
+
+
+#: Ops the renderer can fuse into the GEMM epilogue, in the only legal order.
+EPILOGUE_OPS = ("scale", "bias", "relu")
+
+#: Ops fused into the quantize prologue, in the only legal order.
+PROLOGUE_OPS = ("quantize", "clamp", "fold")
+
+#: Reduction ops that form a stage boundary.
+MATMUL_OPS = ("gemm",)
+
+
+@dataclass(frozen=True)
+class LazyOp:
+    """One recorded operation: an opcode, input nodes, and static attrs.
+
+    ``attrs`` is a sorted tuple of ``(key, value)`` pairs so nodes are
+    hashable and the graph key is deterministic.
+    """
+
+    op: str
+    srcs: tuple["LazyOp", ...] = ()
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    def attr(self, key: str, default=None):
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kv = ", ".join(f"{k}={v!r}" for k, v in self.attrs)
+        return f"LazyOp({self.op}{', ' + kv if kv else ''})"
+
+
+def _node(op: str, *srcs: LazyOp, **attrs) -> LazyOp:
+    return LazyOp(op, tuple(srcs), tuple(sorted(attrs.items())))
+
+
+class GraphBuilder:
+    """Records the op chain a layer issues instead of executing it.
+
+    Each ``record`` call appends a node whose inputs default to the
+    previously recorded node, mirroring how the eager integer backend
+    pipes each numpy result into the next call.
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[LazyOp] = []
+
+    def record(self, op: str, *srcs: LazyOp, **attrs) -> LazyOp:
+        if not srcs and self.ops:
+            srcs = (self.ops[-1],)
+        node = _node(op, *srcs, **attrs)
+        self.ops.append(node)
+        return node
+
+    @property
+    def root(self) -> LazyOp:
+        if not self.ops:
+            raise CompileGraphError("empty graph: no ops recorded")
+        return self.ops[-1]
+
+
+def linear_graph(
+    *,
+    vector_size: int,
+    qmin: int,
+    qmax: int,
+    sqmax: int,
+    per_sample: bool,
+    has_bias: bool,
+    relu: bool = False,
+) -> LazyOp:
+    """Record the integer linear pipeline (x @ W.T epilogue chain)."""
+    g = GraphBuilder()
+    g.record("input")
+    g.record("quantize", vector_size=vector_size, qmax=qmax, sqmax=sqmax,
+             per_sample=per_sample)
+    g.record("clamp", lo=qmin, hi=qmax)
+    g.record("fold")
+    g.record("gemm", kind="linear")
+    g.record("scale", per_sample=per_sample)
+    if has_bias:
+        g.record("bias")
+    if relu:
+        g.record("relu")
+    return g.root
+
+
+def conv2d_graph(
+    *,
+    vector_size: int,
+    qmin: int,
+    qmax: int,
+    sqmax: int,
+    per_sample: bool,
+    has_bias: bool,
+    relu: bool = False,
+) -> LazyOp:
+    """Record the integer conv2d pipeline (implicit-im2col GEMM)."""
+    g = GraphBuilder()
+    g.record("input")
+    g.record("quantize", vector_size=vector_size, qmax=qmax, sqmax=sqmax,
+             per_sample=per_sample)
+    g.record("clamp", lo=qmin, hi=qmax)
+    g.record("fold")
+    g.record("gemm", kind="conv2d")
+    g.record("scale", per_sample=per_sample)
+    if has_bias:
+        g.record("bias")
+    if relu:
+        g.record("relu")
+    return g.root
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A fused group of ops the renderer emits as one loop nest."""
+
+    name: str  # "prologue" | "matmul"
+    ops: tuple[LazyOp, ...] = field(default_factory=tuple)
+
+    def op_names(self) -> tuple[str, ...]:
+        return tuple(op.op for op in self.ops)
+
+
+def _chain(root: LazyOp) -> list[LazyOp]:
+    """Flatten the graph into input->output order; reject non-chains."""
+    chain: list[LazyOp] = []
+    node: LazyOp | None = root
+    while node is not None:
+        chain.append(node)
+        if len(node.srcs) > 1:
+            raise CompileGraphError(
+                f"op {node.op!r} has {len(node.srcs)} inputs; the renderer "
+                "only lowers single-chain layer pipelines"
+            )
+        node = node.srcs[0] if node.srcs else None
+    chain.reverse()
+    return chain
+
+
+def fuse(root: LazyOp) -> tuple[Stage, Stage]:
+    """Partition the chain into (prologue, matmul-with-epilogue) stages.
+
+    Validates the structural contract the C renderer relies on: exactly
+    one ``input``, the prologue ops in ``quantize -> clamp -> fold``
+    order, exactly one ``gemm``, and epilogue ops restricted to
+    ``scale [-> bias] [-> relu]`` with ``scale`` mandatory and first
+    (it turns the integer accumulator back into real units; bias/relu
+    are meaningless before it).
+    """
+    chain = _chain(root)
+    names = [op.op for op in chain]
+    if names[0] != "input":
+        raise CompileGraphError(f"graph must start at an input op, got {names[0]!r}")
+    if names.count("gemm") != 1:
+        raise CompileGraphError(
+            f"graph must contain exactly one gemm, got {names.count('gemm')}"
+        )
+    split = names.index("gemm")
+    prologue_ops = chain[1:split]
+    epilogue_ops = chain[split + 1:]
+
+    got = tuple(op.op for op in prologue_ops)
+    if got != PROLOGUE_OPS:
+        raise CompileGraphError(
+            f"prologue must be {PROLOGUE_OPS} in order, got {got}"
+        )
+    got = tuple(op.op for op in epilogue_ops)
+    legal = [EPILOGUE_OPS[:i] for i in range(1, len(EPILOGUE_OPS) + 1)]
+    legal += [("scale", "relu")]
+    if got not in legal:
+        raise CompileGraphError(
+            f"epilogue must be a prefix of {EPILOGUE_OPS} starting with "
+            f"'scale' (relu may follow scale directly), got {got}"
+        )
+    prologue = Stage("prologue", tuple(prologue_ops))
+    matmul = Stage("matmul", (chain[split],) + tuple(epilogue_ops))
+    return prologue, matmul
+
+
+def graph_key(root: LazyOp) -> str:
+    """Deterministic structural signature used in the kernel cache key."""
+    parts = []
+    for op in _chain(root):
+        kv = ",".join(f"{k}={v}" for k, v in op.attrs)
+        parts.append(f"{op.op}({kv})")
+    return ";".join(parts)

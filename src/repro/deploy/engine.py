@@ -55,6 +55,7 @@ from repro.deploy.artifact import (
     load_artifact,
 )
 from repro.deploy.structure import StructureError, build_from_structure
+from repro.quant.backends import resolve_backend
 from repro.quant.plan import LayerQuantSpec
 from repro.quant.qlayers import QuantizedLayer, QuantMultiHeadAttention
 from repro.quant.quantizer import Quantizer
@@ -80,16 +81,26 @@ _INTEGER_CLASSES = {
 }
 
 
-def _pick_backend(spec: LayerQuantSpec, scale_product_bits: int | None) -> str:
+#: Engine-level backend choices (``"auto"`` resolves per environment).
+BACKEND_CHOICES = ("auto", "integer", "integer-prefolded", "compiled")
+
+
+def _pick_backend(
+    spec: LayerQuantSpec, scale_product_bits: int | None, requested: str = "auto"
+) -> str:
     """Per-layer runtime backend choice.
 
     Scale folding distributes the integer per-vector scales into the
     codes, which is exactly what the rounding knob perturbs — so rounding
-    forces the unfolded ``integer`` backend; everything else takes the
-    prefolded hot path (bitwise identical where both apply).
+    forces the unfolded ``integer`` backend regardless of the request;
+    otherwise an explicit request wins and ``"auto"`` takes the prefolded
+    numpy hot path (bitwise identical where both apply). ``requested``
+    is already availability-resolved by :func:`build_integer_model`.
     """
     if scale_product_bits is not None:
         return "integer"
+    if requested != "auto":
+        return requested
     return "integer-prefolded"
 
 
@@ -98,6 +109,7 @@ def _make_integer_layer(
     per_sample_scale: bool,
     scale_product_bits: int | None,
     out_dtype: type | None,
+    backend: str = "auto",
 ) -> nn.Module:
     cls = _INTEGER_CLASSES.get(spec.kind)
     if cls is None:
@@ -106,7 +118,7 @@ def _make_integer_layer(
         spec.spec,
         bias=spec.bias,
         weight_q=spec.weight,
-        backend=_pick_backend(spec.spec, scale_product_bits),
+        backend=_pick_backend(spec.spec, scale_product_bits, backend),
         per_sample_scale=per_sample_scale,
         scale_product_bits=scale_product_bits,
         out_dtype=out_dtype,
@@ -136,6 +148,7 @@ def build_integer_model(
     per_sample_scale: bool = False,
     scale_product_bits: int | None = None,
     precision: str = "float64",
+    backend: str = "auto",
 ) -> nn.Module:
     """Rebuild the artifact's topology with integer layers swapped in.
 
@@ -145,9 +158,22 @@ def build_integer_model(
     activations, residuals) and the fp scale application in single
     precision — the integer accumulators stay exact — roughly halving the
     engine's memory traffic for serving.
+
+    ``backend`` selects the execution backend for every quantized layer:
+    ``"auto"`` (prefolded numpy), ``"integer"``, ``"integer-prefolded"``,
+    or ``"compiled"`` (fused C kernels). Requesting an unavailable
+    backend degrades to ``integer`` with one process-wide warning
+    (:func:`repro.quant.backends.resolve_backend`); every choice is
+    bitwise identical where it applies, so the degradation is safe.
     """
     if precision not in ("float64", "float32"):
         raise ValueError(f"precision must be float64 or float32, got {precision!r}")
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_CHOICES}, got {backend!r}"
+        )
+    if backend != "auto":
+        backend = resolve_backend(backend)
     out_dtype = np.float32 if precision == "float32" else None
 
     if has_builder(artifact.builder):
@@ -191,7 +217,9 @@ def build_integer_model(
         spec = by_name[dotted]
         if spec.kind == "attention":
             return _make_attention_layer(spec, module, per_sample_scale)
-        return _make_integer_layer(spec, per_sample_scale, scale_product_bits, out_dtype)
+        return _make_integer_layer(
+            spec, per_sample_scale, scale_product_bits, out_dtype, backend
+        )
 
     swapped = set(nn.swap_modules(model, predicate, factory))
     missing = [name for name in by_name if name not in swapped]
@@ -224,6 +252,7 @@ class IntegerEngine:
         per_sample_scale: bool = False,
         scale_product_bits: int | None = None,
         precision: str = "float64",
+        backend: str = "auto",
         verify: bool = True,
     ) -> "IntegerEngine":
         artifact = load_artifact(path, verify=verify)
@@ -232,6 +261,7 @@ class IntegerEngine:
             per_sample_scale=per_sample_scale,
             scale_product_bits=scale_product_bits,
             precision=precision,
+            backend=backend,
         )
         return cls(artifact, model)
 

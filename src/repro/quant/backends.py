@@ -19,10 +19,20 @@ A :class:`repro.quant.qlayers.QuantizedLayer` owns *what* to quantize (its
     quantize+fold when channels align with the vector size. Bitwise
     identical to ``integer`` with ``scale_product_bits=None`` (both run
     the same :func:`~repro.quant.integer_exec.integer_*_folded` tail).
+``compiled``
+    The quantize/GEMM/epilogue pipeline lowered to fused C kernels,
+    compiled at runtime with the system ``cc`` and loaded via ctypes
+    (:mod:`repro.compile`). Bitwise identical to ``integer`` with
+    ``scale_product_bits=None``; registers as *unavailable* when no
+    working compiler is present (see :func:`resolve_backend`).
 
 Backends are selected **per layer at runtime** via
 :meth:`QuantizedLayer.set_backend`; registering a new backend is one
 ``register_backend`` call — no parallel class hierarchy per layer type.
+A backend may additionally report runtime availability (``available`` /
+``probe``): selecting an unavailable backend via ``set_backend`` raises,
+while the engine-level :func:`resolve_backend` degrades to ``integer``
+with a single process-wide warning.
 """
 
 from __future__ import annotations
@@ -43,6 +53,9 @@ from repro.quant.integer_exec import (
 from repro.quant.quantizer import QuantSpec, ScaleKind
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor
+from repro.utils.log import get_logger
+
+logger = get_logger("quant.backends")
 
 
 class QuantBackendError(RuntimeError):
@@ -56,6 +69,14 @@ class ExecutionBackend:
 
     def prepare(self, layer) -> None:
         """One-time per-layer setup when the backend is (re)selected."""
+
+    def available(self) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    def probe(self) -> dict:
+        """Diagnostic availability detail (``repro inspect`` report)."""
+        return {"available": self.available()}
 
     def run(self, layer, x):
         fn = getattr(self, f"run_{layer.spec.kind}", None)
@@ -84,6 +105,40 @@ def get_backend(name: str) -> ExecutionBackend:
 
 def backend_names() -> list[str]:
     return sorted(_BACKENDS)
+
+
+def backend_available(name: str) -> bool:
+    return get_backend(name).available()
+
+
+def backend_probe(name: str) -> dict:
+    return get_backend(name).probe()
+
+
+_FALLBACK_WARNED: set[str] = set()
+
+
+def resolve_backend(name: str, fallback: str = "integer") -> str:
+    """``name`` if that backend is available, else ``fallback``.
+
+    The degradation path for environments without a C toolchain: a model
+    loaded with ``backend='compiled'`` (or ``'auto'`` resolved to it)
+    serves on the numpy ``integer`` backend instead — same results,
+    interpreter speed — and the process logs **one** warning total, not
+    one per layer or per model.
+    """
+    backend = get_backend(name)
+    if backend.available():
+        return name
+    get_backend(fallback)  # fail loudly if the fallback itself is unknown
+    if name not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(name)
+        detail = backend.probe().get("error", "unavailable in this environment")
+        logger.warning(
+            "execution backend %r is unavailable (%s); falling back to %r",
+            name, detail, fallback,
+        )
+    return fallback
 
 
 # ----------------------------------------------------------------------
@@ -355,3 +410,16 @@ class PrefoldedBackend(IntegerBackend):
 register_backend(FakeQuantBackend())
 register_backend(IntegerBackend())
 register_backend(PrefoldedBackend())
+
+# The compiled backend lives in repro.compile (it drags in the renderer
+# and the cc runtime); importing it here makes `get_backend("compiled")`
+# work without callers knowing about the package. The guard handles the
+# one legal circular order: when repro.compile itself is the first thing
+# imported, its module object is still mid-execution here, so the class
+# is registered by repro.compile.backend's own tail instead.
+try:
+    from repro.compile.backend import CompiledBackend
+except ImportError:  # pragma: no cover - import-order dependent
+    pass
+else:
+    register_backend(CompiledBackend())

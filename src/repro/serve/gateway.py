@@ -82,6 +82,7 @@ from urllib.parse import parse_qs
 
 import numpy as np
 
+from repro.compile import kernel_cache_stats
 from repro.obs import PROMETHEUS_CONTENT_TYPE
 from repro.serve.autoscale import AutoscalePolicy
 from repro.serve.faults import FaultPlan
@@ -484,6 +485,7 @@ class Gateway:
         payload = {"models": models}
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
+        payload["kernel_cache"] = kernel_cache_stats()
         payload["events"] = self.obs.events.stats()
         raise _JSONResponse(200, payload)
 
@@ -689,6 +691,7 @@ class Gateway:
                 version=body.get("version"),
                 replicas=int(body.get("replicas", 1)),
                 routing=body.get("routing", "least_loaded"),
+                backend=body.get("backend", "auto"),
                 autoscale=autoscale,
                 health=health,
                 max_batch_size=int(body.get("max_batch_size", 8)),
@@ -743,6 +746,7 @@ class Gateway:
                 body["artifact"],
                 version=body.get("version"),
                 precision=body.get("precision", "float32"),
+                backend=body.get("backend", "auto"),
                 canary=canary,
                 fault_plan=fault_plan,
             )
@@ -809,6 +813,7 @@ def serve_gateway(
     host: str = "127.0.0.1",
     port: int = 0,
     cache_entries: int = 0,
+    backend: str = "auto",
     autoscale: AutoscalePolicy | dict | None = None,
     health: HealthPolicy | dict | None = None,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
@@ -820,8 +825,10 @@ def serve_gateway(
     ``models`` maps serving names to artifact directories; every model
     gets ``replicas`` replicas (and, if ``autoscale`` / ``health`` is
     given, its own queue-depth autoscaler / replica supervisor under
-    that policy). Returns the started :class:`Gateway` (stop it with
-    ``.stop()`` or use as a context manager).
+    that policy). ``backend`` selects the per-layer execution backend
+    (``auto`` / ``integer`` / ``integer-prefolded`` / ``compiled``) for
+    every model loaded here. Returns the started :class:`Gateway` (stop
+    it with ``.stop()`` or use as a context manager).
     """
     gateway = Gateway(
         port=port, host=host, cache_entries=cache_entries,
@@ -831,7 +838,8 @@ def serve_gateway(
         for name, path in models.items():
             gateway.registry.load_artifact(
                 name, path, replicas=replicas, routing=routing,
-                autoscale=autoscale, health=health, **server_kwargs
+                backend=backend, autoscale=autoscale, health=health,
+                **server_kwargs
             )
     except Exception:
         gateway.registry.stop_all()

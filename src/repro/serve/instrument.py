@@ -25,6 +25,7 @@ gateway smoke asserts :data:`REQUIRED_FAMILIES` all appear in a scrape.
 
 from __future__ import annotations
 
+from repro.compile import kernel_cache_stats
 from repro.obs import DEFAULT_BATCH_BUCKETS, Observability
 
 #: Families the CI smoke requires in every ``/metrics`` scrape.
@@ -50,6 +51,9 @@ REQUIRED_FAMILIES = (
     "traces_recorded_total",
     "cache_hits_total",
     "cache_misses_total",
+    "kernel_cache_hits_total",
+    "kernel_cache_misses_total",
+    "kernel_compile_seconds_total",
 )
 
 
@@ -153,6 +157,18 @@ class ServeMetrics:
         self.cache_misses = m.counter(
             "cache_misses_total", "Response-cache misses."
         )
+        self.kernel_cache_hits = m.counter(
+            "kernel_cache_hits_total",
+            "Compiled-kernel cache hits (in-memory + on-disk).",
+        )
+        self.kernel_cache_misses = m.counter(
+            "kernel_cache_misses_total",
+            "Compiled-kernel cache misses (each one triggers a cc compile).",
+        )
+        self.kernel_compile_seconds = m.counter(
+            "kernel_compile_seconds_total",
+            "Cumulative wall-clock seconds spent compiling kernels.",
+        )
         obs.events.subscribe(self._on_event)
 
     # ------------------------------------------------------------------
@@ -215,6 +231,10 @@ class ServeMetrics:
             cstats = cache.stats()
             self.cache_hits.set_total(cstats["hits"])
             self.cache_misses.set_total(cstats["misses"])
+        kstats = kernel_cache_stats()
+        self.kernel_cache_hits.set_total(kstats["hits"])
+        self.kernel_cache_misses.set_total(kstats["misses"])
+        self.kernel_compile_seconds.set_total(kstats["compile_s"])
         for entry in registry.models():
             name = entry.name
             pool, _ = entry.snapshot()

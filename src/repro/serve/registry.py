@@ -436,6 +436,7 @@ class ModelRegistry:
         routing: str = "least_loaded",
         per_sample_scale: bool = True,
         precision: str = "float32",
+        backend: str = "auto",
         start: bool = True,
         autoscale: AutoscalePolicy | dict | None = None,
         health: HealthPolicy | dict | None = None,
@@ -460,7 +461,8 @@ class ModelRegistry:
                     f"{self._entries[name].version}); unload it first"
                 )
         engine = IntegerEngine.load(
-            path, per_sample_scale=per_sample_scale, precision=precision
+            path, per_sample_scale=per_sample_scale, precision=precision,
+            backend=backend,
         )
         manifest_model = engine.manifest["model"]
         input_shape = manifest_model.get("input_shape")
@@ -491,6 +493,7 @@ class ModelRegistry:
         version: str | None = None,
         per_sample_scale: bool = True,
         precision: str = "float32",
+        backend: str = "auto",
         probe: object | None = None,
         probe_timeout_s: float = 60.0,
         canary: CanaryPolicy | dict | None = None,
@@ -549,7 +552,8 @@ class ModelRegistry:
                 raise ModelUnavailable(f"no model {name!r} to swap")
             t0 = time.perf_counter()
             engine = IntegerEngine.load(
-                path, per_sample_scale=per_sample_scale, precision=precision
+                path, per_sample_scale=per_sample_scale, precision=precision,
+                backend=backend,
             )
             old_pool, old_version = entry.snapshot()
             new_version = version or engine.manifest["payload"]["sha256"][:12]

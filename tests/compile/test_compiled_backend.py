@@ -1,0 +1,267 @@
+"""Compiled backend: parity with the integer backend + failure contracts.
+
+Three tiers:
+
+- **contract tests** (run everywhere, compiler or not): unknown-backend
+  errors enumerate the registry, ``set_backend("compiled")`` without a
+  toolchain raises clearly, and :func:`resolve_backend` degrades with
+  exactly one process-wide warning;
+- **directed parity** on a bias'd Linear and a padded strided Conv2d;
+- **hypothesis fuzz parity**: random shapes x 2-8 bit code/scale
+  formats, per-sample and per-tensor, float32/float64 serving dtypes —
+  compiled output must equal the numpy ``integer`` backend **bitwise**.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.compile import compiler_available, reset_compiler_probe
+from repro.quant import PTQConfig, quant_layers, quantize_model
+from repro.quant.backends import (
+    QuantBackendError,
+    backend_names,
+    backend_probe,
+    get_backend,
+    resolve_backend,
+)
+from repro.tensor.tensor import Tensor, no_grad
+
+needs_cc = pytest.mark.skipif(
+    not compiler_available(), reason="no working C compiler on this host"
+)
+
+
+def _quantize(model, config, calib):
+    model.eval()
+    return quantize_model(model, config, calib_batches=[(calib,)])
+
+
+def _outputs(qmodel, x, backend, **runtime):
+    for _, layer in quant_layers(qmodel):
+        layer.set_backend(backend, **runtime)
+    with no_grad():
+        return qmodel(Tensor(x)).data
+
+
+def _assert_bitwise(qmodel, x, **runtime):
+    y_int = _outputs(qmodel, x, "integer", **runtime)
+    y_c = _outputs(qmodel, x, "compiled", **runtime)
+    assert y_c.dtype == y_int.dtype
+    np.testing.assert_array_equal(y_c, y_int)
+
+
+# ----------------------------------------------------------------------
+# contract tests (no compiler required)
+# ----------------------------------------------------------------------
+
+class TestContracts:
+    def test_compiled_is_registered(self):
+        assert "compiled" in backend_names()
+        probe = backend_probe("compiled")
+        assert probe["available"] is compiler_available()
+
+    def test_unknown_backend_lists_registry(self, rng):
+        model = nn.Sequential(nn.Linear(8, 8, rng=rng))
+        qmodel = _quantize(
+            model,
+            PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4"),
+            rng.standard_normal((4, 8)),
+        )
+        (_, layer), = quant_layers(qmodel)
+        with pytest.raises(QuantBackendError) as exc:
+            layer.set_backend("does-not-exist")
+        msg = str(exc.value)
+        assert "unknown execution backend 'does-not-exist'" in msg
+        for name in backend_names():
+            assert name in msg  # the registry is enumerated for the user
+
+    def test_set_backend_compiled_without_toolchain_raises(self, monkeypatch, rng):
+        monkeypatch.setenv("CC", "/bin/false")
+        reset_compiler_probe()
+        try:
+            model = nn.Sequential(nn.Linear(8, 8, rng=rng))
+            qmodel = _quantize(
+                model,
+                PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4"),
+                rng.standard_normal((4, 8)),
+            )
+            (_, layer), = quant_layers(qmodel)
+            with pytest.raises(QuantBackendError, match="'compiled' is unavailable"):
+                layer.set_backend("compiled")
+        finally:
+            reset_compiler_probe()
+
+    def test_resolve_backend_warns_exactly_once(self, monkeypatch, caplog):
+        from repro.quant import backends as backends_mod
+
+        monkeypatch.setenv("CC", "/bin/false")
+        reset_compiler_probe()
+        monkeypatch.setattr(backends_mod, "_FALLBACK_WARNED", set())
+        try:
+            with caplog.at_level("WARNING", logger="repro.quant.backends"):
+                assert resolve_backend("compiled") == "integer"
+                assert resolve_backend("compiled") == "integer"
+                assert resolve_backend("compiled") == "integer"
+            warnings = [
+                r for r in caplog.records if "falling back to 'integer'" in r.message
+            ]
+            assert len(warnings) == 1
+            assert "'compiled' is unavailable" in warnings[0].message
+        finally:
+            reset_compiler_probe()
+
+    def test_resolve_backend_unknown_names_raise(self, monkeypatch):
+        # An unknown *requested* backend raises immediately...
+        with pytest.raises(QuantBackendError, match="unknown execution backend"):
+            resolve_backend("nope")
+        # ...and an unknown *fallback* raises when degradation happens.
+        monkeypatch.setenv("CC", "/bin/false")
+        reset_compiler_probe()
+        try:
+            with pytest.raises(QuantBackendError, match="unknown execution backend"):
+                resolve_backend("compiled", fallback="nope")
+        finally:
+            reset_compiler_probe()
+
+    def test_available_backends_resolve_to_themselves(self):
+        assert resolve_backend("integer") == "integer"
+        assert resolve_backend("integer-prefolded") == "integer-prefolded"
+
+    def test_default_backends_probe_available(self):
+        for name in ("fakequant", "integer", "integer-prefolded"):
+            assert get_backend(name).available() is True
+            assert get_backend(name).probe() == {"available": True}
+
+
+# ----------------------------------------------------------------------
+# directed parity (compiler required)
+# ----------------------------------------------------------------------
+
+@needs_cc
+class TestDirectedParity:
+    @pytest.mark.parametrize("per_sample", [False, True])
+    @pytest.mark.parametrize("out_dtype", [None, np.float32])
+    def test_linear_with_bias(self, rng, per_sample, out_dtype):
+        qmodel = _quantize(
+            nn.Sequential(nn.Linear(24, 10, rng=rng)),
+            PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4"),
+            rng.standard_normal((5, 24)),
+        )
+        x = rng.standard_normal((5, 24))
+        _assert_bitwise(
+            qmodel, x, per_sample_scale=per_sample, out_dtype=out_dtype
+        )
+
+    @pytest.mark.parametrize("per_sample", [False, True])
+    @pytest.mark.parametrize("out_dtype", [None, np.float32])
+    def test_conv2d_padded_strided(self, rng, per_sample, out_dtype):
+        qmodel = _quantize(
+            nn.Sequential(
+                nn.Conv2d(6, 9, kernel_size=3, stride=2, padding=1, rng=rng)
+            ),
+            PTQConfig.vs_quant(8, 8, weight_scale="4", act_scale="6"),
+            rng.standard_normal((3, 6, 11, 11)),
+        )
+        x = rng.standard_normal((3, 6, 11, 11))
+        _assert_bitwise(
+            qmodel, x, per_sample_scale=per_sample, out_dtype=out_dtype
+        )
+
+    def test_linear_3d_activations(self, rng):
+        """Sequence-model shape (B, T, F): the kernel sees B*T rows but
+        per-sample gammas must still group by leading batch axis."""
+        qmodel = _quantize(
+            nn.Sequential(nn.Linear(16, 12, rng=rng)),
+            PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4"),
+            rng.standard_normal((4, 7, 16)),
+        )
+        x = rng.standard_normal((4, 7, 16))
+        _assert_bitwise(qmodel, x, per_sample_scale=True)
+        _assert_bitwise(qmodel, x, per_sample_scale=False)
+
+    def test_repeat_calls_are_stable(self, rng):
+        """Same input twice -> identical bits (no state bleeds between
+        calls through the ctypes buffers)."""
+        qmodel = _quantize(
+            nn.Sequential(nn.Linear(16, 8, rng=rng)),
+            PTQConfig.vs_quant(4, 4, weight_scale="4", act_scale="4"),
+            rng.standard_normal((4, 16)),
+        )
+        x = rng.standard_normal((4, 16))
+        first = _outputs(qmodel, x, "compiled")
+        second = _outputs(qmodel, x, "compiled")
+        np.testing.assert_array_equal(first, second)
+
+
+# ----------------------------------------------------------------------
+# hypothesis fuzz parity (compiler required)
+# ----------------------------------------------------------------------
+
+@needs_cc
+class TestFuzzParity:
+    @given(
+        rows=st.integers(1, 6),
+        in_features=st.integers(2, 40),
+        out_features=st.integers(1, 24),
+        wbits=st.integers(2, 8),
+        abits=st.integers(2, 8),
+        wscale=st.sampled_from(["3", "4", "6"]),
+        ascale=st.sampled_from(["3", "4", "6"]),
+        vector_size=st.sampled_from([4, 8, 16]),
+        per_sample=st.booleans(),
+        f32=st.booleans(),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_linear_bitwise(
+        self, rows, in_features, out_features, wbits, abits,
+        wscale, ascale, vector_size, per_sample, f32, seed,
+    ):
+        rng = np.random.default_rng(seed)
+        config = PTQConfig.vs_quant(
+            wbits, abits, weight_scale=wscale, act_scale=ascale,
+            vector_size=vector_size,
+        )
+        qmodel = _quantize(
+            nn.Sequential(nn.Linear(in_features, out_features, rng=rng)),
+            config,
+            rng.standard_normal((max(rows, 2), in_features)),
+        )
+        x = rng.standard_normal((rows, in_features))
+        _assert_bitwise(
+            qmodel, x,
+            per_sample_scale=per_sample,
+            out_dtype=np.float32 if f32 else None,
+        )
+
+    @given(
+        channels=st.integers(1, 8),
+        out_channels=st.integers(1, 6),
+        hw=st.integers(4, 10),
+        kernel=st.sampled_from([1, 3]),
+        wbits=st.integers(2, 8),
+        abits=st.integers(2, 8),
+        per_sample=st.booleans(),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_conv_bitwise(
+        self, channels, out_channels, hw, kernel, wbits, abits, per_sample, seed
+    ):
+        rng = np.random.default_rng(seed)
+        config = PTQConfig.vs_quant(
+            wbits, abits, weight_scale="4", act_scale="4", vector_size=4
+        )
+        qmodel = _quantize(
+            nn.Sequential(
+                nn.Conv2d(channels, out_channels, kernel_size=kernel,
+                          padding=kernel // 2, rng=rng)
+            ),
+            config,
+            rng.standard_normal((2, channels, hw, hw)),
+        )
+        x = rng.standard_normal((2, channels, hw, hw))
+        _assert_bitwise(qmodel, x, per_sample_scale=per_sample)

@@ -1,0 +1,130 @@
+"""Structural tests for the lazy op graph + fusion pass.
+
+No compiler needed: the IR and :func:`fuse` are pure Python, so this
+file runs everywhere — including the CC=/bin/false CI job.
+"""
+
+import pytest
+
+from repro.compile import (
+    CompileGraphError,
+    GraphBuilder,
+    LazyOp,
+    conv2d_graph,
+    fuse,
+    graph_key,
+    linear_graph,
+)
+
+GRAPH_KW = dict(
+    vector_size=16, qmin=-7, qmax=7, sqmax=15, per_sample=True, has_bias=True
+)
+
+
+class TestBuilder:
+    def test_record_chains_to_previous_node(self):
+        g = GraphBuilder()
+        a = g.record("input")
+        b = g.record("quantize", qmax=7)
+        assert b.srcs == (a,)
+        assert g.root is b
+
+    def test_empty_graph_has_no_root(self):
+        with pytest.raises(CompileGraphError, match="empty graph"):
+            GraphBuilder().root
+
+    def test_attrs_are_sorted_and_hashable(self):
+        n1 = GraphBuilder().record("quantize", b=2, a=1)
+        n2 = GraphBuilder().record("quantize", a=1, b=2)
+        assert n1 == n2  # kwarg order can't change identity
+        assert n1.attr("a") == 1
+        assert n1.attr("missing", "dflt") == "dflt"
+        hash(n1)  # frozen dataclass stays hashable
+
+
+class TestFusion:
+    @pytest.mark.parametrize("build", [linear_graph, conv2d_graph])
+    @pytest.mark.parametrize("has_bias", [False, True])
+    @pytest.mark.parametrize("relu", [False, True])
+    def test_stages_cover_the_pipeline(self, build, has_bias, relu):
+        root = build(**{**GRAPH_KW, "has_bias": has_bias}, relu=relu)
+        prologue, matmul = fuse(root)
+        assert prologue.op_names() == ("quantize", "clamp", "fold")
+        expected = ["gemm", "scale"]
+        if has_bias:
+            expected.append("bias")
+        if relu:
+            expected.append("relu")
+        assert matmul.op_names() == tuple(expected)
+
+    def test_gemm_kind_attr_distinguishes_conv(self):
+        _, matmul = fuse(conv2d_graph(**GRAPH_KW))
+        assert matmul.ops[0].attr("kind") == "conv2d"
+
+    def test_rejects_graph_without_input(self):
+        g = GraphBuilder()
+        g.record("quantize")
+        g.record("clamp")
+        g.record("fold")
+        g.record("gemm")
+        g.record("scale")
+        with pytest.raises(CompileGraphError, match="must start at an input"):
+            fuse(g.root)
+
+    def test_rejects_out_of_order_prologue(self):
+        g = GraphBuilder()
+        g.record("input")
+        g.record("fold")  # fold before quantize is meaningless
+        g.record("quantize")
+        g.record("clamp")
+        g.record("gemm")
+        g.record("scale")
+        with pytest.raises(CompileGraphError, match="prologue"):
+            fuse(g.root)
+
+    def test_rejects_missing_or_double_gemm(self):
+        g = GraphBuilder()
+        g.record("input")
+        g.record("quantize")
+        with pytest.raises(CompileGraphError, match="exactly one gemm"):
+            fuse(g.root)
+        g.record("clamp")
+        g.record("fold")
+        g.record("gemm")
+        g.record("gemm")
+        g.record("scale")
+        with pytest.raises(CompileGraphError, match="exactly one gemm"):
+            fuse(g.root)
+
+    def test_rejects_epilogue_without_scale_first(self):
+        g = GraphBuilder()
+        g.record("input")
+        g.record("quantize")
+        g.record("clamp")
+        g.record("fold")
+        g.record("gemm")
+        g.record("bias")  # bias before scale: wrong units
+        with pytest.raises(CompileGraphError, match="epilogue"):
+            fuse(g.root)
+
+    def test_rejects_multi_input_nodes(self):
+        a = LazyOp("input")
+        b = LazyOp("input")
+        join = LazyOp("gemm", (a, b))
+        with pytest.raises(CompileGraphError, match="2 inputs"):
+            fuse(join)
+
+
+class TestGraphKey:
+    def test_key_is_deterministic_and_attr_sensitive(self):
+        k1 = graph_key(linear_graph(**GRAPH_KW))
+        k2 = graph_key(linear_graph(**GRAPH_KW))
+        assert k1 == k2
+        k3 = graph_key(linear_graph(**{**GRAPH_KW, "qmax": 127, "qmin": -127}))
+        assert k1 != k3
+
+    def test_key_distinguishes_structure(self):
+        base = graph_key(linear_graph(**GRAPH_KW))
+        relu = graph_key(linear_graph(**GRAPH_KW, relu=True))
+        conv = graph_key(conv2d_graph(**GRAPH_KW))
+        assert len({base, relu, conv}) == 3

@@ -1,0 +1,170 @@
+"""Kernel cache + compiler probe behavior.
+
+The probe tests run everywhere (``CC=/bin/false`` is simulated with
+monkeypatch); the compile/load round-trip tests skip when the host has
+no working toolchain, mirroring the backend's own availability gate.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.compile import (
+    CompileError,
+    KernelCache,
+    compiler_available,
+    compiler_probe,
+    default_cache_dir,
+    find_toolchain,
+    kernel_cache,
+    kernel_cache_stats,
+    reset_compiler_probe,
+    reset_kernel_cache,
+)
+from repro.compile.runtime import KERNEL_ENTRY, STALE_AFTER_DAYS
+
+needs_cc = pytest.mark.skipif(
+    not compiler_available(), reason="no working C compiler on this host"
+)
+
+#: A minimal kernel-shaped source the cache can compile and call.
+TRIVIAL_SRC = f"int {KERNEL_ENTRY}(void) {{ return 7; }}\n"
+
+
+class TestCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path / "kc"))
+        assert default_cache_dir() == tmp_path / "kc"
+
+    def test_default_is_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+        got = default_cache_dir()
+        assert got.is_absolute()
+        assert got.name == "repro-kernels"
+        assert "~" not in str(got)
+
+    def test_singleton_reset_follows_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path / "a"))
+        reset_kernel_cache()
+        try:
+            assert kernel_cache().directory == tmp_path / "a"
+            assert kernel_cache_stats()["dir"] == str(tmp_path / "a")
+        finally:
+            reset_kernel_cache()
+
+    def test_stats_are_zero_before_first_use(self):
+        reset_kernel_cache()
+        stats = kernel_cache_stats()
+        assert stats["hits"] == stats["misses"] == stats["compiles"] == 0
+
+
+class TestProbe:
+    def test_broken_cc_probes_unavailable(self, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false")
+        reset_compiler_probe()
+        try:
+            assert compiler_available() is False
+            probe = compiler_probe()
+            assert probe["available"] is False
+            assert "no working C compiler" in probe["error"]
+            assert "cache_dir" in probe
+        finally:
+            reset_compiler_probe()
+
+    def test_probe_memoized_per_cc_value(self, monkeypatch):
+        ambient = os.environ.get("CC")
+        reset_compiler_probe()
+        try:
+            host = compiler_available()
+            monkeypatch.setenv("CC", "/bin/false")
+            assert compiler_available() is False  # fresh key, fresh probe
+            # restore the ambient $CC: the memoized result must come back
+            if ambient is None:
+                monkeypatch.delenv("CC")
+            else:
+                monkeypatch.setenv("CC", ambient)
+            assert compiler_available() is host
+        finally:
+            reset_compiler_probe()
+
+    @needs_cc
+    def test_probe_reports_toolchain_details(self):
+        probe = compiler_probe()
+        assert probe["available"] is True
+        assert os.path.isabs(probe["compiler"])
+        assert "-O3" in probe["cflags"]
+        tc = find_toolchain()
+        assert tc.path == probe["compiler"]
+        assert tc.ident  # stable identity string feeds the cache key
+
+
+class TestKernelCache:
+    @needs_cc
+    def test_compile_load_and_hit_counters(self, tmp_path):
+        cache = KernelCache(directory=tmp_path)
+        fn = cache.get(TRIVIAL_SRC)
+        assert fn() == 7
+        assert cache.stats()["compiles"] == 1
+        assert cache.stats()["compile_s"] > 0
+        # second get: pure in-memory hit
+        assert cache.get(TRIVIAL_SRC)() == 7
+        stats = cache.stats()
+        assert stats["mem_hits"] == 1 and stats["disk_hits"] == 0
+        # fresh cache over the same dir: disk hit, no recompile
+        cache2 = KernelCache(directory=tmp_path)
+        assert cache2.get(TRIVIAL_SRC)() == 7
+        stats2 = cache2.stats()
+        assert stats2["disk_hits"] == 1 and stats2["compiles"] == 0
+
+    @needs_cc
+    def test_distinct_sources_get_distinct_entries(self, tmp_path):
+        cache = KernelCache(directory=tmp_path)
+        assert cache.get(TRIVIAL_SRC)() == 7
+        assert cache.get(TRIVIAL_SRC.replace("7", "9"))() == 9
+        assert cache.stats()["compiles"] == 2
+        assert len(list(tmp_path.glob("*.so"))) == 2
+        assert len(list(tmp_path.glob("*.c"))) == 2
+
+    @needs_cc
+    def test_invalid_source_raises_compile_error(self, tmp_path):
+        cache = KernelCache(directory=tmp_path)
+        with pytest.raises(CompileError, match="failed on rendered kernel"):
+            cache.get("this is not C\n")
+
+    def test_no_compiler_raises(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("CC", "/bin/false")
+        reset_compiler_probe()
+        try:
+            with pytest.raises(CompileError, match="no working C compiler"):
+                KernelCache(directory=tmp_path).get(TRIVIAL_SRC)
+        finally:
+            reset_compiler_probe()
+
+    def test_sweep_evicts_stale_and_over_cap(self, tmp_path, monkeypatch):
+        stale = tmp_path / "old.so"
+        stale.write_bytes(b"x")
+        (tmp_path / "old.c").write_text("int x;")
+        past = time.time() - (STALE_AFTER_DAYS + 1) * 86400
+        os.utime(stale, (past, past))
+        fresh = tmp_path / "new.so"
+        fresh.write_bytes(b"x")
+        monkeypatch.setattr("repro.compile.runtime.MAX_DISK_ENTRIES", 1)
+        cache = KernelCache(directory=tmp_path)
+        cache._ensure_dir()  # sweep runs on first directory touch
+        assert not stale.exists() and not (tmp_path / "old.c").exists()
+        assert fresh.exists()  # newest survives the cap of 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_sweep_cap_evicts_oldest_first(self, tmp_path, monkeypatch):
+        now = time.time()
+        for idx in range(4):
+            so = tmp_path / f"k{idx}.so"
+            so.write_bytes(b"x")
+            os.utime(so, (now - (4 - idx) * 100, now - (4 - idx) * 100))
+        monkeypatch.setattr("repro.compile.runtime.MAX_DISK_ENTRIES", 2)
+        cache = KernelCache(directory=tmp_path)
+        cache._ensure_dir()
+        survivors = sorted(p.name for p in tmp_path.glob("*.so"))
+        assert survivors == ["k2.so", "k3.so"]
+        assert cache.stats()["evictions"] == 2

@@ -1,13 +1,17 @@
-"""Cross-backend parity matrix: fakequant vs integer vs integer-prefolded.
+"""Cross-backend parity matrix: fakequant vs integer vs prefolded vs compiled.
 
 The acceptance invariant of the unified stack: one shared
-:class:`QuantizedLayer` implementation, three execution backends, and —
+:class:`QuantizedLayer` implementation, four execution backends, and —
 over MiniResNet and MiniBERT at the paper's W4/A4-S4/S4 flagship format
 and at W8/A8 — the guarantees:
 
 - ``integer`` and ``integer-prefolded`` are **bitwise identical** (they
   share the folded-GEMM kernels; prefolding only moves work to load time),
-- both integer backends match the fakequant simulation at float-noise
+- ``compiled`` (fused C kernels, :mod:`repro.compile`) is **bitwise
+  identical** to ``integer`` across the same matrix, in both float64 and
+  float32 serving precision, per-tensor and per-sample scales (skipped
+  where the host has no C toolchain),
+- the integer backends match the fakequant simulation at float-noise
   level with matching predictions (exact ties aside, see
   ``tests/deploy/test_engine.py``),
 - the per-sample-scale serving mode stays batch-invariant on every
@@ -17,6 +21,7 @@ and at W8/A8 — the guarantees:
 import numpy as np
 import pytest
 
+from repro.compile import compiler_available
 from repro.deploy import IntegerEngine, save_artifact
 from repro.models.bert import MiniBERT, MiniBERTConfig
 from repro.models.resnet import MiniResNet
@@ -151,6 +156,64 @@ class TestBERTMatrix:
         solo = np.concatenate(
             [engine(tokens[i : i + 1], mask=mask[i : i + 1]) for i in range(len(tokens))]
         )
+        np.testing.assert_allclose(solo, full, rtol=1e-6, atol=1e-9)
+
+
+@pytest.mark.skipif(
+    not compiler_available(), reason="no working C compiler on this host"
+)
+class TestCompiledMatrix:
+    """The tentpole acceptance matrix: compiled == integer, bitwise.
+
+    Both models x both configs (via the fixtures) x both serving
+    precisions x per-tensor/per-sample scales. The engine is loaded with
+    ``backend="compiled"`` — the production path — then flipped to
+    ``integer`` in place so both runs share the exact same artifact,
+    weights, and glue layers.
+    """
+
+    @pytest.mark.parametrize("precision", ["float64", "float32"])
+    @pytest.mark.parametrize("per_sample", [False, True])
+    def test_resnet_compiled_equals_integer_bitwise(
+        self, resnet_case, precision, per_sample
+    ):
+        _, out, x = resnet_case
+        engine = IntegerEngine.load(
+            out, precision=precision, per_sample_scale=per_sample,
+            backend="compiled",
+        )
+        assert {layer.backend for _, layer in quant_layers(engine.model)} == {
+            "compiled"
+        }
+        y_c = engine(x)
+        _set_backend_everywhere(engine.model, "integer")
+        y_int = engine(x)
+        assert y_c.dtype == y_int.dtype
+        np.testing.assert_array_equal(y_c, y_int)
+
+    @pytest.mark.parametrize("precision", ["float64", "float32"])
+    @pytest.mark.parametrize("per_sample", [False, True])
+    def test_bert_compiled_equals_integer_bitwise(
+        self, bert_case, precision, per_sample
+    ):
+        _, out, (tokens, mask) = bert_case
+        engine = IntegerEngine.load(
+            out, precision=precision, per_sample_scale=per_sample,
+            backend="compiled",
+        )
+        y_c = engine(tokens, mask=mask)
+        _set_backend_everywhere(engine.model, "integer")
+        y_int = engine(tokens, mask=mask)
+        assert y_c.dtype == y_int.dtype
+        np.testing.assert_array_equal(y_c, y_int)
+
+    def test_compiled_per_sample_batch_invariant(self, resnet_case):
+        _, out, x = resnet_case
+        engine = IntegerEngine.load(
+            out, per_sample_scale=True, backend="compiled"
+        )
+        full = engine(x)
+        solo = np.concatenate([engine(x[i : i + 1]) for i in range(len(x))])
         np.testing.assert_allclose(solo, full, rtol=1e-6, atol=1e-9)
 
 
