@@ -8,19 +8,25 @@ successful requests/second across both models, measured end-to-end
 through the real network path (JSON encode, admission control, replica
 routing, dynamic batching, integer inference).
 
-Replica scaling is a *parallel compute* lever: each replica is an extra
-dynamic-batching worker over the shared read-only weights, and the
-integer GEMMs release the GIL, so replicas execute concurrently on
-separate cores. The acceptance floor — **>= 2x aggregate throughput from
-1 -> 4 replicas** — is therefore enforced only when the host exposes at
-least 4 usable cores; on smaller hosts (e.g. a 1-core CI container) the
-measured scaling is recorded in the BENCH JSON with ``enforced: false``
-so the perf trajectory stays honest instead of asserting physics.
+Replica scaling is a *parallel compute* lever. With the default
+``--replica-mode process`` each replica is a forked worker process
+(read-only weights shared copy-on-write) running its own dynamic
+batcher, so replicas execute on separate cores with no GIL in the way.
+The acceptance floor — **>= 2x aggregate throughput from 1 -> 4
+replicas** — is enforced unconditionally in the full run: run it on a
+host with >= 4 usable cores (the report prints the core count so an
+undersized host is diagnosable, not excusable).
+
+Before any timing, the full run asserts **bitwise prediction parity**
+across thread, process, and remote-shard serving of the golden pins
+(``tests/golden/*.npz``) — a speedup measured on a mode that changes
+the numbers would be meaningless.
 
 Run:    PYTHONPATH=src python benchmarks/bench_gateway_scaling.py
 Smoke:  PYTHONPATH=src python benchmarks/bench_gateway_scaling.py --smoke
-        (untrained tiny models, a handful of requests, no assertion —
-        exercises export -> gateway -> mixed HTTP traffic -> stats.)
+        (untrained tiny models, a handful of requests, no floor —
+        exercises export -> gateway -> mixed HTTP traffic -> stats;
+        ``--replica-mode`` selects where the smoke's replicas run.)
 
 ``--obs-overhead`` measures the observability tax instead: the same
 mixed traffic is driven through an instrumented gateway (request
@@ -52,7 +58,6 @@ from repro.serve.client import encode_inputs
 QUANT = dict(weight_bits=4, act_bits=4, weight_scale="4", act_scale="4")
 REPLICA_COUNTS = (1, 4)
 SPEEDUP_FLOOR = 2.0
-MIN_CORES_TO_ENFORCE = 4
 
 #: Full-run load: concurrent closed-loop clients x requests per client.
 CLIENTS, REQUESTS_PER_CLIENT = 16, 16
@@ -116,6 +121,71 @@ def _build_artifacts(tmpdir: str, smoke: bool) -> dict[str, str]:
     }
 
 
+def check_trimode_parity() -> dict:
+    """Assert thread == process == remote == golden pins, bit for bit.
+
+    Serves the pinned miniresnet case (whole-batch scales, float64 glue,
+    the exact 4-row pinned batch coalesced into one dispatch) through all
+    three replica locations and compares every output byte against the
+    committed npz. Raises on the first mismatch; timing a mode that
+    perturbs predictions is not a benchmark.
+    """
+    import multiprocessing as mp
+    import sys
+    from pathlib import Path
+
+    import numpy as np
+
+    sys.path.insert(0, str(Path(__file__).parents[1] / "tests" / "golden"))
+    from golden_common import CONFIGS, MODELS, golden_path
+
+    from repro.deploy import IntegerEngine
+    from repro.serve import InferenceServer, ProcessReplica, RemoteReplica, ShardServer
+    from repro.serve.runners import model_batch_fn
+
+    model, calib, inputs = MODELS["miniresnet"]()
+    model.eval()
+    qmodel = quantize_model(model, CONFIGS["w4a4_s4s4"](), calib_batches=[calib])
+    pinned = np.load(golden_path("miniresnet", "w4a4_s4s4"))["integer_prefolded"]
+    rows = list(inputs[0])
+    engine_cfg = dict(per_sample_scale=False, precision="float64")
+    batch_cfg = dict(max_batch_size=len(rows), max_wait_ms=1000.0, num_workers=1)
+
+    def run_mode(replica):
+        with replica:
+            handles = [replica.submit(np.asarray(r)) for r in rows]
+            return np.stack([h.wait(timeout=60.0) for h in handles])
+
+    checked = []
+    with tempfile.TemporaryDirectory(prefix="repro-parity-") as tmp:
+        save_artifact(qmodel, tmp, task="image", input_shape=(3, 16, 16))
+        engine = IntegerEngine.load(tmp, **engine_cfg)
+        batch_fn = model_batch_fn(engine.model)
+
+        modes = [("thread", lambda: run_mode(InferenceServer(batch_fn, **batch_cfg)))]
+        if "fork" in mp.get_all_start_methods():
+            modes.append(
+                ("process", lambda: run_mode(ProcessReplica(batch_fn, **batch_cfg)))
+            )
+        shard = ShardServer(tmp, **engine_cfg, **batch_cfg).start()
+        try:
+            modes.append(
+                ("remote", lambda: run_mode(RemoteReplica(shard.address)))
+            )
+            for name, go in modes:
+                out = go()
+                if out.dtype != pinned.dtype or not np.array_equal(out, pinned):
+                    raise SystemExit(
+                        f"FAIL: {name}-mode predictions diverge from the "
+                        f"golden pins — refusing to time a mode that "
+                        f"changes the numbers"
+                    )
+                checked.append(name)
+        finally:
+            shard.stop()
+    return {"modes": checked, "bitwise": True}
+
+
 def _mixed_requests(gateway, per_model: int) -> list[tuple[str, list]]:
     """Interleaved (model, JSON inputs) pairs — the mixed traffic tape."""
     tapes = []
@@ -166,11 +236,16 @@ def _drive(url: str, requests: list[tuple[str, list]], clients: int) -> dict[str
     }
 
 
-def run(smoke: bool = False) -> dict:
+def run(smoke: bool = False, replica_mode: str = "process") -> dict:
     clients = SMOKE_CLIENTS if smoke else CLIENTS
     per_client = SMOKE_REQUESTS if smoke else REQUESTS_PER_CLIENT
     cores = _usable_cores()
     results: dict[str, dict] = {}
+
+    # bitwise tri-mode parity gates the clock (smoke included: it is fast
+    # and it is the whole point of trusting the numbers)
+    parity = check_trimode_parity()
+    print(f"parity preflight: {'/'.join(parity['modes'])} bitwise vs golden pins")
 
     with tempfile.TemporaryDirectory(prefix="repro-gateway-bench-") as tmpdir:
         artifacts = _build_artifacts(tmpdir, smoke)
@@ -179,6 +254,7 @@ def run(smoke: bool = False) -> dict:
                 artifacts,
                 replicas=replicas,
                 routing="least_loaded",
+                replica_mode=replica_mode,
                 max_batch_size=8,
                 max_wait_ms=2.0,
                 max_queue=max(16, clients * 2),
@@ -202,14 +278,14 @@ def run(smoke: bool = False) -> dict:
     lo = results[f"replicas_{REPLICA_COUNTS[0]}"]["rps"]
     hi = results[f"replicas_{REPLICA_COUNTS[-1]}"]["rps"]
     speedup = hi / lo if lo else 0.0
-    enforced = (not smoke) and cores >= MIN_CORES_TO_ENFORCE
     return {
         "replica_counts": list(REPLICA_COUNTS),
         "clients": clients,
         "usable_cores": cores,
+        "replica_mode": replica_mode,
+        "parity": parity,
         "speedup": speedup,
         "speedup_floor": SPEEDUP_FLOOR,
-        "enforced": enforced,
         **results,
     }
 
@@ -288,7 +364,8 @@ def format_overhead_report(m: dict) -> str:
 def format_report(m: dict) -> str:
     lines = [
         f"gateway replica scaling (mixed resnet+bert traffic, "
-        f"{m['clients']} closed-loop HTTP clients, {m['usable_cores']} cores):"
+        f"{m['replica_mode']} replicas, {m['clients']} closed-loop HTTP "
+        f"clients, {m['usable_cores']} cores):"
     ]
     for r in m["replica_counts"]:
         run_m = m[f"replicas_{r}"]
@@ -297,11 +374,8 @@ def format_report(m: dict) -> str:
             f"({int(run_m['completed'])}/{int(run_m['requests'])} ok, "
             f"{int(run_m['overload_retries'])} overload retries)"
         )
-    status = "enforced" if m["enforced"] else (
-        f"recorded only: needs >= {MIN_CORES_TO_ENFORCE} cores"
-    )
     lines.append(f"  1 -> {m['replica_counts'][-1]} replicas speedup: {m['speedup']:.2f}x "
-                 f"(floor {m['speedup_floor']}x, {status})")
+                 f"(floor {m['speedup_floor']}x)")
     return "\n".join(lines)
 
 
@@ -316,6 +390,10 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser()
     parser.add_argument("--smoke", action="store_true",
                         help="tiny untrained models, no perf assertion (CI)")
+    parser.add_argument("--replica-mode", default="process",
+                        help="thread | process | host:port[,host:port] — "
+                             "where each replica executes (default: process, "
+                             "the mode whose scaling the floor is about)")
     parser.add_argument("--obs-overhead", action="store_true",
                         help="measure instrumentation cost (traced vs "
                              "uninstrumented gateway) instead of scaling")
@@ -327,7 +405,7 @@ if __name__ == "__main__":
         save_bench_json("gateway_obs_overhead", metrics, quant=QUANT)
         raise SystemExit(0)
 
-    metrics = run(smoke=args.smoke)
+    metrics = run(smoke=args.smoke, replica_mode=args.replica_mode)
     report = format_report(metrics)
     print(report)
     if args.smoke:
@@ -336,7 +414,10 @@ if __name__ == "__main__":
     else:
         save_result("gateway_scaling", report)
         save_bench_json("gateway", metrics, quant=QUANT)
-        if metrics["enforced"] and metrics["speedup"] < SPEEDUP_FLOOR:
+        # the floor holds unconditionally: a host too small to show
+        # process-level parallelism is not a host to benchmark on
+        if metrics["speedup"] < SPEEDUP_FLOOR:
             raise SystemExit(
-                f"FAIL: replica scaling {metrics['speedup']:.2f}x < {SPEEDUP_FLOOR}x"
+                f"FAIL: replica scaling {metrics['speedup']:.2f}x < {SPEEDUP_FLOOR}x "
+                f"({metrics['usable_cores']} usable cores)"
             )

@@ -385,6 +385,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.deploy import ArtifactError
+    from repro.serve import serve_shard
+
+    try:
+        shard = serve_shard(
+            args.artifact,
+            host=args.host,
+            port=args.port,
+            ready_file=args.ready_file,
+            precision=args.precision,
+            backend=args.backend,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            num_workers=args.workers,
+            max_queue=args.max_queue,
+        )
+    except (ArtifactError, OSError) as exc:
+        raise SystemExit(f"cannot start shard: {exc}") from exc
+
+    info = shard.info
+    print(f"shard listening on {shard.address}")
+    print(
+        f"serving: {info['name']}@{info['version']}  task={info['task'] or 'image'}  "
+        f"batch<={args.batch_size}, wait {args.max_wait_ms}ms, {args.workers} workers"
+    )
+    done = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: done.set())
+    try:
+        done.wait()
+    except KeyboardInterrupt:
+        pass
+    print("\nshard shutting down")
+    shard.stop()
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -502,8 +542,11 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             precision=args.precision,
             backend=args.backend,
+            replica_mode=args.replica_mode,
         )
     except ArtifactError as exc:
+        raise SystemExit(f"cannot start gateway: {exc}") from exc
+    except (ValueError, ConnectionError, RuntimeError) as exc:
         raise SystemExit(f"cannot start gateway: {exc}") from exc
 
     with gateway:
@@ -764,6 +807,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also write metrics to this BENCH JSON path")
     p.set_defaults(fn=_cmd_bench_serve)
 
+    p = sub.add_parser("shard", help="serve one artifact over the binary shard "
+                                     "protocol (front with `repro gateway "
+                                     "--replica-mode host:port`)")
+    p.add_argument("--artifact", required=True,
+                   help="artifact directory from `repro export`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (default 0 = ephemeral, printed at startup)")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="dynamic-batching max batch size")
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--max-queue", type=int, default=256)
+    p.add_argument("--precision", choices=("float32", "float64"), default="float32")
+    p.add_argument(
+        "--backend", choices=("auto", "integer", "integer-prefolded", "compiled"),
+        default=os.environ.get("REPRO_BACKEND", "auto"))
+    p.add_argument("--ready-file", default=None, metavar="PATH",
+                   help="write host:port here once listening (deploy/CI sync point)")
+    p.set_defaults(fn=_cmd_shard)
+
     p = sub.add_parser("gateway", help="multi-model HTTP serving gateway")
     p.add_argument("--model", action="append", required=True, metavar="NAME=ARTIFACT_DIR",
                    help="serve this artifact under NAME (repeatable)")
@@ -772,6 +836,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind port (default 0 = ephemeral, printed at startup)")
     p.add_argument("--replicas", type=int, default=1,
                    help="replica servers per model (shared read-only weights)")
+    p.add_argument("--replica-mode", default="thread", metavar="MODE",
+                   help="where replicas run: 'thread' (in-process), 'process' "
+                        "(one forked worker process per replica — true "
+                        "multi-core), or host:port[,host:port] of running "
+                        "`repro shard` instances (applies to every --model; a "
+                        "--model value that is itself host:port is remote "
+                        "regardless)")
     p.add_argument("--routing", choices=("round_robin", "least_loaded"),
                    default="least_loaded")
     p.add_argument("--batch-size", type=int, default=8,

@@ -6,7 +6,15 @@
   (including the ``queue_depth``/``in_flight`` load signals).
 - :mod:`repro.serve.replica` — :class:`ReplicaPool`: N servers sharing
   read-only weights behind round-robin or least-loaded routing with
-  overload failover.
+  overload failover; the :class:`ReplicaHandle` contract makes replica
+  *location* (thread/process/remote) a per-pool configuration.
+- :mod:`repro.serve.worker` — :class:`ProcessReplica` (forked worker
+  process, fork-shared weights) and :class:`RemoteReplica` (shard at
+  host:port), both speaking a length-prefixed binary protocol with
+  bitwise payload round-trips.
+- :mod:`repro.serve.shard` — :class:`ShardServer` / :func:`serve_shard`:
+  one artifact behind a TCP listener (``repro shard``), frontable by any
+  gateway via ``replica_mode="host:port"``.
 - :mod:`repro.serve.registry` — :class:`ModelRegistry`: hot-load/unload
   models (artifacts or raw ``batch_fn``\\ s) by name+version, plus
   ``swap()``: the zero-downtime rollout primitive (load new version,
@@ -65,7 +73,7 @@ from repro.serve.registry import (
     SwapError,
     SwapReport,
 )
-from repro.serve.replica import NoHealthyReplicas, ReplicaPool
+from repro.serve.replica import NoHealthyReplicas, ReplicaHandle, ReplicaPool
 from repro.serve.runners import model_batch_fn, serve_artifact, serve_model
 from repro.serve.server import (
     InferenceServer,
@@ -75,6 +83,8 @@ from repro.serve.server import (
     ServeStats,
     WorkerCrash,
 )
+from repro.serve.shard import ShardServer, serve_shard
+from repro.serve.worker import ProcessReplica, RemoteReplica
 
 __all__ = [
     "InferenceServer",
@@ -84,6 +94,11 @@ __all__ = [
     "ServeStats",
     "WorkerCrash",
     "ReplicaPool",
+    "ReplicaHandle",
+    "ProcessReplica",
+    "RemoteReplica",
+    "ShardServer",
+    "serve_shard",
     "NoHealthyReplicas",
     "Autoscaler",
     "AutoscalePolicy",

@@ -805,6 +805,16 @@ def _stats_dict(entry: ModelEntry) -> dict:
     return payload
 
 
+def _is_shard_address(spec) -> bool:
+    """True when a model "path" is really ``host:port[,host:port]``."""
+    if not isinstance(spec, str) or ":" not in spec:
+        return False
+    parts = [p.strip() for p in spec.split(",") if p.strip()]
+    return bool(parts) and all(
+        p.rpartition(":")[0] and p.rpartition(":")[2].isdigit() for p in parts
+    )
+
+
 def serve_gateway(
     models: dict[str, str | Path],
     *,
@@ -818,6 +828,7 @@ def serve_gateway(
     health: HealthPolicy | dict | None = None,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     instrument: bool = True,
+    replica_mode: str = "thread",
     **server_kwargs,
 ) -> Gateway:
     """One call from artifact directories to a started gateway.
@@ -827,20 +838,45 @@ def serve_gateway(
     given, its own queue-depth autoscaler / replica supervisor under
     that policy). ``backend`` selects the per-layer execution backend
     (``auto`` / ``integer`` / ``integer-prefolded`` / ``compiled``) for
-    every model loaded here. Returns the started :class:`Gateway` (stop
-    it with ``.stop()`` or use as a context manager).
+    every model loaded here.
+
+    ``replica_mode`` picks where replicas execute: ``"thread"`` (in this
+    process), ``"process"`` (one forked worker process per replica), or
+    ``host:port[,host:port]`` — remote shards started with ``repro
+    shard``, applied to every model here. A model whose "path" itself
+    looks like ``host:port[,host:port]`` is served remotely regardless
+    of ``replica_mode``, so one gateway can mix local artifacts with
+    remote fleets. Returns the started :class:`Gateway` (stop it with
+    ``.stop()`` or use as a context manager).
     """
     gateway = Gateway(
         port=port, host=host, cache_entries=cache_entries,
         max_body_bytes=max_body_bytes, instrument=instrument,
     )
+    # Engine knobs stay with whoever loads the artifact; a remote pool
+    # only needs the queueing/batching config for its parent-side gate.
+    remote_kwargs = {
+        k: v for k, v in server_kwargs.items()
+        if k not in ("precision", "per_sample_scale")
+    }
     try:
         for name, path in models.items():
-            gateway.registry.load_artifact(
-                name, path, replicas=replicas, routing=routing,
-                backend=backend, autoscale=autoscale, health=health,
-                **server_kwargs
-            )
+            if _is_shard_address(path):
+                gateway.registry.load_remote(
+                    name, path, routing=routing, autoscale=autoscale,
+                    health=health, **remote_kwargs
+                )
+            elif _is_shard_address(replica_mode):
+                gateway.registry.load_remote(
+                    name, replica_mode, routing=routing, autoscale=autoscale,
+                    health=health, **remote_kwargs
+                )
+            else:
+                gateway.registry.load_artifact(
+                    name, path, replicas=replicas, routing=routing,
+                    backend=backend, autoscale=autoscale, health=health,
+                    replica_mode=replica_mode, **server_kwargs
+                )
     except Exception:
         gateway.registry.stop_all()
         raise

@@ -482,6 +482,53 @@ class ModelRegistry:
             **server_kwargs,
         )
 
+    def load_remote(
+        self,
+        name: str,
+        addresses,
+        *,
+        version: str | None = None,
+        routing: str = "least_loaded",
+        start: bool = True,
+        autoscale: AutoscalePolicy | dict | None = None,
+        health: HealthPolicy | dict | None = None,
+        **server_kwargs,
+    ) -> ModelEntry:
+        """Serve ``name`` from running shards instead of a local artifact.
+
+        ``addresses`` is ``host:port[,host:port]`` (or a list) of shards
+        started with ``repro shard``. The first reachable shard's
+        ``info`` frame supplies the task/arch/input-shape metadata the
+        gateway codec and supervisor probe need, and the version (unless
+        overridden) — every shard is assumed to serve the same artifact;
+        mixed fleets are what canary/swap flows are for.
+        """
+        from repro.serve.replica import _parse_replica_mode
+        from repro.serve.worker import RemoteReplica
+
+        _, addrs = _parse_replica_mode(addresses)
+        probe = RemoteReplica(addrs[0], **server_kwargs)
+        probe.start()
+        try:
+            info = probe.info()
+        finally:
+            probe.stop()
+        input_shape = info.get("input_shape")
+        return self.register(
+            name,
+            None,
+            version=version or info.get("version", "remote"),
+            task=info.get("task"),
+            input_shape=tuple(input_shape) if input_shape else None,
+            arch=dict(info.get("arch") or {}),
+            routing=routing,
+            start=start,
+            autoscale=autoscale,
+            health=health,
+            replica_mode=addrs,
+            **server_kwargs,
+        )
+
     # ------------------------------------------------------------------
     # hot swap (zero-downtime rollout)
     # ------------------------------------------------------------------
@@ -559,14 +606,23 @@ class ModelRegistry:
             new_version = version or engine.manifest["payload"]["sha256"][:12]
             manifest_model = engine.manifest["model"]
             task = engine.task
+            if old_pool.replica_mode == "remote":
+                raise SwapError(
+                    f"model {name!r} is backed by remote shards "
+                    f"({', '.join(old_pool.addresses)}); roll those shards "
+                    "over to the new artifact instead of swapping the gateway"
+                )
             batch_fn = model_batch_fn(engine.model)
             if fault_plan is not None:
                 fault_plan.bind(self.obs.events, model=name)
+            # replica_mode is cloned: a process-mode pool forks fresh
+            # children whose inherited pages hold the *new* engine.
             new_pool = ReplicaPool(
                 batch_fn,
                 replicas=old_pool.num_replicas,
                 routing=old_pool.routing,
                 fault_plan=fault_plan,
+                replica_mode=old_pool.replica_mode,
                 **old_pool.server_kwargs,
             )
             new_pool.start()

@@ -28,6 +28,7 @@ signal.
 from __future__ import annotations
 
 import threading
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -41,6 +42,79 @@ from repro.serve.server import (
 )
 
 ROUTING_POLICIES = ("round_robin", "least_loaded")
+
+REPLICA_MODES = ("thread", "process", "remote")
+
+
+@runtime_checkable
+class ReplicaHandle(Protocol):
+    """What the pool (and supervisor/autoscaler above it) needs from a replica.
+
+    Three implementations: :class:`~repro.serve.server.InferenceServer`
+    (a thread pool in this process), :class:`~repro.serve.worker.ProcessReplica`
+    (a forked worker process), and :class:`~repro.serve.worker.RemoteReplica`
+    (a shard at host:port). Everything above the pool — routing, failover,
+    ``replace_replica``, supervision, autoscaling, swap, canary — is written
+    against this surface only, which is what makes replica *location* a
+    per-pool configuration rather than an architectural decision.
+
+    Contract notes beyond the signatures:
+
+    - ``healthy`` is a plain writable attribute owned by the supervisor
+      (quarantine flag); ``alive`` is the replica's own liveness.
+    - ``submit`` returns a future-like object with ``wait(timeout)`` and
+      ``ready``; queue-full raises ``ServerOverloaded``, dead/stopped
+      raises ``ServerClosed`` — both *synchronously*.
+    - ``latencies_ms`` returns a bounded uniform sample of per-request
+      latencies; exact counters ride on ``stats()``.
+    """
+
+    healthy: bool
+    slot: int | None
+    crashes: int
+
+    @property
+    def alive(self) -> bool: ...
+
+    @property
+    def load(self) -> int: ...
+
+    def start(self): ...
+
+    def stop(self, drain: bool = True) -> None: ...
+
+    def drain(self) -> None: ...
+
+    def submit(self, payload, *, block: bool = True, timeout=None, trace=None): ...
+
+    def stats(self) -> ServeStats: ...
+
+    def latencies_ms(self) -> np.ndarray: ...
+
+
+def _parse_replica_mode(mode) -> tuple[str, list[str]]:
+    """Normalize ``replica_mode`` → (mode, shard addresses).
+
+    Accepts ``"thread"``, ``"process"``, a ``host:port[,host:port]``
+    string, or a list of ``host:port`` strings (the last two mean
+    ``remote``).
+    """
+    if isinstance(mode, (list, tuple)):
+        addresses = [str(a) for a in mode]
+        if not addresses:
+            raise ValueError("replica_mode address list is empty")
+        bad = [a for a in addresses if ":" not in a]
+        if bad:
+            raise ValueError(f"remote replica addresses must be host:port, got {bad}")
+        return "remote", addresses
+    mode = str(mode)
+    if mode in ("thread", "process"):
+        return mode, []
+    if ":" in mode:
+        return _parse_replica_mode([a.strip() for a in mode.split(",") if a.strip()])
+    raise ValueError(
+        f"replica_mode must be 'thread', 'process', or host:port[,host:port]; got {mode!r}"
+    )
 
 
 class NoHealthyReplicas(RuntimeError):
@@ -67,6 +141,14 @@ class ReplicaPool:
         ``batch_fn`` is wrapped with its pool *slot sequence number*
         (monotonic — a restarted replica gets a fresh one), so faults
         can target individual replicas deterministically.
+    replica_mode:
+        Where each replica executes: ``"thread"`` (an
+        :class:`InferenceServer` in this process, shared GIL),
+        ``"process"`` (a forked worker process per replica —
+        fork-shared read-only weights, true multi-core), or
+        ``host:port[,host:port]`` / a list of addresses (remote shards
+        started with ``repro shard``; ``replicas`` is then the number
+        of addresses and ``batch_fn`` may be ``None``).
     """
 
     def __init__(
@@ -80,11 +162,17 @@ class ReplicaPool:
         num_workers: int = 1,
         max_queue: int = 64,
         fault_plan=None,
+        replica_mode="thread",
     ):
-        if replicas < 1:
-            raise ValueError(f"replicas must be >= 1, got {replicas}")
         if routing not in ROUTING_POLICIES:
             raise ValueError(f"routing must be one of {ROUTING_POLICIES}, got {routing!r}")
+        self.replica_mode, self._addresses = _parse_replica_mode(replica_mode)
+        if self.replica_mode == "remote":
+            replicas = len(self._addresses)
+        elif batch_fn is None:
+            raise ValueError(f"batch_fn is required for replica_mode={self.replica_mode!r}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.batch_fn = batch_fn
         self.routing = routing
         self.fault_plan = fault_plan
@@ -96,22 +184,44 @@ class ReplicaPool:
         )
         self._lock = threading.Lock()  # guards replica list + rr counter
         self._replica_seq = 0
-        self._replicas = [self._new_server() for _ in range(replicas)]
+        self._replicas = [
+            self._new_replica(address=self._addresses[i] if self._addresses else None)
+            for i in range(replicas)
+        ]
         self._rr = 0
         self._running = False
         self._closed = False
         self.replacements = 0  # replicas swapped out by replace_replica
 
-    def _new_server(self) -> InferenceServer:
+    def _new_replica(self, address: str | None = None) -> ReplicaHandle:
         with self._lock:
             slot = self._replica_seq
             self._replica_seq += 1
+        if self.replica_mode == "remote":
+            from repro.serve.worker import RemoteReplica
+
+            if address is None:
+                raise ValueError("remote replica pools need a host:port address per replica")
+            replica: ReplicaHandle = RemoteReplica(address, **self._server_kwargs)
+            replica.slot = slot
+            return replica
+        # Fault wrapping happens *before* a process replica forks, so the
+        # closure (and its slot) is inherited by the child — slot-targeted
+        # fault specs keep working across worker restarts.
         batch_fn = self.batch_fn
         if self.fault_plan is not None:
             batch_fn = self.fault_plan.wrap(batch_fn, slot)
-        server = InferenceServer(batch_fn, **self._server_kwargs)
-        server.slot = slot
-        return server
+        if self.replica_mode == "process":
+            from repro.serve.worker import ProcessReplica
+
+            replica = ProcessReplica(batch_fn, **self._server_kwargs)
+        else:
+            replica = InferenceServer(batch_fn, **self._server_kwargs)
+        replica.slot = slot
+        return replica
+
+    # Backwards-compatible alias (pre-process-replica name).
+    _new_server = _new_replica
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -159,15 +269,30 @@ class ReplicaPool:
         """Per-replica server settings — lets a swap clone the pool config."""
         return dict(self._server_kwargs)
 
-    def add_replica(self) -> None:
+    @property
+    def addresses(self) -> list[str]:
+        """Shard addresses for a remote pool (empty for thread/process)."""
+        return list(self._addresses)
+
+    def add_replica(self, address: str | None = None) -> None:
         """Grow the pool by one replica (started if the pool is running).
+
+        Remote pools grow by shard ``address`` — there is no local
+        ``batch_fn`` to fork, so scaling out means pointing the pool at
+        another running ``repro shard``.
 
         A stopped pool is *retired*: growing it again would leak replicas
         that nothing will ever stop, so it raises :class:`ServerClosed`
         (the autoscaler hits this window during a hot swap and simply
         retries against the flipped-in pool on its next tick).
         """
-        server = self._new_server()
+        if self.replica_mode == "remote" and address is None:
+            raise ValueError(
+                "remote pools grow by address: add_replica(address='host:port')"
+            )
+        server = self._new_replica(address=address)
+        if self.replica_mode == "remote":
+            self._addresses.append(address)
         with self._lock:
             if self._closed:
                 raise ServerClosed("replica pool is stopped; cannot add replicas")
@@ -181,9 +306,11 @@ class ReplicaPool:
             if len(self._replicas) <= 1:
                 raise ValueError("cannot remove the last replica")
             server = self._replicas.pop()
+        if self.replica_mode == "remote" and self._addresses:
+            self._addresses.pop()
         server.stop(drain=drain)
 
-    def replace_replica(self, old: InferenceServer) -> InferenceServer | None:
+    def replace_replica(self, old: ReplicaHandle) -> ReplicaHandle | None:
         """Swap ``old`` for a fresh replica in the same pool position.
 
         The restart primitive the supervisor uses on crashed/wedged
@@ -196,8 +323,12 @@ class ReplicaPool:
         cue to retry). Returns ``None`` (a no-op) when ``old`` already
         left the pool — a concurrent scale-down or a second supervisor
         tick racing this one.
+
+        Works for every replica mode: a process replica forks a fresh
+        child, a remote replica reconnects to the same shard address
+        (healing after the shard itself restarts).
         """
-        new = self._new_server()
+        new = self._new_replica(address=getattr(old, "address", None))
         with self._lock:
             if self._closed or old not in self._replicas:
                 return None
@@ -216,14 +347,14 @@ class ReplicaPool:
         """Replicas currently routable (alive and not quarantined)."""
         return sum(1 for s in self._snapshot() if s.healthy and s.alive)
 
-    def _snapshot(self) -> list[InferenceServer]:
+    def _snapshot(self) -> list[ReplicaHandle]:
         with self._lock:
             return list(self._replicas)
 
     # ------------------------------------------------------------------
     # routing + client API
     # ------------------------------------------------------------------
-    def _route(self, replicas: list[InferenceServer]) -> list[InferenceServer]:
+    def _route(self, replicas: list[ReplicaHandle]) -> list[ReplicaHandle]:
         """Routable replicas in preference order under the policy.
 
         Dead replicas (worker thread gone — a crash the supervisor has
@@ -231,16 +362,34 @@ class ReplicaPool:
         the supervisor) are excluded *here*, at submit time, so a crash
         between probe ticks never burns a request. Empty result means
         the pool is down (:class:`NoHealthyReplicas` from ``submit``).
+
+        Round-robin advances its cursor over the *stable* pool order and
+        skips unroutable entries, rather than indexing into the filtered
+        live list: ``rr % len(live)`` re-maps every position whenever a
+        replica is quarantined or healed, which can park the rotation on
+        a subset and starve fixed positions. Keyed on stable slots, the
+        survivors keep receiving an even share through quarantine/heal
+        cycles.
         """
-        live = [s for s in replicas if s.healthy and s.alive]
-        if not live:
+        if not any(s.healthy and s.alive for s in replicas):
             return []
         if self.routing == "least_loaded":
+            live = [s for s in replicas if s.healthy and s.alive]
             return sorted(live, key=lambda s: s.load)
+        n = len(replicas)
+        start = None
         with self._lock:
-            first = self._rr % len(live)
-            self._rr += 1
-        return live[first:] + live[:first]
+            for _ in range(n):
+                idx = self._rr % n
+                self._rr += 1
+                s = replicas[idx]
+                if s.healthy and s.alive:
+                    start = idx
+                    break
+        if start is None:  # every replica died between the two scans
+            return []
+        rotated = replicas[start:] + replicas[:start]
+        return [s for s in rotated if s.healthy and s.alive]
 
     def submit(
         self, payload, *, block: bool = False, timeout: float | None = None, trace=None
@@ -273,7 +422,23 @@ class ReplicaPool:
             except ServerClosed:
                 continue  # replica being removed; try the rest
         if block:
-            return ordered[0].submit(payload, block=True, timeout=timeout, trace=trace)
+            # Every queue was full; wait on the replicas in routing order.
+            # A replica can die *after* routing selected it — that raises
+            # ServerClosed out of its submit, which must mean "fail over
+            # to the next live replica", never a spurious client error.
+            # Only genuine saturation (ServerOverloaded after the timeout)
+            # propagates; if every routed replica closed underneath us the
+            # pool is down and the caller gets the clean 503 signal.
+            closed: BaseException | None = None
+            for server in ordered:
+                try:
+                    return server.submit(payload, block=True, timeout=timeout, trace=trace)
+                except ServerClosed as exc:
+                    closed = exc
+            raise NoHealthyReplicas(
+                f"all {len(ordered)} routed replicas closed while submitting "
+                f"(last: {closed}); awaiting supervisor recovery"
+            ) from closed
         raise ServerOverloaded(
             f"all {len(ordered)} replica queues are full; retry later"
         )
@@ -298,8 +463,10 @@ class ReplicaPool:
         """Pool-wide snapshot with *true* latency percentiles.
 
         Counters are summed across replicas; percentiles are recomputed
-        from the pooled raw latencies (summing or averaging per-replica
-        percentiles would be statistically wrong).
+        from the pooled latency samples (summing or averaging
+        per-replica percentiles would be statistically wrong). Rates use
+        the exact per-replica counters — the latency samples are bounded
+        reservoirs, so their size says nothing about request volume.
         """
         replicas = self._snapshot()
         per = [s.stats() for s in replicas]
@@ -307,18 +474,25 @@ class ReplicaPool:
         elapsed = max((s.elapsed_s for s in per), default=1e-9)
         pct = (lambda q: float(np.percentile(lat, q))) if lat.size else (lambda q: 0.0)
         total_batches = sum(s.batches for s in per)
+        finished = [s.completed + s.errors for s in per]
+        total_finished = sum(finished)
+        mean = (
+            sum(s.latency_ms_mean * n for s, n in zip(per, finished)) / total_finished
+            if total_finished
+            else 0.0
+        )
         return ServeStats(
             completed=sum(s.completed for s in per),
             errors=sum(s.errors for s in per),
             rejected=sum(s.rejected for s in per),
             elapsed_s=elapsed,
-            requests_per_s=lat.size / elapsed,
-            latency_ms_mean=float(lat.mean()) if lat.size else 0.0,
+            requests_per_s=total_finished / elapsed,
+            latency_ms_mean=mean,
             latency_ms_p50=pct(50),
             latency_ms_p90=pct(90),
             latency_ms_p99=pct(99),
             batches=total_batches,
-            mean_batch_size=float(lat.size / total_batches) if total_batches else 0.0,
+            mean_batch_size=float(total_finished / total_batches) if total_batches else 0.0,
             max_batch_size_seen=max((s.max_batch_size_seen for s in per), default=0),
             queue_depth=sum(s.queue_depth for s in per),
             in_flight=sum(s.in_flight for s in per),

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import ctypes
 import queue
+import random
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -123,6 +124,14 @@ class ServeStats:
             f"load: {self.queue_depth} queued, {self.in_flight} in flight"
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the shard wire protocol ships stats as JSON)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ServeStats":
+        return cls(**d)
+
 
 class _Request:
     __slots__ = ("payload", "done", "result", "error", "t_submit", "t_pickup", "trace")
@@ -156,6 +165,50 @@ class PendingResponse:
         return self._request.done.is_set()
 
 
+#: Reservoir capacity for per-replica latency samples. 1024 points pin a
+#: p99 estimate to within a fraction of a percentile rank while bounding
+#: a replica's stats memory for the lifetime of the process.
+LATENCY_RESERVOIR_SIZE = 1024
+
+
+class _Reservoir:
+    """Fixed-size uniform sample of an unbounded stream (Algorithm R).
+
+    Replaces the grow-forever latency list: every observation is equally
+    likely to be in the sample, so percentiles stay honest under
+    sustained traffic while memory stays O(capacity). Counts/sums are
+    tracked exactly alongside; only the *distribution* is sampled.
+    Seeded so two replicas fed identical streams report identical
+    percentiles (keeps golden-pin style tests deterministic).
+    """
+
+    __slots__ = ("capacity", "count", "total", "sample", "_rng")
+
+    def __init__(self, capacity: int = LATENCY_RESERVOIR_SIZE, seed: int = 0x5EED):
+        self.capacity = capacity
+        self.count = 0  # observations ever seen (exact)
+        self.total = 0.0  # exact running sum, for exact means
+        self.sample: list[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self.sample) < self.capacity:
+            self.sample.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.capacity:
+                self.sample[j] = value
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self.sample, dtype=np.float64)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
 @dataclass
 class _StatsAccumulator:
     """One serving interval's counters, including its own clock.
@@ -164,11 +217,18 @@ class _StatsAccumulator:
     ``stats()`` snapshot can never pair one interval's counters with
     another's clock across a concurrent restart — the accumulator
     reference is read once and everything hangs off it.
+
+    Latencies are reservoir-sampled (bounded memory under sustained
+    traffic); request/batch counts are exact counters, so rates never
+    depend on how much of the distribution the reservoir retains.
     """
 
     lock: threading.Lock = field(default_factory=threading.Lock)
-    latencies_ms: list[float] = field(default_factory=list)
-    batch_sizes: list[int] = field(default_factory=list)
+    latencies: _Reservoir = field(default_factory=_Reservoir)
+    finished: int = 0  # requests resolved (ok + errored) — exact
+    batches: int = 0
+    batch_total: int = 0  # sum of executed batch sizes
+    batch_max: int = 0
     errors: int = 0
     rejected: int = 0
     in_flight: int = 0
@@ -424,9 +484,12 @@ class InferenceServer:
                 errors = [exc] * len(batch)
             t_done = time.perf_counter()
             with acc.lock:
-                acc.batch_sizes.append(len(batch))
+                acc.batches += 1
+                acc.batch_total += len(batch)
+                acc.batch_max = max(acc.batch_max, len(batch))
                 for req in batch:
-                    acc.latencies_ms.append(1e3 * (t_done - req.t_submit))
+                    acc.latencies.add(1e3 * (t_done - req.t_submit))
+                acc.finished += len(batch)
                 acc.errors += sum(e is not None for e in errors)
                 acc.in_flight -= len(batch)
             for req, result, error in zip(batch, results, errors):
@@ -474,10 +537,14 @@ class InferenceServer:
         return self._queue.qsize() + in_flight
 
     def latencies_ms(self) -> np.ndarray:
-        """Copy of the raw per-request latencies (for pool-level percentiles)."""
+        """Reservoir sample of per-request latencies (for pool percentiles).
+
+        A uniform sample of the full stream, not the raw series — the
+        raw series is unbounded and is deliberately not retained.
+        """
         acc = self._stats
         with acc.lock:
-            return np.asarray(acc.latencies_ms, dtype=np.float64)
+            return acc.latencies.values()
 
     def stats(self) -> ServeStats:
         """Snapshot of latency/throughput/batching counters.
@@ -487,11 +554,18 @@ class InferenceServer:
         concurrent restart cannot mix two serving intervals), mutable
         state is copied under the accumulator lock, and the elapsed
         clock freezes at ``stop()``.
+
+        Rates come from exact counters (``finished`` over the interval
+        clock), never from the size of the bounded latency sample.
         """
         acc = self._stats  # one ref: a concurrent start() swaps atomically
         with acc.lock:
-            lat = np.asarray(acc.latencies_ms, dtype=np.float64)
-            sizes = np.asarray(acc.batch_sizes, dtype=np.float64)
+            lat = acc.latencies.values()
+            lat_mean = acc.latencies.mean
+            finished = acc.finished
+            batches = acc.batches
+            batch_total = acc.batch_total
+            batch_max = acc.batch_max
             errors = acc.errors
             rejected = acc.rejected
             in_flight = acc.in_flight
@@ -500,21 +574,20 @@ class InferenceServer:
             elapsed = 1e-9  # never started: all rates are zero
         else:
             elapsed = max((t_stop if t_stop is not None else time.perf_counter()) - t_start, 1e-9)
-        completed = int(lat.size) - errors
         pct = (lambda q: float(np.percentile(lat, q))) if lat.size else (lambda q: 0.0)
         return ServeStats(
-            completed=completed,
+            completed=finished - errors,
             errors=errors,
             rejected=rejected,
             elapsed_s=elapsed,
-            requests_per_s=lat.size / elapsed,
-            latency_ms_mean=float(lat.mean()) if lat.size else 0.0,
+            requests_per_s=finished / elapsed,
+            latency_ms_mean=lat_mean,
             latency_ms_p50=pct(50),
             latency_ms_p90=pct(90),
             latency_ms_p99=pct(99),
-            batches=int(sizes.size),
-            mean_batch_size=float(sizes.mean()) if sizes.size else 0.0,
-            max_batch_size_seen=int(sizes.max()) if sizes.size else 0,
+            batches=batches,
+            mean_batch_size=batch_total / batches if batches else 0.0,
+            max_batch_size_seen=batch_max,
             queue_depth=self._queue.qsize(),
             in_flight=in_flight,
             crashes=self.crashes,

@@ -1,0 +1,172 @@
+"""A standalone inference shard: one artifact served over TCP.
+
+``repro shard --artifact DIR --port P`` runs one of these per host (or
+per NUMA domain); a gateway on any machine fronts the fleet with
+``--replica-mode host:port,host:port``. The shard speaks the same
+length-prefixed protocol as a forked process replica (see
+:mod:`repro.serve.worker`), so from the pool's perspective a remote
+shard *is* a replica — routing, failover, supervision, and stats
+aggregation are identical, and prediction parity stays bitwise because
+payload dtypes/shapes round-trip exactly.
+
+One :class:`~repro.serve.server.InferenceServer` is shared by every
+connection (each gateway gets its own :func:`worker_loop` thread with
+``owns_server=False``): a client's ``stop`` only disconnects that
+client, and the dynamic batcher coalesces traffic across gateways.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+
+from repro.serve.runners import model_batch_fn
+from repro.serve.server import InferenceServer
+from repro.serve.worker import close_sock, worker_loop
+
+logger = logging.getLogger("repro.serve.shard")
+
+
+class ShardServer:
+    """TCP front for one :class:`InferenceServer` over one artifact.
+
+    Parameters mirror :func:`repro.serve.runners.serve_artifact` for the
+    inner server; ``host``/``port`` bind the listener (``port=0`` picks a
+    free port — read it back from :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        artifact_path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        per_sample_scale: bool = True,
+        precision: str = "float32",
+        backend: str = "auto",
+        **server_kwargs,
+    ):
+        from repro.deploy import IntegerEngine
+
+        engine = IntegerEngine.load(
+            artifact_path, per_sample_scale=per_sample_scale, precision=precision,
+            backend=backend,
+        )
+        manifest_model = engine.manifest["model"]
+        input_shape = manifest_model.get("input_shape")
+        #: metadata served to gateways via the ``info`` op — everything
+        #: ``ModelRegistry.load_remote`` needs to build codecs and probes.
+        self.info = {
+            "name": manifest_model.get("name"),
+            "task": engine.task,
+            "arch": dict(manifest_model.get("arch") or {}),
+            "input_shape": list(input_shape) if input_shape else None,
+            "version": engine.manifest["payload"]["sha256"][:12],
+        }
+        self.server: InferenceServer = InferenceServer(
+            model_batch_fn(engine.model), **server_kwargs
+        )
+        self._host, self._port = host, port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._running = False
+
+    @property
+    def address(self) -> str:
+        """``host:port`` actually bound (resolves ``port=0``)."""
+        if self._listener is None:
+            raise RuntimeError("shard is not started")
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "ShardServer":
+        if self._running:
+            return self
+        self.server.start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(32)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="shard-accept", daemon=True
+        )
+        self._accept_thread.start()
+        logger.info("shard serving %s at %s", self.info.get("name"), self.address)
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._conns.append(conn)
+            threading.Thread(
+                target=self._serve_conn, args=(conn, peer),
+                name=f"shard-conn-{peer[1]}", daemon=True,
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket, peer) -> None:
+        try:
+            worker_loop(conn, self.server, owns_server=False, info=self.info)
+        finally:
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            close_sock(listener)  # shutdown wakes the blocked accept()
+        with self._lock:
+            conns, self._conns = list(self._conns), []
+        for conn in conns:  # EOF each gateway's reader; they fail over
+            close_sock(conn)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        self.server.stop(drain=False)
+
+    def __enter__(self) -> "ShardServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_shard(
+    artifact_path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_file: str | None = None,
+    **kwargs,
+) -> ShardServer:
+    """Start a shard; write ``host:port`` to ``ready_file`` once listening.
+
+    The ready file is the CI/deploy synchronization point: a supervisor
+    (or the remote-gateway smoke step) waits for it to appear instead of
+    polling the port.
+    """
+    shard = ShardServer(artifact_path, host=host, port=port, **kwargs)
+    shard.start()
+    if ready_file:
+        from pathlib import Path
+
+        tmp = Path(str(ready_file) + ".tmp")
+        tmp.write_text(shard.address)
+        tmp.replace(ready_file)  # atomic: readers never see a partial write
+    return shard
+
+
+__all__ = ["ShardServer", "serve_shard"]

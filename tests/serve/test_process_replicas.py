@@ -1,0 +1,423 @@
+"""Cross-process replica contract + the serve-stats/routing regressions.
+
+Covers the ``ReplicaHandle`` surface when a replica is a forked process:
+payload codec bitwise round-trips, backpressure parity, kill -9 crash
+semantics (retryable mid-flight failures, supervisor replacement),
+fault-plan slot targeting across a worker restart — plus the three
+bugfix regressions from the same PR: bounded latency reservoirs with
+counter-based throughput, blocking-submit failover, and stable-slot
+round-robin fairness under quarantine.
+"""
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    HealthPolicy,
+    InferenceServer,
+    NoHealthyReplicas,
+    ProcessReplica,
+    ReplicaHandle,
+    ReplicaPool,
+    ServerClosed,
+    ServerOverloaded,
+    Supervisor,
+)
+from repro.serve.server import LATENCY_RESERVOIR_SIZE, _Reservoir
+from repro.serve.worker import decode_payload, encode_payload
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="process replicas require the fork start method",
+)
+
+
+def doubler(payloads):
+    return [2 * np.asarray(p) for p in payloads]
+
+
+def wait_until(cond, timeout=10.0, step=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return True
+        time.sleep(step)
+    return cond()
+
+
+# ----------------------------------------------------------------------
+# wire codec
+# ----------------------------------------------------------------------
+class TestPayloadCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            np.arange(12, dtype=np.float32).reshape(3, 4),
+            np.arange(6, dtype=np.int64),
+            np.array([True, False, True]),
+            np.float64(3.25),
+            np.int64(-7),
+            np.array(5, dtype=np.int32),  # 0-d array
+        ],
+        ids=["f32", "i64", "bool", "np-f64-scalar", "np-i64-scalar", "0d"],
+    )
+    def test_arrays_roundtrip_bitwise(self, value):
+        desc, blobs = encode_payload(value)
+        out, _ = decode_payload(desc, b"".join(blobs))
+        assert np.asarray(out).dtype == np.asarray(value).dtype
+        np.testing.assert_array_equal(np.asarray(out), np.asarray(value))
+
+    def test_tuple_payload_preserves_structure_and_dtypes(self):
+        tokens = np.arange(8, dtype=np.int64)
+        mask = np.array([True] * 6 + [False] * 2)
+        desc, blobs = encode_payload((tokens, mask))
+        out, _ = decode_payload(desc, b"".join(blobs))
+        assert isinstance(out, tuple) and len(out) == 2
+        assert out[0].dtype == np.int64 and out[1].dtype == np.bool_
+        np.testing.assert_array_equal(out[0], tokens)
+        np.testing.assert_array_equal(out[1], mask)
+
+    def test_json_payload_roundtrips(self):
+        desc, blobs = encode_payload({"k": [1, 2, 3]})
+        assert not blobs
+        out, _ = decode_payload(desc, b"")
+        assert out == {"k": [1, 2, 3]}
+
+    def test_unserializable_payload_fails_at_the_caller(self):
+        with pytest.raises(TypeError):
+            encode_payload(object())
+
+
+# ----------------------------------------------------------------------
+# satellite: bounded latency stats + counter-based throughput
+# ----------------------------------------------------------------------
+class TestBoundedStats:
+    def test_reservoir_is_uniform_and_bounded(self):
+        res = _Reservoir(capacity=100)
+        for i in range(10_000):
+            res.add(float(i))
+        assert len(res.sample) == 100
+        assert res.count == 10_000
+        assert res.total == pytest.approx(sum(range(10_000)))
+        # a uniform sample of 0..9999 has a mean near 5000
+        assert 3000 < np.mean(res.sample) < 7000
+
+    def test_latency_memory_is_bounded_and_counters_exact(self):
+        n = 3 * LATENCY_RESERVOIR_SIZE
+        with InferenceServer(doubler, max_batch_size=64, max_wait_ms=0.1) as server:
+            for handle in [server.submit(np.float32(1.0)) for _ in range(n)]:
+                handle.wait(timeout=10.0)
+            stats = server.stats()
+            assert server.latencies_ms().size <= LATENCY_RESERVOIR_SIZE
+            assert stats.completed == n  # exact counter, not reservoir size
+            # throughput derives from the counter over elapsed time — it
+            # must reconstruct the true request count, not the sample size
+            assert stats.requests_per_s * stats.elapsed_s == pytest.approx(n, rel=1e-6)
+            assert stats.latency_ms_mean > 0.0
+            assert stats.latency_ms_p99 >= stats.latency_ms_p50 > 0.0
+
+    def test_pool_throughput_uses_counters(self):
+        n = 2 * LATENCY_RESERVOIR_SIZE + 100
+        pool = ReplicaPool(doubler, replicas=2, max_batch_size=64, max_wait_ms=0.1,
+                           max_queue=4 * n)
+        with pool:
+            for handle in [pool.submit(np.float32(1.0), block=True) for _ in range(n)]:
+                handle.wait(timeout=10.0)
+            stats = pool.stats()
+        assert stats.completed == n
+        assert stats.requests_per_s * stats.elapsed_s >= n * 0.99
+        assert stats.mean_batch_size > 0
+
+
+# ----------------------------------------------------------------------
+# satellite: blocking submit fails over past a closed replica
+# ----------------------------------------------------------------------
+class _StubReplica:
+    """Routable handle that dies the instant it is actually used."""
+
+    def __init__(self):
+        self.healthy = True
+        self.slot = 99
+        self.crashes = 0
+        self.alive = True
+        self.load = 0
+
+    def start(self):
+        return self
+
+    def stop(self, drain=True):
+        pass
+
+    def drain(self):
+        pass
+
+    def submit(self, payload, *, block=False, timeout=None, trace=None):
+        if block:
+            raise ServerClosed("replica died after routing selected it")
+        raise ServerOverloaded("queue full")
+
+    def stats(self):
+        raise AssertionError("not used")
+
+    def latencies_ms(self):
+        return np.array([])
+
+
+class TestBlockingFailover:
+    def _saturated_pool(self):
+        """Pool [stub, real] where every queue is full → blocking path."""
+        release = threading.Event()
+
+        def gated(payloads):
+            release.wait(10.0)
+            return [2 * np.asarray(p) for p in payloads]
+
+        pool = ReplicaPool(gated, replicas=1, routing="round_robin",
+                           max_batch_size=1, num_workers=1, max_queue=1)
+        pool.start()
+        real = pool._snapshot()[0]
+        first = real.submit(np.float32(0.0))  # picked up, blocks on the gate
+        wait_until(lambda: real.load >= 1)
+        real.submit(np.float32(0.0))  # fills the queue (maxsize 1)
+        with pool._lock:
+            pool._replicas.insert(0, _StubReplica())
+            pool._rr = 0  # rotation starts on the stub
+        return pool, release, first
+
+    def test_blocking_submit_fails_over_to_live_replica(self):
+        pool, release, _ = self._saturated_pool()
+        try:
+            # free capacity mid-wait, as a draining batch would
+            threading.Timer(0.2, release.set).start()
+            out = pool.submit(np.float32(21.0), block=True, timeout=10.0)
+            np.testing.assert_array_equal(out.wait(timeout=10.0), np.float32(42.0))
+        finally:
+            release.set()
+            pool.stop(drain=False)
+
+    def test_all_replicas_closed_is_no_healthy_replicas(self):
+        pool = ReplicaPool(doubler, replicas=1, routing="round_robin",
+                           max_batch_size=1, num_workers=1, max_queue=1)
+        pool.start()
+        with pool._lock:
+            pool._replicas[:] = [_StubReplica(), _StubReplica()]
+        try:
+            with pytest.raises(NoHealthyReplicas):  # never a bare ServerClosed
+                pool.submit(np.float32(1.0), block=True, timeout=0.5)
+        finally:
+            pool.stop(drain=False)
+
+
+# ----------------------------------------------------------------------
+# satellite: round-robin keyed on stable slots
+# ----------------------------------------------------------------------
+class TestRoundRobinQuarantine:
+    def test_survivors_share_evenly_through_quarantine_flaps(self):
+        """A replica flapping in and out of quarantine must not skew the
+        rotation among the survivors.
+
+        With the old ``rr % len(live)`` the filtered list re-indexes on
+        every flap: this exact scenario routed 4x more traffic to one
+        survivor than the other (10/40/10 over 60 submits). Keyed on
+        stable slots the two always-healthy replicas stay within a
+        couple of requests of each other.
+        """
+        pool = ReplicaPool(doubler, replicas=3, routing="round_robin",
+                           max_batch_size=1, max_queue=128)
+        with pool:
+            replicas = pool._snapshot()
+            for k in range(60):
+                replicas[2].healthy = k % 2 == 0  # quarantine flap
+                pool.submit(np.float32(k), block=True).wait(timeout=10.0)
+            replicas[2].healthy = True
+            counts = [s.stats().completed for s in replicas]
+        assert sum(counts) == 60
+        assert abs(counts[0] - counts[1]) <= 2, (
+            f"rotation starved a stable replica: {counts}"
+        )
+        assert counts[2] > 0  # the flapping replica still serves when in
+
+    def test_quarantined_replica_gets_no_traffic(self):
+        pool = ReplicaPool(doubler, replicas=3, routing="round_robin",
+                           max_batch_size=1, max_queue=128)
+        with pool:
+            replicas = pool._snapshot()
+            replicas[1].healthy = False
+            for _ in range(12):
+                pool.submit(np.float32(1.0), block=True).wait(timeout=10.0)
+            counts = [s.stats().completed for s in replicas]
+        assert counts[1] == 0
+        assert counts[0] == counts[2] == 6
+
+
+# ----------------------------------------------------------------------
+# process replica contract
+# ----------------------------------------------------------------------
+@needs_fork
+class TestProcessReplica:
+    def test_implements_replica_handle(self):
+        assert isinstance(ProcessReplica(doubler), ReplicaHandle)
+        assert isinstance(InferenceServer(doubler), ReplicaHandle)
+
+    def test_submit_roundtrip_and_stats(self):
+        with ProcessReplica(doubler, max_batch_size=4, max_wait_ms=1.0) as replica:
+            assert replica.alive and replica.pid is not None
+            assert replica.pid != os.getpid()
+            handles = [replica.submit(np.full(3, i, dtype=np.int64)) for i in range(10)]
+            for i, h in enumerate(handles):
+                out = h.wait(timeout=10.0)
+                assert out.dtype == np.int64
+                np.testing.assert_array_equal(out, np.full(3, 2 * i))
+            stats = replica.stats()
+            assert stats.completed == 10
+            assert stats.requests_per_s > 0
+            assert replica.latencies_ms().size == 10
+        assert not replica.alive
+
+    def test_tuple_payloads_cross_the_wire(self):
+        def first_field(payloads):
+            return [p[0] for p in payloads]
+
+        with ProcessReplica(first_field) as replica:
+            tokens = np.arange(5, dtype=np.int64)
+            out = replica.infer((tokens, np.ones(5, dtype=bool)))
+            assert out.dtype == np.int64
+            np.testing.assert_array_equal(out, tokens)
+
+    def test_batch_fn_errors_propagate_with_type(self):
+        def poison(payloads):
+            raise ValueError("poison request")
+
+        with ProcessReplica(poison) as replica:
+            with pytest.raises(ValueError, match="poison"):
+                replica.infer(np.float32(1.0))
+
+    def test_parent_side_backpressure(self):
+        def slow(payloads):
+            time.sleep(0.5)
+            return payloads
+
+        with ProcessReplica(slow, max_batch_size=1, num_workers=1,
+                            max_queue=1) as replica:
+            # credits = max_queue + workers*batch = 2
+            replica.submit(np.float32(0.0), block=False)
+            replica.submit(np.float32(0.0), block=False)
+            with pytest.raises(ServerOverloaded):
+                replica.submit(np.float32(0.0), block=False)
+            assert replica.load == 2
+
+    def test_kill_dash_nine_fails_midflight_retryably(self):
+        def slow(payloads):
+            time.sleep(30.0)
+            return payloads
+
+        replica = ProcessReplica(slow, max_batch_size=1, num_workers=1).start()
+        try:
+            inflight = replica.submit(np.float32(1.0))
+            wait_until(lambda: replica.load >= 1)
+            os.kill(replica.pid, signal.SIGKILL)
+            with pytest.raises(ServerClosed):  # retryable, never a hang
+                inflight.wait(timeout=10.0)
+            assert wait_until(lambda: not replica.alive)
+            with pytest.raises(ServerClosed):
+                replica.submit(np.float32(1.0))
+        finally:
+            replica.stop(drain=False)
+
+    def test_restart_after_stop_forks_a_fresh_child(self):
+        replica = ProcessReplica(doubler)
+        replica.start()
+        pid1 = replica.pid
+        replica.stop()
+        replica.start()
+        try:
+            assert replica.pid != pid1
+            np.testing.assert_array_equal(
+                replica.infer(np.float32(4.0)), np.float32(8.0)
+            )
+        finally:
+            replica.stop()
+
+
+@needs_fork
+class TestProcessPool:
+    def test_crashed_process_is_detected_and_replaced_by_supervisor(self):
+        pool = ReplicaPool(doubler, replicas=2, routing="round_robin",
+                           replica_mode="process")
+        pool.start()
+        try:
+            victim = pool._snapshot()[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            assert wait_until(lambda: not victim.alive)
+            assert pool.healthy_replicas == 1
+            # routing skips the corpse immediately
+            out = pool.submit(np.float32(3.0), block=True).wait(timeout=10.0)
+            np.testing.assert_array_equal(out, np.float32(6.0))
+            policy = HealthPolicy(probe=False, backoff_base_s=0.0, backoff_max_s=0.0)
+            sup = Supervisor(lambda: pool, policy)
+            sup.tick()
+            assert pool.replacements == 1
+            assert {s.slot for s in pool._snapshot()} == {1, 2}
+            assert wait_until(lambda: pool.healthy_replicas == 2)
+            for _ in range(4):
+                pool.submit(np.float32(2.0), block=True).wait(timeout=10.0)
+        finally:
+            pool.stop(drain=False)
+
+    def test_fault_plan_targets_slots_across_worker_restart(self):
+        """Slot-targeted faults keep firing after a supervisor restart,
+        across the process boundary: the wrapped batch_fn (and its slot)
+        is inherited by each fork, so a spec aimed at the *replacement*
+        slot fires inside the replacement's child process."""
+        plan = FaultPlan([
+            FaultSpec(kind="crash", replica=0, count=1),
+            FaultSpec(kind="error", replica=2, count=None),
+        ])
+        pool = ReplicaPool(doubler, replicas=2, routing="round_robin",
+                           replica_mode="process", fault_plan=plan)
+        pool.start()
+        try:
+            # drive until slot 0's child crashes (its first served request)
+            def crashed():
+                try:
+                    pool.submit(np.float32(1.0), block=True).wait(timeout=10.0)
+                except (ServerClosed, FaultInjected):
+                    pass
+                return pool.healthy_replicas < 2
+            assert wait_until(crashed)
+            policy = HealthPolicy(probe=False, backoff_base_s=0.0, backoff_max_s=0.0)
+            sup = Supervisor(lambda: pool, policy)
+            sup.tick()
+            assert {s.slot for s in pool._snapshot()} == {1, 2}
+            assert wait_until(lambda: pool.healthy_replicas == 2)
+            # the replacement (slot 2) errors every request; slot 1 serves
+            outcomes = {"ok": 0, "fault": 0}
+            for _ in range(8):
+                try:
+                    pool.submit(np.float32(1.0), block=True).wait(timeout=10.0)
+                    outcomes["ok"] += 1
+                except FaultInjected:
+                    outcomes["fault"] += 1
+            assert outcomes["fault"] > 0, "slot-2 fault never crossed the fork"
+            assert outcomes["ok"] > 0, "healthy slot 1 stopped serving"
+        finally:
+            pool.stop(drain=False)
+
+    def test_pool_stats_aggregate_over_processes(self):
+        pool = ReplicaPool(doubler, replicas=2, replica_mode="process")
+        with pool:
+            for h in [pool.submit(np.float32(1.0), block=True) for _ in range(16)]:
+                h.wait(timeout=10.0)
+            stats = pool.stats()
+        assert stats.completed == 16
+        assert stats.requests_per_s > 0
+        assert stats.latency_ms_p50 > 0
