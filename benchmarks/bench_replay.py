@@ -1,0 +1,364 @@
+"""Replay-vs-plan validation: does the capacity model predict reality?
+
+The loop under test is the whole ``repro.loadgen`` + ``repro.plan``
+stack: calibrate a model's service time against a live gateway, size a
+replica pool for a bursty trace with the M/M/c planner, then *measure*
+— replay the same trace open-loop at the recommended replica count and
+at one fewer — and hold the planner to its word:
+
+1. **SLO met at the recommendation.** Mean latency over burst-window
+   arrivals stays inside the SLO the plan was built for, with zero
+   failed requests.
+2. **SLO violated at recommendation − 1.** The burst's offered load
+   (1.6 erlangs) makes one replica unstable (utilization 160%), so
+   queues grow all burst long and burst-mean latency busts the SLO.
+   This is the assertion that catches a planner drifting optimistic:
+   if the recommendation ever inflates by one, the "minus one" run
+   lands on a genuinely sufficient pool and fails loudly.
+3. **Prediction error inside a committed band.** The plan's predicted
+   mean latency must agree with the measured burst mean within
+   ``PREDICTION_BAND`` — the agreement between first-principles
+   queueing and the real serving stack is itself the gated trajectory
+   metric (``baselines/replay_smoke.json`` / ``baselines/replay.json``).
+
+Everything scales off the *measured* service time S: burst rate is
+``1.6/S`` (fixed offered load whatever the host's speed), the SLO is
+``4 x S`` (met at c=2 for any service-time cv <= 1, unreachable at
+c=1), off-phases last long enough (15 S) for a c-1 backlog to drain so
+cycles are independent trials.
+
+**Service time is sleep-padded on purpose.** Each replica's batch_fn
+carries a permanent ``latency`` fault (the chaos hook) that sleeps a
+fixed pad before the real forward, so service time is dominated by
+GIL-free waiting — the shape of real inference service, where the
+accelerator or a downstream does the waiting while the host blocks.
+That is what lets ``replicas`` mean *c independent servers* on any
+host, including single-core CI runners where c CPU-bound replicas
+cannot physically serve in parallel (raw-compute replica scaling has
+its own bench, ``bench_gateway_scaling``). The pad also pins the
+service-time cv near zero, which exercises the planner's
+Allen-Cunneen correction rather than the cv=1 special case.
+``max_batch_size=1`` keeps one request per replica at a time — the
+M/M/c service discipline.
+
+Run:    PYTHONPATH=src python benchmarks/bench_replay.py
+Smoke:  PYTHONPATH=src python benchmarks/bench_replay.py --smoke
+
+Emits ``BENCH_replay.json`` (``BENCH_replay_smoke.json`` for smoke)
+plus the generated trace and both per-request replay logs as
+``results/TRACE_*.jsonl`` — uploaded by CI next to the BENCH artifacts
+so a failed gate ships the raw arrivals that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.deploy import save_artifact
+from repro.loadgen import bursty_trace, replay_trace, write_replay_log, write_trace
+from repro.plan import calibrate_service_time, plan_for_trace
+from repro.quant import PTQConfig, quantize_model
+from repro.serve import FaultPlan, FaultSpec, serve_gateway
+from repro.utils.rng import seeded_rng
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUANT = dict(weight_bits=4, act_bits=4, weight_scale="4", act_scale="4")
+
+#: Offered load (erlangs) during a burst: > 1 so recommendation-1 = 1
+#: replica is unstable, < 2 so 2 replicas hold a 4xS mean SLO for any
+#: service-time cv <= 1. The whole met/violated contrast rests on this.
+BURST_ERLANGS = 1.6
+OFF_ERLANGS = 0.2
+SLO_FACTOR = 4.0          # SLO = 4 x measured mean service time
+OFF_S_FACTOR = 15.0       # off-phase length in service-time units
+
+SMOKE = dict(burst_arrivals=30, cycles=3, cal_samples=20, cal_warmup=5,
+             pad_ms=40.0, prediction_band=0.5, seed=20)
+FULL = dict(burst_arrivals=50, cycles=4, cal_samples=40, cal_warmup=8,
+            pad_ms=80.0, prediction_band=0.4, seed=21)
+
+
+def _build_artifact(tmpdir: str) -> str:
+    """One tiny image model: the forward is a few ms of CPU, the sleep
+    pad supplies the rest of the service time, so the compute fraction
+    stays small enough that c in-service requests sharing the host's
+    cores barely perturb each other."""
+    from repro.models.resnet import MiniResNet
+
+    model = MiniResNet(num_classes=4, width=1, depth=1, seed=0)
+    model.eval()
+    hw = 16
+    config = PTQConfig.vs_quant(
+        QUANT["weight_bits"], QUANT["act_bits"],
+        weight_scale=QUANT["weight_scale"], act_scale=QUANT["act_scale"],
+    )
+    calib = (seeded_rng("replay-bench").standard_normal((8, 3, hw, hw)),)
+    qmodel = quantize_model(model, config, calib_batches=[calib])
+    out = os.path.join(tmpdir, "model")
+    save_artifact(qmodel, out, task="image", quant_label=config.label,
+                  input_shape=(3, hw, hw))
+    return out
+
+
+def _gateway(artifact: str, replicas: int, replica_mode: str, pad_ms: float):
+    """Fresh gateway per phase: no stats bleed between runs.
+
+    ``max_batch_size=1`` + ``max_wait_ms=0``: each replica serves one
+    request at a time, the service discipline the planner models. The
+    permanent latency fault is the sleep pad (see module docstring).
+    ``max_queue`` is far above any backlog this bench creates — queueing
+    delay, not admission control, is what's under test.
+    """
+    return serve_gateway(
+        {"model": artifact},
+        replicas=replicas,
+        routing="least_loaded",
+        replica_mode=replica_mode,
+        max_batch_size=1,
+        max_wait_ms=0.0,
+        max_queue=1024,
+        fault_plan=FaultPlan(
+            [FaultSpec(kind="latency", latency_ms=pad_ms, count=None)]
+        ),
+    )
+
+
+def _burst_records(report, on_windows):
+    recs = []
+    for t0, t1 in on_windows:
+        recs.extend(report.records_between(t0, t1))
+    return recs
+
+
+def _replay_phase(artifact, replicas, replica_mode, pad_ms, events,
+                  on_windows, slo_ms, log_path):
+    """Replay the trace against a fresh pool of ``replicas``; score the
+    SLO on burst-window arrivals only (the off-phase exists to drain
+    queues between trials, not to dilute the mean)."""
+    gateway = _gateway(artifact, replicas, replica_mode, pad_ms)
+    with gateway:
+        entry = gateway.registry.models()[0]
+        report = replay_trace(
+            gateway.url, events,
+            depth_fn=lambda: entry.pool.load,
+            timeout_s=120.0,
+        )
+    burst = _burst_records(report, on_windows)
+    burst_stats = report.latency_stats_ms(burst)
+    failed = len(report.records) - len(report.ok_records())
+    slo_met = (
+        failed == 0
+        and burst_stats["mean_ms"] is not None
+        and burst_stats["mean_ms"] <= slo_ms
+    )
+    write_replay_log(log_path, report, meta={"replicas": replicas})
+    summary = report.as_dict()
+    return {
+        "replicas": replicas,
+        "offered": summary["offered"],
+        "completed": summary["completed"],
+        "failed": failed,
+        "errors_by_class": summary["errors_by_class"],
+        "burst": burst_stats,
+        "all": summary["latency"],
+        "lateness_ms_mean": summary["lateness_ms_mean"],
+        "lateness_ms_max": summary["lateness_ms_max"],
+        "queue_depth_max": summary["queue_depth_max"],
+        "slo_met": bool(slo_met),
+    }
+
+
+def run(smoke: bool = False, replica_mode: str | None = None) -> dict:
+    cfg = SMOKE if smoke else FULL
+    name = "replay_smoke" if smoke else "replay"
+    mode = replica_mode or "thread"
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-replay-bench-") as tmpdir:
+        artifact = _build_artifact(tmpdir)
+
+        # phase 1 — calibrate: sequential requests on an idle 1-replica
+        # gateway measure pure service time over the real serving path.
+        gateway = _gateway(artifact, 1, mode, cfg["pad_ms"])
+        with gateway:
+            profile = calibrate_service_time(
+                gateway.url, "model",
+                samples=cfg["cal_samples"], warmup=cfg["cal_warmup"],
+            )
+        service_s = profile.service_ms / 1e3
+        # Calibration outliers (GC pauses, page faults) can push the
+        # sample cv past 1; exponential service is already the planner's
+        # conservative shape for a deterministic forward, so cap there.
+        cv = min(profile.service_cv, 1.0)
+        slo_ms = SLO_FACTOR * profile.service_ms
+        print(
+            f"calibrated: service {profile.service_ms:.2f} ms "
+            f"(cv {profile.service_cv:.2f} -> planning cv {cv:.2f}), "
+            f"SLO mean <= {slo_ms:.2f} ms"
+        )
+
+        # phase 2 — generate the bursty trace in service-time units and
+        # let the planner size the pool for it.
+        on_rate = BURST_ERLANGS / service_s
+        off_rate = OFF_ERLANGS / service_s
+        on_s = cfg["burst_arrivals"] / on_rate
+        off_s = OFF_S_FACTOR * service_s
+        duration = cfg["cycles"] * (on_s + off_s)
+        meta, events = bursty_trace(
+            on_rate, off_rate, on_s, off_s, duration,
+            model="model", seed=cfg["seed"],
+        )
+        write_trace(RESULTS_DIR / f"TRACE_{name}.jsonl", meta, events)
+        plan = plan_for_trace(
+            events, profile.service_ms, slo_ms, meta=meta,
+            model="model", slo_metric="mean", service_cv=cv,
+        )
+        print(plan.format_report())
+        rec = plan.replicas
+
+        # phase 3 — measure at the recommendation and one below.
+        at_rec = _replay_phase(
+            artifact, rec, mode, cfg["pad_ms"], events, meta["on_windows"],
+            slo_ms, RESULTS_DIR / f"TRACE_{name}_recommended.jsonl",
+        )
+        at_minus = _replay_phase(
+            artifact, rec - 1, mode, cfg["pad_ms"], events,
+            meta["on_windows"], slo_ms,
+            RESULTS_DIR / f"TRACE_{name}_minus_one.jsonl",
+        )
+
+    predicted_mean = plan.predicted_ms["mean"]
+    measured_mean = at_rec["burst"]["mean_ms"]
+    rel_error = (
+        abs(measured_mean - predicted_mean) / predicted_mean
+        if measured_mean is not None else None
+    )
+    ok = (
+        at_rec["slo_met"]
+        and not at_minus["slo_met"]
+        and rel_error is not None
+        and rel_error <= cfg["prediction_band"]
+    )
+    return {
+        "replica_mode": mode,
+        "pad_ms": cfg["pad_ms"],
+        "calibration": profile.as_dict(),
+        "planning_cv": cv,
+        "slo_ms": slo_ms,
+        "slo_metric": "mean",
+        "trace": {
+            "generator": "bursty",
+            "events": len(events),
+            "on_rate_rps": on_rate,
+            "off_rate_rps": off_rate,
+            "on_s": on_s,
+            "off_s": off_s,
+            "duration_s": duration,
+            "burst_erlangs": BURST_ERLANGS,
+            "seed": cfg["seed"],
+        },
+        "recommended_replicas": rec,
+        "plan": plan.as_dict(),
+        "at_recommended": at_rec,
+        "at_minus_one": at_minus,
+        "prediction": {
+            "predicted_mean_ms": predicted_mean,
+            "measured_mean_ms": measured_mean,
+            "rel_error_mean": rel_error,
+            "band": cfg["prediction_band"],
+        },
+        "ok": bool(ok),
+    }
+
+
+def check(m: dict) -> list[str]:
+    """The bench's own acceptance, independent of the trajectory gate."""
+    failures = []
+    if not m["at_recommended"]["slo_met"]:
+        failures.append(
+            f"SLO NOT met at the recommended {m['recommended_replicas']} "
+            f"replicas (burst mean "
+            f"{m['at_recommended']['burst']['mean_ms']} ms vs SLO "
+            f"{m['slo_ms']:.2f} ms, {m['at_recommended']['failed']} failed)"
+        )
+    if m["at_minus_one"]["slo_met"]:
+        failures.append(
+            f"SLO unexpectedly met at {m['recommended_replicas'] - 1} "
+            f"replicas — the plan over-provisions"
+        )
+    pred = m["prediction"]
+    if pred["rel_error_mean"] is None or pred["rel_error_mean"] > pred["band"]:
+        failures.append(
+            f"prediction error {pred['rel_error_mean']} outside the "
+            f"{pred['band']:.0%} band (predicted "
+            f"{pred['predicted_mean_ms']:.2f} ms, measured "
+            f"{pred['measured_mean_ms']} ms)"
+        )
+    return failures
+
+
+def format_report(m: dict) -> str:
+    cal = m["calibration"]
+    pred = m["prediction"]
+    lines = [
+        f"trace replay vs capacity plan ({m['replica_mode']} replicas, "
+        f"{m['trace']['events']} arrivals, "
+        f"{m['trace']['burst_erlangs']} erlangs in bursts):",
+        f"  service        {cal['service_ms']:.2f} ms "
+        f"(cv {cal['service_cv']:.2f}), SLO mean <= {m['slo_ms']:.2f} ms",
+        f"  plan           {m['recommended_replicas']} replicas, predicted "
+        f"mean {pred['predicted_mean_ms']:.2f} ms",
+    ]
+    for key, label in (("at_recommended", "recommended"),
+                       ("at_minus_one", "minus one ")):
+        r = m[key]
+        mean = r["burst"]["mean_ms"]
+        mean_txt = f"{mean:8.2f}" if mean is not None else "       -"
+        lines.append(
+            f"  @ {r['replicas']} ({label}): burst mean {mean_txt} ms  "
+            f"p99 {r['burst']['p99_ms'] or float('nan'):8.2f} ms  "
+            f"depth<= {r['queue_depth_max']:3d}  "
+            f"{r['completed']}/{r['offered']} ok  "
+            f"SLO {'met' if r['slo_met'] else 'VIOLATED'}"
+        )
+    err = pred["rel_error_mean"]
+    lines.append(
+        f"  prediction     {err:.1%} error (band {pred['band']:.0%})"
+        if err is not None else "  prediction     unmeasurable (no completions)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import save_bench_json, save_result
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny untrained model, smaller trace (CI)")
+    parser.add_argument("--replica-mode", default=None,
+                        help="thread | process (default: thread — the "
+                             "sleep pad parallelizes either way)")
+    args = parser.parse_args()
+
+    metrics = run(smoke=args.smoke, replica_mode=args.replica_mode)
+    report = format_report(metrics)
+    print(report)
+    if args.smoke:
+        save_bench_json("replay_smoke", metrics, quant=QUANT)
+    else:
+        save_bench_json("replay", metrics, quant=QUANT)
+        save_result("replay", report)
+    failures = check(metrics)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        raise SystemExit(1)
+    print(f"replay {'smoke ' if args.smoke else ''}OK: plan validated "
+          f"within {metrics['prediction']['band']:.0%}")

@@ -46,14 +46,23 @@ message (see ``docs/ci.md``).
 Stdlib-only on purpose: the gate must not import ``repro``, so a broken
 package can never take its own regression gate down with it.
 
+``--audit`` runs the *static* half of the contract: baselines and bench
+sources must agree about what exists, before any bench runs. Both drift
+directions fail — a baseline whose bench name no benchmark produces any
+more (rename/removal left a stale gate) and a ``save_bench_json(...)``
+call whose name has no committed baseline (fresh metrics nobody gates).
+PR CI runs the audit unconditionally; it needs no results directory.
+
 Run:  python benchmarks/check_trajectory.py
       python benchmarks/check_trajectory.py --results DIR --baselines DIR
+      python benchmarks/check_trajectory.py --audit
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -179,6 +188,92 @@ def run(
     return all_results, skipped
 
 
+#: Matches the literal first argument of a ``save_bench_json`` call.
+#: Benches pass the name as a string literal by convention (enforced
+#: here): a computed name would be invisible to this audit.
+PRODUCER_RE = re.compile(r"""save_bench_json\(\s*["']([^"']+)["']""")
+
+#: The operators check_metric understands; a spec using none of them
+#: would only fail at gate time, after the bench already ran.
+OPERATORS = ("equals", "min", "max", "baseline")
+
+
+def audit(baselines_dir: Path, bench_dir: Path) -> list[CheckResult]:
+    """Static baseline<->producer drift check (no results needed).
+
+    Cross-references every committed baseline against every
+    ``save_bench_json("<name>", ...)`` literal in ``bench_dir``'s
+    sources, in both directions, and validates that each baseline's
+    ``result`` filename and check operators are ones the runtime gate
+    would actually honor.
+    """
+    if not baselines_dir.is_dir():
+        raise FileNotFoundError(f"no baselines directory at {baselines_dir}")
+    produced: dict[str, list[str]] = {}
+    for src in sorted(bench_dir.glob("*.py")):
+        if src.name == Path(__file__).name:
+            continue
+        for name in PRODUCER_RE.findall(src.read_text()):
+            files = produced.setdefault(name, [])
+            if src.name not in files:
+                files.append(src.name)
+
+    results: list[CheckResult] = []
+    gated: set[str] = set()
+    for path in sorted(baselines_dir.glob("*.json")):
+        try:
+            baseline = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            results.append(
+                CheckResult(path.stem, "-", False, f"unparseable baseline: {exc}")
+            )
+            continue
+        bench = baseline.get("bench")
+        if not bench:
+            results.append(
+                CheckResult(path.stem, "-", False, 'baseline has no "bench" field')
+            )
+            continue
+        gated.add(bench)
+        result_name = baseline.get("result", f"BENCH_{bench}.json")
+        if result_name != f"BENCH_{bench}.json":
+            results.append(CheckResult(
+                bench, "result", False,
+                f"{path.name} points at {result_name!r} but "
+                f"save_bench_json({bench!r}) writes BENCH_{bench}.json — "
+                f"the gate would compare a file this bench never refreshes",
+            ))
+        checks = baseline.get("checks", {})
+        if not checks:
+            results.append(
+                CheckResult(bench, "-", False, f"{path.name} declares no checks")
+            )
+        for metric, spec in checks.items():
+            if not isinstance(spec, dict) or not any(op in spec for op in OPERATORS):
+                results.append(CheckResult(
+                    bench, metric, False,
+                    f"spec {spec!r} has none of {'/'.join(OPERATORS)}",
+                ))
+        if bench in produced:
+            results.append(CheckResult(
+                bench, "-", True, f"produced by {', '.join(produced[bench])}"
+            ))
+        else:
+            results.append(CheckResult(
+                bench, "-", False,
+                f"{path.name}: no benchmark calls save_bench_json({bench!r}) "
+                f"— stale baseline after a bench rename or removal?",
+            ))
+    for name, srcs in sorted(produced.items()):
+        if name not in gated:
+            results.append(CheckResult(
+                name, "-", False,
+                f"save_bench_json({name!r}) in {', '.join(srcs)} has no "
+                f"baseline — its metrics are recorded but ungated",
+            ))
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
@@ -188,7 +283,26 @@ def main(argv=None) -> int:
         help="fail on baselines whose result file was not produced "
              "(nightly: the full bench set must have run)",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="static baseline<->producer drift check instead of comparing "
+             "results (needs no results directory; PR CI runs this)",
+    )
     args = parser.parse_args(argv)
+
+    if args.audit:
+        results = audit(args.baselines, HERE)
+        print(f"baseline audit: {args.baselines} vs {HERE}/*.py")
+        for r in results:
+            print(r.format())
+        failures = [r for r in results if not r.ok]
+        print(f"{len(results) - len(failures)} audit checks ok, "
+              f"{len(failures)} failed")
+        if failures:
+            print("baselines and benchmarks have drifted — every "
+                  "save_bench_json name needs a baseline and vice versa")
+            return 1
+        return 0
 
     results, skipped = run(args.results, args.baselines, require_all=args.require_all)
     print(f"perf-trajectory gate: {args.baselines} vs {args.results}")

@@ -1,0 +1,97 @@
+"""Canonical PR-tier smoke-bench list, runnable as one command.
+
+The test job and the nightly job used to each spell out the smoke
+benches as separate workflow steps; the two lists drifted (a bench
+added to one but not the other silently lost its nightly
+``--require-all`` coverage). This runner owns the list — both CI jobs
+invoke it, so "what runs on a PR" and "what nightly requires" are the
+same file, and the trajectory gate's baselines can assume every smoke
+ran.
+
+Each entry runs as a subprocess with ``PYTHONPATH`` extended to
+``src/`` (same contract as the workflow's inline steps). All entries
+run even after a failure — one broken bench should not hide whether
+the others regressed too — and the runner exits non-zero if any
+failed, printing a per-bench summary CI renders at the bottom of the
+step log.
+
+Run:  python benchmarks/run_smokes.py
+      python benchmarks/run_smokes.py --list
+      python benchmarks/run_smokes.py --only replay
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).parent
+REPO = HERE.parent
+
+#: (label, argv-under-benchmarks/). Order mirrors the serving stack
+#: bottom-up: kernels -> compiled backend -> server -> gateway ->
+#: rollout/chaos -> observability -> capacity planning.
+SMOKES: list[tuple[str, list[str]]] = [
+    ("kernel_throughput", ["bench_kernel_throughput.py"]),
+    ("compiled", ["bench_compiled_kernels.py", "--smoke"]),
+    ("serve", ["bench_serve_throughput.py", "--smoke"]),
+    ("gateway_scaling", ["bench_gateway_scaling.py", "--smoke",
+                         "--replica-mode", "process"]),
+    ("rollout", ["bench_rollout.py", "--smoke"]),
+    ("rollout_chaos", ["bench_rollout.py", "--chaos-smoke"]),
+    ("obs_overhead", ["bench_gateway_scaling.py", "--obs-overhead"]),
+    ("replay", ["bench_replay.py", "--smoke"]),
+]
+
+
+def run_smokes(only: str | None = None) -> int:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    selected = [
+        (label, argv) for label, argv in SMOKES
+        if only is None or only in label
+    ]
+    if not selected:
+        print(f"no smoke matches --only {only!r}")
+        return 2
+    outcomes: list[tuple[str, int, float]] = []
+    for label, argv in selected:
+        cmd = [sys.executable, str(HERE / argv[0]), *argv[1:]]
+        print(f"\n=== smoke: {label} ({' '.join(argv)}) ===", flush=True)
+        t0 = time.monotonic()
+        proc = subprocess.run(cmd, env=env, cwd=REPO)
+        outcomes.append((label, proc.returncode, time.monotonic() - t0))
+    print("\n=== smoke summary ===")
+    failed = 0
+    for label, code, elapsed in outcomes:
+        status = "ok  " if code == 0 else f"FAIL({code})"
+        print(f"  [{status}] {label:20s} {elapsed:6.1f}s")
+        failed += code != 0
+    print(f"{len(outcomes) - failed} ok, {failed} failed")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true",
+                        help="print the canonical smoke list and exit")
+    parser.add_argument("--only", default=None,
+                        help="run only smokes whose label contains this "
+                             "substring")
+    args = parser.parse_args(argv)
+    if args.list:
+        for label, cmd in SMOKES:
+            print(f"{label:20s} {' '.join(cmd)}")
+        return 0
+    return run_smokes(only=args.only)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

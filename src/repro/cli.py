@@ -42,6 +42,19 @@ trace
     Fetch recorded request traces from a running gateway's
     ``/v1/traces`` and print their span timelines (slowest first by
     default) — the CLI face of the ``X-Request-Id`` tracing pipeline.
+loadgen
+    Generate a seeded workload trace (Poisson / bursty on-off / diurnal
+    sinusoid) as a ``repro-trace/v1`` JSONL file and print its rate
+    summary — input for ``repro plan`` and the replay bench.
+plan
+    Capacity planning: from a measured service time (``--service-ms``
+    or a calibration run against ``--artifact``) and an offered load
+    (``--trace`` or ``--rate``), print the replica count that holds a
+    latency SLO, predicted p50/p99, and autoscale watermark seeds
+    (M/M/c with a service-variability correction). ``--replay`` then
+    serves the artifact at the planned replica count and replays the
+    trace against it, comparing measured latency to the prediction;
+    ``--check-slo`` turns that comparison into an exit code.
 """
 
 from __future__ import annotations
@@ -727,6 +740,196 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import (
+        TraceError,
+        bursty_trace,
+        diurnal_trace,
+        poisson_trace,
+        trace_stats,
+        write_trace,
+    )
+
+    shared = dict(
+        model=args.model_name, kind=args.kind,
+        shape=tuple(args.shape) if args.shape else None, seed=args.seed,
+    )
+    try:
+        if args.pattern == "poisson":
+            meta, events = poisson_trace(args.rate, args.duration, **shared)
+        elif args.pattern == "bursty":
+            meta, events = bursty_trace(
+                args.on_rate, args.off_rate, args.on_s, args.off_s,
+                args.duration, **shared,
+            )
+        else:
+            meta, events = diurnal_trace(
+                args.base_rate, args.amplitude, args.period_s,
+                args.duration, **shared,
+            )
+        write_trace(args.out, meta, events)
+        stats = trace_stats(events, meta=meta)
+    except TraceError as exc:
+        raise SystemExit(f"cannot generate trace: {exc}") from exc
+    print(
+        f"wrote {args.out}: {args.pattern} trace, {stats.events} events over "
+        f"{stats.duration_s:.1f}s (mean {stats.mean_rate_rps:.1f} rps, peak "
+        f"{stats.peak_rate_rps:.1f} rps over {stats.peak_window_s:.2f}s windows)"
+    )
+    return 0
+
+
+def _plan_gateway(args: argparse.Namespace, replicas: int):
+    """A dedicated single-model gateway for calibration or replay.
+
+    ``max_batch_size=1``: the planner models one request per replica at
+    a time, so the measurement must serve the same way — dynamic
+    batching would make calibrated service times batch-size dependent.
+    """
+    from repro.deploy import ArtifactError
+    from repro.serve import serve_gateway
+
+    try:
+        return serve_gateway(
+            {args.model_name: args.artifact},
+            replicas=replicas,
+            replica_mode=args.replica_mode,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue=args.max_queue,
+            backend=args.backend,
+        )
+    except (ArtifactError, ValueError, ConnectionError, RuntimeError) as exc:
+        raise SystemExit(f"cannot start gateway: {exc}") from exc
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.loadgen import TraceError
+    from repro.plan import (
+        PlanError,
+        calibrate_service_time,
+        plan_capacity,
+        plan_for_trace,
+    )
+
+    meta, events = None, None
+    if args.trace:
+        from repro.loadgen import read_trace
+
+        try:
+            meta, events = read_trace(args.trace)
+        except (OSError, TraceError) as exc:
+            raise SystemExit(f"cannot read trace: {exc}") from exc
+    elif args.rate is None:
+        raise SystemExit("repro plan needs an offered load: --trace FILE or --rate RPS")
+    if args.service_ms is None and not args.artifact:
+        raise SystemExit(
+            "repro plan needs a service time: --service-ms (+ --service-cv) "
+            "or --artifact to run a calibration"
+        )
+    if args.replay and not args.artifact:
+        raise SystemExit("--replay serves the artifact; add --artifact")
+    if args.replay and events is None:
+        raise SystemExit("--replay replays a recorded schedule; add --trace")
+
+    # 1. service time: trusted flag, or a short calibration run.
+    profile = None
+    service_ms, service_cv = args.service_ms, args.service_cv
+    if service_ms is None:
+        gateway = _plan_gateway(args, replicas=1)
+        with gateway:
+            try:
+                profile = calibrate_service_time(
+                    gateway.url, args.model_name, samples=args.calibrate_samples
+                )
+            except PlanError as exc:
+                raise SystemExit(f"calibration failed: {exc}") from exc
+        service_ms, service_cv = profile.service_ms, profile.service_cv
+        print(
+            f"calibrated: {profile.samples} samples, service "
+            f"{service_ms:.2f} ms (cv {service_cv:.2f}, p99 {profile.p99_ms:.2f} ms)"
+        )
+
+    # 2. the plan itself.
+    try:
+        if events is not None:
+            plan = plan_for_trace(
+                events, service_ms, args.slo_ms, meta=meta,
+                model=args.model_name, slo_metric=args.slo_metric,
+                service_cv=service_cv, max_replicas=args.max_replicas,
+            )
+        else:
+            plan = plan_capacity(
+                args.rate, service_ms, args.slo_ms,
+                model=args.model_name, slo_metric=args.slo_metric,
+                service_cv=service_cv, max_replicas=args.max_replicas,
+            )
+    except PlanError as exc:
+        raise SystemExit(f"cannot plan: {exc}") from exc
+    print(plan.format_report())
+    if args.json:
+        payload = plan.as_dict()
+        if profile is not None:
+            payload["calibration"] = profile.as_dict()
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not args.replay:
+        return 0
+
+    # 3. validate: serve at the planned count, replay the trace, compare.
+    from repro.loadgen import replay_trace, write_replay_log
+
+    gateway = _plan_gateway(args, replicas=plan.replicas)
+    with gateway:
+        report = replay_trace(gateway.url, events, timeout_s=args.timeout_s)
+    measured = report.latency_stats_ms(report.records)
+    key = {"mean": "mean_ms"}.get(args.slo_metric, f"{args.slo_metric}_ms")
+    measured_ms = measured.get(key)
+    predicted_ms = plan.predicted_ms.get(args.slo_metric)
+    print(
+        f"replay @ {plan.replicas} replicas: {len(report.ok_records())}/"
+        f"{len(report.records)} ok, measured mean {measured['mean_ms']:.2f} / "
+        f"p50 {measured['p50_ms']:.2f} / p99 {measured['p99_ms']:.2f} ms "
+        f"(lateness mean {report.as_dict()['lateness_ms_mean']:.2f} ms)"
+    )
+    if args.replay_log:
+        write_replay_log(
+            args.replay_log, report,
+            meta={"trace": str(args.trace), "replicas": plan.replicas},
+        )
+        print(f"wrote {args.replay_log}")
+    if predicted_ms is not None and measured_ms:
+        err = abs(measured_ms - predicted_ms) / predicted_ms
+        print(
+            f"prediction: {args.slo_metric} {predicted_ms:.2f} ms predicted vs "
+            f"{measured_ms:.2f} ms measured ({err:+.0%} error)"
+        )
+    if args.check_slo:
+        if measured_ms is None:
+            print("SLO check FAILED: no successful requests to measure")
+            return 1
+        if measured_ms > args.slo_ms:
+            print(
+                f"SLO check FAILED: measured {args.slo_metric} "
+                f"{measured_ms:.2f} ms > {args.slo_ms:.1f} ms"
+            )
+            return 1
+        failed = len(report.records) - len(report.ok_records())
+        if failed:
+            print(f"SLO check FAILED: {failed} requests errored "
+                  f"({report.errors_by_class()})")
+            return 1
+        print(
+            f"SLO check ok: measured {args.slo_metric} {measured_ms:.2f} ms "
+            f"<= {args.slo_ms:.1f} ms at {plan.replicas} replicas"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="VS-Quant reproduction command-line interface"
@@ -905,6 +1108,89 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sort", choices=("slowest", "recent"), default="slowest")
     p.add_argument("--limit", type=int, default=10)
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("loadgen", help="generate a seeded workload trace (JSONL)")
+    p.add_argument("--pattern", choices=("poisson", "bursty", "diurnal"),
+                   required=True)
+    p.add_argument("--out", required=True, help="trace file to write")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="trace length in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model-name", default="model",
+                   help="gateway model name the events target")
+    p.add_argument("--kind", choices=("image", "qa"), default="image",
+                   help="payload codec for replayed requests")
+    p.add_argument("--shape", type=int, nargs="+", default=None,
+                   help="per-request payload shape (default: the served "
+                        "model's input shape at replay time)")
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="[poisson] arrival rate, requests/s")
+    p.add_argument("--on-rate", type=float, default=20.0,
+                   help="[bursty] arrival rate inside a burst")
+    p.add_argument("--off-rate", type=float, default=2.0,
+                   help="[bursty] arrival rate between bursts")
+    p.add_argument("--on-s", type=float, default=2.0,
+                   help="[bursty] burst length, seconds")
+    p.add_argument("--off-s", type=float, default=3.0,
+                   help="[bursty] gap length, seconds")
+    p.add_argument("--base-rate", type=float, default=20.0,
+                   help="[diurnal] mean arrival rate of the sinusoid")
+    p.add_argument("--amplitude", type=float, default=0.6,
+                   help="[diurnal] relative swing in [0, 1)")
+    p.add_argument("--period-s", type=float, default=10.0,
+                   help="[diurnal] sinusoid period, seconds")
+    p.set_defaults(fn=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "plan",
+        help="capacity plan: replicas needed to hold a latency SLO "
+             "(M/M/c on measured service times); --replay validates it",
+    )
+    p.add_argument("--trace", default=None,
+                   help="workload trace from `repro loadgen` (sized on its "
+                        "peak-window rate)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="constant offered rate (requests/s) instead of --trace")
+    p.add_argument("--slo-ms", type=float, required=True,
+                   help="latency SLO in milliseconds")
+    p.add_argument("--slo-metric", choices=("mean", "p50", "p95", "p99"),
+                   default="mean", help="which latency statistic the SLO bounds")
+    p.add_argument("--service-ms", type=float, default=None,
+                   help="known per-request service time (skips calibration)")
+    p.add_argument("--service-cv", type=float, default=1.0,
+                   help="service-time coefficient of variation for --service-ms "
+                        "(1.0 = exponential/M/M/c, 0 = deterministic)")
+    p.add_argument("--artifact", default=None,
+                   help="artifact directory: calibrate service time against it "
+                        "(and serve it under --replay)")
+    p.add_argument("--model-name", default="model",
+                   help="model name for the plan / temp gateway")
+    p.add_argument("--calibrate-samples", type=int, default=30,
+                   help="sequential requests in the calibration run")
+    p.add_argument("--max-replicas", type=int, default=64,
+                   help="give up if the SLO needs more replicas than this")
+    p.add_argument("--replica-mode", default="thread", metavar="MODE",
+                   help="temp-gateway replica mode: 'thread', 'process', or "
+                        "host:port of running shards")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="temp-gateway per-replica queue bound")
+    p.add_argument(
+        "--backend", choices=("auto", "integer", "integer-prefolded", "compiled"),
+        default=os.environ.get("REPRO_BACKEND", "auto"))
+    p.add_argument("--timeout-s", type=float, default=60.0,
+                   help="per-request client timeout during --replay")
+    p.add_argument("--json", default=None,
+                   help="also write the plan (+ calibration) as JSON here")
+    p.add_argument("--replay", action="store_true",
+                   help="serve the artifact at the planned replica count and "
+                        "replay the trace against it (requires --artifact "
+                        "and --trace)")
+    p.add_argument("--replay-log", default=None, metavar="PATH",
+                   help="write the per-request replay log (JSONL) here")
+    p.add_argument("--check-slo", action="store_true",
+                   help="with --replay: exit non-zero unless the measured "
+                        "--slo-metric meets --slo-ms and nothing errored")
+    p.set_defaults(fn=_cmd_plan)
     return parser
 
 

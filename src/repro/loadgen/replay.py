@@ -1,0 +1,308 @@
+"""Open-loop trace replay against a live gateway.
+
+The driver walks a time-ordered :class:`~repro.loadgen.trace.TraceEvent`
+list, sleeps until each arrival's scheduled wall-clock instant, and
+fires the request on its own thread (thread-per-inflight) — so a slow or
+collapsing server does *not* slow the offered load down, which is the
+property that makes replay measurements comparable to the open-loop
+queueing model in :mod:`repro.plan`. Per request it records scheduled
+vs actual dispatch time (lateness), end-to-end latency, the serving
+version, and on failure a coarse error class; a background sampler
+captures the queue-depth timeline from an injectable probe.
+
+Clock and sleep are injectable so the scheduling logic is testable on a
+fake clock (arrival offsets are honored exactly there; on a real clock
+the lateness stats in the report quantify scheduler noise).
+
+Payload synthesis is seed-stable: each event's payload derives from its
+``seq``, so replaying one trace file sends bit-identical bodies on every
+machine (:func:`payload_fn_for_model`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.loadgen.trace import TraceEvent, validate_events
+from repro.serve.client import GatewayClient, GatewayHTTPError, GatewayOverloaded
+
+#: Coarse failure taxonomy for per-request records and report rollups.
+ERROR_CLASSES = (
+    "overloaded",    # 429: admission control rejected the request
+    "unavailable",   # 503: no healthy replica / pool mid-recovery
+    "http_4xx",      # caller-side contract bug
+    "http_5xx",      # server-side failure (other than 503)
+    "connection",    # socket-level: refused/reset/timeout
+    "other",
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception from a replay request to one error class."""
+    if isinstance(exc, GatewayOverloaded):
+        return "overloaded"
+    if isinstance(exc, GatewayHTTPError):
+        if exc.status == 503:
+            return "unavailable"
+        if 400 <= exc.status < 500:
+            return "http_4xx"
+        return "http_5xx"
+    if isinstance(exc, (ConnectionError, TimeoutError, OSError)):
+        return "connection"
+    return "other"
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One replayed request: schedule vs reality."""
+
+    seq: int
+    model: str
+    t_scheduled_s: float
+    t_sent_s: float
+    latency_ms: float
+    ok: bool
+    error: str | None = None
+    version: str | None = None
+
+    @property
+    def lateness_ms(self) -> float:
+        return (self.t_sent_s - self.t_scheduled_s) * 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "model": self.model,
+            "t_scheduled_s": round(self.t_scheduled_s, 6),
+            "t_sent_s": round(self.t_sent_s, 6),
+            "lateness_ms": round(self.lateness_ms, 3),
+            "latency_ms": round(self.latency_ms, 3),
+            "ok": self.ok,
+            "error": self.error,
+            "version": self.version,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay run measured; JSON-ready via :meth:`as_dict`."""
+
+    records: list[RequestRecord]
+    wall_s: float
+    queue_depth: list[tuple[float, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def ok_records(self) -> list[RequestRecord]:
+        return [r for r in self.records if r.ok]
+
+    def records_between(self, t0_s: float, t1_s: float) -> list[RequestRecord]:
+        """Records whose *scheduled* arrival falls in ``[t0_s, t1_s)`` —
+        the slice the bursty bench scores against the SLO."""
+        return [r for r in self.records if t0_s <= r.t_scheduled_s < t1_s]
+
+    def errors_by_class(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.records:
+            if not r.ok and r.error:
+                counts[r.error] = counts.get(r.error, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def latency_stats_ms(records: list[RequestRecord]) -> dict:
+        """mean/p50/p95/p99/max over the *successful* subset of records."""
+        lat = np.asarray([r.latency_ms for r in records if r.ok], dtype=np.float64)
+        if lat.size == 0:
+            return {"n": 0, "mean_ms": None, "p50_ms": None, "p95_ms": None,
+                    "p99_ms": None, "max_ms": None}
+        return {
+            "n": int(lat.size),
+            "mean_ms": float(lat.mean()),
+            "p50_ms": float(np.percentile(lat, 50)),
+            "p95_ms": float(np.percentile(lat, 95)),
+            "p99_ms": float(np.percentile(lat, 99)),
+            "max_ms": float(lat.max()),
+        }
+
+    def as_dict(self, *, records: bool = False) -> dict:
+        ok = self.ok_records()
+        lateness = np.asarray([r.lateness_ms for r in self.records], dtype=np.float64)
+        depths = [d for _, d in self.queue_depth]
+        payload = {
+            "offered": len(self.records),
+            "completed": len(ok),
+            "failed": len(self.records) - len(ok),
+            "errors_by_class": self.errors_by_class(),
+            "wall_s": self.wall_s,
+            "achieved_rps": len(ok) / self.wall_s if self.wall_s > 0 else 0.0,
+            "latency": self.latency_stats_ms(self.records),
+            "lateness_ms_mean": float(lateness.mean()) if lateness.size else 0.0,
+            "lateness_ms_max": float(lateness.max()) if lateness.size else 0.0,
+            "queue_depth_max": max(depths) if depths else 0,
+            "queue_depth_samples": len(depths),
+        }
+        if records:
+            payload["records"] = [r.as_dict() for r in self.records]
+        return payload
+
+
+def payload_fn_for_model(info: dict):
+    """Build ``event -> payload`` from a gateway model description.
+
+    ``info`` is the dict ``GET /v1/models/<name>`` (or
+    ``ModelEntry.describe()``) returns: ``task``/``arch``/``input_shape``
+    drive the synthesis codec; an event carrying its own ``shape``
+    overrides the model's input shape. Payloads are seeded by the event
+    ``seq``, so the same trace replays bit-identical request bodies.
+    """
+    from repro.serve.runners import synthetic_payloads
+
+    task = info.get("task")
+    arch = dict(info.get("arch") or {})
+    default_shape = info.get("input_shape")
+
+    def payload_fn(ev: TraceEvent):
+        shape = ev.shape if ev.shape is not None else default_shape
+        return synthetic_payloads(task, arch, shape, 1, seed=ev.seq)[0]
+
+    return payload_fn
+
+
+def replay_trace(
+    target,
+    events: list[TraceEvent],
+    *,
+    payload_fn=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+    depth_fn=None,
+    depth_interval_s: float = 0.02,
+    timeout_s: float = 60.0,
+    join_timeout_s: float = 120.0,
+) -> ReplayReport:
+    """Replay ``events`` open-loop; returns the measurement report.
+
+    ``target`` is a gateway base URL, a :class:`GatewayClient`, or — for
+    tests — any callable ``(event, payload) -> version-or-dict`` (raise
+    to record a failure). ``payload_fn`` maps an event to its request
+    payload; it defaults to :func:`payload_fn_for_model` fed from the
+    gateway's own model description (which requires a URL/client
+    target). Payloads are synthesized *before* the clock starts so
+    payload cost never skews the schedule.
+
+    ``depth_fn`` (optional) is polled every ``depth_interval_s`` on a
+    sampler thread to record the queue-depth timeline — e.g.
+    ``lambda: client.stats()["models"]["m"]["queue_depth"]`` or a direct
+    ``pool.load`` probe when the pool is in-process.
+    """
+    validate_events(events)
+    if callable(target) and not hasattr(target, "predict"):
+        send = target
+        client = None
+    else:
+        client = target if hasattr(target, "predict") else GatewayClient(
+            target, timeout_s=timeout_s
+        )
+
+        def send(ev: TraceEvent, payload):
+            return client.predict(ev.model, payload, raw=True)
+
+    if payload_fn is None:
+        if client is None:
+            raise ValueError(
+                "payload_fn is required when target is a bare callable"
+            )
+        infos = {name: client.model(name) for name in {ev.model for ev in events}}
+        fns = {name: payload_fn_for_model(info) for name, info in infos.items()}
+
+        def payload_fn(ev: TraceEvent):  # noqa: F811 - deliberate default
+            return fns[ev.model](ev)
+
+    payloads = [payload_fn(ev) for ev in events]
+
+    lock = threading.Lock()
+    records: list[RequestRecord] = []
+    depth_timeline: list[tuple[float, int]] = []
+    stop_sampling = threading.Event()
+    t_start = clock()
+
+    def fire(ev: TraceEvent, payload, t_sent: float) -> None:
+        t0 = clock()
+        ok, error, version = True, None, None
+        try:
+            body = send(ev, payload)
+            if isinstance(body, dict):
+                version = body.get("version")
+            elif isinstance(body, str):
+                version = body
+        except Exception as exc:  # noqa: BLE001 - every failure is a datum
+            ok, error = False, classify_error(exc)
+        latency_ms = (clock() - t0) * 1e3
+        with lock:
+            records.append(RequestRecord(
+                seq=ev.seq, model=ev.model, t_scheduled_s=ev.t_s,
+                t_sent_s=t_sent, latency_ms=latency_ms, ok=ok,
+                error=error, version=version,
+            ))
+
+    def sample_depth() -> None:
+        while not stop_sampling.wait(depth_interval_s):
+            try:
+                depth = int(depth_fn())
+            except Exception:  # noqa: BLE001 - a failed sample is not a failed run
+                continue
+            with lock:
+                depth_timeline.append((clock() - t_start, depth))
+
+    sampler = None
+    if depth_fn is not None:
+        sampler = threading.Thread(target=sample_depth, name="replay-depth", daemon=True)
+        sampler.start()
+
+    threads: list[threading.Thread] = []
+    for ev, payload in zip(events, payloads):
+        delay = ev.t_s - (clock() - t_start)
+        if delay > 0:
+            sleep(delay)
+        t_sent = clock() - t_start
+        th = threading.Thread(
+            target=fire, args=(ev, payload, t_sent),
+            name=f"replay-{ev.seq}", daemon=True,
+        )
+        th.start()
+        threads.append(th)
+
+    deadline = time.monotonic() + join_timeout_s
+    for th in threads:
+        th.join(max(0.0, deadline - time.monotonic()))
+    wall_s = clock() - t_start
+    if sampler is not None:
+        stop_sampling.set()
+        sampler.join(5.0)
+
+    with lock:
+        done = sorted(records, key=lambda r: r.seq)
+        depths = list(depth_timeline)
+    return ReplayReport(records=done, wall_s=wall_s, queue_depth=depths)
+
+
+def write_replay_log(path, report: ReplayReport, meta: dict | None = None):
+    """Persist per-request replay records as JSONL (header + one line per
+    request) — the "replayed trace" CI uploads next to BENCH artifacts."""
+    import json
+    from pathlib import Path
+
+    header = {"format": "repro-replay/v1", **(meta or {}),
+              **{k: v for k, v in report.as_dict().items() if k != "records"}}
+    lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+    lines.extend(
+        json.dumps(r.as_dict(), sort_keys=True, separators=(",", ":"))
+        for r in report.records
+    )
+    path = Path(path)
+    path.write_text("\n".join(lines) + "\n")
+    return path

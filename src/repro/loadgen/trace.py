@@ -1,0 +1,248 @@
+"""Workload-trace format: JSONL arrival schedules for load replay.
+
+A *trace* is the unit of exchange between the load generators
+(:mod:`repro.loadgen.generators`), the replay driver
+(:mod:`repro.loadgen.replay`), and the capacity planner
+(:mod:`repro.plan`): an ordered list of request arrivals, each with an
+offset from trace start, a target model, and a payload size/shape spec.
+Traces are plain JSONL so they can be committed, diffed, uploaded as CI
+artifacts, and replayed on any machine.
+
+File layout (``repro-trace/v1``)::
+
+    {"events": 3, "format": "repro-trace/v1", "generator": "poisson", ...}
+    {"kind": "image", "model": "m", "seq": 0, "shape": [3, 32, 32], "t_s": 0.0132}
+    {"kind": "image", "model": "m", "seq": 1, "shape": [3, 32, 32], "t_s": 0.0518}
+    {"kind": "image", "model": "m", "seq": 2, "shape": [3, 32, 32], "t_s": 0.0617}
+
+- Line 1 is the header: ``format`` is mandatory, everything else is
+  generator metadata carried along for provenance (seed, rate knobs,
+  burst windows). ``events`` when present must match the line count.
+- Every following line is one arrival. ``t_s`` is seconds from trace
+  start (monotone non-decreasing, >= 0), ``model`` the gateway model
+  name, ``kind`` the payload codec (``image``/``qa``), ``shape`` the
+  single-sample payload shape, and ``seq`` a unique id that doubles as
+  the payload synthesis seed so a replayed trace sends bit-identical
+  request bodies on every machine.
+
+Serialization uses sorted keys and compact separators, so the same
+events always produce byte-identical files — the determinism contract
+the generator tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+TRACE_FORMAT = "repro-trace/v1"
+
+
+class TraceError(ValueError):
+    """A trace file or event sequence violates the format contract."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled request arrival.
+
+    ``t_s`` is the arrival offset in seconds from trace start; ``seq``
+    uniquely identifies the event within its trace and seeds payload
+    synthesis at replay time.
+    """
+
+    t_s: float
+    model: str = "model"
+    kind: str = "image"
+    shape: tuple[int, ...] | None = None
+    seq: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "t_s": float(self.t_s),
+            "model": self.model,
+            "kind": self.kind,
+            "shape": list(self.shape) if self.shape is not None else None,
+            "seq": int(self.seq),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        try:
+            shape = data.get("shape")
+            return cls(
+                t_s=float(data["t_s"]),
+                model=str(data.get("model", "model")),
+                kind=str(data.get("kind", "image")),
+                shape=tuple(int(d) for d in shape) if shape is not None else None,
+                seq=int(data.get("seq", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"bad trace event {data!r}: {exc}") from exc
+
+
+def validate_events(events: list[TraceEvent]) -> None:
+    """Raise :class:`TraceError` unless arrivals are a valid schedule."""
+    prev = 0.0
+    for i, ev in enumerate(events):
+        if ev.t_s < 0:
+            raise TraceError(f"event {i}: negative arrival offset {ev.t_s}")
+        if ev.t_s < prev:
+            raise TraceError(
+                f"event {i}: arrival {ev.t_s} precedes previous {prev} "
+                f"(traces must be time-ordered)"
+            )
+        if not ev.model:
+            raise TraceError(f"event {i}: empty model name")
+        prev = ev.t_s
+
+
+def _dumps(obj) -> str:
+    # Sorted keys + compact separators: identical events -> identical bytes.
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def dump_trace(meta: dict, events: list[TraceEvent]) -> str:
+    """Render a trace to its canonical JSONL text (byte-deterministic)."""
+    validate_events(events)
+    header = {"format": TRACE_FORMAT, "events": len(events), **meta}
+    lines = [_dumps(header)]
+    lines.extend(_dumps(ev.as_dict()) for ev in events)
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(path, meta: dict, events: list[TraceEvent]) -> Path:
+    """Write a trace file; returns the path."""
+    path = Path(path)
+    path.write_text(dump_trace(meta, events))
+    return path
+
+
+def parse_trace(text: str) -> tuple[dict, list[TraceEvent]]:
+    """Parse canonical JSONL trace text -> ``(meta, events)``."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise TraceError("empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"bad trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"not a {TRACE_FORMAT} trace (header {str(lines[0])[:80]!r})"
+        )
+    events = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {i}: bad JSON: {exc}") from exc
+        events.append(TraceEvent.from_dict(data))
+    declared = header.get("events")
+    if declared is not None and declared != len(events):
+        raise TraceError(
+            f"header declares {declared} events, file holds {len(events)}"
+        )
+    validate_events(events)
+    meta = {k: v for k, v in header.items() if k not in ("format", "events")}
+    return meta, events
+
+
+def read_trace(path) -> tuple[dict, list[TraceEvent]]:
+    """Load ``(meta, events)`` from a trace file."""
+    return parse_trace(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# rate analysis (shared by the planner and the replay reports)
+# ----------------------------------------------------------------------
+def trace_duration_s(events: list[TraceEvent], meta: dict | None = None) -> float:
+    """Trace length: the declared duration when present, else the last
+    arrival offset (a trace that ends mid-air still has that much load)."""
+    if meta and meta.get("duration_s"):
+        return float(meta["duration_s"])
+    return float(events[-1].t_s) if events else 0.0
+
+
+def mean_rate_rps(events: list[TraceEvent], duration_s: float) -> float:
+    """Average arrival rate over the trace."""
+    if duration_s <= 0:
+        raise TraceError(f"duration_s must be > 0, got {duration_s}")
+    return len(events) / duration_s
+
+
+def peak_rate_rps(events: list[TraceEvent], window_s: float) -> float:
+    """Max arrival rate over any ``window_s``-long sliding window.
+
+    The window anchors at each arrival (the max over continuous window
+    positions is always achieved with the window's left edge on an
+    arrival), so this is exact, not sampled. This is the rate capacity
+    must be provisioned for: an SLO is violated during the burst, not
+    over the average.
+    """
+    if window_s <= 0:
+        raise TraceError(f"window_s must be > 0, got {window_s}")
+    if not events:
+        return 0.0
+    times = [ev.t_s for ev in events]
+    best, lo = 0, 0
+    for hi in range(len(times)):
+        while times[hi] - times[lo] > window_s:
+            lo += 1
+        best = max(best, hi - lo + 1)
+    return best / window_s
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary of one trace, JSON-ready via :meth:`as_dict`."""
+
+    events: int
+    duration_s: float
+    mean_rate_rps: float
+    peak_rate_rps: float
+    peak_window_s: float
+    models: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "duration_s": self.duration_s,
+            "mean_rate_rps": self.mean_rate_rps,
+            "peak_rate_rps": self.peak_rate_rps,
+            "peak_window_s": self.peak_window_s,
+            "models": dict(self.models),
+        }
+
+
+def trace_stats(
+    events: list[TraceEvent],
+    *,
+    meta: dict | None = None,
+    peak_window_s: float | None = None,
+) -> TraceStats:
+    """Rates + per-model counts for a trace.
+
+    ``peak_window_s`` defaults to a tenth of the trace (clamped to at
+    least one mean inter-arrival gap), which resolves bursts without
+    degenerating to single-arrival spikes.
+    """
+    if not events:
+        raise TraceError("cannot summarize an empty trace")
+    duration = trace_duration_s(events, meta)
+    mean = mean_rate_rps(events, duration)
+    if peak_window_s is None:
+        peak_window_s = max(duration / 10.0, 1.0 / mean if mean > 0 else duration)
+        peak_window_s = min(peak_window_s, duration)
+    models: dict[str, int] = {}
+    for ev in events:
+        models[ev.model] = models.get(ev.model, 0) + 1
+    return TraceStats(
+        events=len(events),
+        duration_s=duration,
+        mean_rate_rps=mean,
+        peak_rate_rps=peak_rate_rps(events, peak_window_s),
+        peak_window_s=peak_window_s,
+        models=models,
+    )

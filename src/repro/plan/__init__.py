@@ -1,0 +1,55 @@
+"""Capacity planning: measured service times -> replica counts.
+
+:mod:`repro.plan.calibrate` measures what one request costs;
+:mod:`repro.plan.capacity` turns that plus an arrival rate into the
+replica count that holds a latency SLO (M/M/c with an Allen-Cunneen
+service-variability correction), predicted p50/p99, and autoscale
+watermark seeds. The ``repro plan`` CLI drives both; the model's
+predictions are validated against open-loop replay measurements by
+``benchmarks/bench_replay.py`` and the agreement band is a committed CI
+gate. Model, assumptions, and refresh protocol: ``docs/capacity.md``.
+"""
+
+from repro.plan.calibrate import (
+    ServiceProfile,
+    calibrate_service_time,
+    profile_from_samples,
+    service_profile_from_stats,
+)
+from repro.plan.capacity import (
+    SLO_METRICS,
+    CapacityPlan,
+    PlanError,
+    critical_rate_rps,
+    erlang_b,
+    erlang_c,
+    plan_capacity,
+    plan_for_trace,
+    predicted_latency_s,
+    required_replicas,
+    sojourn_mean_s,
+    sojourn_quantile_s,
+    sojourn_tail,
+    wait_mean_s,
+)
+
+__all__ = [
+    "PlanError",
+    "SLO_METRICS",
+    "erlang_b",
+    "erlang_c",
+    "wait_mean_s",
+    "sojourn_mean_s",
+    "sojourn_tail",
+    "sojourn_quantile_s",
+    "predicted_latency_s",
+    "required_replicas",
+    "critical_rate_rps",
+    "CapacityPlan",
+    "plan_capacity",
+    "plan_for_trace",
+    "ServiceProfile",
+    "profile_from_samples",
+    "calibrate_service_time",
+    "service_profile_from_stats",
+]

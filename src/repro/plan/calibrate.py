@@ -1,0 +1,162 @@
+"""Measure the service time the capacity model plans with.
+
+Two sources, in order of preference:
+
+1. :func:`calibrate_service_time` — a short closed-loop run: sequential
+   single-inflight requests against an otherwise-idle gateway, so every
+   measured latency *is* a service time (no queueing component). This
+   also yields the service-time coefficient of variation the
+   Allen-Cunneen correction needs.
+2. :func:`service_profile_from_stats` — derive a profile from a live
+   gateway's ``/stats`` percentiles when a calibration run isn't
+   possible. Percentiles of *production* latency include queueing, so
+   this over-estimates service time under load (conservative plans) and
+   the cv is a coarse heuristic; prefer a calibration run.
+
+Calibration measures the whole serving path — IPC to a process replica,
+decode, forward pass, encode — because that is the service time the
+replica actually spends per request, not the bare model forward.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loadgen.replay import payload_fn_for_model
+from repro.loadgen.trace import TraceEvent
+from repro.plan.capacity import PlanError
+from repro.serve.client import GatewayClient
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Measured per-request service-time distribution for one model."""
+
+    model: str
+    samples: int
+    service_ms: float     # mean — the planner's S
+    service_cv: float     # std/mean, feeds the Allen-Cunneen correction
+    p50_ms: float
+    p99_ms: float
+    source: str           # "calibration" | "stats"
+
+    @property
+    def service_s(self) -> float:
+        return self.service_ms / 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "samples": self.samples,
+            "service_ms": self.service_ms,
+            "service_cv": self.service_cv,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "source": self.source,
+        }
+
+
+def profile_from_samples(
+    latencies_ms, *, model: str = "model", source: str = "calibration"
+) -> ServiceProfile:
+    """Summarize raw latency samples into a :class:`ServiceProfile`."""
+    lat = np.asarray(list(latencies_ms), dtype=np.float64)
+    if lat.size == 0:
+        raise PlanError("no latency samples to profile")
+    mean = float(lat.mean())
+    if mean <= 0:
+        raise PlanError(f"non-positive mean service time {mean}")
+    cv = float(lat.std() / mean) if lat.size > 1 else 0.0
+    return ServiceProfile(
+        model=model,
+        samples=int(lat.size),
+        service_ms=mean,
+        service_cv=cv,
+        p50_ms=float(np.percentile(lat, 50)),
+        p99_ms=float(np.percentile(lat, 99)),
+        source=source,
+    )
+
+
+def calibrate_service_time(
+    target,
+    model: str = "model",
+    *,
+    samples: int = 30,
+    warmup: int = 3,
+    payload_fn=None,
+    clock=time.perf_counter,
+    timeout_s: float = 60.0,
+) -> ServiceProfile:
+    """Closed-loop, single-inflight calibration run.
+
+    ``target`` is a gateway URL, a :class:`GatewayClient`, or a callable
+    ``(event, payload)`` (tests). Requests go out strictly one at a
+    time, so on an idle gateway each latency is pure service time.
+    ``warmup`` requests are discarded first — the first calls pay cache
+    and allocation costs the steady state doesn't.
+    """
+    if samples < 1:
+        raise PlanError(f"samples must be >= 1, got {samples}")
+    if callable(target) and not hasattr(target, "predict"):
+        send = target
+        if payload_fn is None:
+            raise PlanError("payload_fn is required with a callable target")
+    else:
+        client = target if hasattr(target, "predict") else GatewayClient(
+            target, timeout_s=timeout_s
+        )
+        if payload_fn is None:
+            payload_fn = payload_fn_for_model(client.model(model))
+
+        def send(ev, payload):
+            return client.predict(ev.model, payload, raw=True)
+
+    latencies_ms = []
+    for i in range(warmup + samples):
+        ev = TraceEvent(t_s=0.0, model=model, seq=i)
+        payload = payload_fn(ev)
+        t0 = clock()
+        send(ev, payload)
+        dt_ms = (clock() - t0) * 1e3
+        if i >= warmup:
+            latencies_ms.append(dt_ms)
+    return profile_from_samples(latencies_ms, model=model, source="calibration")
+
+
+def service_profile_from_stats(model_stats: dict, model: str = "model") -> ServiceProfile:
+    """Approximate a profile from a gateway ``/stats`` per-model entry.
+
+    Uses ``latency_ms_p50`` as the service-time estimate (the median is
+    robust to the tail that queueing adds) and maps the p99/p50 ratio
+    onto a cv estimate by linear interpolation between the two shapes
+    the model distinguishes: deterministic service (ratio 1, cv 0) and
+    exponential service (ratio ln(100)/ln(2) ~= 6.64, cv 1). Crude by
+    construction — documented in ``docs/capacity.md`` — and clamped to
+    ``[0.05, 2.0]`` so a weird ratio can't produce a nonsense plan.
+    """
+    p50 = model_stats.get("latency_ms_p50")
+    p99 = model_stats.get("latency_ms_p99")
+    completed = int(model_stats.get("completed") or 0)
+    if not p50 or p50 <= 0 or completed < 1:
+        raise PlanError(
+            f"stats for {model!r} carry no usable latency percentiles "
+            f"(p50={p50!r}, completed={completed}) — run traffic first or "
+            f"use a calibration run"
+        )
+    p99 = float(p99) if p99 else float(p50)
+    ratio = max(p99 / p50, 1.0)
+    exp_ratio = np.log(100.0) / np.log(2.0)  # ~6.64
+    cv = min(max((ratio - 1.0) / (exp_ratio - 1.0), 0.05), 2.0)
+    return ServiceProfile(
+        model=model,
+        samples=completed,
+        service_ms=float(p50),
+        service_cv=float(cv),
+        p50_ms=float(p50),
+        p99_ms=p99,
+        source="stats",
+    )

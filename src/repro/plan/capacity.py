@@ -1,0 +1,508 @@
+"""First-principles capacity model: M/M/c sizing for a replica pool.
+
+The model answers one question: *given a measured per-request service
+time and an offered arrival rate, how many replicas hold a latency SLO?*
+Each replica is treated as one server of an M/M/c queue — Poisson
+arrivals at rate ``lam``, exponential service at rate ``mu = 1/S`` per
+replica, a single shared FIFO queue (which is what ``ReplicaPool``'s
+least-loaded routing approximates when ``max_batch_size=1``).
+
+Exact pieces (pinned by hand-computed tests):
+
+- Erlang-B via the standard recursion ``B(k) = a·B(k-1)/(k + a·B(k-1))``.
+- Erlang-C delay probability ``C = B/(1 - rho·(1 - B))``.
+- Mean queue wait ``Wq = C/(c·mu - lam)``.
+- Sojourn-time tail (time in system, for ``mu != r``)::
+
+      P(T > t) = (1-C)·e^(-mu·t) + C·(mu·e^(-r·t) - r·e^(-mu·t))/(mu - r)
+
+  with ``r = c·mu - lam``; for c=1 this collapses to the M/M/1 classic
+  ``e^(-(mu-lam)·t)``, which the tests check exactly. Percentiles invert
+  the tail by bisection.
+
+One correction, because real inference service times are *not*
+exponential (batch=1 forward passes are near-deterministic): the
+Allen-Cunneen factor ``(1 + cv^2)/2`` scales the conditional wait by the
+measured squared coefficient of variation of service time. With cv=1
+the model is exactly M/M/c; with cv→0 waits halve (M/D/c). The service
+tail itself is kept exponential — a documented approximation, which is
+why the replay bench commits a prediction-error *band* rather than
+demanding exactness.
+
+What the model deliberately ignores (see ``docs/capacity.md``): dynamic
+batching (calibrate with the batch shape you serve), admission-control
+rejections, and autoscaler lag. Size on the *peak-window* rate of a
+trace, not its mean — :func:`plan_for_trace` does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.loadgen.trace import TraceEvent, trace_stats
+
+
+class PlanError(ValueError):
+    """The capacity question has no answer under the given constraints."""
+
+
+#: Metrics a :func:`required_replicas` SLO can be stated against.
+SLO_METRICS = ("mean", "p50", "p95", "p99")
+
+
+# ----------------------------------------------------------------------
+# queueing primitives
+# ----------------------------------------------------------------------
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability for ``servers`` and ``a = lam/mu``."""
+    if servers < 1:
+        raise PlanError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise PlanError(f"offered load must be >= 0, got {offered_load}")
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability an arrival waits (P(W > 0) in M/M/c).
+
+    Returns 1.0 when the system is at or beyond saturation
+    (``offered_load >= servers``): every arrival waits, forever.
+    """
+    rho = offered_load / servers
+    if rho >= 1.0:
+        return 1.0
+    b = erlang_b(servers, offered_load)
+    return b / (1.0 - rho * (1.0 - b))
+
+
+def _check_stable(rate_rps: float, service_s: float, servers: int) -> float:
+    """Validate inputs; returns ``mu``. Raises on an unstable system."""
+    if rate_rps <= 0:
+        raise PlanError(f"rate_rps must be > 0, got {rate_rps}")
+    if service_s <= 0:
+        raise PlanError(f"service_s must be > 0, got {service_s}")
+    mu = 1.0 / service_s
+    if rate_rps >= servers * mu:
+        raise PlanError(
+            f"unstable: offered load {rate_rps * service_s:.3f} >= "
+            f"{servers} replicas (utilization >= 100%)"
+        )
+    return mu
+
+
+def _cv_factor(service_cv: float) -> float:
+    """Allen-Cunneen wait correction for non-exponential service."""
+    if service_cv < 0:
+        raise PlanError(f"service_cv must be >= 0, got {service_cv}")
+    return (1.0 + service_cv**2) / 2.0
+
+
+def wait_mean_s(
+    rate_rps: float, service_s: float, servers: int, *, service_cv: float = 1.0
+) -> float:
+    """Mean time spent queued (not being served)."""
+    mu = _check_stable(rate_rps, service_s, servers)
+    c_prob = erlang_c(servers, rate_rps * service_s)
+    return c_prob * _cv_factor(service_cv) / (servers * mu - rate_rps)
+
+
+def sojourn_mean_s(
+    rate_rps: float, service_s: float, servers: int, *, service_cv: float = 1.0
+) -> float:
+    """Mean time in system (queue wait + service)."""
+    return service_s + wait_mean_s(
+        rate_rps, service_s, servers, service_cv=service_cv
+    )
+
+
+def sojourn_tail(
+    t_s: float,
+    rate_rps: float,
+    service_s: float,
+    servers: int,
+    *,
+    service_cv: float = 1.0,
+) -> float:
+    """``P(T > t)`` for the time-in-system ``T``.
+
+    The cv correction rescales the conditional-wait rate
+    (``r -> r / factor``) so the tail's mean matches the corrected
+    :func:`sojourn_mean_s`; the exponential-service component is left
+    as-is (approximation, see module docstring).
+    """
+    if t_s < 0:
+        return 1.0
+    mu = _check_stable(rate_rps, service_s, servers)
+    c_prob = erlang_c(servers, rate_rps * service_s)
+    r = (servers * mu - rate_rps) / _cv_factor(service_cv)
+    if abs(mu - r) < 1e-9 * mu:
+        # Degenerate r -> mu limit of the two-exponential mixture.
+        waited = math.exp(-mu * t_s) * (1.0 + mu * t_s)
+    else:
+        waited = (
+            mu * math.exp(-r * t_s) - r * math.exp(-mu * t_s)
+        ) / (mu - r)
+    tail = (1.0 - c_prob) * math.exp(-mu * t_s) + c_prob * waited
+    return min(1.0, max(0.0, tail))
+
+
+def sojourn_quantile_s(
+    q: float,
+    rate_rps: float,
+    service_s: float,
+    servers: int,
+    *,
+    service_cv: float = 1.0,
+) -> float:
+    """Latency quantile (e.g. ``q=0.99`` -> p99) by inverting the tail."""
+    if not 0.0 < q < 1.0:
+        raise PlanError(f"quantile must be in (0, 1), got {q}")
+    target = 1.0 - q  # find t with P(T > t) = target
+
+    def tail(t: float) -> float:
+        return sojourn_tail(
+            t, rate_rps, service_s, servers, service_cv=service_cv
+        )
+
+    hi = sojourn_mean_s(rate_rps, service_s, servers, service_cv=service_cv)
+    while tail(hi) > target:
+        hi *= 2.0
+    lo = 0.0
+    for _ in range(60):  # ~1e-18 relative: overkill, and cheap
+        mid = 0.5 * (lo + hi)
+        if tail(mid) > target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def predicted_latency_s(
+    rate_rps: float,
+    service_s: float,
+    servers: int,
+    *,
+    metric: str = "mean",
+    service_cv: float = 1.0,
+) -> float:
+    """One latency number for an SLO check, selected by ``metric``."""
+    if metric == "mean":
+        return sojourn_mean_s(rate_rps, service_s, servers, service_cv=service_cv)
+    if metric in ("p50", "p95", "p99"):
+        q = float(metric[1:]) / 100.0
+        return sojourn_quantile_s(
+            q, rate_rps, service_s, servers, service_cv=service_cv
+        )
+    raise PlanError(f"unknown SLO metric {metric!r} (use one of {SLO_METRICS})")
+
+
+# ----------------------------------------------------------------------
+# sizing
+# ----------------------------------------------------------------------
+def required_replicas(
+    rate_rps: float,
+    service_s: float,
+    slo_s: float,
+    *,
+    slo_metric: str = "mean",
+    service_cv: float = 1.0,
+    max_replicas: int = 64,
+) -> int:
+    """Smallest replica count whose predicted ``slo_metric`` meets ``slo_s``.
+
+    Starts at the stability floor ``floor(lam·S) + 1`` (anything less has
+    utilization >= 100% and unbounded queues) and walks up. Raises
+    :class:`PlanError` when even ``max_replicas`` replicas cannot meet
+    the SLO — including the degenerate case ``slo_s <= service_s``,
+    where no amount of parallelism helps (service time alone busts it).
+    """
+    if slo_s <= 0:
+        raise PlanError(f"slo_s must be > 0, got {slo_s}")
+    if rate_rps <= 0:
+        raise PlanError(f"rate_rps must be > 0, got {rate_rps}")
+    if service_s <= 0:
+        raise PlanError(f"service_s must be > 0, got {service_s}")
+    if slo_s <= service_s and slo_metric != "p50":
+        raise PlanError(
+            f"SLO {slo_s * 1e3:.1f}ms is not above the service time "
+            f"{service_s * 1e3:.1f}ms — unattainable at any replica count"
+        )
+    floor_c = max(1, int(math.floor(rate_rps * service_s)) + 1)
+    for servers in range(floor_c, max_replicas + 1):
+        if rate_rps * service_s / servers >= 1.0:
+            continue
+        predicted = predicted_latency_s(
+            rate_rps, service_s, servers,
+            metric=slo_metric, service_cv=service_cv,
+        )
+        if predicted <= slo_s:
+            return servers
+    raise PlanError(
+        f"no replica count <= {max_replicas} holds {slo_metric} <= "
+        f"{slo_s * 1e3:.1f}ms at {rate_rps:.2f} rps "
+        f"(service {service_s * 1e3:.2f}ms)"
+    )
+
+
+def critical_rate_rps(
+    servers: int,
+    service_s: float,
+    slo_s: float,
+    *,
+    slo_metric: str = "mean",
+    service_cv: float = 1.0,
+) -> float:
+    """Highest arrival rate at which ``servers`` replicas still meet the
+    SLO — the knee the autoscale watermarks are derived from. Bisected;
+    the predicted latency is monotone increasing in the rate."""
+    mu = 1.0 / service_s
+    lo, hi = 0.0, servers * mu * (1.0 - 1e-9)
+    if (
+        predicted_latency_s(
+            hi, service_s, servers, metric=slo_metric, service_cv=service_cv
+        )
+        <= slo_s
+    ):
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if mid <= 0:
+            break
+        ok = (
+            predicted_latency_s(
+                mid, service_s, servers,
+                metric=slo_metric, service_cv=service_cv,
+            )
+            <= slo_s
+        )
+        if ok:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+# ----------------------------------------------------------------------
+# the plan object
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The planner's answer: pool sizing + predictions + watermark seeds.
+
+    ``high_watermark``/``low_watermark`` are in the autoscaler's units
+    (load per replica, queued + in flight) so the plan can seed
+    :meth:`repro.serve.autoscale.AutoscalePolicy.from_plan` directly.
+    """
+
+    model: str
+    rate_rps: float
+    service_ms: float
+    service_cv: float
+    slo_ms: float
+    slo_metric: str
+    replicas: int
+    utilization: float
+    delay_prob: float
+    predicted_ms: dict = field(default_factory=dict)
+    min_replicas: int = 1
+    max_replicas: int = 2
+    high_watermark: float = 1.0
+    low_watermark: float = 0.25
+    trace: dict | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "rate_rps": self.rate_rps,
+            "service_ms": self.service_ms,
+            "service_cv": self.service_cv,
+            "slo_ms": self.slo_ms,
+            "slo_metric": self.slo_metric,
+            "replicas": self.replicas,
+            "utilization": self.utilization,
+            "delay_prob": self.delay_prob,
+            "predicted_ms": dict(self.predicted_ms),
+            "autoscale": {
+                "min_replicas": self.min_replicas,
+                "max_replicas": self.max_replicas,
+                "high_watermark": self.high_watermark,
+                "low_watermark": self.low_watermark,
+            },
+            "trace": dict(self.trace) if self.trace else None,
+        }
+
+    def format_report(self) -> str:
+        lines = [
+            f"capacity plan: {self.model}",
+            f"  offered load   {self.rate_rps:.2f} rps x "
+            f"{self.service_ms:.2f} ms service (cv {self.service_cv:.2f}) "
+            f"= {self.rate_rps * self.service_ms / 1e3:.2f} erlangs",
+            f"  SLO            {self.slo_metric} <= {self.slo_ms:.1f} ms",
+            f"  -> replicas    {self.replicas} "
+            f"(utilization {self.utilization:.0%}, "
+            f"P(wait) {self.delay_prob:.2f})",
+            "  predicted      "
+            + "  ".join(
+                f"{k} {v:.2f} ms" for k, v in self.predicted_ms.items()
+            ),
+            f"  autoscale      replicas in "
+            f"[{self.min_replicas}, {self.max_replicas}], "
+            f"watermarks high {self.high_watermark:.2f} / "
+            f"low {self.low_watermark:.2f} per replica",
+        ]
+        if self.trace:
+            lines.insert(1, (
+                f"  trace          {self.trace.get('events')} events over "
+                f"{self.trace.get('duration_s'):.1f}s, sized on "
+                f"{self.trace.get('sizing_rate')} rate"
+            ))
+        return "\n".join(lines)
+
+
+def _watermarks(
+    replicas: int,
+    service_s: float,
+    slo_s: float,
+    slo_metric: str,
+    service_cv: float,
+) -> tuple[float, float]:
+    """Seed autoscale watermarks from the plan's critical operating points.
+
+    High: the per-replica number-in-system (Little's law, ``L = lam·W``)
+    at the highest rate the planned pool still meets the SLO — beyond
+    that load the SLO is about to break, so scale up. Low: half the
+    per-replica load at which one *fewer* replica would still be
+    SLO-safe — comfortably inside the region where shedding a replica is
+    harmless. The 0.5 safety margin plus the gap between the two
+    operating points gives the loop hysteresis.
+    """
+    lam_hi = critical_rate_rps(
+        replicas, service_s, slo_s,
+        slo_metric=slo_metric, service_cv=service_cv,
+    )
+    w_hi = sojourn_mean_s(lam_hi, service_s, replicas, service_cv=service_cv)
+    high = lam_hi * w_hi / replicas
+    if replicas > 1:
+        lam_lo = critical_rate_rps(
+            replicas - 1, service_s, slo_s,
+            slo_metric=slo_metric, service_cv=service_cv,
+        )
+        w_lo = sojourn_mean_s(
+            lam_lo, service_s, replicas - 1, service_cv=service_cv
+        )
+        low = 0.5 * lam_lo * w_lo / replicas
+    else:
+        low = high / 4.0
+    high = max(high, 1e-3)
+    low = min(max(low, 0.0), 0.9 * high)
+    return high, low
+
+
+def plan_capacity(
+    rate_rps: float,
+    service_ms: float,
+    slo_ms: float,
+    *,
+    model: str = "model",
+    slo_metric: str = "mean",
+    service_cv: float = 1.0,
+    max_replicas: int = 64,
+    trace_info: dict | None = None,
+) -> CapacityPlan:
+    """Size a pool for a constant offered rate; the planner's core entry.
+
+    Times are in milliseconds here (matching the serving stack's
+    user-facing units); the queueing internals work in seconds.
+    """
+    service_s, slo_s = service_ms / 1e3, slo_ms / 1e3
+    replicas = required_replicas(
+        rate_rps, service_s, slo_s,
+        slo_metric=slo_metric, service_cv=service_cv,
+        max_replicas=max_replicas,
+    )
+    predicted = {
+        "mean": sojourn_mean_s(
+            rate_rps, service_s, replicas, service_cv=service_cv
+        ) * 1e3,
+        "p50": sojourn_quantile_s(
+            0.50, rate_rps, service_s, replicas, service_cv=service_cv
+        ) * 1e3,
+        "p99": sojourn_quantile_s(
+            0.99, rate_rps, service_s, replicas, service_cv=service_cv
+        ) * 1e3,
+    }
+    high, low = _watermarks(replicas, service_s, slo_s, slo_metric, service_cv)
+    return CapacityPlan(
+        model=model,
+        rate_rps=float(rate_rps),
+        service_ms=float(service_ms),
+        service_cv=float(service_cv),
+        slo_ms=float(slo_ms),
+        slo_metric=slo_metric,
+        replicas=replicas,
+        utilization=rate_rps * service_s / replicas,
+        delay_prob=erlang_c(replicas, rate_rps * service_s),
+        predicted_ms=predicted,
+        min_replicas=1,
+        max_replicas=max(replicas + 1, 2),
+        high_watermark=high,
+        low_watermark=low,
+        trace=trace_info,
+    )
+
+
+def plan_for_trace(
+    events: list[TraceEvent],
+    service_ms: float,
+    slo_ms: float,
+    *,
+    meta: dict | None = None,
+    model: str = "model",
+    slo_metric: str = "mean",
+    service_cv: float = 1.0,
+    max_replicas: int = 64,
+    sizing_rate: str = "peak",
+    peak_window_s: float | None = None,
+) -> CapacityPlan:
+    """Size a pool for a recorded trace.
+
+    Sizes on the trace's **peak-window** arrival rate by default
+    (``sizing_rate="peak"``): an SLO is violated during the burst, and a
+    pool sized for the mean of a bursty trace queues unboundedly every
+    on-phase. ``sizing_rate="mean"`` is available for genuinely smooth
+    traffic. A trace from the bursty generator carries its true burst
+    plateau rate in meta (``on_rate_rps``); peak sizing uses that
+    directly — the empirical rate over a short window overshoots the
+    plateau by Poisson sampling noise.
+    """
+    stats = trace_stats(events, meta=meta, peak_window_s=peak_window_s)
+    if sizing_rate == "peak":
+        if meta and meta.get("generator") == "bursty":
+            rate = float(meta["on_rate_rps"])
+        else:
+            rate = stats.peak_rate_rps
+    elif sizing_rate == "mean":
+        rate = stats.mean_rate_rps
+    else:
+        raise PlanError(
+            f"sizing_rate must be 'peak' or 'mean', got {sizing_rate!r}"
+        )
+    info = {
+        "events": stats.events,
+        "duration_s": stats.duration_s,
+        "mean_rate_rps": stats.mean_rate_rps,
+        "peak_rate_rps": stats.peak_rate_rps,
+        "peak_window_s": stats.peak_window_s,
+        "sizing_rate": sizing_rate,
+    }
+    if meta and meta.get("generator"):
+        info["generator"] = meta["generator"]
+    return plan_capacity(
+        rate, service_ms, slo_ms,
+        model=model, slo_metric=slo_metric, service_cv=service_cv,
+        max_replicas=max_replicas, trace_info=info,
+    )

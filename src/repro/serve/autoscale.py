@@ -100,6 +100,28 @@ class AutoscalePolicy:
         if self.interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
 
+    @classmethod
+    def from_plan(cls, plan, **overrides) -> "AutoscalePolicy":
+        """Seed a policy from a capacity plan.
+
+        ``plan`` is duck-typed (any object with ``min_replicas`` /
+        ``max_replicas`` / ``high_watermark`` / ``low_watermark``, i.e.
+        a :class:`repro.plan.CapacityPlan`) so this module keeps zero
+        dependency on the planner package. The plan's watermarks are
+        per-replica number-in-system at its SLO-critical operating
+        points — exactly this loop's load signal — making "scale up"
+        mean "the SLO is about to break" rather than a hand-tuned
+        constant. Keyword ``overrides`` win over plan-derived fields.
+        """
+        fields = {
+            "min_replicas": int(plan.min_replicas),
+            "max_replicas": int(plan.max_replicas),
+            "high_watermark": float(plan.high_watermark),
+            "low_watermark": float(plan.low_watermark),
+        }
+        fields.update(overrides)
+        return cls(**fields)
+
 
 class Autoscaler:
     """Background sizing loop for one model's replica pool.

@@ -255,7 +255,7 @@ class ModelEntry:
         with self.lock:
             pool, version, task = self.pool, self.version, self.task
             input_shape, loaded_unix = self.input_shape, self.loaded_unix
-            canary = self.canary
+            arch, canary = self.arch, self.canary
         return {
             "name": self.name,
             "version": version,
@@ -263,6 +263,7 @@ class ModelEntry:
             "replicas": pool.num_replicas,
             "routing": pool.routing,
             "input_shape": list(input_shape) if input_shape else None,
+            "arch": dict(arch),
             "loaded_unix": loaded_unix,
             "swaps": len(self.history),
             "health": pool.health_state(),

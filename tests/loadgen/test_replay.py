@@ -1,0 +1,137 @@
+"""Replay driver: fake-clock scheduling, error taxonomy, reports, logs."""
+
+import json
+
+import pytest
+
+from repro.loadgen import (
+    ReplayReport,
+    RequestRecord,
+    TraceEvent,
+    classify_error,
+    replay_trace,
+    write_replay_log,
+)
+from repro.serve.client import GatewayHTTPError, GatewayOverloaded
+
+
+class FakeClock:
+    """Monotonic clock that only moves when something sleeps on it."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def sleep(self, dt):
+        assert dt >= 0
+        self.t += dt
+
+
+def run_replay(events, send, **kwargs):
+    clock = FakeClock()
+    report = replay_trace(
+        send, events,
+        payload_fn=lambda ev: {"seq": ev.seq},
+        clock=clock, sleep=clock.sleep,
+        **kwargs,
+    )
+    return clock, report
+
+
+class TestScheduling:
+    def test_dispatch_honors_offsets_exactly(self):
+        events = [TraceEvent(t, seq=i) for i, t in enumerate([0.0, 0.5, 1.25])]
+        clock, report = run_replay(events, lambda ev, payload: "v1")
+        # On a fake clock the scheduler sleeps exactly to each arrival.
+        assert [r.t_sent_s for r in report.records] == [0.0, 0.5, 1.25]
+        assert all(r.lateness_ms == 0.0 for r in report.records)
+        assert clock.t == 1.25
+        assert report.wall_s == 1.25
+
+    def test_records_sorted_by_seq_and_versioned(self):
+        events = [TraceEvent(0.0, seq=i) for i in range(8)]
+        _, report = run_replay(
+            events, lambda ev, payload: {"version": f"v{ev.seq}"}
+        )
+        assert [r.seq for r in report.records] == list(range(8))
+        assert report.records[3].version == "v3"
+
+    def test_bare_callable_requires_payload_fn(self):
+        with pytest.raises(ValueError, match="payload_fn"):
+            replay_trace(lambda ev, p: None, [TraceEvent(0.0)])
+
+
+class TestFailures:
+    def test_failures_recorded_not_raised(self):
+        events = [TraceEvent(0.0, seq=i) for i in range(4)]
+
+        def flaky(ev, payload):
+            if ev.seq % 2:
+                raise GatewayOverloaded(429, {"error": "full"})
+            return "v1"
+
+        _, report = run_replay(events, flaky)
+        assert len(report.ok_records()) == 2
+        assert report.errors_by_class() == {"overloaded": 2}
+        assert report.as_dict()["failed"] == 2
+
+    @pytest.mark.parametrize(
+        "exc, cls",
+        [
+            (GatewayOverloaded(429, {}), "overloaded"),
+            (GatewayHTTPError(503, {}), "unavailable"),
+            (GatewayHTTPError(404, {}), "http_4xx"),
+            (GatewayHTTPError(500, {}), "http_5xx"),
+            (ConnectionRefusedError("refused"), "connection"),
+            (TimeoutError(), "connection"),
+            (RuntimeError("?"), "other"),
+        ],
+    )
+    def test_classify_error(self, exc, cls):
+        assert classify_error(exc) == cls
+
+
+class TestReport:
+    def make_report(self):
+        records = [
+            RequestRecord(seq=i, model="m", t_scheduled_s=float(i),
+                          t_sent_s=float(i), latency_ms=10.0 * (i + 1),
+                          ok=i != 3, error="other" if i == 3 else None)
+            for i in range(5)
+        ]
+        return ReplayReport(records=records, wall_s=5.0,
+                            queue_depth=[(0.1, 2), (0.2, 7)])
+
+    def test_latency_stats_skip_failures(self):
+        stats = ReplayReport.latency_stats_ms(self.make_report().records)
+        assert stats["n"] == 4
+        assert stats["mean_ms"] == pytest.approx((10 + 20 + 30 + 50) / 4)
+        assert stats["max_ms"] == 50.0
+
+    def test_latency_stats_empty(self):
+        assert ReplayReport.latency_stats_ms([])["mean_ms"] is None
+
+    def test_records_between_filters_on_schedule(self):
+        report = self.make_report()
+        assert [r.seq for r in report.records_between(1.0, 3.0)] == [1, 2]
+
+    def test_as_dict_rollup(self):
+        d = self.make_report().as_dict()
+        assert d["offered"] == 5 and d["completed"] == 4
+        assert d["queue_depth_max"] == 7
+        assert d["achieved_rps"] == pytest.approx(0.8)
+        assert "records" not in d
+
+    def test_write_replay_log(self, tmp_path):
+        path = write_replay_log(
+            tmp_path / "log.jsonl", self.make_report(), meta={"replicas": 2}
+        )
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-replay/v1"
+        assert header["replicas"] == 2
+        assert header["offered"] == 5
+        assert len(lines) == 6
+        assert json.loads(lines[1])["seq"] == 0

@@ -1,0 +1,107 @@
+"""Trace format: byte-determinism, roundtrips, validation, rate analysis."""
+
+import pytest
+
+from repro.loadgen import (
+    TRACE_FORMAT,
+    TraceError,
+    TraceEvent,
+    dump_trace,
+    mean_rate_rps,
+    parse_trace,
+    peak_rate_rps,
+    read_trace,
+    trace_stats,
+    validate_events,
+    write_trace,
+)
+
+
+def events_at(*times, **kwargs):
+    return [TraceEvent(t_s=t, seq=i, **kwargs) for i, t in enumerate(times)]
+
+
+class TestRoundtrip:
+    def test_dump_parse_roundtrip(self):
+        meta = {"generator": "poisson", "rate_rps": 5.0, "seed": 3}
+        events = events_at(0.0, 0.5, 1.25, shape=(3, 8, 8))
+        meta2, events2 = parse_trace(dump_trace(meta, events))
+        assert meta2 == meta
+        assert events2 == events
+
+    def test_file_roundtrip(self, tmp_path):
+        meta = {"generator": "bursty", "on_windows": [[0.0, 1.0]]}
+        events = events_at(0.1, 0.9)
+        path = write_trace(tmp_path / "t.jsonl", meta, events)
+        meta2, events2 = read_trace(path)
+        assert meta2 == meta
+        assert events2 == events
+
+    def test_dump_is_byte_deterministic(self):
+        # Same events, meta built in different key orders -> same bytes.
+        events = events_at(0.0, 1.0)
+        a = dump_trace({"x": 1, "y": 2}, events)
+        b = dump_trace({"y": 2, "x": 1}, events)
+        assert a == b
+        assert a == dump_trace({"x": 1, "y": 2}, list(events))
+
+
+class TestValidation:
+    def test_rejects_time_travel(self):
+        with pytest.raises(TraceError, match="precedes"):
+            validate_events([TraceEvent(1.0, seq=0), TraceEvent(0.5, seq=1)])
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(TraceError, match="negative"):
+            validate_events([TraceEvent(-0.1)])
+
+    def test_rejects_empty_model(self):
+        with pytest.raises(TraceError, match="empty model"):
+            validate_events([TraceEvent(0.0, model="")])
+
+    def test_rejects_wrong_format_header(self):
+        with pytest.raises(TraceError, match="not a"):
+            parse_trace('{"format": "something-else/v9"}\n')
+
+    def test_rejects_event_count_mismatch(self):
+        text = (
+            f'{{"format": "{TRACE_FORMAT}", "events": 2}}\n'
+            '{"t_s": 0.0, "model": "m", "kind": "image", "shape": null, "seq": 0}\n'
+        )
+        with pytest.raises(TraceError, match="declares 2"):
+            parse_trace(text)
+
+    def test_rejects_empty_file(self):
+        with pytest.raises(TraceError, match="empty"):
+            parse_trace("")
+
+    def test_bad_event_line(self):
+        text = f'{{"format": "{TRACE_FORMAT}"}}\n{{"model": "m"}}\n'
+        with pytest.raises(TraceError, match="bad trace event"):
+            parse_trace(text)
+
+
+class TestRates:
+    def test_mean_rate(self):
+        assert mean_rate_rps(events_at(0.0, 1.0, 2.0, 3.0), 10.0) == 0.4
+
+    def test_peak_window_is_exact(self):
+        # 4 arrivals packed into [10.0, 10.3], singletons elsewhere:
+        # any 1s window holds at most those 4.
+        ev = events_at(0.0, 10.0, 10.1, 10.2, 10.3, 20.0)
+        assert peak_rate_rps(ev, 1.0) == 4.0
+        # A window just wide enough for the whole packing plus one more.
+        assert peak_rate_rps(ev, 10.3) == pytest.approx(5 / 10.3)
+
+    def test_peak_empty(self):
+        assert peak_rate_rps([], 1.0) == 0.0
+
+    def test_stats_uses_declared_duration(self):
+        stats = trace_stats(events_at(0.0, 1.0), meta={"duration_s": 4.0})
+        assert stats.duration_s == 4.0
+        assert stats.mean_rate_rps == 0.5
+        assert stats.models == {"model": 2}
+
+    def test_stats_empty_trace(self):
+        with pytest.raises(TraceError, match="empty"):
+            trace_stats([])

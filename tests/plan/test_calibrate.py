@@ -1,0 +1,104 @@
+"""Calibration: sample profiling, closed-loop runs, /stats fallback."""
+
+import math
+
+import pytest
+
+from repro.plan import (
+    PlanError,
+    calibrate_service_time,
+    profile_from_samples,
+    service_profile_from_stats,
+)
+
+
+class TestProfileFromSamples:
+    def test_summary(self):
+        prof = profile_from_samples([10.0, 12.0, 14.0], model="m")
+        assert prof.service_ms == pytest.approx(12.0)
+        assert prof.service_cv == pytest.approx(
+            math.sqrt(8.0 / 3.0) / 12.0
+        )
+        assert prof.samples == 3
+        assert prof.service_s == pytest.approx(0.012)
+        assert prof.source == "calibration"
+
+    def test_single_sample_cv_zero(self):
+        assert profile_from_samples([5.0]).service_cv == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(PlanError, match="no latency samples"):
+            profile_from_samples([])
+
+
+class TestCalibrateServiceTime:
+    def test_fake_clock_measures_send_cost(self):
+        t = [0.0]
+
+        def clock():
+            return t[0]
+
+        def send(ev, payload):
+            t[0] += 0.020  # each request "takes" 20 ms
+
+        prof = calibrate_service_time(
+            send, "m", samples=5, warmup=2,
+            payload_fn=lambda ev: None, clock=clock,
+        )
+        assert prof.samples == 5
+        assert prof.service_ms == pytest.approx(20.0)
+        assert prof.service_cv == pytest.approx(0.0)
+
+    def test_warmup_discarded(self):
+        t = [0.0]
+        calls = []
+
+        def clock():
+            return t[0]
+
+        def send(ev, payload):
+            calls.append(ev.seq)
+            # first (warmup) call is 10x slower, steady state 10 ms
+            t[0] += 0.100 if ev.seq == 0 else 0.010
+
+        prof = calibrate_service_time(
+            send, "m", samples=3, warmup=1,
+            payload_fn=lambda ev: None, clock=clock,
+        )
+        assert calls == [0, 1, 2, 3]
+        assert prof.service_ms == pytest.approx(10.0)
+
+    def test_callable_needs_payload_fn(self):
+        with pytest.raises(PlanError, match="payload_fn"):
+            calibrate_service_time(lambda ev, p: None, "m")
+
+    def test_samples_validated(self):
+        with pytest.raises(PlanError, match="samples"):
+            calibrate_service_time(
+                lambda ev, p: None, "m", samples=0,
+                payload_fn=lambda ev: None,
+            )
+
+
+class TestProfileFromStats:
+    def test_exponential_ratio_maps_to_cv_one(self):
+        # p99/p50 = ln(100)/ln(2) is exactly the exponential shape.
+        ratio = math.log(100.0) / math.log(2.0)
+        prof = service_profile_from_stats(
+            {"latency_ms_p50": 10.0, "latency_ms_p99": 10.0 * ratio,
+             "completed": 50},
+            model="m",
+        )
+        assert prof.service_cv == pytest.approx(1.0)
+        assert prof.service_ms == 10.0
+        assert prof.source == "stats"
+
+    def test_tight_ratio_maps_to_low_cv(self):
+        prof = service_profile_from_stats(
+            {"latency_ms_p50": 10.0, "latency_ms_p99": 10.5, "completed": 9}
+        )
+        assert prof.service_cv == pytest.approx(0.05)  # clamped floor
+
+    def test_no_percentiles_raises(self):
+        with pytest.raises(PlanError, match="no usable latency"):
+            service_profile_from_stats({"completed": 0})

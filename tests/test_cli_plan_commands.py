@@ -1,0 +1,121 @@
+"""CLI surface for ``repro loadgen`` and ``repro plan`` (no live gateway).
+
+The gateway-backed paths (--artifact calibration, --replay) are covered
+by CI's planner smoke step and benchmarks/bench_replay.py; here we pin
+argument plumbing, file outputs, and the error paths.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.loadgen import read_trace
+
+
+def loadgen(out, *extra):
+    return main([
+        "loadgen", "--pattern", "poisson", "--out", str(out),
+        "--duration", "2", "--rate", "20", "--seed", "1", *extra,
+    ])
+
+
+class TestLoadgen:
+    def test_writes_a_valid_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert loadgen(out) == 0
+        meta, events = read_trace(out)
+        assert meta["generator"] == "poisson"
+        assert meta["seed"] == 1
+        assert events, "empty trace"
+        assert "events over" in capsys.readouterr().out
+
+    def test_deterministic_across_invocations(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert loadgen(a) == 0 and loadgen(b) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bursty_records_windows(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert main([
+            "loadgen", "--pattern", "bursty", "--out", str(out),
+            "--duration", "4", "--on-rate", "40", "--off-rate", "2",
+            "--on-s", "1", "--off-s", "1",
+        ]) == 0
+        meta, _ = read_trace(out)
+        assert meta["on_windows"] == [[0.0, 1.0], [2.0, 3.0]]
+
+    def test_shape_flag(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert loadgen(out, "--shape", "3", "8", "8") == 0
+        _, events = read_trace(out)
+        assert events[0].shape == (3, 8, 8)
+
+    def test_bad_knobs_exit_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot generate"):
+            main([
+                "loadgen", "--pattern", "poisson",
+                "--out", str(tmp_path / "t.jsonl"),
+                "--duration", "0", "--rate", "20",
+            ])
+
+
+class TestPlan:
+    def test_rate_and_service_ms(self, capsys):
+        assert main([
+            "plan", "--rate", "16", "--service-ms", "100",
+            "--slo-ms", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-> replicas    2" in out
+        assert "watermarks" in out
+
+    def test_json_output(self, tmp_path):
+        path = tmp_path / "plan.json"
+        assert main([
+            "plan", "--rate", "16", "--service-ms", "100",
+            "--slo-ms", "400", "--service-cv", "0.1",
+            "--json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["replicas"] == 2
+        assert payload["service_cv"] == 0.1
+        assert payload["autoscale"]["high_watermark"] > 0
+
+    def test_plan_from_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            "loadgen", "--pattern", "bursty", "--out", str(trace),
+            "--duration", "6", "--on-rate", "16", "--off-rate", "1",
+            "--on-s", "2", "--off-s", "2",
+        ]) == 0
+        assert main([
+            "plan", "--trace", str(trace), "--service-ms", "100",
+            "--slo-ms", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        # bursty traces are sized on the generator's plateau rate
+        assert "16.00 rps" in out
+
+    def test_needs_a_load(self):
+        with pytest.raises(SystemExit, match="offered load"):
+            main(["plan", "--slo-ms", "400", "--service-ms", "10"])
+
+    def test_needs_a_service_time(self):
+        with pytest.raises(SystemExit, match="service time"):
+            main(["plan", "--rate", "10", "--slo-ms", "400"])
+
+    def test_replay_needs_artifact_and_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="--artifact"):
+            main(["plan", "--rate", "10", "--service-ms", "10",
+                  "--slo-ms", "400", "--replay"])
+
+    def test_unattainable_slo_exits(self):
+        with pytest.raises(SystemExit, match="cannot plan"):
+            main(["plan", "--rate", "10", "--service-ms", "100",
+                  "--slo-ms", "50"])
+
+    def test_missing_trace_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["plan", "--trace", str(tmp_path / "nope.jsonl"),
+                  "--service-ms", "10", "--slo-ms", "100"])
